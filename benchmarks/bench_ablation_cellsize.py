@@ -1,0 +1,31 @@
+"""Ablation bench: cell size around the cutoff radius (paper Fig. 3).
+
+At cell edge = R_c the design keeps the 26-cell neighborhood while
+maximizing the valid-pair fraction (Eq. 3's 15.5%); smaller cells blow
+up the neighbor-cell count (inter-cell communication), larger cells
+dilute filtering efficiency.
+"""
+
+import pytest
+
+from repro.harness.ablations import format_cellsize, run_cellsize_analysis
+
+
+def test_cellsize_tradeoff(benchmark, save_artifact):
+    result = benchmark.pedantic(run_cellsize_analysis, rounds=5, iterations=1)
+    save_artifact("ablation_cellsize", format_cellsize(result))
+
+    by_ratio = {round(r.size_ratio, 2): r for r in result.rows}
+    at_rc = by_ratio[1.0]
+    # Eq. 3: 15.5% valid pairs at cell edge = R_c.
+    assert at_rc.valid_fraction == pytest.approx(0.155, abs=0.002)
+    assert at_rc.neighbor_cells == 26
+    # Smaller cells multiply the cells to evaluate (Fig. 3 left).
+    assert by_ratio[0.5].neighbor_cells > 100
+    # Larger cells dilute the filter (Fig. 3 right).
+    assert by_ratio[1.5].valid_fraction < 0.5 * at_rc.valid_fraction
+    assert by_ratio[2.0].valid_fraction < by_ratio[1.5].valid_fraction
+    # R_c maximizes valid fraction among sizes that keep 26 neighbors.
+    for ratio, row in by_ratio.items():
+        if row.neighbor_cells == 26:
+            assert at_rc.valid_fraction >= row.valid_fraction

@@ -1,0 +1,31 @@
+"""Ablation bench: filters per force pipeline (paper uses 6).
+
+Throughput grows with the filter count while the filter bank is the
+bottleneck and saturates once the one-force-per-cycle pipeline is; the
+paper's choice of 6 sits where filter hardware utilization still matches
+the PEs (Fig. 17's "the upstream filters match the PEs well").
+"""
+
+import pytest
+
+from repro.harness.ablations import format_filter_sweep, run_filter_sweep
+
+
+def test_filter_sweep(benchmark, save_artifact):
+    result = benchmark.pedantic(run_filter_sweep, rounds=1, iterations=1)
+    save_artifact("ablation_filters", format_filter_sweep(result))
+
+    by_count = {r.filters: r for r in result.rows}
+    # Rate grows while filter-bound...
+    assert by_count[4].rate_us_per_day > by_count[2].rate_us_per_day
+    assert by_count[6].rate_us_per_day > by_count[4].rate_us_per_day
+    # ...and saturates once the pipeline is the bottleneck.
+    assert by_count[16].rate_us_per_day == pytest.approx(
+        by_count[12].rate_us_per_day, rel=0.02
+    )
+    # At the paper's choice of 6, filters and PE stay matched.
+    assert abs(
+        by_count[6].filter_hw_utilization - by_count[6].pe_hw_utilization
+    ) < 0.15
+    # Overshooting filters wastes them: utilization collapses.
+    assert by_count[16].filter_hw_utilization < by_count[6].filter_hw_utilization

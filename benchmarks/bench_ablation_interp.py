@@ -1,0 +1,35 @@
+"""Ablation bench: interpolation table size vs. accuracy (paper Sec. 3.4).
+
+First-order indexed interpolation converges quadratically in bins per
+section; the default 14x256 tables land at ~1e-4 relative force error —
+consistent with the < 1e-4 energy error band of Fig. 19.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.interp import InterpolationTable
+from repro.harness.ablations import format_interp_sweep, run_interp_sweep
+
+
+def test_interp_sweep(benchmark, save_artifact):
+    result = run_interp_sweep()
+    save_artifact("ablation_interp", format_interp_sweep(result))
+
+    by_size = {(r.n_s, r.n_b): r for r in result.rows}
+    # Quadratic convergence in bins: 64 -> 256 shrinks error ~16x.
+    ratio = by_size[(14, 64)].max_rel_error_r14 / by_size[(14, 256)].max_rel_error_r14
+    assert 10 < ratio < 25
+    # The default size reaches the paper's accuracy band.
+    assert by_size[(14, 256)].max_rel_error_r14 < 2e-4
+    # Extra sections beyond the r2 dynamic range cost words, not accuracy.
+    assert by_size[(20, 256)].max_rel_error_r14 == pytest.approx(
+        by_size[(14, 256)].max_rel_error_r14, rel=0.05
+    )
+    assert by_size[(20, 256)].bram_words > by_size[(14, 256)].bram_words
+
+    # Benchmark the hot path: one vectorized table evaluation.
+    table = InterpolationTable(14, n_s=14, n_b=256)
+    r2 = np.random.default_rng(0).uniform(2.0 ** -10, 1.0, size=50_000)
+    out = benchmark(table.evaluate_f32, r2)
+    assert out.shape == r2.shape

@@ -1,0 +1,32 @@
+"""Ablation bench: inter-FPGA latency — the tight-coupling thesis priced.
+
+The paper's premise (Sec. 1) is that FPGA clusters win strong scaling
+because "data transfers, application level to application level, take
+only a few cycles beyond time-of-flight."  This sweep runs the best
+strong-scaling design behind progressively looser fabrics: at ~1 us
+(the evaluated switch) synchronization costs 12% of the iteration; at
+datacenter-software latencies it dominates; host-mediated coupling is
+two orders of magnitude slower — the quantified case for tightly
+coupled communication.
+"""
+
+import pytest
+
+from repro.harness.ablations import format_latency_sweep, run_latency_sweep
+
+
+def test_latency_sweep(benchmark, save_artifact):
+    result = benchmark.pedantic(run_latency_sweep, rounds=1, iterations=1)
+    save_artifact("ablation_latency", format_latency_sweep(result))
+
+    by_lat = {r.latency_cycles: r for r in result.rows}
+    # At the evaluated switch latency, sync is a minor tax.
+    assert by_lat[200].sync_share < 0.20
+    # At datacenter-software latencies it eats over half the iteration.
+    assert by_lat[2_000].sync_share > 0.4
+    # Host-mediated coupling destroys strong scaling outright.
+    assert by_lat[200_000].rate_us_per_day < 0.15
+    assert result.tight_vs_loose > 50
+    # Rates fall monotonically with latency.
+    rates = [r.rate_us_per_day for r in result.rows]
+    assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,50 @@
+"""Ablation bench: PE microarchitecture (buffer depth, filter count).
+
+Bounds the cycle model's calibrated ``PE_FILTER_EFFICIENCY = 0.70`` from
+first principles: an idealized cycle-level PE (synchronous reloads,
+dense neighbor streams) retires 0.95-0.99 candidates/filter/cycle, so
+the RTL's measured 0.70 (Fig. 17) attributes ~0.25-0.3 to position
+distribution and dispatch overheads outside the filter bank.  Also
+quantifies the arbitration-buffer depth and the filter-count trade
+behind the paper's choice of 6.
+"""
+
+import pytest
+
+from repro.core.pesim import simulate_pe
+from repro.harness.report import format_table
+
+
+def test_pe_microsim_ablation(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        simulate_pe, kwargs={"queue_depth": 8, "seed": 0}, rounds=3, iterations=1
+    )
+    assert result.pipeline_outputs == result.accepted
+
+    rows = []
+    for qd in (1, 2, 4, 8, 16):
+        r = simulate_pe(queue_depth=qd, seed=0)
+        rows.append(
+            ["queue=%d" % qd, r.cycles, 100 * r.filter_efficiency,
+             100 * r.pipeline_utilization, 100 * r.stall_fraction]
+        )
+    for nf in (2, 4, 6, 8, 12):
+        r = simulate_pe(n_filters=nf, seed=0)
+        rows.append(
+            ["filters=%d" % nf, r.cycles, 100 * r.filter_efficiency,
+             100 * r.pipeline_utilization, 100 * r.stall_fraction]
+        )
+    table = format_table(
+        ["sweep", "cycles", "filter eff %", "pipe util %", "stall %"],
+        rows,
+        precision=1,
+        title="PE microsimulation (idealized bound on the 0.70 constant)",
+    )
+    save_artifact("ablation_pe_micro", table)
+
+    # The idealized bound exceeds the calibrated constant.
+    ideal = simulate_pe(queue_depth=8, seed=0)
+    assert ideal.filter_efficiency > 0.70
+    # 6 filters keep both sides of the trade healthy.
+    six = simulate_pe(n_filters=6, seed=0)
+    assert six.filter_efficiency > 0.9 and six.pipeline_utilization > 0.85

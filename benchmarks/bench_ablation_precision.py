@@ -1,0 +1,26 @@
+"""Ablation bench: fixed-point position width vs. energy fidelity.
+
+The paper stores positions as fixed-point cell offsets to keep the
+hundreds of filters cheap (Sec. 4.2); this sweep shows how many fraction
+bits that format needs: by ~14 bits quantization error disappears under
+the float32 datapath noise that Fig. 19 measures.
+"""
+
+import pytest
+
+from repro.harness.ablations import format_precision_sweep, run_precision_sweep
+
+
+def test_precision_sweep(benchmark, save_artifact):
+    result = benchmark.pedantic(run_precision_sweep, rounds=1, iterations=1)
+    save_artifact("ablation_precision", format_precision_sweep(result))
+
+    by_bits = {r.frac_bits: r for r in result.rows}
+    # Coarse positions corrupt the energy; error shrinks with width.
+    assert by_bits[6].max_energy_rel_error > by_bits[10].max_energy_rel_error
+    assert by_bits[10].max_energy_rel_error >= by_bits[23].max_energy_rel_error
+    # At the modeled 23-bit width the run sits in Fig. 19's error band.
+    assert by_bits[23].max_energy_rel_error < 1e-3
+    # By ~14 bits the quantization is already below datapath float32
+    # noise: widening to 23 bits gains little.
+    assert by_bits[14].max_energy_rel_error < 5 * by_bits[23].max_energy_rel_error

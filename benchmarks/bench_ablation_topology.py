@@ -1,0 +1,44 @@
+"""Ablation bench: inter-FPGA fabric choice (paper Sec. 4.1).
+
+FASDA's traffic is neighbor-dominated (Fig. 18(B)), so the figure of
+merit is hop distance between spatially adjacent nodes — where cheap
+low-degree fabrics like hyper-rings stay competitive with a full torus,
+compensating for their poor all-pairs bandwidth.
+"""
+
+import pytest
+
+from repro.harness.ablations import format_topology, run_topology_comparison
+
+
+def test_topology_tradeoff(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_topology_comparison, args=((2, 2, 2),), rounds=3, iterations=1
+    )
+    save_artifact("ablation_topology", format_topology(result))
+
+    by_name = {r.name: r for r in result.rows}
+    torus = by_name["torus(direct)"]
+    hyper = by_name["hyper-ring(o2)"]
+    ring = by_name["ring(o1)"]
+
+    # The direct torus matches the traffic exactly (neighbors 1 hop away)
+    # but needs the most links.
+    assert torus.neighbor_avg_distance == 1.0
+    assert torus.links > hyper.links or torus.links > ring.links
+    # The hyper-ring's neighbor distance stays close to the torus even
+    # though its all-pairs diameter is worse — the paper's argument for
+    # tolerating hyper-rings.
+    assert hyper.neighbor_avg_distance <= 2.5
+    assert hyper.diameter >= torus.diameter
+
+
+def test_topology_scales_to_64_nodes(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_topology_comparison, args=((4, 4, 4),), rounds=1, iterations=1
+    )
+    save_artifact("ablation_topology_64", format_topology(result))
+    by_name = {r.name: r for r in result.rows}
+    # At 64 nodes the link-count gap widens sharply.
+    assert by_name["torus(direct)"].links >= 3 * by_name["ring(o1)"].links / 2
+    assert by_name["hyper-ring(o2)"].links < by_name["torus(direct)"].links

@@ -1,0 +1,44 @@
+"""Benchmark regenerating paper Fig. 16: the scalability comparison.
+
+Produces the weak-scaling, strong-scaling, and simulated scale-out
+sections (FPGA / CPU / GPU series in us/day) and checks the two headline
+ratios: ~5.26x strong-scaling gain A -> C and ~4.67x over the best GPU.
+
+The timed kernel is the expensive primitive underneath the figure: one
+full functional force pass + cycle-model evaluation of a design point.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.cycles import estimate_performance
+from repro.core.machine import FasdaMachine
+from repro.harness.experiments import format_fig16, run_fig16
+
+
+@pytest.fixture(scope="module")
+def fig16_result():
+    return run_fig16()
+
+
+def test_fig16_scalability(benchmark, fig16_result, save_artifact):
+    cfg = MachineConfig((3, 3, 3))
+    machine = FasdaMachine(cfg)
+
+    def measure_one_design_point():
+        stats = machine.measure_workload()
+        return estimate_performance(cfg, stats)
+
+    perf = benchmark.pedantic(measure_one_design_point, rounds=3, iterations=1)
+    assert 1.6 < perf.rate_us_per_day < 2.6
+
+    text = format_fig16(fig16_result)
+    save_artifact("fig16_scalability", text)
+
+    # Headline claims (paper: 5.26x and 4.67x).
+    assert 4.2 < fig16_result.strong_speedup_c_over_a < 6.0
+    assert 3.7 < fig16_result.speedup_vs_best_gpu < 5.6
+    # Weak scaling stays flat around 2 us/day.
+    rates = [r.fpga for r in fig16_result.weak]
+    assert max(rates) / min(rates) < 1.1
+    assert all(1.6 < r < 2.6 for r in rates)

@@ -1,0 +1,40 @@
+"""Benchmark regenerating paper Fig. 17: component utilization breakdown.
+
+Reports hardware and time utilization of PR, FR, filters, PEs, and MUs
+for all seven measured design variants, and checks the paper's
+qualitative claims (PEs ~80% busy at 50-60% hardware utilization, PR
+least used, MU < 5%).
+"""
+
+import pytest
+
+from repro.core.config import weak_scaling_configs
+from repro.core.cycles import estimate_performance
+from repro.core.machine import FasdaMachine
+from repro.harness.experiments import format_fig17, run_fig17
+
+
+@pytest.fixture(scope="module")
+def fig17_result():
+    return run_fig17()
+
+
+def test_fig17_utilization(benchmark, fig17_result, save_artifact):
+    cfg = weak_scaling_configs()["3x3x3"]
+    machine = FasdaMachine(cfg)
+    stats = machine.measure_workload()
+
+    perf = benchmark.pedantic(
+        estimate_performance, args=(cfg, stats), rounds=5, iterations=1
+    )
+    assert perf.utilization["mu"].time < 0.05
+
+    save_artifact("fig17_utilization", format_fig17(fig17_result))
+
+    for row in fig17_result.rows:
+        # PEs: ~80% time utilization, 50-60% hardware utilization.
+        assert 0.6 < row.time["pe"] < 0.9, row.name
+        assert 0.40 < row.hardware["pe"] < 0.62, row.name
+        # PR is the least-utilized ring; MU is negligible.
+        assert row.hardware["pr"] < row.hardware["fr"], row.name
+        assert row.time["mu"] < 0.05, row.name

@@ -1,0 +1,63 @@
+"""Benchmark regenerating paper Fig. 18: communication intensity.
+
+(A) per-node average position/force bandwidth demand per design — the
+paper reports < 25 Gbps even for the 2-SPE 3-PE strong-scaling point;
+(B) node 0's egress breakdown across the seven other FPGAs — force
+traffic concentrates on logically-near nodes because zero forces are
+discarded.
+"""
+
+import pytest
+
+from repro.core.config import strong_scaling_configs
+from repro.core.machine import FasdaMachine
+from repro.harness.experiments import format_fig18, run_fig18
+from repro.network.fabric import Fabric
+
+
+@pytest.fixture(scope="module")
+def fig18_result():
+    return run_fig18()
+
+
+def test_fig18_communication(benchmark, fig18_result, save_artifact):
+    cfg = strong_scaling_configs()["4x4x4-C"]
+    machine = FasdaMachine(cfg)
+    stats = machine.measure_workload()
+
+    def account_traffic():
+        fabric = Fabric(cfg.n_fpgas, cfg.packet_bits, cfg.records_per_packet)
+        stats.fill_fabric(fabric)
+        return fabric
+
+    fabric = benchmark.pedantic(account_traffic, rounds=10, iterations=1)
+    assert fabric.flows
+
+    save_artifact("fig18_communication", format_fig18(fig18_result))
+
+    # (A): below 25 Gbps on both channels for every design.
+    for row in fig18_result.rows:
+        assert row.position_gbps < 25.0, row.name
+        assert row.force_gbps < 25.0, row.name
+    # (B): force egress concentrates on 1-hop neighbors; the corner node
+    # receives only a marginal share.
+    frc = fig18_result.breakdown["force"]
+    near = [frc[d] for d, h in fig18_result.hop_distance.items() if h == 1]
+    far = [frc[d] for d, h in fig18_result.hop_distance.items() if h == 3]
+    assert min(near) > 3 * max(far)
+
+
+def test_fig18_cooldown_spreads_peaks(benchmark):
+    """The cooldown mechanism of Sec. 5.4: peaks spread below line rate."""
+    cfg = strong_scaling_configs()["4x4x4-C"]
+    fabric = Fabric(cfg.n_fpgas, cfg.packet_bits, cfg.records_per_packet)
+
+    peak = benchmark.pedantic(
+        fabric.peak_gbps_with_cooldown,
+        args=(cfg.cooldown_cycles, cfg.clock_hz),
+        rounds=10,
+        iterations=1,
+    )
+    assert peak < cfg.link_gbps  # throttled burst fits the port
+    # Unthrottled back-to-back 512-bit packets at 200 MHz would exceed it.
+    assert fabric.peak_gbps_with_cooldown(1, cfg.clock_hz) > cfg.link_gbps

@@ -1,0 +1,34 @@
+"""Benchmark regenerating paper Fig. 19: energy conservation.
+
+Runs the FASDA machine (fixed-point positions, float32 table-lookup
+datapath) and the float64 reference engine from identical initial
+conditions on the 4x4x4 space and reports the relative total-energy
+error over time.  Paper: always < 1e-3, generally < 1e-4.
+
+The paper integrates 100,000 iterations; the error magnitude settles
+within the first few hundred, so this bench runs 200 (override with
+``FASDA_FIG19_STEPS``).
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import FasdaMachine
+from repro.harness.experiments import format_fig19, run_fig19
+
+
+def test_fig19_energy_conservation(benchmark, save_artifact):
+    cfg = MachineConfig((3, 3, 3))
+    machine = FasdaMachine(cfg)
+    machine.run(1, record_every=0)  # prime
+
+    benchmark.pedantic(machine.step, rounds=3, iterations=1)
+
+    n_steps = int(os.environ.get("FASDA_FIG19_STEPS", "200"))
+    result = run_fig19(n_steps=n_steps, record_every=max(1, n_steps // 10))
+    save_artifact("fig19_energy", format_fig19(result))
+
+    assert result.max_relative_error < 1e-3   # paper: always well below 1e-3
+    assert result.median_relative_error < 1e-4  # paper: generally below 1e-4

@@ -1,0 +1,26 @@
+"""Benchmark regenerating paper Table 1: FPGA resource utilization.
+
+Prints model-vs-paper utilization percentages for all seven design
+variants.  LUT/FF/DSP reproduce the table within ~2 percentage points;
+BRAM/URAM within the paper's own BRAM<->URAM rebalancing noise.
+"""
+
+import pytest
+
+from repro.core.config import strong_scaling_configs
+from repro.core.resources import estimate_resources
+from repro.harness.experiments import format_table1, run_table1
+
+
+def test_table1_resources(benchmark, save_artifact):
+    cfg = strong_scaling_configs()["4x4x4-C"]
+    usage = benchmark.pedantic(estimate_resources, args=(cfg,), rounds=20, iterations=1)
+    assert usage.fits()
+
+    result = run_table1()
+    save_artifact("table1_resources", format_table1(result))
+
+    tolerances = {"lut": 2.0, "ff": 1.0, "dsp": 1.0, "bram": 15.0, "uram": 7.0}
+    for name, res_map in result.rows.items():
+        for res, (model, paper) in res_map.items():
+            assert abs(model - paper) <= tolerances[res], (name, res, model, paper)

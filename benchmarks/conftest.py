@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: artifact saving and common machines."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Persist a reproduced table/figure as a text artifact.
+
+    Each benchmark writes the table it regenerates into
+    ``benchmarks/results/<name>.txt`` so paper-vs-measured comparisons
+    (EXPERIMENTS.md) can be refreshed from one run.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _save

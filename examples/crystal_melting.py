@@ -1,0 +1,69 @@
+"""Argon crystal melting: substrate tour with trajectory output.
+
+Exercises the MD substrate end to end: build an FCC argon crystal,
+watch its sharp g(r) shells, heat it through the melting point with a
+Berendsen thermostat, and watch the shells wash out into a liquid
+structure — with every frame dumped to an XYZ trajectory for external
+visualization.
+
+Run:  python examples/crystal_melting.py
+"""
+
+import io
+
+import numpy as np
+
+from repro.md import ReferenceEngine
+from repro.md.analysis import radial_distribution_function
+from repro.md.lattice import build_fcc, grid_for_system
+from repro.md.thermostat import equilibrate
+from repro.md.trajectory import TrajectoryWriter
+
+
+def print_rdf(label, system, r_max=8.0):
+    r, g = radial_distribution_function(system, r_max=r_max, n_bins=32)
+    bar = "".join("#" if v > 1.5 else ("+" if v > 0.75 else ".") for v in g)
+    print(f"{label:<18} |{bar}|  (r = 0..{r_max} A; '#'>1.5, '+'>0.75)")
+
+
+def main() -> None:
+    a0 = 5.4  # slightly expanded solid-argon lattice constant
+    system = build_fcc("Ar", 3, a0, temperature_k=20.0, seed=1)
+    grid = grid_for_system(system, cutoff=a0)
+    assert grid is not None
+    print(f"FCC argon: {system.n} atoms, a0 = {a0} A, "
+          f"grid {grid.dims}, T = {system.temperature():.0f} K\n")
+
+    engine = ReferenceEngine(system, grid, dt_fs=5.0)
+    traj = io.StringIO()
+    writer = TrajectoryWriter(traj)
+    writer.write_frame(engine.system, step=0)
+
+    print_rdf("cold crystal", engine.system)
+
+    # Heat in stages through the melting point (~84 K at 1 atm; our
+    # truncated LJ crystal destabilizes somewhat above that).  Isokinetic
+    # rescaling pins the kinetic temperature while the lattice absorbs
+    # the heat of fusion.
+    from repro.md.thermostat import VelocityRescaleThermostat
+
+    step = 0
+    for target in (40.0, 120.0, 250.0):
+        thermostat = VelocityRescaleThermostat(target)
+        equilibrate(engine, thermostat, n_steps=150, apply_every=5)
+        step += 150
+        writer.write_frame(engine.system, step=step)
+        print_rdf(f"after T={target:g} K", engine.system)
+
+    print(f"\nfinal temperature: {engine.system.temperature():.0f} K")
+    print(f"trajectory frames written: {writer.frames_written} "
+          f"({len(traj.getvalue()) // 1024} KiB of XYZ)")
+    print(
+        "\nThe crystal's discrete shells ('#..#') smear into the broad"
+        "\nfirst-neighbor peak of a liquid — the physics the RL force"
+        "\nengine must reproduce before any acceleration matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

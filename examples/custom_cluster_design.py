@@ -1,0 +1,73 @@
+"""Design your own FASDA deployment: from box size to a cluster plan.
+
+FASDA is built from plugable components "adjustable based on user
+requirements" (paper Sec. 1).  Given a target simulation box and an FPGA
+budget, this example walks the design space the way a user of the real
+artifact would drive ``compile.sh``: pick the cell decomposition, choose
+the strong-scaling organization that still fits the device, and check
+the switch ports can carry the traffic.
+
+Run:  python examples/custom_cluster_design.py
+"""
+
+from repro.core import (
+    FasdaMachine,
+    MachineConfig,
+    estimate_performance,
+    estimate_resources,
+)
+from repro.network.fabric import Fabric
+from repro.network.topology import TorusTopology
+
+#: User requirements: a 34-angstrom cubic box (4x4x4 cells at the 8.5 A
+#: cutoff) and an 8-FPGA budget — the paper's strong-scaling scenario.
+GLOBAL_CELLS = (4, 4, 4)
+FPGA_BUDGET = 8
+
+
+def main() -> None:
+    # Step 1: decompose cells across the FPGA budget (2x2x2 blocks).
+    config = MachineConfig(GLOBAL_CELLS, (2, 2, 2))
+    print(f"decomposition: {config.describe()}")
+    torus = TorusTopology(config.fpga_grid)
+    print(f"logical fabric: 3-D torus, diameter {torus.diameter()} hops\n")
+
+    # Step 2: measure the workload once.
+    machine = FasdaMachine(config)
+    stats = machine.measure_workload()
+    print(f"workload: {stats.total_candidates:,} candidate pairs/iteration, "
+          f"{stats.acceptance_rate:.1%} accepted\n")
+
+    # Step 3: pick the largest strong-scaling organization that fits.
+    chosen = None
+    for spes in (2, 1):
+        for pes in (4, 3, 2, 1):
+            candidate = config.with_scaling(pes_per_spe=pes, spes_per_cbb=spes)
+            if estimate_resources(candidate).fits(margin=0.9):
+                perf = estimate_performance(candidate, stats)
+                if chosen is None or perf.rate_us_per_day > chosen[1].rate_us_per_day:
+                    chosen = (candidate, perf)
+    assert chosen is not None
+    config, perf = chosen
+    util = estimate_resources(config).utilization_percent()
+    print(f"chosen design: {config.spes_per_cbb}-SPE x {config.pes_per_spe}-PE "
+          f"({config.pes_per_cbb} PEs per cell)")
+    print(f"  rate:  {perf.rate_us_per_day:.2f} us/day, bound by '{perf.bound}'")
+    print("  node resources: " + ", ".join(
+        f"{k.upper()} {v:.0f}%" for k, v in util.items()))
+
+    # Step 4: verify the 100 GbE ports carry the traffic.
+    fabric = Fabric(config.n_fpgas, config.packet_bits, config.records_per_packet)
+    stats.fill_fabric(fabric)
+    t_iter = perf.seconds_per_step
+    pos = fabric.max_node_egress_gbps("position", t_iter)
+    frc = fabric.max_node_egress_gbps("force", t_iter)
+    print(f"  traffic: position {pos:.1f} Gbps, force {frc:.1f} Gbps "
+          f"per node (ports: {config.link_gbps:g} Gbps)")
+    peak = fabric.peak_gbps_with_cooldown(config.cooldown_cycles, config.clock_hz)
+    print(f"  cooldown-throttled peak: {peak:.1f} Gbps "
+          f"({'OK' if peak < config.link_gbps else 'OVER BUDGET'})")
+
+
+if __name__ == "__main__":
+    main()

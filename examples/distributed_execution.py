@@ -1,0 +1,68 @@
+"""Distributed execution: nodes, packets, and ID conversion — live.
+
+Runs the same system two ways: the global FasdaMachine (computes
+globally, accounts traffic) and the DistributedMachine (each node owns
+only its cells; boundary positions travel as real 512-bit packets
+through P2R encapsulator chains; the Sec. 4.2 GCID->LCID->RCID
+conversions run on every arriving record).  Their trajectories must
+agree to float32 accumulation noise — the correctness guarantee the
+homogeneous-ID design gives the real cluster — and the real packet
+stream must match the analytic traffic accounting exactly.
+
+Run:  python examples/distributed_execution.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import DistributedMachine, FasdaMachine, MachineConfig
+from repro.md import build_dataset
+
+
+def main() -> None:
+    # The artifact's own invocation: ./compile.sh 222 444
+    config = MachineConfig.from_compile_args("222", "444")
+    print(f"design: {config.describe()}\n")
+
+    system, _ = build_dataset(config.global_cells, particles_per_cell=32, seed=4)
+    global_m = FasdaMachine(config, system=system.copy())
+    dist_m = DistributedMachine(config, system=system.copy(), parallel=True)
+
+    # One force pass each; compare physics and traffic.
+    stats = global_m.compute_forces(collect_traffic=True)
+    t0 = time.time()
+    dist_m.compute_forces()
+    t1 = time.time()
+
+    fg = global_m.forces.astype(np.float64)
+    fd = dist_m.forces.astype(np.float64)
+    err = np.abs(fg - fd).max() / np.abs(fg).max()
+    expected_packets = sum(
+        int(np.ceil(r / config.records_per_packet))
+        for r in stats.position_records.values()
+    )
+    print(f"force agreement:   {err:.2e} (float32 accumulation order)")
+    print(f"position packets:  {dist_m.total_position_packets} real "
+          f"(accounting predicts {expected_packets})")
+    print(f"force packets:     {dist_m.total_force_packets} "
+          "(zero neighbor forces discarded)")
+    print(f"threaded pass:     {t1 - t0:.2f} s across "
+          f"{config.n_fpgas} simulated nodes\n")
+
+    # Short co-trajectory.
+    g_recs = global_m.run(20, record_every=10)
+    d_recs = dist_m.run(20, record_every=10)
+    print("step   global E         distributed E    rel diff")
+    for g, d in zip(g_recs, d_recs):
+        rel = abs(g.total - d.total) / abs(g.total)
+        print(f"{g.step:4d}   {g.total:14.4f}   {d.total:14.4f}   {rel:.2e}")
+
+    print(
+        "\nEvery arriving record passed GCID->LCID->RCID conversion with the"
+        "\nround-trip asserted — the homogeneity machinery of Sec. 4.2 at work."
+    )
+
+
+if __name__ == "__main__":
+    main()

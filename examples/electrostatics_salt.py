@@ -1,0 +1,73 @@
+"""Molten-salt workload: the second RL force through the same pipelines.
+
+Paper Sec. 2.1: range-limited forces comprise the LJ term *and* the
+short-range (real-space) Ewald electrostatic term, and "the RL force
+pipelines are nearly identical."  This example runs an Na+/Cl- system on
+a FASDA machine configured with ``force_model="lj+coulomb"`` — the LJ
+pipeline plus a second, structurally identical table-lookup pipeline
+holding the Ewald ROM — and validates it against the double-precision
+composite reference.
+
+Run:  python examples/electrostatics_salt.py
+"""
+
+import numpy as np
+
+from repro.core import FasdaMachine, MachineConfig
+from repro.md import (
+    CompositeKernel,
+    EwaldRealKernel,
+    LennardJonesKernel,
+    build_dataset,
+    compute_forces_kernel,
+)
+
+
+def main() -> None:
+    dims = (3, 3, 3)
+    config = MachineConfig(dims, force_model="lj+coulomb", dt_fs=0.5)
+    system, grid = build_dataset(
+        dims,
+        particles_per_cell=16,
+        species=("Na", "Cl"),
+        charged=True,
+        min_distance=2.4,
+        temperature_k=100.0,
+        seed=11,
+    )
+    n_na = int(np.sum(system.charges > 0))
+    print(f"system: {n_na} Na+ and {system.n - n_na} Cl- ions, "
+          f"box {grid.box[0]:.1f} A, net charge {system.charges.sum():+.0f}")
+
+    machine = FasdaMachine(config, system=system.copy())
+    print(f"Ewald splitting: beta = {machine.ewald_beta:.4f} 1/A "
+          f"(erfc(beta*Rc) <= {config.ewald_tolerance:g})\n")
+
+    # One force pass vs. the float64 composite reference.
+    stats = machine.compute_forces(collect_traffic=False)
+    kernel = CompositeKernel(
+        [LennardJonesKernel(), EwaldRealKernel(machine.ewald_beta)]
+    )
+    f_ref, e_ref = compute_forces_kernel(system, grid, kernel)
+    f_mac = machine.forces.astype(np.float64)
+    err = np.abs(f_mac - f_ref).max() / np.abs(f_ref).max()
+    print(f"potential energy: machine {stats.potential_energy:.2f}, "
+          f"reference {e_ref:.2f} kcal/mol "
+          f"(rel err {abs(stats.potential_energy - e_ref) / abs(e_ref):.2e})")
+    print(f"max force error: {err:.2e} (table + float32 datapath)\n")
+
+    # Short dynamics: the ionic system conserves energy through the
+    # dual-pipeline datapath.
+    records = machine.run(40, record_every=10)
+    e0 = records[0].total
+    print("step   total E (kcal/mol)   drift")
+    for rec in records:
+        print(f"{rec.step:4d}   {rec.total:16.2f}   {abs(rec.total - e0) / abs(e0):.2e}")
+    print(
+        "\nSame filters, same section/bin indexing, same float32 MAC —"
+        "\nonly the ROM images differ between the LJ and Ewald pipelines."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Straggler resilience: chained synchronization in action (Sec. 4.4).
+
+Injects a one-iteration straggle into an 8-node ring and traces how the
+delay wave propagates one hop per iteration under chained sync, while
+bulk-synchronous execution stalls every node immediately — the behavior
+Figs. 12-13 describe.
+
+Run:  python examples/straggler_resilience.py
+"""
+
+import numpy as np
+
+from repro.core.sync import run_bulk_sync, run_chained_sync, straggler_work
+from repro.network.topology import RingTopology
+
+
+def main() -> None:
+    n_nodes, n_iterations = 8, 6
+    work = straggler_work(
+        base_cycles=16_000.0, straggler_node=0, slowdown=3.0, iterations=[0]
+    )
+
+    chained = run_chained_sync(
+        RingTopology(n_nodes), work, n_iterations, link_latency=200.0
+    )
+    bulk = run_bulk_sync(n_nodes, work, n_iterations, barrier_latency=200.0)
+
+    print("node 0 straggles 3x on iteration 0 only (8-node ring)\n")
+    print("chained sync — iteration completion times (kcycles):")
+    header = "node  " + "".join(f"  it{k:<2d} " for k in range(n_iterations))
+    print(header)
+    for node in range(n_nodes):
+        times = "".join(
+            f"{chained.iteration_complete[node, k] / 1000:6.1f} "
+            for k in range(n_iterations)
+        )
+        dist = min(node, n_nodes - node)
+        print(f"{node:>4}  {times}   (distance {dist} from straggler)")
+
+    print("\nbulk-synchronous — every node identical:")
+    times = "".join(
+        f"{bulk.iteration_complete[0, k] / 1000:6.1f} " for k in range(n_iterations)
+    )
+    print(f" all  {times}")
+
+    spread0 = chained.start_spread(0)
+    print(
+        f"\nchained head start after the straggle: {spread0 / 1000:.1f} kcycles of"
+        "\nspread between near and far nodes — distant nodes keep computing"
+        "\nwhile BSP would hold the whole cluster at the barrier."
+    )
+    print(
+        f"\nmakespan: chained {chained.makespan / 1000:.1f} kcycles, "
+        f"BSP {bulk.makespan / 1000:.1f} kcycles "
+        "(with equal link latencies; BSP through a host would add ~200"
+        " kcycles per iteration)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on offline machines whose setuptools lacks a
+bundled ``wheel`` (the legacy develop-install path needs no wheel
+building).
+"""
+
+from setuptools import setup
+
+setup()

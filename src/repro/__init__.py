@@ -1,0 +1,20 @@
+"""FASDA reproduction: simulator-level model of an FPGA-aided, scalable,
+distributed accelerator for range-limited molecular dynamics (SC '23).
+
+Public API layers:
+
+* :mod:`repro.md` — the double-precision reference MD engine (OpenMM
+  numerical stand-in) and the paper's dataset generator.
+* :mod:`repro.core` — the FASDA machine: functional datapath
+  (fixed-point positions, interpolation-table force pipelines) plus
+  cycle, traffic, and resource accounting across simulated FPGA nodes.
+* :mod:`repro.network` — inter-FPGA fabric topologies (hyper-ring,
+  torus mapping, switch).
+* :mod:`repro.perf` — calibrated CPU/GPU baseline performance models and
+  the FPGA cycle model behind Fig. 16.
+* :mod:`repro.harness` — one experiment driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

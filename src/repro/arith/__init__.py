@@ -1,0 +1,14 @@
+"""Datapath arithmetic: fixed-point positions and interpolation tables.
+
+FASDA stores particle positions as fixed-point offsets within a cell
+(normalized so the cell edge, equal to the cutoff radius, is 1.0) and
+evaluates ``r**-alpha`` terms of the Lennard-Jones force with indexed
+linear interpolation (paper Eqs. 8-10, Fig. 7).  This package implements
+both, bit-faithfully enough that quantization error can be studied
+(paper Fig. 19) without simulating individual logic gates.
+"""
+
+from repro.arith.fixedpoint import FixedPointFormat
+from repro.arith.interp import ForceTableSet, InterpolationTable, RadialTable
+
+__all__ = ["FixedPointFormat", "InterpolationTable", "RadialTable", "ForceTableSet"]

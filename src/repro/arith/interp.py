@@ -1,0 +1,229 @@
+"""Indexed linear interpolation of ``r**-alpha`` (paper Eqs. 8-10, Fig. 7).
+
+The FASDA force pipeline never computes ``r**-14`` or ``r**-8`` directly.
+Instead the squared distance ``r2`` (a float) indexes a two-level table:
+
+* the *section* ``s`` comes from the exponent bits of ``r2``
+  (Eq. 9: ``s = floor(log2(r2)) + n_s``), so sections are octaves;
+* each section is divided into ``n_b`` equal-width *bins* from the
+  mantissa bits (Eq. 10: ``b = floor((2**(n_s - s) * r2 - 1) * n_b)``);
+* the result is first-order: ``r**-alpha = a[s, b] * r2 + b[s, b]``
+  (Eq. 8).
+
+With the cutoff radius normalized to 1, valid ``r2`` lies in
+``(r2_min, 1]`` where ``r2_min = 2**-n_s`` bounds the smallest section;
+pairs closer than the exclusion radius are non-physical and are filtered
+out upstream (Fig. 7 "the small r region is excluded").
+
+Coefficients are fit per bin by matching the endpoints, which is what a
+table generated offline and loaded into BRAM does; the resulting relative
+error is quadratic in the bin width, and :meth:`InterpolationTable.max_relative_error`
+measures it so table-size ablations (bench_ablation_interp) can trade
+BRAM for accuracy exactly the way the RTL design would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def section_bin_indices(
+    r2: np.ndarray, n_s: int, n_b: int, checked: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute section and bin indices for squared distances.
+
+    Implements Eqs. 9-10.  ``r2`` must lie in ``[2**-n_s, 1)``; the value
+    1.0 exactly (a pair exactly at the cutoff) is mapped into the last
+    bin of the last section, matching hardware that treats ``r2 == R_c**2``
+    as in range.
+
+    Parameters
+    ----------
+    checked:
+        Validate the domain (two reductions over the array).  Callers
+        whose inputs are already guaranteed in range by an upstream
+        filter — the force pipelines — pass False; the check dominates
+        the hot path otherwise.
+
+    Returns
+    -------
+    (s, b):
+        Integer arrays of section and bin indices.
+    """
+    r2 = np.asarray(r2, dtype=np.float64)
+    if checked and (np.any(r2 < 2.0 ** -n_s) or np.any(r2 > 1.0)):
+        raise ValidationError(
+            f"r2 outside table domain [2**-{n_s}, 1]; filter pairs first"
+        )
+    # frexp: r2 = m * 2**e with m in [0.5, 1)  =>  floor(log2(r2)) = e - 1
+    # (exact for non-power-of-two; powers of two give m == 0.5 and the
+    # correct floor as well).
+    mantissa, exponent = np.frexp(r2)
+    s = exponent - 1 + n_s
+    # 2**(n_s - s) * r2 = 2 * mantissa in [1, 2)
+    b = np.floor((2.0 * mantissa - 1.0) * n_b).astype(np.int64)
+    # r2 == 1.0 exactly would index section n_s, bin 0; fold it back.
+    at_cutoff = s == n_s
+    s = np.where(at_cutoff, n_s - 1, s)
+    b = np.where(at_cutoff, n_b - 1, b)
+    return s.astype(np.int64), b
+
+
+class RadialTable:
+    """First-order indexed interpolation of any radial kernel ``f(r2)``.
+
+    This is the general form of the paper's table-lookup mechanism: the
+    claim that "different force models [can] be implemented with trivial
+    modification" (Sec. 3.4) is literally "swap the ROM image" — the
+    section/bin indexing and MAC stay identical.  The Ewald real-space
+    kernel, switching functions, or any other radial force drop in here.
+
+    Parameters
+    ----------
+    fn:
+        The kernel, vectorized over float64 ``r2`` arrays.
+    n_s / n_b:
+        Sections / bins per section (see module docstring).
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], n_s: int = 14, n_b: int = 256):
+        if n_s < 1 or n_s > 40:
+            raise ValidationError(f"n_s must be in [1, 40], got {n_s}")
+        if n_b < 1:
+            raise ValidationError(f"n_b must be >= 1, got {n_b}")
+        self.fn = fn
+        self.n_s = n_s
+        self.n_b = n_b
+        self._a, self._b = self._build_coefficients()
+
+    @property
+    def r2_min(self) -> float:
+        """Lower edge of the table domain."""
+        return 2.0 ** -self.n_s
+
+    def _build_coefficients(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fit ``a*r2 + b`` per bin through the bin-edge function values."""
+        a = np.empty((self.n_s, self.n_b), dtype=np.float64)
+        b = np.empty((self.n_s, self.n_b), dtype=np.float64)
+        for s in range(self.n_s):
+            lo = 2.0 ** (s - self.n_s)
+            width = lo / self.n_b  # section spans [lo, 2*lo)
+            edges = lo + width * np.arange(self.n_b + 1)
+            f = np.asarray(self.fn(edges), dtype=np.float64)
+            slope = (f[1:] - f[:-1]) / width
+            a[s] = slope
+            b[s] = f[:-1] - slope * edges[:-1]
+        return a, b
+
+    def exact(self, r2: np.ndarray) -> np.ndarray:
+        """Reference kernel value in double precision."""
+        return np.asarray(self.fn(np.asarray(r2, dtype=np.float64)))
+
+    def max_relative_error(self, samples_per_bin: int = 8) -> float:
+        """Worst-case relative interpolation error over the whole domain."""
+        worst = 0.0
+        for s in range(self.n_s):
+            lo = 2.0 ** (s - self.n_s)
+            width = lo / self.n_b
+            offs = (np.arange(samples_per_bin) + 0.5) / samples_per_bin
+            starts = lo + width * np.arange(self.n_b)
+            r2 = (starts[:, None] + width * offs[None, :]).ravel()
+            approx = self.evaluate(r2)
+            exact = self.exact(r2)
+            nonzero = np.abs(exact) > 0
+            if not np.any(nonzero):
+                continue
+            err = np.max(
+                np.abs(approx[nonzero] - exact[nonzero]) / np.abs(exact[nonzero])
+            )
+            worst = max(worst, float(err))
+        return worst
+
+    @property
+    def bram_words(self) -> int:
+        """Table size in coefficient pairs; proxy for BRAM cost."""
+        return 2 * self.n_s * self.n_b
+
+    def evaluate(self, r2: np.ndarray) -> np.ndarray:
+        """Interpolated kernel for ``r2`` in ``[2**-n_s, 1]``."""
+        r2 = np.asarray(r2, dtype=np.float64)
+        s, b = section_bin_indices(r2, self.n_s, self.n_b)
+        return self._a[s, b] * r2 + self._b[s, b]
+
+    def evaluate_f32(self, r2: np.ndarray) -> np.ndarray:
+        """Single-precision evaluation, as the hardware datapath does it."""
+        r2_32 = np.asarray(r2, dtype=np.float32)
+        s, b = section_bin_indices(r2_32.astype(np.float64), self.n_s, self.n_b)
+        return self.evaluate_f32_at(s, b, r2_32)
+
+    def evaluate_f32_at(
+        self, s: np.ndarray, b: np.ndarray, r2_32: np.ndarray
+    ) -> np.ndarray:
+        """Float32 MAC with precomputed indices.
+
+        Several tables share one index computation in the pipelines —
+        in hardware the section/bin decode is a single circuit feeding
+        all coefficient ROMs.
+        """
+        a32 = self._a[s, b].astype(np.float32)
+        b32 = self._b[s, b].astype(np.float32)
+        return a32 * r2_32 + b32
+
+
+class InterpolationTable(RadialTable):
+    """The paper's power-law tables: ``f(r2) = r2**(-alpha/2) = r**-alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        The exponent of ``r`` being approximated.  The LJ force needs
+        alpha = 14 and 8; the LJ energy needs 12 and 6.
+    n_s / n_b:
+        Sections / bins per section.
+    """
+
+    def __init__(self, alpha: int, n_s: int = 14, n_b: int = 256):
+        if alpha <= 0:
+            raise ValidationError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        super().__init__(lambda r2: r2 ** (-0.5 * alpha), n_s=n_s, n_b=n_b)
+
+
+class ForceTableSet:
+    """The set of interpolation tables one force pipeline carries.
+
+    The RL force (Eq. 2) needs ``r**-14`` and ``r**-8``; tracking the LJ
+    potential for energy-conservation monitoring (Fig. 19) additionally
+    needs ``r**-12`` and ``r**-6``.  Tables are built once and shared by
+    every PE in a machine, exactly as a bitstream shares one ROM image.
+    """
+
+    #: alpha exponents for the force path.
+    FORCE_ALPHAS = (14, 8)
+    #: alpha exponents for the energy path.
+    ENERGY_ALPHAS = (12, 6)
+
+    def __init__(self, n_s: int = 14, n_b: int = 256, with_energy: bool = True):
+        self.n_s = n_s
+        self.n_b = n_b
+        alphas = self.FORCE_ALPHAS + (self.ENERGY_ALPHAS if with_energy else ())
+        self.tables: Dict[int, InterpolationTable] = {
+            alpha: InterpolationTable(alpha, n_s=n_s, n_b=n_b) for alpha in alphas
+        }
+
+    def __getitem__(self, alpha: int) -> InterpolationTable:
+        return self.tables[alpha]
+
+    @property
+    def r2_min(self) -> float:
+        """Common lower edge of the table domain."""
+        return 2.0 ** -self.n_s
+
+    @property
+    def bram_words(self) -> int:
+        """Total coefficient words across all tables."""
+        return sum(t.bram_words for t in self.tables.values())

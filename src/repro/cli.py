@@ -1,0 +1,184 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro fig16            # scalability comparison
+    python -m repro fig17            # utilization breakdown
+    python -m repro fig18            # communication intensity
+    python -m repro fig19 --steps 200
+    python -m repro table1           # resource utilization
+    python -m repro ablations        # all five ablation studies
+    python -m repro info             # design-point summary table
+
+Each command prints the same text table the corresponding benchmark
+saves under ``benchmarks/results/`` and exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import all_paper_configs
+from repro.core.resources import estimate_resources
+from repro.harness.ablations import (
+    format_cellsize,
+    format_cooldown,
+    format_filter_sweep,
+    format_interp_sweep,
+    format_latency_sweep,
+    format_precision_sweep,
+    format_sync_ablation,
+    format_topology,
+    run_cellsize_analysis,
+    run_cooldown_ablation,
+    run_filter_sweep,
+    run_interp_sweep,
+    run_latency_sweep,
+    run_precision_sweep,
+    run_sync_ablation,
+    run_topology_comparison,
+)
+from repro.harness.sweeps import (
+    format_fpga_scaling,
+    format_sensitivity,
+    run_fpga_scaling,
+    run_sensitivity,
+)
+from repro.harness.experiments import (
+    format_fig16,
+    format_fig17,
+    format_fig18,
+    format_fig19,
+    format_table1,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_table1,
+)
+from repro.harness.report import format_table
+
+
+def _cmd_fig16(args) -> str:
+    return format_fig16(run_fig16(seed=args.seed))
+
+
+def _cmd_fig17(args) -> str:
+    return format_fig17(run_fig17(seed=args.seed))
+
+
+def _cmd_fig18(args) -> str:
+    return format_fig18(run_fig18(seed=args.seed))
+
+
+def _cmd_fig19(args) -> str:
+    return format_fig19(
+        run_fig19(
+            n_steps=args.steps,
+            record_every=max(1, args.steps // 10),
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_table1(args) -> str:
+    return format_table1(run_table1())
+
+
+def _cmd_ablations(args) -> str:
+    parts = [
+        format_sync_ablation(run_sync_ablation()),
+        format_filter_sweep(run_filter_sweep(seed=args.seed)),
+        format_interp_sweep(run_interp_sweep()),
+        format_cellsize(run_cellsize_analysis()),
+        format_topology(run_topology_comparison()),
+        format_cooldown(run_cooldown_ablation()),
+        format_precision_sweep(run_precision_sweep(seed=args.seed)),
+        format_latency_sweep(run_latency_sweep(seed=args.seed)),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_acceptance(args) -> str:
+    from repro.harness.acceptance import format_acceptance, run_acceptance
+
+    return format_acceptance(run_acceptance())
+
+
+def _cmd_scaling(args) -> str:
+    return format_fpga_scaling(run_fpga_scaling(seed=args.seed))
+
+
+def _cmd_sensitivity(args) -> str:
+    return format_sensitivity(run_sensitivity(seed=args.seed))
+
+
+def _cmd_info(args) -> str:
+    rows = []
+    for name, cfg in all_paper_configs().items():
+        util = estimate_resources(cfg).utilization_percent()
+        rows.append(
+            [
+                name,
+                cfg.n_fpgas,
+                "x".join(map(str, cfg.local_cells)),
+                cfg.pes_per_cbb,
+                cfg.n_cells * 64,
+                util["lut"],
+                util["dsp"],
+            ]
+        )
+    return format_table(
+        ["design", "FPGAs", "cells/FPGA", "PEs/cell", "particles", "LUT%", "DSP%"],
+        rows,
+        precision=0,
+        title="FASDA design points (paper Sec. 5)",
+    )
+
+
+_COMMANDS = {
+    "fig16": _cmd_fig16,
+    "fig17": _cmd_fig17,
+    "fig18": _cmd_fig18,
+    "fig19": _cmd_fig19,
+    "table1": _cmd_table1,
+    "ablations": _cmd_ablations,
+    "acceptance": _cmd_acceptance,
+    "scaling": _cmd_scaling,
+    "sensitivity": _cmd_sensitivity,
+    "info": _cmd_info,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FASDA reproduction: regenerate paper tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("--seed", type=int, default=2023, help="dataset seed")
+    parser.add_argument(
+        "--steps", type=int, default=200, help="MD steps for fig19"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None, help="also write the table to a file"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    text = _COMMANDS[args.command](args)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Structural composition of CBBs, SPEs, and SCBBs (paper Secs. 3.1, 4.5-4.6).
+
+The strong-scaling hierarchy:
+
+* a **PE** is one filter bank + force pipeline + neighbor-force
+  accumulator;
+* an **SPE** groups ``n`` PEs with ``n + 1`` force caches (one per PE
+  for home forces plus ``FC N`` for returning neighbor forces), one
+  position cache, and its own PRN/FRN ring nodes;
+* an **SCBB** groups SPEs working on the *same* cell: position caches
+  hold disjoint even/odd particle-ID subsets for neighbor broadcast, a
+  single Home Position Cache (HPC) serves home-position traversal, and
+  an adder tree combines the FC banks; VC and MU do not scale.
+
+This module builds that structure explicitly (it is what the resource
+model's component counts mean) and provides the even/odd interleaving
+and per-PE workload split used to quantify load balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PEBlock:
+    """One processing element."""
+
+    pe_index: int
+    filters: int
+
+
+@dataclass(frozen=True)
+class SPEBlock:
+    """A scalable PE: n PEs + (n+1) FCs + PC + PRN + FRN (Sec. 4.5)."""
+
+    spe_index: int
+    pes: Tuple[PEBlock, ...]
+    force_caches: int
+    has_position_cache: bool = True
+
+    @property
+    def n_pes(self) -> int:
+        return len(self.pes)
+
+
+@dataclass(frozen=True)
+class SCBBlock:
+    """A scalable cell building block (Sec. 4.6, Fig. 15)."""
+
+    cell_index: int
+    spes: Tuple[SPEBlock, ...]
+    has_home_position_cache: bool
+    has_velocity_cache: bool = True
+    has_motion_update: bool = True
+    has_adder_tree: bool = True
+
+    @property
+    def n_pes(self) -> int:
+        return sum(s.n_pes for s in self.spes)
+
+    @property
+    def n_force_caches(self) -> int:
+        return sum(s.force_caches for s in self.spes)
+
+    @property
+    def n_ring_node_sets(self) -> int:
+        """PRN/FRN sets; each SPE carries its own (separate routing paths)."""
+        return len(self.spes)
+
+
+def build_scbb(config: MachineConfig, cell_index: int = 0) -> SCBBlock:
+    """Instantiate the SCBB structure for a design point."""
+    spes = tuple(
+        SPEBlock(
+            spe_index=s,
+            pes=tuple(
+                PEBlock(pe_index=p, filters=config.filters_per_pipeline)
+                for p in range(config.pes_per_spe)
+            ),
+            force_caches=config.pes_per_spe + 1,
+        )
+        for s in range(config.spes_per_cbb)
+    )
+    # The HPC only exists once PCs are specialized to neighbor broadcast,
+    # i.e. with more than one SPE (Sec. 4.6); a 1-SPE CBB's PC serves both.
+    return SCBBlock(
+        cell_index=cell_index,
+        spes=spes,
+        has_home_position_cache=config.spes_per_cbb > 1,
+    )
+
+
+def interleave_particles(particle_ids: np.ndarray, n_spes: int) -> List[np.ndarray]:
+    """Partition a cell's particles across SPE position caches.
+
+    "PC0 only takes positions with even particle IDs, while PC1 only
+    takes odd ones.  If more than 2 SPEs are instantiated, they only
+    need to work on particles with interleaved IDs to ensure a balanced
+    workload." (Sec. 4.6)
+    """
+    if n_spes < 1:
+        raise ValidationError("n_spes must be >= 1")
+    particle_ids = np.asarray(particle_ids)
+    return [particle_ids[particle_ids % n_spes == s] for s in range(n_spes)]
+
+
+def pe_candidate_split(
+    home_count: int,
+    neighbor_counts: Tuple[int, ...],
+    config: MachineConfig,
+) -> np.ndarray:
+    """Candidate pairs per PE for one cell, with interleaving granularity.
+
+    Neighbor streams are interleaved across SPEs by particle ID and
+    dispatched round-robin to the PEs within an SPE, so each PE sees
+    ``ceil``-grained shares; the residual imbalance is what keeps
+    measured PE utilization below the ideal split (Fig. 17).
+
+    Returns
+    -------
+    ``(pes_per_cbb,)`` candidate counts, SPE-major.
+    """
+    n_spes = config.spes_per_cbb
+    pes_per_spe = config.pes_per_spe
+    out = np.zeros(n_spes * pes_per_spe, dtype=np.int64)
+    # Home-home pairs are split like neighbor work: by the evaluating
+    # PE's share of home particles.
+    home_pairs = home_count * (home_count - 1) // 2
+    for s in range(n_spes):
+        # This SPE's share of neighbor positions (interleaved IDs).
+        for p in range(pes_per_spe):
+            pe = s * pes_per_spe + p
+            total = 0
+            for nc in neighbor_counts:
+                spe_share = len(np.arange(nc)[np.arange(nc) % n_spes == s])
+                pe_share = int(np.ceil(max(spe_share - p, 0) / pes_per_spe)) if spe_share else 0
+                total += pe_share * home_count
+            # Home pairs split evenly at PE granularity.
+            total += int(np.ceil(max(home_pairs - pe, 0) / (n_spes * pes_per_spe)))
+            out[pe] = total
+    return out
+
+
+def load_imbalance(per_pe_candidates: np.ndarray) -> float:
+    """Max-over-mean imbalance of a per-PE candidate split (1.0 = perfect)."""
+    mean = per_pe_candidates.mean()
+    if mean == 0:
+        return 1.0
+    return float(per_pe_candidates.max() / mean)

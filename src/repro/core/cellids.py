@@ -1,0 +1,108 @@
+"""Two-level cell-ID conversion (paper Sec. 4.2, Fig. 9).
+
+Every cell has a unique *global* cell ID (GCID), which would make each
+FPGA node's neighbor-matching logic different — heterogeneous bitstreams.
+FASDA instead converts IDs at the node boundary so every node sees an
+identical local ID space:
+
+* **GCID -> LCID** on arrival at a node: the particle's cell coordinates
+  are re-expressed relative to the destination node's origin, modulo the
+  global grid.  Local cells of any node then always appear as
+  ``0 .. local_dims-1``, as if every node were node (0, 0, 0).
+* **LCID -> RCID** on arrival at a destination CBB: the cell's position
+  relative to the destination cell, mapped into ``{1, 2, 3}`` per axis
+  (home = 2).  Concatenated with the fixed-point in-cell offset this
+  yields a coordinate in ``[1, 4)`` whose differences are inter-particle
+  displacements; starting at 1 keeps a leading integer bit set for cheap
+  fixed-to-float conversion (paper Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+#: RCID value of the home cell on every axis.
+RCID_HOME = 2
+
+
+def gcid(coords: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Global cell ID from coordinates (paper Eq. 7): Dy*Dz*x + Dz*y + z."""
+    coords = np.asarray(coords, dtype=np.int64)
+    _, dy, dz = (int(d) for d in dims)
+    return dy * dz * coords[..., 0] + dz * coords[..., 1] + coords[..., 2]
+
+
+def gcid_coords(cid: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`gcid`."""
+    cid = np.asarray(cid, dtype=np.int64)
+    _, dy, dz = (int(d) for d in dims)
+    x = cid // (dy * dz)
+    rem = cid - x * dy * dz
+    return np.stack([x, rem // dz, rem % dz], axis=-1)
+
+
+def node_of_cell(
+    cell_coords: np.ndarray, local_dims: Sequence[int]
+) -> np.ndarray:
+    """FPGA-node coordinates owning each cell."""
+    cell_coords = np.asarray(cell_coords, dtype=np.int64)
+    return cell_coords // np.asarray(local_dims, dtype=np.int64)
+
+
+def node_origin(node_coords: np.ndarray, local_dims: Sequence[int]) -> np.ndarray:
+    """Global cell coordinates of a node's (0,0,0) local cell."""
+    return np.asarray(node_coords, dtype=np.int64) * np.asarray(
+        local_dims, dtype=np.int64
+    )
+
+
+def gcid_to_lcid(
+    cell_coords: np.ndarray,
+    dest_node_coords: np.ndarray,
+    local_dims: Sequence[int],
+    global_dims: Sequence[int],
+) -> np.ndarray:
+    """Convert global cell coordinates to the destination node's local view.
+
+    ``LCID = (GCID_coords - dest_node_origin) mod global_dims`` — the
+    destination node's own cells land on ``0 .. local_dims-1`` and remote
+    cells on wrapped coordinates beyond, identically on every node
+    (homogeneity).  Matches both worked examples in paper Fig. 9.
+    """
+    cell_coords = np.asarray(cell_coords, dtype=np.int64)
+    origin = node_origin(dest_node_coords, local_dims)
+    gd = np.asarray(global_dims, dtype=np.int64)
+    return np.mod(cell_coords - origin, gd)
+
+
+def lcid_to_rcid(
+    lcid: np.ndarray,
+    dest_cell_lcid: np.ndarray,
+    global_dims: Sequence[int],
+) -> np.ndarray:
+    """Relative cell ID of a particle's cell w.r.t. a destination cell.
+
+    The difference per axis must be in {-1, 0, +1} (only neighbor cells
+    ever pair); it is computed with minimum-image wrap over the global
+    grid and mapped to {1, 2, 3} with home = 2.  Raises if the cells are
+    not neighbors — in hardware that would mean a routing bug.
+    """
+    lcid = np.asarray(lcid, dtype=np.int64)
+    dest = np.asarray(dest_cell_lcid, dtype=np.int64)
+    gd = np.asarray(global_dims, dtype=np.int64)
+    delta = np.mod(lcid - dest + gd // 2, gd) - gd // 2
+    if np.any(np.abs(delta) > 1):
+        raise ValidationError(
+            f"cells are not neighbors: lcid delta {delta} exceeds +/-1"
+        )
+    return delta + RCID_HOME
+
+
+def rcid_valid(rcid: np.ndarray) -> bool:
+    """True when every RCID component lies in {1, 2, 3}."""
+    rcid = np.asarray(rcid)
+    return bool(np.all((rcid >= 1) & (rcid <= 3)))

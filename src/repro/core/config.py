@@ -1,0 +1,277 @@
+"""Machine configuration: every knob of the FASDA design, plus the named
+design points evaluated in the paper.
+
+A :class:`MachineConfig` fixes both the *problem mapping* (global cell
+grid, how cells are divided across FPGA nodes) and the *microarchitecture*
+(PEs per SPE, SPEs per SCBB, filters per pipeline, clock, packet geometry,
+fixed-point width, interpolation-table size).  Everything downstream —
+the functional machine, the cycle model, the resource model, the traffic
+model — reads the same config, mirroring how one `compile.sh 222 444`
+invocation fixes the whole bitstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: Cutoff radius used throughout the paper's evaluation (angstrom).
+PAPER_CUTOFF_A = 8.5
+#: FPGA clock used in the evaluation.
+PAPER_CLOCK_MHZ = 200.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full configuration of a FASDA deployment.
+
+    Parameters
+    ----------
+    global_cells:
+        Total simulation space in cells, e.g. ``(4, 4, 4)``.
+    fpga_grid:
+        How the cell space is partitioned across FPGA nodes, e.g.
+        ``(2, 2, 2)`` = 8 FPGAs each owning a 2x2x2 block of cells.
+        Every ``global_cells[i]`` must divide evenly by ``fpga_grid[i]``.
+    pes_per_spe:
+        PEs grouped into one Scalable PE (paper Sec. 4.5).
+    spes_per_cbb:
+        SPEs per Scalable Cell Building Block (paper Sec. 4.6).
+    filters_per_pipeline:
+        Pair filters feeding each force pipeline (paper: 6, matched to
+        the ~15.5% pair acceptance rate so the pipeline stays full).
+    clock_mhz:
+        Fabric clock.
+    cutoff:
+        Cutoff radius = cell edge, angstrom.
+    dt_fs:
+        MD timestep (paper: 2 fs).
+    frac_bits:
+        Fixed-point position fraction bits.
+    table_ns / table_nb:
+        Interpolation table sections / bins per section.
+    packet_bits / records_per_packet:
+        AXI-Stream packet geometry (paper: 512 bits, 4 records).
+    link_gbps:
+        Line rate per QSFP28 port.
+    inter_fpga_latency_cycles:
+        One-way application-to-application latency between neighboring
+        FPGAs, in fabric cycles.  The paper stresses this is "only a few
+        cycles beyond time-of-flight"; through a 100 GbE switch the
+        time-of-flight plus MAC is ~1 us ~ 200 cycles at 200 MHz.
+    cooldown_cycles:
+        Minimum gap between packet departures per port (peak spreading).
+        The default of 8 is the smallest value that keeps the worst-case
+        synchronized incast lossless: up to 7 neighbors each sending one
+        512-bit packet per 8 cycles aggregate to 7/8 packet/cycle at the
+        destination port, just under its ~0.98 packet/cycle drain rate
+        (100 Gbps at 200 MHz) — see the comm-overlap simulation.
+    pipeline_depth_cycles:
+        Force pipeline latency (fill/drain accounting).
+    mu_pipeline_depth_cycles:
+        Motion-update unit latency.
+    """
+
+    global_cells: Tuple[int, int, int]
+    fpga_grid: Tuple[int, int, int] = (1, 1, 1)
+    pes_per_spe: int = 1
+    spes_per_cbb: int = 1
+    filters_per_pipeline: int = 6
+    clock_mhz: float = PAPER_CLOCK_MHZ
+    cutoff: float = PAPER_CUTOFF_A
+    dt_fs: float = 2.0
+    frac_bits: int = 23
+    table_ns: int = 14
+    table_nb: int = 256
+    packet_bits: int = 512
+    records_per_packet: int = 4
+    link_gbps: float = 100.0
+    inter_fpga_latency_cycles: int = 200
+    cooldown_cycles: int = 8
+    pipeline_depth_cycles: int = 40
+    mu_pipeline_depth_cycles: int = 12
+    #: RL force model: "lj" (the paper's evaluation) or "lj+coulomb"
+    #: (adds the short-range Ewald electrostatic term through a second,
+    #: structurally identical table-lookup pipeline — paper Sec. 2.1).
+    force_model: str = "lj"
+    #: erfc(beta * R_c) tolerance selecting the Ewald splitting parameter.
+    ewald_tolerance: float = 1e-5
+
+    def __post_init__(self) -> None:
+        gc = tuple(int(d) for d in self.global_cells)
+        fg = tuple(int(d) for d in self.fpga_grid)
+        object.__setattr__(self, "global_cells", gc)
+        object.__setattr__(self, "fpga_grid", fg)
+        if len(gc) != 3 or any(d < 3 for d in gc):
+            raise ConfigError(f"global_cells must be 3 dims >= 3, got {gc}")
+        if len(fg) != 3 or any(d < 1 for d in fg):
+            raise ConfigError(f"fpga_grid must be 3 positive dims, got {fg}")
+        for g, f in zip(gc, fg):
+            if g % f != 0:
+                raise ConfigError(
+                    f"global_cells {gc} not divisible by fpga_grid {fg}"
+                )
+        if self.pes_per_spe < 1 or self.spes_per_cbb < 1:
+            raise ConfigError("pes_per_spe and spes_per_cbb must be >= 1")
+        if self.filters_per_pipeline < 1:
+            raise ConfigError("filters_per_pipeline must be >= 1")
+        if self.clock_mhz <= 0 or self.cutoff <= 0 or self.dt_fs <= 0:
+            raise ConfigError("clock_mhz, cutoff, dt_fs must be positive")
+        if self.cooldown_cycles < 1:
+            raise ConfigError("cooldown_cycles must be >= 1")
+        if self.force_model not in ("lj", "lj+coulomb"):
+            raise ConfigError(
+                f"force_model must be 'lj' or 'lj+coulomb', got {self.force_model!r}"
+            )
+        if not 0 < self.ewald_tolerance < 1:
+            raise ConfigError("ewald_tolerance must be in (0, 1)")
+
+    # -- derived geometry -----------------------------------------------------
+
+    @property
+    def local_cells(self) -> Tuple[int, int, int]:
+        """Cells per FPGA node along each axis."""
+        return tuple(g // f for g, f in zip(self.global_cells, self.fpga_grid))
+
+    @property
+    def n_fpgas(self) -> int:
+        """Number of FPGA nodes."""
+        return int(np.prod(self.fpga_grid))
+
+    @property
+    def cells_per_fpga(self) -> int:
+        """CBBs (home cells) per FPGA node."""
+        return int(np.prod(self.local_cells))
+
+    @property
+    def n_cells(self) -> int:
+        """Total cells in the simulation space."""
+        return int(np.prod(self.global_cells))
+
+    @property
+    def pes_per_cbb(self) -> int:
+        """Total PEs serving one cell."""
+        return self.pes_per_spe * self.spes_per_cbb
+
+    @property
+    def pes_per_fpga(self) -> int:
+        """Total PEs per FPGA node."""
+        return self.pes_per_cbb * self.cells_per_fpga
+
+    @property
+    def clock_hz(self) -> float:
+        """Fabric clock in Hz."""
+        return self.clock_mhz * 1e6
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Seconds per fabric cycle."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def box(self) -> np.ndarray:
+        """Simulation box edge lengths (angstrom)."""
+        return np.asarray(self.global_cells, dtype=np.float64) * self.cutoff
+
+    @property
+    def is_distributed(self) -> bool:
+        """True when more than one FPGA node participates."""
+        return self.n_fpgas > 1
+
+    def with_scaling(self, pes_per_spe: int, spes_per_cbb: int) -> "MachineConfig":
+        """Copy with a different strong-scaling module configuration."""
+        return replace(self, pes_per_spe=pes_per_spe, spes_per_cbb=spes_per_cbb)
+
+    @classmethod
+    def from_compile_args(cls, per_fpga: str, total: str, **kwargs) -> "MachineConfig":
+        """Parse the artifact's ``compile.sh`` arguments.
+
+        The artifact configures a build as ``./compile.sh 222 444`` —
+        "2x2x2 cells per FPGA, and 4x4x4 cells in total".  Each argument
+        is three digits, one per axis.
+
+        >>> MachineConfig.from_compile_args("222", "444").fpga_grid
+        (2, 2, 2)
+        """
+        def parse(arg: str) -> Tuple[int, int, int]:
+            if len(arg) != 3 or not arg.isdigit():
+                raise ConfigError(
+                    f"compile argument must be three digits like '222', got {arg!r}"
+                )
+            return (int(arg[0]), int(arg[1]), int(arg[2]))
+
+        local = parse(per_fpga)
+        global_cells = parse(total)
+        if any(l == 0 for l in local):
+            raise ConfigError("cells per FPGA must be nonzero per axis")
+        fpga_grid = []
+        for g, l in zip(global_cells, local):
+            if g % l != 0:
+                raise ConfigError(
+                    f"total cells {global_cells} not divisible by per-FPGA {local}"
+                )
+            fpga_grid.append(g // l)
+        return cls(global_cells, tuple(fpga_grid), **kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        gc, fg, lc = self.global_cells, self.fpga_grid, self.local_cells
+        return (
+            f"{gc[0]}x{gc[1]}x{gc[2]} cells on {self.n_fpgas} FPGA(s) "
+            f"({lc[0]}x{lc[1]}x{lc[2]} each), {self.spes_per_cbb}-SPE "
+            f"{self.pes_per_spe}-PE, {self.filters_per_pipeline} filters/pipe "
+            f"@ {self.clock_mhz:g} MHz"
+        )
+
+
+# -- the paper's named design points ------------------------------------------
+
+
+def weak_scaling_configs() -> Dict[str, MachineConfig]:
+    """The four weak-scaling points of Fig. 16: 3x3x3 cells per FPGA."""
+    return {
+        "3x3x3": MachineConfig((3, 3, 3), (1, 1, 1)),
+        "6x3x3": MachineConfig((6, 3, 3), (2, 1, 1)),
+        "6x6x3": MachineConfig((6, 6, 3), (2, 2, 1)),
+        "6x6x6": MachineConfig((6, 6, 6), (2, 2, 2)),
+    }
+
+
+def strong_scaling_configs() -> Dict[str, MachineConfig]:
+    """The 4x4x4 strong-scaling points of Fig. 16 / Table 1.
+
+    A: 1 SPE x 1 PE;  B: 1 SPE x 3 PE;  C: 2 SPE x 3 PE — all on 8 FPGAs
+    with 2x2x2 cells each.
+    """
+    base = MachineConfig((4, 4, 4), (2, 2, 2))
+    return {
+        "4x4x4-A": base.with_scaling(pes_per_spe=1, spes_per_cbb=1),
+        "4x4x4-B": base.with_scaling(pes_per_spe=3, spes_per_cbb=1),
+        "4x4x4-C": base.with_scaling(pes_per_spe=3, spes_per_cbb=2),
+    }
+
+
+def simulated_scaling_configs() -> Dict[str, MachineConfig]:
+    """The simulated large deployments of Fig. 16 right: 64 and 125 FPGAs,
+    2x2x2 cells each, best strong-scaling microarchitecture (C)."""
+    return {
+        "8x8x8-64F": MachineConfig(
+            (8, 8, 8), (4, 4, 4), pes_per_spe=3, spes_per_cbb=2
+        ),
+        "10x10x10-125F": MachineConfig(
+            (10, 10, 10), (5, 5, 5), pes_per_spe=3, spes_per_cbb=2
+        ),
+    }
+
+
+def all_paper_configs() -> Dict[str, MachineConfig]:
+    """Every named design point in the evaluation, in paper order."""
+    out: Dict[str, MachineConfig] = {}
+    out.update(weak_scaling_configs())
+    out.update(strong_scaling_configs())
+    out.update(simulated_scaling_configs())
+    return out

@@ -1,0 +1,484 @@
+"""Distributed execution: per-node state, real packet exchange, ID conversion.
+
+:class:`~repro.core.machine.FasdaMachine` computes globally and *accounts*
+traffic; this module executes the way the cluster actually does:
+
+* each node owns only its local cells' particles (position cache
+  contents: quantized fractions + species + ids);
+* boundary-cell positions are packed into :class:`~repro.core.packets.Packet`
+  objects by a per-node P2R encapsulator chain — one copy per destination
+  *node*, exactly like the hardware's departure gates;
+* on arrival, the receiving node converts the record's global cell
+  coordinates through GCID -> LCID (node-relative) and LCID -> RCID
+  (cell-relative) — the actual Sec. 4.2 machinery, exercised on real data;
+* each node evaluates its home cells against local + halo data, returns
+  nonzero neighbor forces as force packets, and integrates its particles.
+
+The distributed trajectory must agree with the global machine's within
+float32 accumulation-order noise — asserted by the equivalence tests —
+which is precisely the guarantee the homogeneous-ID design gives the
+real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arith.fixedpoint import FixedPointFormat
+from repro.arith.interp import ForceTableSet
+from repro.core.cellids import (
+    RCID_HOME,
+    gcid_to_lcid,
+    lcid_to_rcid,
+    node_of_cell,
+)
+from repro.core.config import MachineConfig
+from repro.core.datapath import ForcePipeline, PairFilter, quantize_cell_fractions
+from repro.core.packets import P2REncapsulatorChain, Packet, Record
+from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
+from repro.md.dataset import build_dataset
+from repro.md.engine import EnergyRecord
+from repro.md.system import ParticleSystem
+from repro.util.errors import ConfigError, ValidationError
+from repro.util.units import KCAL_MOL_TO_INTERNAL
+
+
+@dataclass
+class _CellData:
+    """One cell's position-cache contents on its owning node."""
+
+    particle_ids: np.ndarray       # global particle indices
+    fractions: np.ndarray          # quantized in-cell offsets, (n, 3)
+    species: np.ndarray
+
+
+@dataclass
+class _Node:
+    """One FPGA node's private state."""
+
+    node_id: int
+    node_coords: np.ndarray
+    local_cells: List[int] = field(default_factory=list)   # global cell ids
+    cells: Dict[int, _CellData] = field(default_factory=dict)
+    halo: Dict[int, _CellData] = field(default_factory=dict)
+    #: Packets received this phase (for statistics).
+    packets_in: int = 0
+    packets_out: int = 0
+
+
+class DistributedMachine:
+    """Executes a FASDA deployment node by node with explicit exchange.
+
+    Parameters mirror :class:`~repro.core.machine.FasdaMachine`.  This
+    implementation favors protocol fidelity over speed — use the global
+    machine for large sweeps.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        system: Optional[ParticleSystem] = None,
+        seed: int = 2023,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ):
+        """See class docstring.
+
+        Parameters
+        ----------
+        parallel:
+            Evaluate nodes concurrently with a thread pool (NumPy kernels
+            release the GIL).  Each node accumulates into a private force
+            bank merged afterward, so results are independent of worker
+            scheduling.
+        max_workers:
+            Thread-pool size (defaults to the node count).
+        """
+        if not config.is_distributed:
+            raise ConfigError("DistributedMachine needs more than one node")
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.config = config
+        self.grid = CellGrid(config.global_cells, config.cutoff)
+        if system is None:
+            system, _ = build_dataset(
+                config.global_cells, cutoff=config.cutoff, seed=seed
+            )
+        if not np.allclose(system.box, self.grid.box):
+            raise ConfigError("system box does not match config box")
+        self.system = system.copy()
+        self._velocities32 = self.system.velocities.astype(np.float32)
+        self._forces32 = np.zeros_like(self._velocities32)
+        self.fmt = FixedPointFormat(frac_bits=config.frac_bits)
+        self.tables = ForceTableSet(n_s=config.table_ns, n_b=config.table_nb)
+        self.filter = PairFilter(self.tables.r2_min)
+        self.pipeline = ForcePipeline(self.system.lj_table, config.cutoff, self.tables)
+        # Optional Ewald pipeline (same dual-pipeline arrangement as the
+        # global machine); charges travel in the position payload.
+        self.coulomb_pipeline = None
+        self._charges32 = None
+        if config.force_model == "lj+coulomb":
+            from repro.core.datapath import TabulatedRadialPipeline
+            from repro.md.ewald import (
+                choose_beta,
+                ewald_real_energy_scalar,
+                ewald_real_scalar,
+            )
+
+            self.ewald_beta = choose_beta(config.cutoff, config.ewald_tolerance)
+            beta = self.ewald_beta
+            self.coulomb_pipeline = TabulatedRadialPipeline.from_physical(
+                lambda r2: ewald_real_scalar(r2, beta),
+                lambda r2: ewald_real_energy_scalar(r2, beta),
+                cutoff=config.cutoff,
+                n_s=config.table_ns,
+                n_b=config.table_nb,
+            )
+            self._charges32 = self.system.charges.astype(np.float32)
+        # Static geometry.
+        n_cells = self.grid.n_cells
+        self._cell_coords = self.grid.cell_coords(np.arange(n_cells, dtype=np.int64))
+        node_coords = node_of_cell(self._cell_coords, config.local_cells)
+        fg = config.fpga_grid
+        self._cell_node = (
+            node_coords[:, 0] * fg[1] * fg[2]
+            + node_coords[:, 1] * fg[2]
+            + node_coords[:, 2]
+        )
+        self._node_coords = {
+            n: np.array(
+                [n // (fg[1] * fg[2]), (n // fg[2]) % fg[1], n % fg[2]],
+                dtype=np.int64,
+            )
+            for n in range(config.n_fpgas)
+        }
+        # Half-shell neighbor table and, per cell, the destination nodes
+        # its particles must reach (the P2R chain's gate assignments).
+        self._neighbor_cids = np.empty((n_cells, 13), dtype=np.int64)
+        send_targets: Dict[int, set] = {c: set() for c in range(n_cells)}
+        for cid in range(n_cells):
+            coord = tuple(int(c) for c in self._cell_coords[cid])
+            for k, off in enumerate(HALF_SHELL_OFFSETS):
+                ncoord, _ = self.grid.neighbor_with_shift(coord, off)
+                ncid = int(self.grid.cell_id(np.asarray(ncoord)))
+                self._neighbor_cids[cid, k] = ncid
+                # ncid's particles are needed at cid's node.
+                if int(self._cell_node[ncid]) != int(self._cell_node[cid]):
+                    send_targets[ncid].add(int(self._cell_node[cid]))
+        self._send_targets = {c: sorted(t) for c, t in send_targets.items()}
+        self.history: List[EnergyRecord] = []
+        self._primed = False
+        self._last_potential = 0.0
+        self.total_position_packets = 0
+        self.total_force_packets = 0
+
+    # -- node construction per step --------------------------------------------
+
+    def _build_nodes(self) -> Dict[int, _Node]:
+        """Partition the current particle state across nodes."""
+        cfg = self.config
+        clist = CellList(self.grid, self.system.positions)
+        coords = self.grid.coords_of_positions(self.system.positions)
+        frac = quantize_cell_fractions(
+            self.system.positions, coords, cfg.cutoff, self.fmt
+        )
+        nodes = {
+            n: _Node(node_id=n, node_coords=self._node_coords[n])
+            for n in range(cfg.n_fpgas)
+        }
+        for cid in range(self.grid.n_cells):
+            owner = int(self._cell_node[cid])
+            idx = clist.particles_in_cell(cid)
+            nodes[owner].local_cells.append(cid)
+            nodes[owner].cells[cid] = _CellData(
+                particle_ids=idx.copy(),
+                fractions=frac[idx],
+                species=self.system.species[idx],
+            )
+        return nodes
+
+    # -- position exchange ------------------------------------------------------
+
+    def _exchange_positions(self, nodes: Dict[int, _Node]) -> None:
+        """Pack, send, and unpack boundary-cell positions as packets."""
+        mailboxes: Dict[int, List[Packet]] = {n: [] for n in nodes}
+        for node in nodes.values():
+            neighbor_nodes = sorted(
+                {t for cid in node.local_cells for t in self._send_targets[cid]}
+            )
+            if not neighbor_nodes:
+                continue
+            chain = P2REncapsulatorChain(
+                neighbor_nodes, self.config.records_per_packet
+            )
+            out: List[Packet] = []
+            for cid in node.local_cells:
+                targets = self._send_targets[cid]
+                if not targets:
+                    continue
+                data = node.cells[cid]
+                cell = tuple(int(c) for c in self._cell_coords[cid])
+                for pid, fq, sp in zip(
+                    data.particle_ids, data.fractions, data.species
+                ):
+                    record = Record(
+                        "position",
+                        int(pid),
+                        cell,
+                        (float(fq[0]), float(fq[1]), float(fq[2]), int(sp)),
+                    )
+                    out.extend(chain.route(record, targets))
+            out.extend(chain.flush_all())
+            node.packets_out += len(out)
+            for pkt in out:
+                mailboxes[pkt.dst].append(pkt)
+        # Arrival: unpack, convert GCID -> LCID, bucket into the halo.
+        gd = self.config.global_cells
+        ld = self.config.local_cells
+        for node in nodes.values():
+            buckets: Dict[int, List[Tuple[int, Tuple[float, ...], int]]] = {}
+            for pkt in mailboxes[node.node_id]:
+                node.packets_in += 1
+                for rec in pkt.records:
+                    # The Sec. 4.2 conversion: express the sender's global
+                    # cell in this node's homogeneous local space, then
+                    # map back to the global id for bucketing.  The LCID
+                    # round-trip is exercised (and asserted) here.
+                    lcid = gcid_to_lcid(
+                        np.asarray(rec.cell), node.node_coords, ld, gd
+                    )
+                    origin = node.node_coords * np.asarray(ld)
+                    back = tuple(int(v) for v in np.mod(lcid + origin, gd))
+                    if back != rec.cell:
+                        raise ValidationError("LCID conversion corrupted a cell id")
+                    gcid_int = int(self.grid.cell_id(np.asarray(rec.cell)))
+                    buckets.setdefault(gcid_int, []).append(
+                        (rec.particle_id, rec.payload, int(rec.payload[3]))
+                    )
+            for gcid_int, items in buckets.items():
+                node.halo[gcid_int] = _CellData(
+                    particle_ids=np.array([i[0] for i in items], dtype=np.int64),
+                    fractions=np.array(
+                        [[i[1][0], i[1][1], i[1][2]] for i in items]
+                    ),
+                    species=np.array([i[2] for i in items], dtype=np.int32),
+                )
+        self.total_position_packets += sum(n.packets_out for n in nodes.values())
+
+    # -- force evaluation -------------------------------------------------------
+
+    def _cell_view(self, node: _Node, cid: int) -> Optional[_CellData]:
+        if cid in node.cells:
+            return node.cells[cid]
+        return node.halo.get(cid)
+
+    def _pipelines(
+        self,
+        dr: np.ndarray,
+        r2: np.ndarray,
+        species_i: np.ndarray,
+        species_j: np.ndarray,
+        gi: np.ndarray,
+        gj: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """LJ pipeline plus (optionally) the Ewald pipeline.
+
+        Species come from the local/halo cell data (the position record
+        payload); charges index the global table by particle id, which
+        a hardware node would likewise carry in its position payload.
+        """
+        f, e = self.pipeline.compute(dr, r2, species_i, species_j)
+        if self.coulomb_pipeline is not None:
+            qq = self._charges32[gi] * self._charges32[gj]
+            fc, ec = self.coulomb_pipeline.compute(dr, r2, qq)
+            f = f + fc
+            e = e + ec
+        return f, e
+
+    def _evaluate_node(
+        self, node: _Node
+    ) -> Tuple[np.ndarray, float, Dict[int, List[Tuple[int, np.ndarray]]]]:
+        """Evaluate one node's home cells against local + halo data.
+
+        Returns the node's private force bank (global-sized, float32),
+        its partial potential, and the neighbor-force records destined
+        for other nodes — no shared state is touched, so nodes evaluate
+        concurrently.
+        """
+        gd = self.config.global_cells
+        ld = self.config.local_cells
+        bank = np.zeros((self.system.n, 3), dtype=np.float32)
+        potential = np.float32(0.0)
+        returns: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        offsets = np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)
+
+        for cid in node.local_cells:
+            data = node.cells[cid]
+            if len(data.particle_ids) == 0:
+                continue
+            fq_h = data.fractions
+            # Home-home pairs.
+            if len(data.particle_ids) > 1:
+                ii, jj = np.triu_indices(len(data.particle_ids), k=1)
+                dr = fq_h[ii] - fq_h[jj]
+                res = self.filter.check(dr)
+                if res.n_accepted:
+                    m = res.mask
+                    f, e = self._pipelines(
+                        dr[m], res.r2,
+                        data.species[ii[m]], data.species[jj[m]],
+                        data.particle_ids[ii[m]], data.particle_ids[jj[m]],
+                    )
+                    np.add.at(bank, data.particle_ids[ii[m]], f)
+                    np.add.at(bank, data.particle_ids[jj[m]], -f)
+                    potential += e.sum(dtype=np.float32)
+            # Half-shell neighbors (local or halo).
+            home_lcid = gcid_to_lcid(
+                self._cell_coords[cid], node.node_coords, ld, gd
+            )
+            for k in range(13):
+                ncid = int(self._neighbor_cids[cid, k])
+                nbr = self._cell_view(node, ncid)
+                if nbr is None or len(nbr.particle_ids) == 0:
+                    continue
+                # LCID -> RCID: the offset used for displacement is
+                # derived through the homogeneous ID space.
+                nbr_lcid = gcid_to_lcid(
+                    self._cell_coords[ncid], node.node_coords, ld, gd
+                )
+                rcid = lcid_to_rcid(nbr_lcid, home_lcid, gd)
+                offset = (rcid - RCID_HOME).astype(np.float64)
+                if not np.array_equal(offset, offsets[k]):
+                    raise ValidationError("RCID conversion mismatch")
+                dr = (
+                    fq_h[:, None, :]
+                    - (offset[None, None, :] + nbr.fractions[None, :, :])
+                ).reshape(-1, 3)
+                res = self.filter.check(dr)
+                if not res.n_accepted:
+                    continue
+                m = res.mask
+                hi, nj = np.divmod(np.nonzero(m)[0], len(nbr.particle_ids))
+                f, e = self._pipelines(
+                    dr[m], res.r2,
+                    data.species[hi], nbr.species[nj],
+                    data.particle_ids[hi], nbr.particle_ids[nj],
+                )
+                np.add.at(bank, data.particle_ids[hi], f)
+                potential += e.sum(dtype=np.float32)
+                # Neighbor forces: accumulate per neighbor particle.
+                nbr_forces = np.zeros((len(nbr.particle_ids), 3), dtype=np.float32)
+                np.add.at(nbr_forces, nj, -f)
+                touched = np.unique(nj)
+                owner = int(self._cell_node[ncid])
+                if owner == node.node_id:
+                    np.add.at(
+                        bank, nbr.particle_ids[touched], nbr_forces[touched]
+                    )
+                else:
+                    returns.setdefault(owner, []).extend(
+                        (int(nbr.particle_ids[t]), nbr_forces[t]) for t in touched
+                    )
+        return bank, float(potential), returns
+
+    def compute_forces(self) -> float:
+        """One distributed force pass; returns the potential energy."""
+        nodes = self._build_nodes()
+        self._exchange_positions(nodes)
+        node_list = [nodes[n] for n in sorted(nodes)]
+        if self.parallel:
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = self.max_workers or len(node_list)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(self._evaluate_node, node_list))
+        else:
+            results = [self._evaluate_node(node) for node in node_list]
+
+        # Deterministic merge in node-id order (independent of worker
+        # scheduling): sum banks, apply returned neighbor forces.
+        home_bank = np.zeros((self.system.n, 3), dtype=np.float32)
+        potential = np.float32(0.0)
+        return_records: Dict[int, List[Tuple[int, np.ndarray]]] = {
+            n.node_id: [] for n in node_list
+        }
+        for bank, pot, returns in results:
+            home_bank += bank
+            potential += np.float32(pot)
+            for owner, records in returns.items():
+                return_records[owner].extend(records)
+        # Force return: pack nonzero neighbor forces into packets.
+        for node in node_list:
+            records = return_records[node.node_id]
+            if records:
+                for pid, fvec in records:
+                    home_bank[pid] += fvec
+                self.total_force_packets += int(
+                    np.ceil(len(records) / self.config.records_per_packet)
+                )
+        self._forces32 = home_bank
+        self._last_potential = float(potential)
+        return self._last_potential
+
+    # -- integration ------------------------------------------------------------
+
+    @property
+    def forces(self) -> np.ndarray:
+        return self._forces32
+
+    @property
+    def velocities(self) -> np.ndarray:
+        return self._velocities32
+
+    def kinetic_energy(self) -> float:
+        v = self._velocities32.astype(np.float64)
+        ke = 0.5 * float(np.sum(self.system.masses * np.sum(v * v, axis=1)))
+        return ke / KCAL_MOL_TO_INTERNAL
+
+    def _accel32(self, forces: np.ndarray) -> np.ndarray:
+        factor = (KCAL_MOL_TO_INTERNAL / self.system.masses).astype(np.float32)
+        return forces * factor[:, None]
+
+    def step(self) -> float:
+        """One distributed timestep (identical integrator to the machine)."""
+        if not self._primed:
+            self.compute_forces()
+            self._primed = True
+        dt = np.float32(self.config.dt_fs)
+        accel = self._accel32(self._forces32)
+        delta = (
+            self._velocities32 * dt + np.float32(0.5) * accel * dt * dt
+        ).astype(np.float64)
+        self.system.positions += delta
+        self.system.wrap()
+        self.compute_forces()
+        accel_new = self._accel32(self._forces32)
+        self._velocities32 += np.float32(0.5) * (accel + accel_new) * dt
+        self.system.velocities[:] = self._velocities32
+        self.system.forces[:] = self._forces32
+        return self._last_potential
+
+    def run(self, n_steps: int, record_every: int = 1) -> List[EnergyRecord]:
+        """Run steps with energy recording (same schema as the machine)."""
+        if n_steps < 0:
+            raise ValidationError("n_steps must be >= 0")
+        appended: List[EnergyRecord] = []
+        if not self._primed:
+            self.compute_forces()
+            self._primed = True
+            rec = EnergyRecord(0, self.kinetic_energy(), self._last_potential)
+            self.history.append(rec)
+            appended.append(rec)
+        start = self.history[-1].step if self.history else 0
+        for i in range(1, n_steps + 1):
+            self.step()
+            if record_every and i % record_every == 0:
+                rec = EnergyRecord(
+                    start + i, self.kinetic_energy(), self._last_potential
+                )
+                self.history.append(rec)
+                appended.append(rec)
+        return appended

@@ -1,0 +1,492 @@
+"""The FASDA machine: functional simulation of the full accelerator.
+
+:class:`FasdaMachine` runs real MD timesteps through the modeled
+datapath — fixed-point positions, float32 squared distances, table-lookup
+force pipelines, float32 force/velocity state — organized exactly as the
+hardware organizes it:
+
+* one CBB per cell; home-home pairs plus the 13 half-shell neighbor
+  cells (Newton's third law applied once per pair);
+* home forces accumulate into the home FC bank, neighbor forces into the
+  PE-local bank and return via the force ring ("adder tree" combination
+  is the final bank sum);
+* positions/forces crossing FPGA-node boundaries are packed into 512-bit
+  packets and accounted per (source, destination) flow, with zero
+  neighbor forces discarded (paper Sec. 5.4);
+* position/force ring loads are accounted per node with the broadcast
+  semantics of Sec. 4.5 (a position rides the ring once, visiting all
+  its destination CBBs).
+
+The machine produces both *physics* (trajectories, energies — compared
+against the float64 reference in Fig. 19) and *workload statistics*
+(candidates, acceptance, traffic, ring loads — the inputs to the cycle
+model behind Figs. 16-18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arith.fixedpoint import FixedPointFormat
+from repro.arith.interp import ForceTableSet
+from repro.core.cellids import node_of_cell
+from repro.core.config import MachineConfig
+from repro.core.datapath import (
+    ForcePipeline,
+    PairFilter,
+    quantize_cell_fractions,
+)
+from repro.core.rings import RingLoadModel, RingPath, cbb_ring_order
+from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
+from repro.md.dataset import build_dataset
+from repro.md.engine import EnergyRecord
+from repro.md.system import ParticleSystem
+from repro.network.fabric import Fabric
+from repro.util.errors import ConfigError, ValidationError
+from repro.util.units import KCAL_MOL_TO_INTERNAL
+
+
+@dataclass
+class RingLoadSummary:
+    """Per-node summary of one ring's load in one iteration."""
+
+    total_records: int
+    total_hops: int
+    min_cycles: int
+    mean_link_load: float
+
+    @classmethod
+    def from_model(cls, model: RingLoadModel) -> "RingLoadSummary":
+        return cls(
+            total_records=model.total_records,
+            total_hops=model.total_hops,
+            min_cycles=model.min_cycles,
+            mean_link_load=model.mean_link_load,
+        )
+
+
+@dataclass
+class StepStats:
+    """Workload statistics from one force-evaluation pass.
+
+    All arrays are indexed by global cell id; traffic dicts by node id.
+    """
+
+    candidates_per_cell: np.ndarray
+    accepted_per_cell: np.ndarray
+    occupancy_per_cell: np.ndarray
+    potential_energy: float
+    #: Remote traffic per directed node pair, in records.
+    position_records: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    force_records: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Per-node position/force ring load summaries.
+    pr_load: Dict[int, RingLoadSummary] = field(default_factory=dict)
+    fr_load: Dict[int, RingLoadSummary] = field(default_factory=dict)
+    #: Neighbor-force records produced per evaluating cell (nonzero only).
+    neighbor_force_records_per_cell: Optional[np.ndarray] = None
+
+    @property
+    def total_candidates(self) -> int:
+        return int(self.candidates_per_cell.sum())
+
+    @property
+    def total_accepted(self) -> int:
+        return int(self.accepted_per_cell.sum())
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of candidate pairs passing the filter (~15.5% expected,
+        paper Eq. 3)."""
+        total = self.total_candidates
+        return self.total_accepted / total if total else 0.0
+
+    def fill_fabric(self, fabric: Fabric) -> None:
+        """Load the remote record counts into a Fabric for Fig. 18 math."""
+        for (src, dst), records in self.position_records.items():
+            fabric.add_records(src, dst, "position", records)
+        for (src, dst), records in self.force_records.items():
+            fabric.add_records(src, dst, "force", records)
+
+
+class FasdaMachine:
+    """Functional + statistical simulator of a FASDA deployment.
+
+    Parameters
+    ----------
+    config:
+        The machine configuration (design point).
+    system:
+        Particle system to simulate; if None, the paper's dataset is
+        generated for ``config.global_cells``.  The system is copied —
+        the caller's arrays are never mutated.
+    seed:
+        Dataset seed when ``system`` is None.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        system: Optional[ParticleSystem] = None,
+        seed: int = 2023,
+    ):
+        self.config = config
+        self.grid = CellGrid(config.global_cells, config.cutoff)
+        if system is None:
+            system, _ = build_dataset(
+                config.global_cells, cutoff=config.cutoff, seed=seed
+            )
+        if not np.allclose(system.box, self.grid.box):
+            raise ConfigError(
+                f"system box {system.box} does not match config box {self.grid.box}"
+            )
+        self.system = system.copy()
+        # Hardware state widths: velocities and forces are float32
+        # (VC/FC are 32-bit), positions are fixed-point per cell.
+        self._velocities32 = self.system.velocities.astype(np.float32)
+        self._forces32 = np.zeros_like(self._velocities32)
+        self.fmt = FixedPointFormat(frac_bits=config.frac_bits)
+        self.tables = ForceTableSet(n_s=config.table_ns, n_b=config.table_nb)
+        self.filter = PairFilter(self.tables.r2_min)
+        self.pipeline = ForcePipeline(
+            self.system.lj_table, config.cutoff, self.tables
+        )
+        # Optional second pipeline: the short-range Ewald electrostatic
+        # term, structurally identical table lookup with a different ROM
+        # image (paper Secs. 2.1, 3.4).
+        self.coulomb_pipeline = None
+        self._charges32 = None
+        if config.force_model == "lj+coulomb":
+            from repro.core.datapath import TabulatedRadialPipeline
+            from repro.md.ewald import (
+                choose_beta,
+                ewald_real_energy_scalar,
+                ewald_real_scalar,
+            )
+
+            self.ewald_beta = choose_beta(config.cutoff, config.ewald_tolerance)
+            beta = self.ewald_beta
+            self.coulomb_pipeline = TabulatedRadialPipeline.from_physical(
+                lambda r2: ewald_real_scalar(r2, beta),
+                lambda r2: ewald_real_energy_scalar(r2, beta),
+                cutoff=config.cutoff,
+                n_s=config.table_ns,
+                n_b=config.table_nb,
+            )
+            self._charges32 = self.system.charges.astype(np.float32)
+        # Static geometry: cell -> owning node.
+        self._cell_coords = self.grid.cell_coords(
+            np.arange(self.grid.n_cells, dtype=np.int64)
+        )
+        node_coords = node_of_cell(self._cell_coords, config.local_cells)
+        fg = config.fpga_grid
+        self._cell_node = (
+            node_coords[:, 0] * fg[1] * fg[2]
+            + node_coords[:, 1] * fg[2]
+            + node_coords[:, 2]
+        )
+        # Local ring slot per cell (EX node occupies the last slot).
+        order = cbb_ring_order(config.local_cells)
+        local_index = {c: i for i, c in enumerate(order)}
+        local_coords = self._cell_coords - node_coords * np.asarray(
+            config.local_cells
+        )
+        self._cell_ring_slot = np.array(
+            [local_index[tuple(c)] for c in local_coords], dtype=np.int64
+        )
+        self._ring_slots = config.cells_per_fpga + 1  # + EX
+        self._ex_slot = config.cells_per_fpga
+        # Static half-shell neighbor table: cell -> 13 neighbor cell ids
+        # (the geometry never changes; recomputing it per step dominated
+        # the Python-side loop cost).
+        self._neighbor_cids = np.empty((self.grid.n_cells, 13), dtype=np.int64)
+        for cid in range(self.grid.n_cells):
+            coord = tuple(int(c) for c in self._cell_coords[cid])
+            for k, off in enumerate(HALF_SHELL_OFFSETS):
+                ncoord, _ = self.grid.neighbor_with_shift(coord, off)
+                self._neighbor_cids[cid, k] = int(
+                    self.grid.cell_id(np.asarray(ncoord))
+                )
+        self.history: List[EnergyRecord] = []
+        self._primed = False
+        self._last_potential = 0.0
+        self.last_stats: Optional[StepStats] = None
+        #: Migration accounting from the most recent step (MU-ring load).
+        self.last_migrations = None
+
+    # -- force evaluation ------------------------------------------------------
+
+    def _pipelines(
+        self,
+        dr: np.ndarray,
+        r2: np.ndarray,
+        gi: np.ndarray,
+        gj: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All force pipelines over one admitted pair block.
+
+        The LJ pipeline always runs; with ``force_model="lj+coulomb"``
+        the Ewald pipeline consumes the *same* filtered pairs — in
+        hardware the two pipelines sit side by side behind one filter
+        bank, which is why the paper calls them "nearly identical".
+        """
+        spc = self.system.species
+        f, e = self.pipeline.compute(dr, r2, spc[gi], spc[gj])
+        if self.coulomb_pipeline is not None:
+            qq = self._charges32[gi] * self._charges32[gj]
+            fc, ec = self.coulomb_pipeline.compute(dr, r2, qq)
+            f = f + fc
+            e = e + ec
+        return f, e
+
+    def compute_forces(self, collect_traffic: bool = True) -> StepStats:
+        """One full force-evaluation pass through the modeled datapath.
+
+        Updates the internal float32 force banks and returns workload
+        statistics.  Does not advance time.
+        """
+        cfg = self.config
+        grid = self.grid
+        pos = self.system.positions
+        n_cells = grid.n_cells
+        clist = CellList(grid, pos)
+        coords = grid.coords_of_positions(pos)
+        frac = quantize_cell_fractions(pos, coords, cfg.cutoff, self.fmt)
+
+        home_bank = np.zeros((self.system.n, 3), dtype=np.float32)
+        nbr_bank = np.zeros((self.system.n, 3), dtype=np.float32)
+        candidates = np.zeros(n_cells, dtype=np.int64)
+        accepted = np.zeros(n_cells, dtype=np.int64)
+        nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
+        potential = np.float32(0.0)
+
+        # (source cell, dest node) pairs that carried at least one position.
+        pos_sent: Dict[Tuple[int, int], bool] = {}
+        force_records: Dict[Tuple[int, int], int] = {}
+        pr_models = {
+            n: RingLoadModel(RingPath(self._ring_slots, +1))
+            for n in range(cfg.n_fpgas)
+        }
+        fr_models = {
+            n: RingLoadModel(RingPath(self._ring_slots, -1))
+            for n in range(cfg.n_fpgas)
+        }
+        # Position-ring destinations per (node, source slot) for broadcasts.
+        pr_dests: Dict[Tuple[int, int], List[int]] = {}
+        pr_counts: Dict[Tuple[int, int], int] = {}
+
+        offsets = np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)
+
+        for cid in range(n_cells):
+            idx_h = clist.particles_in_cell(cid)
+            if len(idx_h) == 0:
+                continue
+            fq_h = frac[idx_h]
+            home_node = int(self._cell_node[cid])
+            home_slot = int(self._cell_ring_slot[cid])
+
+            # Home-home pairs (upper triangle) — these never ride a ring.
+            if len(idx_h) > 1:
+                ii, jj = np.triu_indices(len(idx_h), k=1)
+                dr = fq_h[ii] - fq_h[jj]
+                res = self.filter.check(dr)
+                candidates[cid] += res.n_candidates
+                accepted[cid] += res.n_accepted
+                if res.n_accepted:
+                    m = res.mask
+                    f, e = self._pipelines(
+                        dr[m], res.r2, idx_h[ii[m]], idx_h[jj[m]]
+                    )
+                    np.add.at(home_bank, idx_h[ii[m]], f)
+                    np.add.at(home_bank, idx_h[jj[m]], -f)
+                    potential += e.sum(dtype=np.float32)
+
+            # Half-shell neighbor cells: their particles visit this CBB.
+            for k in range(13):
+                ncid = int(self._neighbor_cids[cid, k])
+                idx_n = clist.particles_in_cell(ncid)
+                if len(idx_n) == 0:
+                    continue
+                src_node = int(self._cell_node[ncid])
+                # RCID(neighbor w.r.t. this home cell) = 2 + offset, home = 2;
+                # displacement home - neighbor = frac_h - (offset + frac_n),
+                # exact in float64 for quantized fractions.
+                dr = (
+                    fq_h[:, None, :]
+                    - (offsets[k][None, None, :] + frac[idx_n][None, :, :])
+                ).reshape(-1, 3)
+                res = self.filter.check(dr)
+                candidates[cid] += res.n_candidates
+                accepted[cid] += res.n_accepted
+                if collect_traffic:
+                    # Position stream: source cell -> this node (dedup per node).
+                    pos_sent[(ncid, home_node)] = True
+                    # Ring broadcast bookkeeping.
+                    src_slot = (
+                        int(self._cell_ring_slot[ncid])
+                        if src_node == home_node
+                        else self._ex_slot
+                    )
+                    key = (home_node, src_slot if src_node == home_node else self._ex_slot + 10_000 + ncid)
+                    pr_dests.setdefault(key, []).append(home_slot)
+                    pr_counts[key] = len(idx_n)
+                if res.n_accepted:
+                    m = res.mask
+                    hi, nj = np.divmod(np.nonzero(m)[0], len(idx_n))
+                    f, e = self._pipelines(
+                        dr[m], res.r2, idx_h[hi], idx_n[nj]
+                    )
+                    np.add.at(home_bank, idx_h[hi], f)
+                    np.add.at(nbr_bank, idx_n[nj], -f)
+                    potential += e.sum(dtype=np.float32)
+                    # Nonzero neighbor forces return to their home cell.
+                    uniq = int(len(np.unique(nj)))
+                    nbr_frc_records[cid] += uniq
+                    if collect_traffic:
+                        if src_node != home_node:
+                            key2 = (home_node, src_node)
+                            force_records[key2] = force_records.get(key2, 0) + uniq
+                        # Force-ring injection: evaluating CBB -> home CBB
+                        # (or EX when remote).
+                        dst_slot = (
+                            int(self._cell_ring_slot[ncid])
+                            if src_node == home_node
+                            else self._ex_slot
+                        )
+                        fr_models[home_node].inject(home_slot, dst_slot, uniq)
+
+        if collect_traffic:
+            # Replay position broadcasts: one ring traversal per source
+            # stream, visiting all destination CBBs (Sec. 4.5 semantics).
+            for (node, src_key), dests in pr_dests.items():
+                src_slot = src_key if src_key < self._ring_slots else self._ex_slot
+                pr_models[node].broadcast(src_slot, dests, pr_counts[(node, src_key)])
+            # Remote arriving forces also ride the destination node's FR
+            # from EX to the home CBB.
+            for (src, dst), recs in force_records.items():
+                # records arrive at node dst via EX; home cells unknown at
+                # this granularity — charge the mean path (EX to mid-ring).
+                fr_models[dst].inject(
+                    self._ex_slot, self._ring_slots // 2, recs
+                )
+
+        position_records: Dict[Tuple[int, int], int] = {}
+        if collect_traffic:
+            occupancy = clist.occupancies()
+            for (src_cell, dst_node), _ in pos_sent.items():
+                src_node = int(self._cell_node[src_cell])
+                if src_node == dst_node:
+                    continue
+                key = (src_node, dst_node)
+                position_records[key] = position_records.get(key, 0) + int(
+                    occupancy[src_cell]
+                )
+
+        # Adder-tree combination of the FC banks (Sec. 4.5).
+        self._forces32 = home_bank + nbr_bank
+
+        stats = StepStats(
+            candidates_per_cell=candidates,
+            accepted_per_cell=accepted,
+            occupancy_per_cell=clist.occupancies().copy(),
+            potential_energy=float(potential),
+            position_records=position_records,
+            force_records=force_records,
+            pr_load={n: RingLoadSummary.from_model(m) for n, m in pr_models.items()},
+            fr_load={n: RingLoadSummary.from_model(m) for n, m in fr_models.items()},
+            neighbor_force_records_per_cell=nbr_frc_records,
+        )
+        self.last_stats = stats
+        return stats
+
+    # -- time integration (motion-update units) --------------------------------
+
+    @property
+    def forces(self) -> np.ndarray:
+        """Current float32 forces (kcal/mol/A)."""
+        return self._forces32
+
+    @property
+    def velocities(self) -> np.ndarray:
+        """Current float32 velocities (A/fs)."""
+        return self._velocities32
+
+    def kinetic_energy(self) -> float:
+        """Kinetic energy (kcal/mol) from the float32 velocity cache."""
+        v = self._velocities32.astype(np.float64)
+        ke = 0.5 * float(np.sum(self.system.masses * np.sum(v * v, axis=1)))
+        return ke / KCAL_MOL_TO_INTERNAL
+
+    def _accel32(self, forces: np.ndarray) -> np.ndarray:
+        factor = (KCAL_MOL_TO_INTERNAL / self.system.masses).astype(np.float32)
+        return forces * factor[:, None]
+
+    def step(self, collect_traffic: bool = False) -> float:
+        """Advance one timestep; returns the new potential energy.
+
+        The motion-update unit integrates in float32; positions are held
+        as fixed-point cell offsets, re-quantized when the position
+        caches are rebuilt at the start of the next force phase.
+        """
+        if not self._primed:
+            self._last_potential = self.compute_forces(collect_traffic).potential_energy
+            self._primed = True
+        dt = np.float32(self.config.dt_fs)
+        accel = self._accel32(self._forces32)
+        delta = (
+            self._velocities32 * dt + np.float32(0.5) * accel * dt * dt
+        ).astype(np.float64)
+        before = self.system.positions.copy()
+        self.system.positions += delta
+        self.system.wrap()
+        # MU-ring workload: particles that changed home cell (Sec. 3.2).
+        from repro.core.migration import count_migrations
+
+        self.last_migrations = count_migrations(
+            self.grid, before, self.system.positions, self._cell_node
+        )
+        stats = self.compute_forces(collect_traffic)
+        accel_new = self._accel32(self._forces32)
+        self._velocities32 += np.float32(0.5) * (accel + accel_new) * dt
+        # Keep the public system state consistent with the VC/FC caches so
+        # analysis code sees the machine's actual trajectory.
+        self.system.velocities[:] = self._velocities32
+        self.system.forces[:] = self._forces32
+        self._last_potential = stats.potential_energy
+        return self._last_potential
+
+    def run(
+        self, n_steps: int, record_every: int = 1, collect_traffic: bool = False
+    ) -> List[EnergyRecord]:
+        """Run ``n_steps`` timesteps, recording energies like the reference
+        engine so the two histories compare directly (Fig. 19)."""
+        if n_steps < 0:
+            raise ValidationError("n_steps must be >= 0")
+        appended: List[EnergyRecord] = []
+        if not self._primed:
+            self._last_potential = self.compute_forces(collect_traffic).potential_energy
+            self._primed = True
+            rec = EnergyRecord(0, self.kinetic_energy(), self._last_potential)
+            self.history.append(rec)
+            appended.append(rec)
+        start = self.history[-1].step if self.history else 0
+        for i in range(1, n_steps + 1):
+            self.step(collect_traffic)
+            if record_every and i % record_every == 0:
+                rec = EnergyRecord(
+                    start + i, self.kinetic_energy(), self._last_potential
+                )
+                self.history.append(rec)
+                appended.append(rec)
+        return appended
+
+    def measure_workload(self) -> StepStats:
+        """One force pass with traffic collection, without advancing time.
+
+        This is what the cycle/traffic models consume; the particle
+        distribution is statistically stationary, so one pass
+        characterizes the steady-state workload.
+        """
+        return self.compute_forces(collect_traffic=True)

@@ -1,0 +1,97 @@
+"""Particle migration accounting — the motion-update ring's workload.
+
+The third on-chip ring (the MU ring, Sec. 3.2) "handles cases where
+particles are relocated from one cell to another, transporting the
+migrated particles to their target cells."  Migrations are rare at MD
+timesteps (a particle moves ~1e-3 of a cell edge per step), which is why
+the MU path never appears among the paper's bottlenecks — this module
+quantifies that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.md.cells import CellGrid
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class MigrationStats:
+    """Migration counts for one timestep.
+
+    Attributes
+    ----------
+    total:
+        Particles that changed home cell this step.
+    cross_node:
+        Migrations whose source and destination cells live on different
+        FPGA nodes (these ride the inter-FPGA fabric, not just the ring).
+    per_cell_outflow:
+        Particles leaving each cell.
+    """
+
+    total: int
+    cross_node: int
+    per_cell_outflow: np.ndarray
+
+    def rate(self, n_particles: int) -> float:
+        """Fraction of particles that migrated."""
+        return self.total / n_particles if n_particles else 0.0
+
+
+def count_migrations(
+    grid: CellGrid,
+    positions_before: np.ndarray,
+    positions_after: np.ndarray,
+    cell_node: np.ndarray = None,
+) -> MigrationStats:
+    """Count home-cell changes between two wrapped position snapshots.
+
+    Parameters
+    ----------
+    grid:
+        The cell grid.
+    positions_before / positions_after:
+        Wrapped positions at consecutive timesteps.
+    cell_node:
+        Optional ``(n_cells,)`` cell -> node-id map for cross-node
+        accounting (as built by :class:`~repro.core.machine.FasdaMachine`).
+    """
+    if positions_before.shape != positions_after.shape:
+        raise ValidationError("position snapshots must have equal shapes")
+    cids_before = grid.cell_id(grid.coords_of_positions(positions_before))
+    cids_after = grid.cell_id(grid.coords_of_positions(positions_after))
+    moved = cids_before != cids_after
+    total = int(np.count_nonzero(moved))
+    outflow = np.bincount(
+        cids_before[moved], minlength=grid.n_cells
+    ).astype(np.int64)
+    cross = 0
+    if cell_node is not None and total:
+        cross = int(
+            np.count_nonzero(
+                cell_node[cids_before[moved]] != cell_node[cids_after[moved]]
+            )
+        )
+    return MigrationStats(total=total, cross_node=cross, per_cell_outflow=outflow)
+
+
+def expected_migration_rate(
+    temperature_k: float, mass_amu: float, dt_fs: float, cell_edge: float
+) -> float:
+    """Kinetic-theory estimate of the per-step migration fraction.
+
+    A particle within ``v * dt`` of a face leaves through it; with 6
+    faces of a cube of edge ``a`` the expected fraction is about
+    ``3 * <|v_x|> * dt / a`` where ``<|v_x|>`` is the mean absolute
+    1-D thermal speed ``sqrt(2 kB T / (pi m))``.
+    """
+    from repro.util.units import BOLTZMANN_KCAL_MOL_K, KCAL_MOL_TO_INTERNAL
+
+    if min(temperature_k, mass_amu, dt_fs, cell_edge) <= 0:
+        raise ValidationError("all arguments must be positive")
+    kt = BOLTZMANN_KCAL_MOL_K * temperature_k * KCAL_MOL_TO_INTERNAL
+    mean_abs_vx = np.sqrt(2.0 * kt / (np.pi * mass_amu))
+    return float(3.0 * mean_abs_vx * dt_fs / cell_edge)

@@ -1,0 +1,192 @@
+"""The inter-FPGA communication interface (paper Sec. 4.3, Figs. 10-11).
+
+Data leaves a node as 512-bit AXI-Stream packets of four records each.
+Positions may have several destination nodes, so a position passes an
+*encapsulation chain* of P2R (position-to-remote) encapsulators — one per
+neighboring FPGA — each acting as a departure gate that copies the record
+into its four-register packet buffer.  Forces have exactly one
+destination, so an F2R gate selects the departure port with a destination
+mask and no arbitration is needed.  Packets carry a ``last`` flag used by
+the chained-synchronization protocol (Sec. 4.4).
+
+This module models the packing/unpacking logic functionally (records in,
+packets out, bit-exact counts) so the traffic accounting of Fig. 18 and
+the `last`-flag semantics of the sync protocol rest on tested code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Record:
+    """One data record inside a packet.
+
+    Attributes
+    ----------
+    kind:
+        ``"position"`` or ``"force"``.
+    particle_id:
+        Global particle identifier (header field, Fig. 11(a)).
+    cell:
+        Global cell coordinates of the particle's home cell; the
+        receiving node converts this to its local view (GCID -> LCID).
+    payload:
+        The data words (x, y, z[, element]) — opaque to the transport.
+    """
+
+    kind: str
+    particle_id: int
+    cell: Tuple[int, int, int]
+    payload: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("position", "force"):
+            raise ValidationError(f"unknown record kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A 512-bit AXI-Stream packet: up to four records plus a last flag."""
+
+    dst: int
+    records: Tuple[Record, ...]
+    last: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.records) <= 4:
+            raise ValidationError("a packet carries 1..4 records")
+
+
+class PacketGate:
+    """One departure gate: a four-register packet buffer for one destination.
+
+    Mirrors Fig. 11(b)/(c): records accumulate in four registers; a full
+    buffer emits a packet; the ``last`` signal flushes a partial buffer so
+    the destination's synchronization counters can fire.
+    """
+
+    def __init__(self, dst: int, records_per_packet: int = 4):
+        if records_per_packet < 1:
+            raise ValidationError("records_per_packet must be >= 1")
+        self.dst = dst
+        self.records_per_packet = records_per_packet
+        self._buffer: List[Record] = []
+        self.packets_sent = 0
+        self.records_sent = 0
+
+    def push(self, record: Record) -> Optional[Packet]:
+        """Add a record; returns a packet when the buffer fills."""
+        self._buffer.append(record)
+        self.records_sent += 1
+        if len(self._buffer) == self.records_per_packet:
+            return self._emit(last=False)
+        return None
+
+    def flush(self) -> Optional[Packet]:
+        """Emit any buffered records with the ``last`` flag set.
+
+        An empty buffer still yields a ``last`` indication in hardware
+        (a header-only packet); we model that as a zero-record sentinel
+        by returning None and letting the caller send the flag
+        out-of-band — the packet *count* matters, and the hardware
+        piggybacks the flag on the final data packet when one exists.
+        """
+        if not self._buffer:
+            return None
+        return self._emit(last=True)
+
+    def _emit(self, last: bool) -> Packet:
+        pkt = Packet(dst=self.dst, records=tuple(self._buffer), last=last)
+        self._buffer.clear()
+        self.packets_sent += 1
+        return pkt
+
+
+class P2REncapsulatorChain:
+    """The position encapsulation chain (Fig. 11(b)).
+
+    A position record flows through one encapsulator per neighboring
+    FPGA; each encapsulator whose destination set matches copies the
+    record into its gate.  The chain reuses one stream for all gates,
+    which is exactly why the hardware needs no fan-out tree.
+    """
+
+    def __init__(self, neighbor_nodes: Sequence[int], records_per_packet: int = 4):
+        if len(set(neighbor_nodes)) != len(neighbor_nodes):
+            raise ValidationError("duplicate neighbor node in chain")
+        self.gates: Dict[int, PacketGate] = {
+            n: PacketGate(n, records_per_packet) for n in neighbor_nodes
+        }
+
+    def route(self, record: Record, destinations: Iterable[int]) -> List[Packet]:
+        """Pass a record down the chain; returns any packets that filled."""
+        if record.kind != "position":
+            raise ValidationError("P2R chain only carries positions")
+        out = []
+        for dst in destinations:
+            if dst not in self.gates:
+                raise ValidationError(f"destination {dst} has no departure gate")
+            pkt = self.gates[dst].push(record)
+            if pkt is not None:
+                out.append(pkt)
+        return out
+
+    def flush_all(self) -> List[Packet]:
+        """End of iteration: flush every gate with the last flag."""
+        out = []
+        for gate in self.gates.values():
+            pkt = gate.flush()
+            if pkt is not None:
+                out.append(pkt)
+        return out
+
+    @property
+    def packets_sent(self) -> int:
+        """Total packets emitted across all gates."""
+        return sum(g.packets_sent for g in self.gates.values())
+
+
+class F2RGate:
+    """Force departure logic (Fig. 11(c)): unique destination per force.
+
+    A destination mask selects the gate; at most one force packet departs
+    per cycle so no arbiter exists.  Zero forces are discarded upstream
+    (paper Sec. 5.4) — the caller simply never routes them.
+    """
+
+    def __init__(self, neighbor_nodes: Sequence[int], records_per_packet: int = 4):
+        self.gates: Dict[int, PacketGate] = {
+            n: PacketGate(n, records_per_packet) for n in neighbor_nodes
+        }
+
+    def route(self, record: Record, destination: int) -> Optional[Packet]:
+        """Route a force record to its single destination gate."""
+        if record.kind != "force":
+            raise ValidationError("F2R gate only carries forces")
+        if destination not in self.gates:
+            raise ValidationError(f"destination {destination} has no gate")
+        return self.gates[destination].push(record)
+
+    def flush_all(self) -> List[Packet]:
+        """End of iteration: flush every gate with the last flag."""
+        out = []
+        for gate in self.gates.values():
+            pkt = gate.flush()
+            if pkt is not None:
+                out.append(pkt)
+        return out
+
+    @property
+    def packets_sent(self) -> int:
+        """Total packets emitted across all gates."""
+        return sum(g.packets_sent for g in self.gates.values())
+
+
+def unpack(packet: Packet) -> Tuple[Record, ...]:
+    """Unpack a packet back into records (arrival side, Fig. 10)."""
+    return packet.records

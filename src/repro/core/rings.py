@@ -1,0 +1,121 @@
+"""On-chip daisy-chain rings (paper Sec. 3.2) — structure and load model.
+
+The 3-D cell space is mapped onto 1-D unidirectional rings connecting the
+CBBs: the Position Ring (PR) rotates clockwise, the Force Ring (FR)
+counter-clockwise — matching the cell-ID order of Eq. 7 so data usually
+travels few hops.  An extra EX node on each ring exchanges data with
+remote FPGAs (Sec. 4.1), adding one cycle to the ring circumference.
+
+Cycle-accurate ring simulation is unnecessary for the paper's results;
+what matters is (a) hop counts, which set routing latency, and (b) link
+load, which bounds throughput (each ring link forwards one record per
+cycle).  :class:`RingLoadModel` accounts both from an injection list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RingPath:
+    """A unidirectional ring of ``n_slots`` ring nodes.
+
+    Parameters
+    ----------
+    n_slots:
+        Ring circumference: CBB ring nodes plus any EX nodes.
+    direction:
+        +1 for clockwise (PR), -1 for counter-clockwise (FR).
+    """
+
+    n_slots: int
+    direction: int = +1
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1:
+            raise ValidationError("ring needs at least one slot")
+        if self.direction not in (+1, -1):
+            raise ValidationError("direction must be +1 or -1")
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hops from src slot to dst slot travelling in ring direction."""
+        for s in (src, dst):
+            if not 0 <= s < self.n_slots:
+                raise ValidationError(f"slot {s} out of range")
+        return (self.direction * (dst - src)) % self.n_slots
+
+    def links_traversed(self, src: int, dst: int) -> List[int]:
+        """Link indices crossed en route (link i connects slot i to its
+        successor in ring direction)."""
+        out = []
+        cur = src
+        for _ in range(self.hops(src, dst)):
+            out.append(cur)
+            cur = (cur + self.direction) % self.n_slots
+        return out
+
+
+class RingLoadModel:
+    """Accumulates per-link load and total hop-cycles on one ring.
+
+    Each injected record occupies every link it crosses for one cycle.
+    The busiest link bounds the number of cycles the ring needs:
+    ``min_cycles = max_link_load``; total work = total hop count.
+    """
+
+    def __init__(self, ring: RingPath):
+        self.ring = ring
+        self.link_load = np.zeros(ring.n_slots, dtype=np.int64)
+        self.total_records = 0
+        self.total_hops = 0
+
+    def inject(self, src: int, dst: int, count: int = 1) -> None:
+        """Account ``count`` records travelling src -> dst."""
+        if count < 0:
+            raise ValidationError("count must be >= 0")
+        if count == 0:
+            return
+        links = self.ring.links_traversed(src, dst)
+        for link in links:
+            self.link_load[link] += count
+        self.total_records += count
+        self.total_hops += count * len(links)
+
+    def broadcast(self, src: int, dsts: Sequence[int], count: int = 1) -> None:
+        """A record stream visiting several destinations rides the ring
+        once up to the farthest destination (positions are broadcast,
+        paper Sec. 4.5), not once per destination."""
+        if not dsts:
+            return
+        far = max(dsts, key=lambda d: self.ring.hops(src, d))
+        links = self.ring.links_traversed(src, far)
+        for link in links:
+            self.link_load[link] += count
+        self.total_records += count
+        self.total_hops += count * len(links)
+
+    @property
+    def min_cycles(self) -> int:
+        """Lower bound on cycles to drain this load (busiest link)."""
+        return int(self.link_load.max()) if len(self.link_load) else 0
+
+    @property
+    def mean_link_load(self) -> float:
+        """Average records per link."""
+        return float(self.link_load.mean()) if len(self.link_load) else 0.0
+
+
+def cbb_ring_order(local_dims: Tuple[int, int, int]) -> List[Tuple[int, int, int]]:
+    """Order in which local cells sit on the on-chip rings.
+
+    Cells are chained in local cell-ID order (Eq. 7 applied locally),
+    which is how the paper lays out CBB ids 0..3 in Fig. 5.
+    """
+    dx, dy, dz = local_dims
+    return [(x, y, z) for x in range(dx) for y in range(dy) for z in range(dz)]

@@ -1,0 +1,12 @@
+"""A small discrete-event simulation kernel.
+
+Used by the synchronization study (chained vs. bulk-synchronous, paper
+Sec. 4.4) and the fabric latency models.  Deliberately minimal: a time-
+ordered event queue with deterministic tie-breaking, plus message-passing
+helpers for node state machines.
+"""
+
+from repro.eventsim.kernel import EventSimulator
+from repro.eventsim.messages import Message, MessageNetwork, NodeProcess
+
+__all__ = ["EventSimulator", "Message", "MessageNetwork", "NodeProcess"]

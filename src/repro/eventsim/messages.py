@@ -1,0 +1,119 @@
+"""Message-passing layer for node state machines on the event kernel.
+
+A :class:`MessageNetwork` connects :class:`NodeProcess` instances and
+delivers :class:`Message` objects after a per-link latency — the shape of
+an inter-FPGA fabric seen from the synchronization logic's perspective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.eventsim.kernel import EventSimulator
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Message:
+    """A typed message between nodes.
+
+    Attributes
+    ----------
+    kind:
+        Message type tag, e.g. ``"last_position"``.
+    src, dst:
+        Node ids.
+    payload:
+        Arbitrary extra data.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    payload: Any = None
+
+
+class NodeProcess:
+    """Base class for a node participating in a :class:`MessageNetwork`.
+
+    Subclasses override :meth:`on_message` and may use :attr:`network`
+    and :attr:`sim` to send messages and schedule local events.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.network: Optional["MessageNetwork"] = None
+
+    @property
+    def sim(self) -> EventSimulator:
+        """The simulator this node is attached to."""
+        assert self.network is not None, "node not attached to a network"
+        return self.network.sim
+
+    def send(self, dst: int, kind: str, payload: Any = None) -> None:
+        """Send a message through the network (applies link latency)."""
+        assert self.network is not None, "node not attached to a network"
+        self.network.deliver(Message(kind, self.node_id, dst, payload))
+
+    def on_message(self, msg: Message) -> None:  # pragma: no cover - abstract
+        """Handle a delivered message; override in subclasses."""
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts; override as needed."""
+
+
+class MessageNetwork:
+    """Connects node processes with per-link latencies.
+
+    Parameters
+    ----------
+    sim:
+        The event simulator driving delivery.
+    latency_fn:
+        ``(src, dst) -> latency`` in simulation time units.  Defaults to
+        a constant returned by ``default_latency``.
+    default_latency:
+        Used when no ``latency_fn`` is given.
+    """
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        latency_fn: Optional[Callable[[int, int], float]] = None,
+        default_latency: float = 1.0,
+    ):
+        self.sim = sim
+        self._latency_fn = latency_fn or (lambda s, d: default_latency)
+        self.nodes: Dict[int, NodeProcess] = {}
+        #: (src, dst) -> count of messages delivered, for traffic assertions.
+        self.message_counts: Dict[Tuple[int, int], int] = {}
+
+    def attach(self, node: NodeProcess) -> None:
+        """Register a node; its id must be unique."""
+        if node.node_id in self.nodes:
+            raise ValidationError(f"duplicate node id {node.node_id}")
+        node.network = self
+        self.nodes[node.node_id] = node
+
+    def latency(self, src: int, dst: int) -> float:
+        """Link latency between two nodes."""
+        return self._latency_fn(src, dst)
+
+    def deliver(self, msg: Message) -> None:
+        """Schedule delivery of a message after the link latency."""
+        if msg.dst not in self.nodes:
+            raise ValidationError(f"unknown destination node {msg.dst}")
+        lat = self.latency(msg.src, msg.dst)
+        self.sim.schedule(lat, self._dispatch, msg)
+
+    def _dispatch(self, msg: Message) -> None:
+        key = (msg.src, msg.dst)
+        self.message_counts[key] = self.message_counts.get(key, 0) + 1
+        self.nodes[msg.dst].on_message(msg)
+
+    def start(self) -> None:
+        """Invoke every node's ``on_start`` at t=0."""
+        for node in self.nodes.values():
+            self.sim.schedule(0.0, node.on_start)

@@ -1,0 +1,163 @@
+"""Acceptance matrix: machine-vs-reference validation across the design space.
+
+One Fig. 19 comparison validates one configuration; this harness sweeps
+a matrix of them — space sizes, species mixes, charged/neutral, position
+widths — and reports a pass/fail table against the documented error
+budgets.  It is the regression gate a maintainer runs before trusting a
+datapath change, and the programmatic answer to "does the machine agree
+with the physics *everywhere*, not just on the paper's workload?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.machine import FasdaMachine
+from repro.harness.report import format_table
+from repro.md import build_dataset
+from repro.md.forcefield import (
+    CompositeKernel,
+    EwaldRealKernel,
+    LennardJonesKernel,
+    compute_forces_kernel,
+)
+
+#: Error budgets the datapath must meet (see DESIGN.md Sec. 4 and the
+#: interpolation/precision ablations).
+FORCE_REL_TOLERANCE = 2e-3
+ENERGY_REL_TOLERANCE = 1e-3
+
+
+@dataclass
+class AcceptanceCase:
+    """One validation configuration."""
+
+    name: str
+    dims: Tuple[int, int, int] = (3, 3, 3)
+    particles_per_cell: int = 16
+    species: Tuple[str, ...] = ("Na",)
+    charged: bool = False
+    frac_bits: int = 23
+    table_nb: int = 256
+    min_distance: float = 1.7
+    seed: int = 2023
+
+
+@dataclass
+class AcceptanceOutcome:
+    case: AcceptanceCase
+    force_rel_error: float
+    energy_rel_error: float
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.force_rel_error < FORCE_REL_TOLERANCE
+            and self.energy_rel_error < ENERGY_REL_TOLERANCE
+        )
+
+
+@dataclass
+class AcceptanceReport:
+    outcomes: List[AcceptanceOutcome] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.passed)
+
+
+def default_cases() -> List[AcceptanceCase]:
+    """The standard acceptance matrix."""
+    return [
+        AcceptanceCase("paper-workload"),
+        AcceptanceCase("dense-64", particles_per_cell=32),
+        AcceptanceCase("multi-species", species=("Na", "Ar", "Ne")),
+        AcceptanceCase(
+            "ionic",
+            species=("Na", "Cl"),
+            charged=True,
+            min_distance=2.4,
+        ),
+        AcceptanceCase("larger-space", dims=(4, 4, 4), particles_per_cell=8),
+        AcceptanceCase("narrow-positions", frac_bits=16),
+        AcceptanceCase("small-tables", table_nb=128),
+        AcceptanceCase("alt-seed", seed=99),
+    ]
+
+
+def run_case(case: AcceptanceCase) -> AcceptanceOutcome:
+    """Validate one configuration: one force pass vs. float64 reference."""
+    system, grid = build_dataset(
+        case.dims,
+        particles_per_cell=case.particles_per_cell,
+        species=case.species,
+        charged=case.charged,
+        min_distance=case.min_distance,
+        seed=case.seed,
+    )
+    config = MachineConfig(
+        case.dims,
+        frac_bits=case.frac_bits,
+        table_nb=case.table_nb,
+        force_model="lj+coulomb" if case.charged else "lj",
+    )
+    machine = FasdaMachine(config, system=system.copy())
+    stats = machine.compute_forces(collect_traffic=False)
+    kernels = [LennardJonesKernel()]
+    if case.charged:
+        kernels.append(EwaldRealKernel(machine.ewald_beta))
+    f_ref, e_ref = compute_forces_kernel(
+        system, grid, CompositeKernel(kernels)
+    )
+    f_mac = machine.forces.astype(np.float64)
+    scale = max(float(np.abs(f_ref).max()), 1e-9)
+    force_err = float(np.abs(f_mac - f_ref).max() / scale)
+    energy_err = (
+        abs(stats.potential_energy - e_ref) / abs(e_ref)
+        if abs(e_ref) > 1e-9
+        else 0.0
+    )
+    return AcceptanceOutcome(case, force_err, energy_err)
+
+
+def run_acceptance(cases: Optional[List[AcceptanceCase]] = None) -> AcceptanceReport:
+    """Run the full matrix."""
+    report = AcceptanceReport()
+    for case in cases if cases is not None else default_cases():
+        report.outcomes.append(run_case(case))
+    return report
+
+
+def format_acceptance(report: AcceptanceReport) -> str:
+    rows = [
+        [
+            o.case.name,
+            "x".join(map(str, o.case.dims)),
+            ",".join(o.case.species),
+            "yes" if o.case.charged else "no",
+            o.case.frac_bits,
+            f"{o.force_rel_error:.2e}",
+            f"{o.energy_rel_error:.2e}",
+            "PASS" if o.passed else "FAIL",
+        ]
+        for o in report.outcomes
+    ]
+    table = format_table(
+        ["case", "space", "species", "charged", "bits", "force err", "energy err", "result"],
+        rows,
+        title="Datapath acceptance matrix (machine vs float64 reference)",
+    )
+    tail = (
+        f"\nbudgets: force < {FORCE_REL_TOLERANCE:g}, "
+        f"energy < {ENERGY_REL_TOLERANCE:g}; "
+        f"{report.n_failed} of {len(report.outcomes)} failed"
+    )
+    return table + tail

@@ -1,0 +1,432 @@
+"""Experiment drivers reproducing every table and figure in the paper's
+evaluation (Sec. 5).
+
+Each driver is deterministic given its seed and returns a result object
+whose fields mirror the rows/series of the corresponding paper artifact;
+``format_*`` companions render them as text.  Benchmarks wrap these so
+``pytest benchmarks/ --benchmark-only`` regenerates the whole evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import (
+    MachineConfig,
+    simulated_scaling_configs,
+    strong_scaling_configs,
+    weak_scaling_configs,
+)
+from repro.core.cycles import CyclePerformance, estimate_performance
+from repro.core.machine import FasdaMachine
+from repro.core.resources import PAPER_TABLE1, estimate_resources
+from repro.md import ReferenceEngine, build_dataset
+from repro.network.fabric import Fabric
+from repro.network.topology import TorusTopology
+from repro.perf.cpu import CpuPerformanceModel
+from repro.perf.gpu import GpuPerformanceModel
+from repro.harness.report import format_table
+
+#: Thread counts the paper sweeps for the CPU baseline.
+CPU_THREADS = (1, 2, 4, 8, 16, 32)
+
+
+def _measure(config: MachineConfig, seed: int = 2023) -> CyclePerformance:
+    machine = FasdaMachine(config, seed=seed)
+    return estimate_performance(config, machine.measure_workload())
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: scalability comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig16Row:
+    """One simulation-space configuration's rates in us/day."""
+
+    name: str
+    n_particles: int
+    fpga: Optional[float]
+    fpga_label: str
+    cpu_by_threads: Dict[int, float]
+    gpu_a100: Dict[int, float]
+    gpu_v100: Dict[int, float]
+
+    @property
+    def best_cpu(self) -> float:
+        return max(self.cpu_by_threads.values())
+
+    @property
+    def best_gpu(self) -> float:
+        return max(list(self.gpu_a100.values()) + list(self.gpu_v100.values()))
+
+
+@dataclass
+class Fig16Result:
+    """All three sections of Fig. 16."""
+
+    weak: List[Fig16Row]
+    strong: List[Fig16Row]
+    simulated: List[Fig16Row]
+    strong_speedup_c_over_a: float
+    speedup_vs_best_gpu: float
+
+
+def _baseline_rates(n_particles: int) -> Tuple[Dict[int, float], Dict[int, float], Dict[int, float]]:
+    cpu = CpuPerformanceModel()
+    a100 = GpuPerformanceModel("a100")
+    v100 = GpuPerformanceModel("v100")
+    cpu_rates = {t: cpu.rate_us_per_day(t, n_particles) for t in CPU_THREADS}
+    a_rates = {n: a100.rate_us_per_day(n, n_particles) for n in (1, 2)}
+    v_rates = {n: v100.rate_us_per_day(n, n_particles) for n in (1, 2, 4)}
+    return cpu_rates, a_rates, v_rates
+
+
+def run_fig16(seed: int = 2023) -> Fig16Result:
+    """Reproduce Fig. 16: weak scaling, strong scaling, simulated scale-out.
+
+    FPGA rates come from the first-principles cycle model on measured
+    workloads; CPU/GPU rates from the calibrated baseline models.
+    """
+    weak_rows: List[Fig16Row] = []
+    for name, cfg in weak_scaling_configs().items():
+        perf = _measure(cfg, seed)
+        n = cfg.n_cells * 64
+        cpu_r, a_r, v_r = _baseline_rates(n)
+        weak_rows.append(
+            Fig16Row(name, n, perf.rate_us_per_day, f"{cfg.n_fpgas}-F", cpu_r, a_r, v_r)
+        )
+
+    strong_rows: List[Fig16Row] = []
+    strong_perf: Dict[str, CyclePerformance] = {}
+    for name, cfg in strong_scaling_configs().items():
+        perf = _measure(cfg, seed)
+        strong_perf[name] = perf
+        n = cfg.n_cells * 64
+        cpu_r, a_r, v_r = _baseline_rates(n)
+        label = f"{cfg.spes_per_cbb}-SPE {cfg.pes_per_spe}-PE"
+        strong_rows.append(
+            Fig16Row(name, n, perf.rate_us_per_day, label, cpu_r, a_r, v_r)
+        )
+
+    sim_rows: List[Fig16Row] = []
+    for name, cfg in simulated_scaling_configs().items():
+        perf = _measure(cfg, seed)
+        n = cfg.n_cells * 64
+        cpu_r, a_r, v_r = _baseline_rates(n)
+        sim_rows.append(
+            Fig16Row(name, n, perf.rate_us_per_day, f"{cfg.n_fpgas}-F sim", cpu_r, a_r, v_r)
+        )
+
+    c_over_a = (
+        strong_perf["4x4x4-C"].rate_us_per_day
+        / strong_perf["4x4x4-A"].rate_us_per_day
+    )
+    best_gpu = strong_rows[0].best_gpu  # all strong rows share N = 4096
+    vs_gpu = strong_perf["4x4x4-C"].rate_us_per_day / best_gpu
+    return Fig16Result(weak_rows, strong_rows, sim_rows, c_over_a, vs_gpu)
+
+
+def format_fig16(result: Fig16Result) -> str:
+    def rows_for(section: List[Fig16Row]):
+        out = []
+        for r in section:
+            out.append(
+                [
+                    r.name,
+                    r.n_particles,
+                    r.fpga,
+                    r.cpu_by_threads[1],
+                    r.cpu_by_threads[4],
+                    r.cpu_by_threads[16],
+                    r.cpu_by_threads[32],
+                    r.gpu_a100[1],
+                    r.gpu_a100[2],
+                    r.gpu_v100[4],
+                ]
+            )
+        return out
+
+    headers = [
+        "config", "N", "FPGA", "CPUx1", "CPUx4", "CPUx16", "CPUx32",
+        "1xA100", "2xA100", "4xV100",
+    ]
+    from repro.harness.report import format_bar_chart
+
+    strong_rows = result.strong
+    chart = format_bar_chart(
+        [f"{r.name} FPGA" for r in strong_rows]
+        + ["best CPU", "1x A100", "2x A100", "4x V100"],
+        [r.fpga for r in strong_rows]
+        + [
+            strong_rows[0].best_cpu,
+            strong_rows[0].gpu_a100[1],
+            strong_rows[0].gpu_a100[2],
+            strong_rows[0].gpu_v100[4],
+        ],
+        unit=" us/day",
+        title="Strong scaling at 4x4x4 (4096 particles)",
+    )
+    parts = [
+        format_table(headers, rows_for(result.weak), title="Fig 16 (weak scaling) — us/day"),
+        "",
+        format_table(headers, rows_for(result.strong), title="Fig 16 (strong scaling, 4x4x4) — us/day"),
+        "",
+        format_table(headers, rows_for(result.simulated), title="Fig 16 (simulated scale-out) — us/day"),
+        "",
+        chart,
+        "",
+        f"strong-scaling gain C vs A: {result.strong_speedup_c_over_a:.2f}x (paper: 5.26x)",
+        f"best FPGA vs best GPU:      {result.speedup_vs_best_gpu:.2f}x (paper: 4.67x)",
+    ]
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 17: utilization breakdown
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig17Row:
+    """Utilization of the key components for one design variant."""
+
+    name: str
+    hardware: Dict[str, float]
+    time: Dict[str, float]
+
+
+@dataclass
+class Fig17Result:
+    rows: List[Fig17Row]
+
+
+def run_fig17(seed: int = 2023) -> Fig17Result:
+    """Reproduce Fig. 17: HW/time utilization of PR, FR, Filter, PE, MU."""
+    configs = {**weak_scaling_configs(), **strong_scaling_configs()}
+    rows = []
+    for name, cfg in configs.items():
+        perf = _measure(cfg, seed)
+        rows.append(
+            Fig17Row(
+                name,
+                {k: v.hardware for k, v in perf.utilization.items()},
+                {k: v.time for k, v in perf.utilization.items()},
+            )
+        )
+    return Fig17Result(rows)
+
+
+def format_fig17(result: Fig17Result) -> str:
+    comps = ["pr", "fr", "filter", "pe", "mu"]
+    headers = ["config"] + [f"{c}.hw" for c in comps] + [f"{c}.time" for c in comps]
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [r.name]
+            + [100 * r.hardware[c] for c in comps]
+            + [100 * r.time[c] for c in comps]
+        )
+    return format_table(
+        headers, rows, precision=1,
+        title="Fig 17 — component utilization (%)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 18: communication intensity
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig18Row:
+    """Per-node average bandwidth demand for one design (Fig. 18(A))."""
+
+    name: str
+    position_gbps: float
+    force_gbps: float
+    iteration_us: float
+
+
+@dataclass
+class Fig18Result:
+    rows: List[Fig18Row]
+    #: Fig. 18(B): node 0's egress percentage per destination node,
+    #: for the 4x4x4-C design, keyed by channel.
+    breakdown: Dict[str, Dict[int, float]]
+    #: Torus hop distance from node 0 to each destination.
+    hop_distance: Dict[int, int]
+
+
+def run_fig18(seed: int = 2023) -> Fig18Result:
+    """Reproduce Fig. 18: bandwidth demand and per-neighbor breakdown."""
+    configs = {
+        "6x6x6": weak_scaling_configs()["6x6x6"],
+        **strong_scaling_configs(),
+    }
+    rows = []
+    breakdown: Dict[str, Dict[int, float]] = {}
+    hops: Dict[int, int] = {}
+    for name, cfg in configs.items():
+        machine = FasdaMachine(cfg, seed=seed)
+        stats = machine.measure_workload()
+        perf = estimate_performance(cfg, stats)
+        fabric = Fabric(
+            cfg.n_fpgas,
+            packet_bits=cfg.packet_bits,
+            records_per_packet=cfg.records_per_packet,
+            link_gbps=cfg.link_gbps,
+        )
+        stats.fill_fabric(fabric)
+        t_iter = perf.seconds_per_step
+        rows.append(
+            Fig18Row(
+                name,
+                fabric.max_node_egress_gbps("position", t_iter),
+                fabric.max_node_egress_gbps("force", t_iter),
+                t_iter * 1e6,
+            )
+        )
+        if name == "4x4x4-C":
+            breakdown = {
+                "position": fabric.breakdown_percent(0, "position"),
+                "force": fabric.breakdown_percent(0, "force"),
+            }
+            torus = TorusTopology(cfg.fpga_grid)
+            hops = {d: torus.hop_distance(0, d) for d in range(1, cfg.n_fpgas)}
+    return Fig18Result(rows, breakdown, hops)
+
+
+def format_fig18(result: Fig18Result) -> str:
+    table_a = format_table(
+        ["design", "pos Gbps", "frc Gbps", "iter us"],
+        [[r.name, r.position_gbps, r.force_gbps, r.iteration_us] for r in result.rows],
+        title="Fig 18(A) — per-node average bandwidth demand",
+    )
+    dests = sorted(result.hop_distance)
+    rows_b = []
+    for chan in ("position", "force"):
+        rows_b.append(
+            [chan] + [result.breakdown.get(chan, {}).get(d, 0.0) for d in dests]
+        )
+    table_b = format_table(
+        ["channel"] + [f"node{d} (h{result.hop_distance[d]})" for d in dests],
+        rows_b,
+        precision=1,
+        title="Fig 18(B) — node 0 egress breakdown (%), 4x4x4-C",
+    )
+    return table_a + "\n\n" + table_b
+
+
+# ---------------------------------------------------------------------------
+# Table 1: resource utilization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    #: design -> resource -> (model %, paper %).
+    rows: Dict[str, Dict[str, Tuple[float, float]]]
+
+
+def run_table1() -> Table1Result:
+    """Reproduce Table 1: per-FPGA resource utilization per design."""
+    configs = {**weak_scaling_configs(), **strong_scaling_configs()}
+    rows: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for name, cfg in configs.items():
+        model = estimate_resources(cfg).utilization_percent()
+        paper = PAPER_TABLE1[name]
+        rows[name] = {res: (model[res], float(paper[res])) for res in model}
+    return Table1Result(rows)
+
+
+def format_table1(result: Table1Result) -> str:
+    headers = ["design"] + [
+        f"{res}.{src}" for res in ("lut", "ff", "bram", "uram", "dsp")
+        for src in ("model", "paper")
+    ]
+    rows = []
+    for name, res_map in result.rows.items():
+        row: List = [name]
+        for res in ("lut", "ff", "bram", "uram", "dsp"):
+            m, p = res_map[res]
+            row += [m, p]
+        rows.append(row)
+    return format_table(headers, rows, precision=0, title="Table 1 — resource utilization (%)")
+
+
+# ---------------------------------------------------------------------------
+# Figure 19: energy conservation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig19Result:
+    steps: np.ndarray
+    machine_energy: np.ndarray
+    reference_energy: np.ndarray
+
+    @property
+    def relative_error(self) -> np.ndarray:
+        return np.abs(self.machine_energy - self.reference_energy) / np.abs(
+            self.reference_energy
+        )
+
+    @property
+    def max_relative_error(self) -> float:
+        return float(self.relative_error.max())
+
+    @property
+    def median_relative_error(self) -> float:
+        return float(np.median(self.relative_error))
+
+
+def run_fig19(
+    n_steps: int = 400,
+    record_every: int = 20,
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    seed: int = 2023,
+) -> Fig19Result:
+    """Reproduce Fig. 19: FASDA total energy vs. the float64 reference.
+
+    The paper runs 100,000 iterations; the error settles within the
+    first few hundred, so the default keeps the bench to ~a minute.
+    Both engines start from identical state.
+    """
+    system, grid = build_dataset(dims, seed=seed)
+    cfg = MachineConfig(dims, (1, 1, 1))
+    machine = FasdaMachine(cfg, system=system.copy())
+    reference = ReferenceEngine(system.copy(), grid, dt_fs=cfg.dt_fs)
+    mrecs = machine.run(n_steps, record_every=record_every)
+    rrecs = reference.run(n_steps, record_every=record_every)
+    steps = np.array([r.step for r in rrecs])
+    me = np.array([r.total for r in mrecs])
+    re = np.array([r.total for r in rrecs])
+    return Fig19Result(steps, me, re)
+
+
+def format_fig19(result: Fig19Result) -> str:
+    rows = [
+        [int(s), m, r, e]
+        for s, m, r, e in zip(
+            result.steps,
+            result.machine_energy,
+            result.reference_energy,
+            result.relative_error,
+        )
+    ]
+    table = format_table(
+        ["step", "FASDA E (kcal/mol)", "ref E (kcal/mol)", "rel err"],
+        rows,
+        precision=6,
+        title="Fig 19 — energy relative error vs float64 reference",
+    )
+    tail = (
+        f"\nmax rel err = {result.max_relative_error:.2e} (paper: < 1e-3); "
+        f"median = {result.median_relative_error:.2e} (paper: generally < 1e-4)"
+    )
+    return table + tail

@@ -1,0 +1,104 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted to ``precision`` decimals; ``None`` renders as
+    ``-``.  Columns are right-aligned except the first.
+    """
+    str_rows: List[List[str]] = [
+        [_render(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """A horizontal ASCII bar chart (for terminal-friendly figures).
+
+    Bars are scaled to the maximum value; each row shows the label, the
+    bar, and the numeric value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vmax = max((v for v in values if v is not None), default=0.0)
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        if value is None or vmax <= 0:
+            bar = ""
+            shown = "-"
+        else:
+            bar = "#" * max(1, int(round(width * value / vmax))) if value > 0 else ""
+            shown = f"{value:.2f}{unit}"
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {shown}")
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 6,
+) -> str:
+    """Render rows as CSV (for plotting outside this package).
+
+    Fields containing commas or quotes are quoted per RFC 4180; ``None``
+    renders as an empty field.
+    """
+
+    def esc(cell: Cell) -> str:
+        if cell is None:
+            return ""
+        text = _render(cell, precision)
+        if any(c in text for c in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(esc(h) for h in headers)]
+    lines.extend(",".join(esc(c) for c in row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Host-side control plane: the artifact's dask + pynq workflow, modeled.
+
+The paper's artifact drives the FPGA cluster from Python: a *dask*
+scheduler coordinates one host per FPGA, each host configures its board
+through *pynq*, data moves over AXI-Stream, and results come back as
+AXI-Lite registers ("the overall execution cycles, the execution cycles
+of each key component, and the communication statistics ... correspond
+to the results illustrated in the figures").
+
+This package reproduces that control plane over the simulated machine:
+
+* :class:`~repro.host.registers.AxiLiteRegisters` — the register map
+  the artifact names (``operation_cycle_cnt``, ``PE_cycle_cnt``,
+  ``out_traffic_packets_pos`` ...), populated from a run;
+* :class:`~repro.host.controller.FpgaHost` — one per-node host
+  (the dask worker + pynq overlay);
+* :class:`~repro.host.controller.ClusterController` — the scheduler:
+  configure all nodes, run N iterations, gather register dumps, convert
+  cycles to the paper's us/day metric exactly as the artifact does.
+"""
+
+from repro.host.controller import ClusterController, ClusterReport, FpgaHost
+from repro.host.registers import AxiLiteRegisters
+
+__all__ = ["AxiLiteRegisters", "FpgaHost", "ClusterController", "ClusterReport"]

@@ -1,0 +1,199 @@
+"""Cluster controller: the artifact's ``run.py`` flow over the simulator.
+
+The artifact's procedure (appendix): start a dask scheduler, attach one
+worker per FPGA host, upload the bitstream, then
+``python run.py <scheduler_address> <dump_group> <num_iterations>`` —
+each FPGA runs independently once the hosts are set, and the hosts read
+back AXI-Lite counters whose cycle values "should be the same as
+reported when converted ... to us/day simulation rate".
+
+:class:`ClusterController` reproduces that flow: ``configure`` stands in
+for bitstream upload (it builds the machine for the design point),
+``run`` executes iterations and fills every host's register bank from
+the measured workload and the cycle model, and :class:`ClusterReport`
+performs the cycles -> us/day conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.cycles import CyclePerformance, estimate_performance
+from repro.core.machine import FasdaMachine, StepStats
+from repro.host.registers import AxiLiteRegisters
+from repro.util.errors import ConfigError, ValidationError
+from repro.util.units import simulation_rate_us_per_day
+
+
+@dataclass
+class FpgaHost:
+    """One host machine controlling one FPGA node (a dask worker).
+
+    Attributes
+    ----------
+    node_id:
+        The FPGA's logical node id in the torus.
+    registers:
+        The node's AXI-Lite result registers.
+    configured:
+        Whether a "bitstream" (design point) has been loaded.
+    """
+
+    node_id: int
+    registers: AxiLiteRegisters = field(default_factory=AxiLiteRegisters)
+    configured: bool = False
+
+    def configure(self) -> None:
+        """Load the overlay (bitstream) and clear result registers."""
+        self.registers.reset()
+        self.configured = True
+
+
+@dataclass
+class ClusterReport:
+    """Gathered results of a cluster run."""
+
+    config: MachineConfig
+    n_iterations: int
+    register_dumps: Dict[int, Dict[str, int]]
+    #: Per-cell force dump for the requested dump group (particle ids ->
+    #: float32 forces), if one was requested.
+    dump_forces: Optional[np.ndarray] = None
+
+    def operation_cycles(self, node_id: int) -> int:
+        """Total cycles the node ran (``operation_cycle_cnt``)."""
+        return self.register_dumps[node_id]["operation_cycle_cnt"]
+
+    def rate_us_per_day(self) -> float:
+        """The artifact's conversion: cycles -> us/day simulation rate.
+
+        Uses the slowest node, which gates the whole cluster.
+        """
+        worst = max(d["operation_cycle_cnt"] for d in self.register_dumps.values())
+        seconds_per_step = (
+            worst / self.n_iterations
+        ) * self.config.cycle_seconds
+        return simulation_rate_us_per_day(self.config.dt_fs, seconds_per_step)
+
+    def total_packets(self, channel: str, direction: str = "out") -> int:
+        """Cluster-wide packet count for a channel/direction."""
+        key = f"{direction}_traffic_packets_{channel}"
+        return sum(d[key] for d in self.register_dumps.values())
+
+
+class ClusterController:
+    """The dask-scheduler stand-in: owns the hosts, drives a run.
+
+    Parameters
+    ----------
+    config:
+        The design point ("which bitstream was compiled").
+    seed:
+        Dataset seed.
+    """
+
+    def __init__(self, config: MachineConfig, seed: int = 2023):
+        self.config = config
+        self.seed = seed
+        self.hosts: Dict[int, FpgaHost] = {
+            n: FpgaHost(n) for n in range(config.n_fpgas)
+        }
+        self._machine: Optional[FasdaMachine] = None
+
+    @property
+    def scheduler_address(self) -> str:
+        """A cosmetic tcp:// address, mirroring the artifact's UX."""
+        return f"tcp://127.0.0.1:{8786 + (self.config.n_fpgas % 100)}"
+
+    def configure_all(self) -> None:
+        """Upload the bitstream to every host (build the machine once)."""
+        self._machine = FasdaMachine(self.config, seed=self.seed)
+        for host in self.hosts.values():
+            host.configure()
+
+    def run(
+        self, n_iterations: int, dump_group: Optional[int] = None
+    ) -> ClusterReport:
+        """Execute ``n_iterations`` MD iterations and gather registers.
+
+        Physics runs through the functional machine; per-component cycle
+        counters come from the cycle model applied to the measured
+        workload — the same quantities the RTL's counters accumulate.
+        """
+        if n_iterations < 1:
+            raise ValidationError("n_iterations must be >= 1")
+        if self._machine is None or not all(
+            h.configured for h in self.hosts.values()
+        ):
+            raise ConfigError("configure_all() must run before run()")
+        machine = self._machine
+        stats = machine.measure_workload()
+        perf = estimate_performance(self.config, stats)
+        machine.run(n_iterations, record_every=0)
+        self._fill_registers(stats, perf, n_iterations)
+
+        dump = None
+        if dump_group is not None:
+            if not 0 <= dump_group < self.config.n_cells:
+                raise ValidationError(f"dump_group {dump_group} out of range")
+            from repro.md.cells import CellList
+
+            clist = CellList(machine.grid, machine.system.positions)
+            idx = clist.particles_in_cell(dump_group)
+            dump = machine.forces[idx].copy()
+
+        return ClusterReport(
+            config=self.config,
+            n_iterations=n_iterations,
+            register_dumps={n: h.registers.dump() for n, h in self.hosts.items()},
+            dump_forces=dump,
+        )
+
+    def _fill_registers(
+        self, stats: StepStats, perf: CyclePerformance, n_iterations: int
+    ) -> None:
+        cfg = self.config
+        t_iter = perf.iteration_cycles
+        for node_id, host in self.hosts.items():
+            regs = host.registers
+            regs.reset()
+            regs.write("iteration_cnt", n_iterations)
+            regs.write("operation_cycle_cnt", int(t_iter * n_iterations))
+            u = perf.utilization
+            regs.write("PE_cycle_cnt", int(u["pe"].time * t_iter * n_iterations))
+            regs.write(
+                "filter_cycle_cnt", int(u["filter"].time * t_iter * n_iterations)
+            )
+            regs.write("PR_cycle_cnt", int(u["pr"].time * t_iter * n_iterations))
+            regs.write("FR_cycle_cnt", int(u["fr"].time * t_iter * n_iterations))
+            regs.write("MU_cycle_cnt", int(u["mu"].time * t_iter * n_iterations))
+            regs.write("pair_candidates", stats.total_candidates * n_iterations)
+            regs.write("pair_accepted", stats.total_accepted * n_iterations)
+
+            def packets(records_map, selector) -> int:
+                return sum(
+                    int(np.ceil(r / cfg.records_per_packet))
+                    for (s, d), r in records_map.items()
+                    if selector(s, d)
+                ) * n_iterations
+
+            regs.write(
+                "out_traffic_packets_pos",
+                packets(stats.position_records, lambda s, d: s == node_id),
+            )
+            regs.write(
+                "in_traffic_packets_pos",
+                packets(stats.position_records, lambda s, d: d == node_id),
+            )
+            regs.write(
+                "out_traffic_packets_frc",
+                packets(stats.force_records, lambda s, d: s == node_id),
+            )
+            regs.write(
+                "in_traffic_packets_frc",
+                packets(stats.force_records, lambda s, d: d == node_id),
+            )

@@ -1,0 +1,89 @@
+"""The AXI-Lite result register map (artifact appendix).
+
+The artifact reads these registers after a run:
+
+* ``out_traffic_packets_pos`` / ``out_traffic_packets_frc`` /
+  ``in_traffic_packets_pos`` / ``in_traffic_packets_frc`` — the
+  communication workload in 512-bit packets;
+* ``operation_cycle_cnt`` — overall performance in cycles;
+* ``PE_cycle_cnt`` "and other cycle counters" — cycles each key
+  component was active.
+
+We model the map as named 64-bit saturating counters with a fixed
+address layout, so host code reads registers exactly the way a pynq
+``MMIO.read`` would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.util.errors import ValidationError
+
+#: Register name -> word offset (AXI-Lite addresses are offset * 8).
+REGISTER_MAP: Dict[str, int] = {
+    "operation_cycle_cnt": 0,
+    "PE_cycle_cnt": 1,
+    "filter_cycle_cnt": 2,
+    "PR_cycle_cnt": 3,
+    "FR_cycle_cnt": 4,
+    "MU_cycle_cnt": 5,
+    "out_traffic_packets_pos": 6,
+    "out_traffic_packets_frc": 7,
+    "in_traffic_packets_pos": 8,
+    "in_traffic_packets_frc": 9,
+    "iteration_cnt": 10,
+    "pair_candidates": 11,
+    "pair_accepted": 12,
+}
+
+_MAX_U64 = (1 << 64) - 1
+
+
+class AxiLiteRegisters:
+    """A bank of named 64-bit saturating counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {name: 0 for name in REGISTER_MAP}
+
+    def write(self, name: str, value: int) -> None:
+        """Set a register (clamped to u64; negative rejected)."""
+        self._check(name)
+        if value < 0:
+            raise ValidationError(f"register {name} cannot hold {value}")
+        self._values[name] = min(int(value), _MAX_U64)
+
+    def accumulate(self, name: str, delta: int) -> None:
+        """Add to a register, saturating at 2^64-1."""
+        self._check(name)
+        if delta < 0:
+            raise ValidationError("accumulate delta must be >= 0")
+        self._values[name] = min(self._values[name] + int(delta), _MAX_U64)
+
+    def read(self, name: str) -> int:
+        """Read a register by name."""
+        self._check(name)
+        return self._values[name]
+
+    def read_offset(self, offset: int) -> int:
+        """Read by word offset, like ``MMIO.read(offset * 8)``."""
+        for name, off in REGISTER_MAP.items():
+            if off == offset:
+                return self._values[name]
+        raise ValidationError(f"no register at offset {offset}")
+
+    def reset(self) -> None:
+        """Zero every counter (start of a run)."""
+        for name in self._values:
+            self._values[name] = 0
+
+    def dump(self) -> Dict[str, int]:
+        """Snapshot of all registers."""
+        return dict(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._values.items())
+
+    def _check(self, name: str) -> None:
+        if name not in self._values:
+            raise ValidationError(f"unknown register {name!r}")

@@ -1,0 +1,159 @@
+"""Crystal lattice builders: physically ordered initial conditions.
+
+The paper's random dataset maximizes filter workload; these builders
+produce *ordered* systems (FCC noble-gas crystals, rock-salt NaCl) whose
+known structure makes them good validation workloads — an FCC argon
+crystal has a textbook g(r), and a rock-salt ionic crystal exercises the
+LJ + Coulomb composite force model with a stable ground state instead of
+the violent random start.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.md.cells import CellGrid
+from repro.md.dataset import maxwell_boltzmann_velocities
+from repro.md.params import FORMAL_CHARGES, LJTable
+from repro.md.system import ParticleSystem
+from repro.util.errors import ValidationError
+
+#: FCC conventional-cell basis (fractions of the cubic lattice constant).
+_FCC_BASIS = np.array(
+    [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+)
+
+
+def build_fcc(
+    element: str,
+    n_cells_per_axis: int,
+    lattice_constant: float,
+    temperature_k: float = 0.0,
+    seed: int = 0,
+) -> ParticleSystem:
+    """An FCC crystal of one species.
+
+    Parameters
+    ----------
+    element:
+        Species symbol (e.g. ``"Ar"``; a0 ~ 5.26 A for solid argon).
+    n_cells_per_axis:
+        Conventional cells per axis (4 atoms each).
+    lattice_constant:
+        Cubic cell edge in angstrom.
+    temperature_k:
+        Maxwell-Boltzmann velocity temperature (0 = at rest).
+    """
+    if n_cells_per_axis < 1 or lattice_constant <= 0:
+        raise ValidationError("invalid lattice parameters")
+    k = n_cells_per_axis
+    origins = (
+        np.stack(
+            np.meshgrid(np.arange(k), np.arange(k), np.arange(k), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 3)
+        * lattice_constant
+    )
+    positions = (
+        origins[:, None, :] + _FCC_BASIS[None, :, :] * lattice_constant
+    ).reshape(-1, 3)
+    lj = LJTable((element,))
+    n = len(positions)
+    species = np.zeros(n, dtype=np.int32)
+    rng = np.random.default_rng(seed)
+    if temperature_k > 0:
+        velocities = maxwell_boltzmann_velocities(
+            rng, lj.masses[species], temperature_k
+        )
+    else:
+        velocities = np.zeros_like(positions)
+    system = ParticleSystem(
+        positions=positions,
+        velocities=velocities,
+        species=species,
+        lj_table=lj,
+        box=np.full(3, k * lattice_constant),
+    )
+    if temperature_k > 0:
+        system.remove_com_velocity()
+    return system
+
+
+def build_rocksalt(
+    n_cells_per_axis: int,
+    lattice_constant: float = 5.64,  # NaCl experimental a0
+    cation: str = "Na",
+    anion: str = "Cl",
+    temperature_k: float = 0.0,
+    seed: int = 0,
+) -> ParticleSystem:
+    """A rock-salt (B1) ionic crystal with formal charges.
+
+    Each conventional cell holds 4 cation + 4 anion sites (two
+    interpenetrating FCC lattices offset by a0/2 along x).
+    """
+    if n_cells_per_axis < 1 or lattice_constant <= 0:
+        raise ValidationError("invalid lattice parameters")
+    k = n_cells_per_axis
+    origins = (
+        np.stack(
+            np.meshgrid(np.arange(k), np.arange(k), np.arange(k), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 3)
+        * lattice_constant
+    )
+    cat = (
+        origins[:, None, :] + _FCC_BASIS[None, :, :] * lattice_constant
+    ).reshape(-1, 3)
+    an_basis = _FCC_BASIS + np.array([0.5, 0.0, 0.0])
+    an = (
+        origins[:, None, :] + an_basis[None, :, :] * lattice_constant
+    ).reshape(-1, 3)
+    positions = np.concatenate([cat, an])
+    lj = LJTable((cation, anion))
+    species = np.concatenate(
+        [np.zeros(len(cat), dtype=np.int32), np.ones(len(an), dtype=np.int32)]
+    )
+    charges = np.where(
+        species == 0,
+        FORMAL_CHARGES.get(cation, 0.0),
+        FORMAL_CHARGES.get(anion, 0.0),
+    )
+    rng = np.random.default_rng(seed)
+    if temperature_k > 0:
+        velocities = maxwell_boltzmann_velocities(
+            rng, lj.masses[species], temperature_k
+        )
+    else:
+        velocities = np.zeros_like(positions)
+    system = ParticleSystem(
+        positions=positions,
+        velocities=velocities,
+        species=species,
+        lj_table=lj,
+        box=np.full(3, k * lattice_constant),
+        charges=charges,
+    )
+    if temperature_k > 0:
+        system.remove_com_velocity()
+    return system
+
+
+def grid_for_system(
+    system: ParticleSystem, cutoff: float
+) -> Optional[CellGrid]:
+    """A cell grid for an arbitrary system, if its box permits one.
+
+    The cell edge must equal the cutoff and each axis must hold >= 3
+    whole cells; returns None when the box does not divide evenly
+    (callers can then re-scale the lattice or pick another cutoff).
+    """
+    dims = []
+    for edge in system.box:
+        n = edge / cutoff
+        if abs(n - round(n)) > 1e-9 or round(n) < 3:
+            return None
+        dims.append(int(round(n)))
+    return CellGrid(tuple(dims), cutoff)

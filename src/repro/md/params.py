@@ -1,0 +1,134 @@
+"""Lennard-Jones parameters, mixing rules, and pair-coefficient tables.
+
+The paper's evaluation runs "neutral sodium atoms in vacuum with a custom
+force field that only enables Lennard-Jones forces" (Sec. 5.1 and the
+artifact appendix).  The exact sigma/epsilon values are not published;
+we use Aqvist-style sodium parameters, and carry a small table of other
+elements so mixed-species systems exercise the element-indexed
+coefficient lookup the force pipeline performs (Fig. 6: "e denotes the
+element type").
+
+The pipeline consumes *pair* coefficients
+
+* ``c14 = 48 * eps_ij * sigma_ij**12``  (for the ``r**-14`` term)
+* ``c8  = 24 * eps_ij * sigma_ij**6``   (for the ``r**-8`` term)
+
+so that Eq. 2 becomes ``F_vec = (c14 * r**-14 - c8 * r**-8) * r_vec``, and
+for energy ``c12 = 4 * eps * sigma**12``, ``c6 = 4 * eps * sigma**6`` so
+Eq. 1 becomes ``V = c12 * r**-12 - c6 * r**-6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Element:
+    """A chemical species with LJ parameters.
+
+    Attributes
+    ----------
+    symbol:
+        Element symbol, e.g. ``"Na"``.
+    mass:
+        Atomic mass in amu.
+    sigma:
+        LJ characteristic distance in angstrom.
+    epsilon:
+        LJ well depth in kcal/mol.
+    """
+
+    symbol: str
+    mass: float
+    sigma: float
+    epsilon: float
+
+
+#: Registry of species usable in datasets.  Values: mass (amu),
+#: sigma (A), epsilon (kcal/mol).  Sodium is the paper's workload; the
+#: rest are common LJ parameterizations used to exercise mixed-species
+#: coefficient lookup.
+ELEMENTS: Dict[str, Element] = {
+    "Na": Element("Na", 22.98976928, 2.575, 0.0469),
+    "Cl": Element("Cl", 35.453, 4.417, 0.1178),
+    "Ar": Element("Ar", 39.948, 3.401, 0.2339),
+    "Ne": Element("Ne", 20.1797, 2.782, 0.0694),
+    "Kr": Element("Kr", 83.798, 3.601, 0.3255),
+    "Xe": Element("Xe", 131.293, 3.935, 0.4330),
+}
+
+#: Formal ionic charges (e) for species that carry one in typical
+#: force fields; species absent here are treated as neutral.
+FORMAL_CHARGES: Dict[str, float] = {"Na": +1.0, "Cl": -1.0}
+
+
+class LJTable:
+    """Pairwise LJ coefficient tables over a list of species.
+
+    Uses Lorentz-Berthelot mixing: ``sigma_ij = (sigma_i + sigma_j) / 2``,
+    ``eps_ij = sqrt(eps_i * eps_j)``.  This mirrors the per-element-pair
+    ROM the FASDA pipeline indexes with the two particles' element codes.
+
+    Parameters
+    ----------
+    species:
+        Sequence of element symbols; a particle's integer species id
+        indexes this sequence.
+    """
+
+    def __init__(self, species: Sequence[str] = ("Na",)):
+        if not species:
+            raise ValidationError("species list must be non-empty")
+        unknown = [s for s in species if s not in ELEMENTS]
+        if unknown:
+            raise ValidationError(f"unknown element symbols: {unknown}")
+        self.species = tuple(species)
+        sigma = np.array([ELEMENTS[s].sigma for s in species])
+        eps = np.array([ELEMENTS[s].epsilon for s in species])
+        self.masses = np.array([ELEMENTS[s].mass for s in species])
+        sig_ij = 0.5 * (sigma[:, None] + sigma[None, :])
+        eps_ij = np.sqrt(eps[:, None] * eps[None, :])
+        self.sigma_ij = sig_ij
+        self.eps_ij = eps_ij
+        # Force-path coefficients (see module docstring).
+        self.c14 = 48.0 * eps_ij * sig_ij ** 12
+        self.c8 = 24.0 * eps_ij * sig_ij ** 6
+        # Energy-path coefficients.
+        self.c12 = 4.0 * eps_ij * sig_ij ** 12
+        self.c6 = 4.0 * eps_ij * sig_ij ** 6
+
+    @property
+    def n_species(self) -> int:
+        """Number of species in the table."""
+        return len(self.species)
+
+    def scaled(self, length_scale: float) -> "LJTable":
+        """Return a copy with coefficients expressed in rescaled length units.
+
+        The FASDA datapath normalizes the cell edge (= cutoff) to 1.0, so
+        its coefficient ROM holds values computed from
+        ``sigma' = sigma / length_scale``.  Energies from the scaled table
+        are unchanged (kcal/mol); forces come out in kcal/mol per
+        *normalized* length unit and must be divided by ``length_scale``
+        once more to recover kcal/mol/A.
+        """
+        if length_scale <= 0:
+            raise ValidationError("length_scale must be positive")
+        out = LJTable.__new__(LJTable)
+        out.species = self.species
+        out.masses = self.masses
+        out.sigma_ij = self.sigma_ij / length_scale
+        out.eps_ij = self.eps_ij
+        # All coefficients carry sigma^12 or sigma^6; rescaling sigma
+        # rescales them by length_scale^-12 / length_scale^-6.
+        out.c14 = self.c14 / length_scale ** 12
+        out.c8 = self.c8 / length_scale ** 6
+        out.c12 = self.c12 / length_scale ** 12
+        out.c6 = self.c6 / length_scale ** 6
+        return out

@@ -1,0 +1,163 @@
+"""Double-precision reference force evaluation (the golden model).
+
+Two implementations of the range-limited LJ force (paper Eqs. 1-2):
+
+* :func:`compute_forces_cells` — O(N*m) cell-list/half-shell evaluation,
+  vectorized over every cell pair; this is what production runs use and
+  what the FASDA machine is compared against.
+* :func:`compute_forces_bruteforce` — O(N^2) minimum-image evaluation for
+  small systems; exists purely to cross-check the cell-list code in tests.
+
+Both apply a plain truncation at the cutoff (no switching function), as
+the paper's LJ-only custom force field does, and optionally shift the
+potential so V(R_c) = 0 for energy bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
+from repro.md.params import LJTable
+from repro.md.system import ParticleSystem
+from repro.util.errors import ValidationError
+
+
+def _pair_forces_energy(
+    dr: np.ndarray,
+    r2: np.ndarray,
+    si: np.ndarray,
+    sj: np.ndarray,
+    lj: LJTable,
+    shift_energy: float,
+) -> Tuple[np.ndarray, float]:
+    """Force vectors on i from j, and total pair energy, for given pairs.
+
+    ``dr`` is ``x_i - x_j`` so a *repulsive* (positive) coefficient pushes
+    particle i away from j along ``+dr``.
+    """
+    inv_r2 = 1.0 / r2
+    inv_r6 = inv_r2 * inv_r2 * inv_r2
+    inv_r8 = inv_r6 * inv_r2
+    inv_r12 = inv_r6 * inv_r6
+    inv_r14 = inv_r12 * inv_r2
+    c14 = lj.c14[si, sj]
+    c8 = lj.c8[si, sj]
+    scalar = c14 * inv_r14 - c8 * inv_r8
+    forces = scalar[:, None] * dr
+    energy = float(
+        np.sum(lj.c12[si, sj] * inv_r12 - lj.c6[si, sj] * inv_r6)
+        - shift_energy * len(r2)
+    )
+    return forces, energy
+
+
+def _cutoff_shift(lj: LJTable, cutoff: float, shift: bool) -> float:
+    """Per-pair energy shift so V(cutoff) == 0 (species 0-0 only).
+
+    A full per-pair-species shift table would be straightforward, but the
+    paper's workload is single-species; we raise if a shifted multi-
+    species run is requested rather than silently mis-shifting.
+    """
+    if not shift:
+        return 0.0
+    if lj.n_species != 1:
+        raise ValidationError("energy shift is only supported for single-species tables")
+    inv2 = 1.0 / cutoff ** 2
+    return float(lj.c12[0, 0] * inv2 ** 6 - lj.c6[0, 0] * inv2 ** 3)
+
+
+def compute_forces_bruteforce(
+    system: ParticleSystem, cutoff: float, shift: bool = False
+) -> Tuple[np.ndarray, float]:
+    """O(N^2) minimum-image LJ forces and potential energy.
+
+    Only suitable for small N; used to validate the cell-list path.
+    """
+    pos = system.positions
+    n = system.n
+    forces = np.zeros_like(pos)
+    ii, jj = np.triu_indices(n, k=1)
+    dr = pos[ii] - pos[jj]
+    dr -= system.box * np.rint(dr / system.box)
+    r2 = np.sum(dr * dr, axis=1)
+    mask = r2 < cutoff * cutoff
+    ii, jj, dr, r2 = ii[mask], jj[mask], dr[mask], r2[mask]
+    if len(r2) == 0:
+        return forces, 0.0
+    shift_e = _cutoff_shift(system.lj_table, cutoff, shift)
+    f, energy = _pair_forces_energy(
+        dr, r2, system.species[ii], system.species[jj], system.lj_table, shift_e
+    )
+    np.add.at(forces, ii, f)
+    np.add.at(forces, jj, -f)
+    return forces, energy
+
+
+def compute_forces_cells(
+    system: ParticleSystem,
+    grid: CellGrid,
+    shift: bool = False,
+) -> Tuple[np.ndarray, float]:
+    """Cell-list + half-shell LJ forces and potential energy.
+
+    The cutoff equals ``grid.cell_edge``.  For every home cell the
+    home-home upper-triangle pairs and the 13 half-shell cell pairs are
+    evaluated with broadcasting, forces scattered back with
+    ``np.add.at`` — Newton's third law applied exactly once per pair.
+    """
+    if not np.allclose(grid.box, system.box):
+        raise ValidationError(
+            f"grid box {grid.box} does not match system box {system.box}"
+        )
+    cutoff = grid.cell_edge
+    cutoff2 = cutoff * cutoff
+    shift_e = _cutoff_shift(system.lj_table, cutoff, shift)
+    pos = system.positions
+    spc = system.species
+    lj = system.lj_table
+    forces = np.zeros_like(pos)
+    energy = 0.0
+    clist = CellList(grid, pos)
+
+    for cid in clist.cells_nonempty():
+        home_idx = clist.particles_in_cell(cid)
+        hp = pos[home_idx]
+        hs = spc[home_idx]
+        # Home-home pairs (upper triangle).
+        if len(home_idx) > 1:
+            ii, jj = np.triu_indices(len(home_idx), k=1)
+            dr = hp[ii] - hp[jj]
+            r2 = np.sum(dr * dr, axis=1)
+            mask = r2 < cutoff2
+            if np.any(mask):
+                f, e = _pair_forces_energy(
+                    dr[mask], r2[mask], hs[ii[mask]], hs[jj[mask]], lj, shift_e
+                )
+                np.add.at(forces, home_idx[ii[mask]], f)
+                np.add.at(forces, home_idx[jj[mask]], -f)
+                energy += e
+        # Half-shell neighbor cells.
+        coord = tuple(int(c) for c in grid.cell_coords(np.int64(cid)))
+        for offset in HALF_SHELL_OFFSETS:
+            ncoord, img_shift = grid.neighbor_with_shift(coord, offset)
+            ncid = int(grid.cell_id(np.asarray(ncoord)))
+            nbr_idx = clist.particles_in_cell(ncid)
+            if len(nbr_idx) == 0:
+                continue
+            npos = pos[nbr_idx] + img_shift
+            dr = hp[:, None, :] - npos[None, :, :]
+            r2 = np.einsum("ijk,ijk->ij", dr, dr)
+            mask = r2 < cutoff2
+            if not np.any(mask):
+                continue
+            hi, nj = np.nonzero(mask)
+            f, e = _pair_forces_energy(
+                dr[hi, nj], r2[hi, nj], hs[hi], spc[nbr_idx[nj]], lj, shift_e
+            )
+            np.add.at(forces, home_idx[hi], f)
+            np.add.at(forces, nbr_idx[nj], -f)
+            energy += e
+    return forces, energy

@@ -1,0 +1,124 @@
+"""The particle-system state container shared by every engine.
+
+A :class:`ParticleSystem` owns the NumPy state arrays (positions,
+velocities, forces, species ids, masses) and the periodic box.  Engines
+mutate the arrays in place — copies of multi-megabyte state per timestep
+would dominate runtime (see the HPC guide's "views, not copies" rule) —
+and :meth:`ParticleSystem.copy` exists for the places that genuinely need
+a snapshot (golden-model comparisons, dataset reuse across engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.md.params import LJTable
+from repro.util.errors import ValidationError
+from repro.util.units import BOLTZMANN_KCAL_MOL_K, KCAL_MOL_TO_INTERNAL
+
+
+@dataclass
+class ParticleSystem:
+    """Complete dynamic state of an MD simulation.
+
+    Attributes
+    ----------
+    positions:
+        ``(N, 3)`` float64, angstrom, always wrapped into ``[0, box)``.
+    velocities:
+        ``(N, 3)`` float64, angstrom/fs.
+    forces:
+        ``(N, 3)`` float64, kcal/mol/A; engines overwrite this.
+    species:
+        ``(N,)`` int32 species ids indexing ``lj_table.species``.
+    lj_table:
+        The LJ parameter table; also supplies per-species masses.
+    box:
+        ``(3,)`` float64 orthorhombic box edge lengths in angstrom.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    species: np.ndarray
+    lj_table: LJTable
+    box: np.ndarray
+    forces: Optional[np.ndarray] = None
+    charges: Optional[np.ndarray] = None
+    masses: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        self.velocities = np.ascontiguousarray(self.velocities, dtype=np.float64)
+        self.species = np.ascontiguousarray(self.species, dtype=np.int32)
+        self.box = np.ascontiguousarray(self.box, dtype=np.float64)
+        n = self.positions.shape[0]
+        if self.positions.shape != (n, 3):
+            raise ValidationError(f"positions must be (N, 3), got {self.positions.shape}")
+        if self.velocities.shape != (n, 3):
+            raise ValidationError("velocities shape must match positions")
+        if self.species.shape != (n,):
+            raise ValidationError("species must be (N,)")
+        if self.box.shape != (3,) or np.any(self.box <= 0):
+            raise ValidationError("box must be 3 positive edge lengths")
+        if np.any(self.species < 0) or np.any(self.species >= self.lj_table.n_species):
+            raise ValidationError("species id out of range for lj_table")
+        if self.forces is None:
+            self.forces = np.zeros_like(self.positions)
+        else:
+            self.forces = np.ascontiguousarray(self.forces, dtype=np.float64)
+            if self.forces.shape != (n, 3):
+                raise ValidationError("forces shape must match positions")
+        if self.charges is None:
+            self.charges = np.zeros(n, dtype=np.float64)
+        else:
+            self.charges = np.ascontiguousarray(self.charges, dtype=np.float64)
+            if self.charges.shape != (n,):
+                raise ValidationError("charges must be (N,)")
+        self.masses = self.lj_table.masses[self.species]
+        self.wrap()
+
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self.positions.shape[0]
+
+    def wrap(self) -> None:
+        """Wrap positions into the primary box image, in place."""
+        np.mod(self.positions, self.box, out=self.positions)
+
+    def kinetic_energy(self) -> float:
+        """Kinetic energy in kcal/mol.
+
+        ``KE = sum(m v^2) / 2`` comes out in amu*A^2/fs^2 and is converted
+        back to kcal/mol.
+        """
+        ke_internal = 0.5 * float(
+            np.sum(self.masses * np.sum(self.velocities ** 2, axis=1))
+        )
+        return ke_internal / KCAL_MOL_TO_INTERNAL
+
+    def temperature(self) -> float:
+        """Instantaneous kinetic temperature in kelvin (3N degrees of freedom)."""
+        dof = 3 * self.n
+        return 2.0 * self.kinetic_energy() / (dof * BOLTZMANN_KCAL_MOL_K)
+
+    def remove_com_velocity(self) -> None:
+        """Subtract the center-of-mass velocity, in place."""
+        total_mass = float(np.sum(self.masses))
+        com_v = (self.masses[:, None] * self.velocities).sum(axis=0) / total_mass
+        self.velocities -= com_v
+
+    def copy(self) -> "ParticleSystem":
+        """Deep copy of the dynamic state (shares the immutable LJ table)."""
+        return ParticleSystem(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            species=self.species.copy(),
+            lj_table=self.lj_table,
+            box=self.box.copy(),
+            forces=self.forces.copy(),
+            charges=self.charges.copy(),
+        )

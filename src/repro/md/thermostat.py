@@ -1,0 +1,96 @@
+"""Thermostats for equilibration of the generated datasets.
+
+The paper's dataset starts from random placement, so the first few
+hundred steps convert excess potential energy into heat.  For
+experiments that want a stationary temperature (e.g. an RDF of a fluid
+at a known state point), these thermostats equilibrate the system; the
+production (measurement) phase then runs NVE, where Fig. 19's energy
+conservation applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.system import ParticleSystem
+from repro.util.errors import ValidationError
+
+
+class VelocityRescaleThermostat:
+    """Isokinetic rescale: force the kinetic temperature to the target.
+
+    Crude but robust; standard for initial equilibration.
+    """
+
+    def __init__(self, target_k: float):
+        if target_k <= 0:
+            raise ValidationError("target temperature must be positive")
+        self.target_k = float(target_k)
+
+    def apply(self, system: ParticleSystem) -> float:
+        """Rescale velocities in place; returns the scale factor used."""
+        current = system.temperature()
+        if current <= 0:
+            return 1.0
+        scale = float(np.sqrt(self.target_k / current))
+        system.velocities *= scale
+        return scale
+
+
+class BerendsenThermostat:
+    """Weak-coupling thermostat: exponential relaxation toward the target.
+
+    ``lambda^2 = 1 + (dt / tau) (T0 / T - 1)`` per application.  Gentler
+    than isokinetic rescale; ``tau >> dt`` leaves dynamics nearly
+    untouched.
+    """
+
+    def __init__(self, target_k: float, tau_fs: float, dt_fs: float):
+        if target_k <= 0 or tau_fs <= 0 or dt_fs <= 0:
+            raise ValidationError("target, tau, and dt must be positive")
+        if dt_fs > tau_fs:
+            raise ValidationError("dt must not exceed the coupling time tau")
+        self.target_k = float(target_k)
+        self.ratio = float(dt_fs / tau_fs)
+
+    def apply(self, system: ParticleSystem) -> float:
+        """Scale velocities one weak-coupling step; returns the factor."""
+        current = system.temperature()
+        if current <= 0:
+            return 1.0
+        lam2 = 1.0 + self.ratio * (self.target_k / current - 1.0)
+        scale = float(np.sqrt(max(lam2, 0.0)))
+        system.velocities *= scale
+        return scale
+
+
+def equilibrate(
+    engine,
+    thermostat,
+    n_steps: int,
+    apply_every: int = 5,
+) -> float:
+    """Run an engine with periodic thermostat application.
+
+    Works with any object exposing ``run(n_steps, record_every=0)`` and a
+    ``system`` attribute (both :class:`~repro.md.engine.ReferenceEngine`
+    and :class:`~repro.core.machine.FasdaMachine` qualify — the machine's
+    float32 velocity cache is refreshed from the system).
+
+    Returns the final temperature.
+    """
+    if n_steps < 0 or apply_every < 1:
+        raise ValidationError("n_steps >= 0 and apply_every >= 1 required")
+    done = 0
+    while done < n_steps:
+        chunk = min(apply_every, n_steps - done)
+        engine.run(chunk, record_every=0)
+        # The machine mirrors velocities in a float32 cache.
+        if hasattr(engine, "_velocities32"):
+            engine.system.velocities[:] = engine._velocities32.astype(np.float64)
+            thermostat.apply(engine.system)
+            engine._velocities32 = engine.system.velocities.astype(np.float32)
+        else:
+            thermostat.apply(engine.system)
+        done += chunk
+    return engine.system.temperature()

@@ -1,0 +1,134 @@
+"""XYZ trajectory output — dump frames for external visualization.
+
+Extended-XYZ-style frames: a count line, a comment line carrying the
+box and step, then one ``symbol x y z`` line per atom.  VMD/OVITO read
+this directly.  The :class:`TrajectoryWriter` plugs into either engine's
+step loop; :func:`read_xyz` round-trips what we write.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.md.system import ParticleSystem
+from repro.util.errors import ValidationError
+
+PathOrFile = Union[str, TextIO]
+
+
+class TrajectoryWriter:
+    """Appends frames of a ParticleSystem to an XYZ file.
+
+    Parameters
+    ----------
+    dest:
+        Path or open text file.
+    """
+
+    def __init__(self, dest: PathOrFile):
+        if isinstance(dest, (str, bytes)):
+            self._fh = open(dest, "w")
+            self._owns = True
+        else:
+            self._fh = dest
+            self._owns = False
+        self.frames_written = 0
+
+    def write_frame(self, system: ParticleSystem, step: int = 0) -> None:
+        """Append one frame."""
+        fh = self._fh
+        box = system.box
+        fh.write(f"{system.n}\n")
+        fh.write(
+            f'step={step} box="{box[0]:.6f} {box[1]:.6f} {box[2]:.6f}"\n'
+        )
+        symbols = [system.lj_table.species[s] for s in system.species]
+        for sym, (x, y, z) in zip(symbols, system.positions):
+            fh.write(f"{sym} {x:.6f} {y:.6f} {z:.6f}\n")
+        self.frames_written += 1
+
+    def close(self) -> None:
+        """Flush and close (if this writer opened the file)."""
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "TrajectoryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_xyz(src: PathOrFile) -> List[Tuple[int, np.ndarray, List[str], np.ndarray]]:
+    """Read all frames from an XYZ file written by :class:`TrajectoryWriter`.
+
+    Returns
+    -------
+    List of ``(step, box, symbols, positions)`` tuples.
+    """
+    if isinstance(src, (str, bytes)):
+        fh: TextIO = open(src, "r")
+        owns = True
+    else:
+        fh, owns = src, False
+    try:
+        frames = []
+        while True:
+            count_line = fh.readline()
+            if not count_line.strip():
+                break
+            try:
+                n = int(count_line)
+            except ValueError as exc:
+                raise ValidationError(f"bad XYZ count line: {count_line!r}") from exc
+            comment = fh.readline()
+            step = 0
+            box = np.zeros(3)
+            for token in comment.split():
+                if token.startswith("step="):
+                    step = int(token.split("=", 1)[1])
+                if token.startswith('box="'):
+                    box[0] = float(token.split('"')[1])
+            # Box y/z follow inside the quotes; reparse robustly.
+            if 'box="' in comment:
+                inner = comment.split('box="', 1)[1].split('"', 1)[0]
+                box = np.array([float(v) for v in inner.split()])
+            symbols: List[str] = []
+            positions = np.empty((n, 3))
+            for i in range(n):
+                parts = fh.readline().split()
+                if len(parts) != 4:
+                    raise ValidationError(f"bad XYZ atom line at frame atom {i}")
+                symbols.append(parts[0])
+                positions[i] = [float(v) for v in parts[1:]]
+            frames.append((step, box, symbols, positions))
+        return frames
+    finally:
+        if owns:
+            fh.close()
+
+
+def dump_trajectory(
+    engine,
+    dest: PathOrFile,
+    n_steps: int,
+    dump_every: int = 10,
+) -> int:
+    """Run an engine while dumping frames; returns frames written.
+
+    Works with any object exposing ``run(n, record_every=0)`` and
+    ``system`` (ReferenceEngine and FasdaMachine both do).
+    """
+    if n_steps < 0 or dump_every < 1:
+        raise ValidationError("n_steps >= 0 and dump_every >= 1 required")
+    with TrajectoryWriter(dest) as writer:
+        writer.write_frame(engine.system, step=0)
+        done = 0
+        while done < n_steps:
+            chunk = min(dump_every, n_steps - done)
+            engine.run(chunk, record_every=0)
+            done += chunk
+            writer.write_frame(engine.system, step=done)
+        return writer.frames_written

@@ -1,0 +1,28 @@
+"""Inter-FPGA network substrate: topologies and the fabric traffic model.
+
+FASDA's nodes are logically organized as a 3-D torus matching the spatial
+decomposition (paper Fig. 8) and physically connected either through a
+network switch or directly as a hyper-ring (rings of rings).  This
+package provides those topologies with hop/latency accounting, plus a
+fabric model that converts per-iteration packet counts into the bandwidth
+figures of paper Fig. 18.
+"""
+
+from repro.network.topology import (
+    HyperRingTopology,
+    RingTopology,
+    SwitchTopology,
+    Topology,
+    TorusTopology,
+)
+from repro.network.fabric import Fabric, LinkStats
+
+__all__ = [
+    "Topology",
+    "RingTopology",
+    "TorusTopology",
+    "SwitchTopology",
+    "HyperRingTopology",
+    "Fabric",
+    "LinkStats",
+]

@@ -1,0 +1,161 @@
+"""Fabric traffic accounting: packets -> bandwidth (paper Fig. 18).
+
+The FASDA communication interface sends 512-bit AXI-Stream packets
+(4 records each) over two QSFP28 ports — one for positions, one for
+forces — through a 100 GbE switch.  Bandwidth demand is therefore a pure
+counting exercise: packets per iteration times packet size divided by
+iteration time.  This module collects those counts per (source,
+destination, channel) and converts them, including the cooldown-counter
+throttling the paper uses to spread transmission peaks (Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+#: Channels the paper separates onto distinct QSFP28 ports.
+CHANNELS = ("position", "force")
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic for one directed (src, dst, channel) flow."""
+
+    packets: int = 0
+    records: int = 0
+
+    def bits(self, packet_bits: int) -> int:
+        """Total bits, at ``packet_bits`` per packet."""
+        return self.packets * packet_bits
+
+
+class Fabric:
+    """Per-flow packet accounting plus bandwidth/cooldown math.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of FPGA nodes.
+    packet_bits:
+        Bits per packet (paper: 512).
+    records_per_packet:
+        Data records per packet (paper: 4 positions or 4 forces).
+    link_gbps:
+        Physical line rate per port (paper: 100 Gbps QSFP28).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        packet_bits: int = 512,
+        records_per_packet: int = 4,
+        link_gbps: float = 100.0,
+    ):
+        if n_nodes < 1:
+            raise ValidationError("n_nodes must be >= 1")
+        if packet_bits <= 0 or records_per_packet <= 0:
+            raise ValidationError("packet geometry must be positive")
+        self.n_nodes = n_nodes
+        self.packet_bits = packet_bits
+        self.records_per_packet = records_per_packet
+        self.link_gbps = link_gbps
+        self.flows: Dict[Tuple[int, int, str], LinkStats] = {}
+
+    def _flow(self, src: int, dst: int, channel: str) -> LinkStats:
+        if channel not in CHANNELS:
+            raise ValidationError(f"unknown channel {channel!r}")
+        for node in (src, dst):
+            if not 0 <= node < self.n_nodes:
+                raise ValidationError(f"node {node} out of range")
+        key = (src, dst, channel)
+        if key not in self.flows:
+            self.flows[key] = LinkStats()
+        return self.flows[key]
+
+    def add_records(self, src: int, dst: int, channel: str, n_records: int) -> None:
+        """Account ``n_records`` data records sent src -> dst.
+
+        Records are packed ``records_per_packet`` per packet with the
+        final partial packet padded (the hardware sends it once the
+        `last` flag fires even if not all four registers filled).
+        """
+        if n_records < 0:
+            raise ValidationError("n_records must be >= 0")
+        if n_records == 0:
+            return
+        flow = self._flow(src, dst, channel)
+        flow.records += int(n_records)
+        flow.packets += int(np.ceil(n_records / self.records_per_packet))
+
+    def node_egress_bits(self, node: int, channel: str) -> int:
+        """Total bits leaving ``node`` on ``channel`` this interval."""
+        return sum(
+            stats.bits(self.packet_bits)
+            for (s, d, c), stats in self.flows.items()
+            if s == node and c == channel
+        )
+
+    def node_egress_gbps(
+        self, node: int, channel: str, interval_seconds: float
+    ) -> float:
+        """Average egress bandwidth demand in Gbps over an interval."""
+        if interval_seconds <= 0:
+            raise ValidationError("interval must be positive")
+        return self.node_egress_bits(node, channel) / interval_seconds / 1e9
+
+    def max_node_egress_gbps(self, channel: str, interval_seconds: float) -> float:
+        """Worst per-node average egress demand (Fig. 18(A)'s metric)."""
+        return max(
+            (self.node_egress_gbps(n, channel, interval_seconds) for n in range(self.n_nodes)),
+            default=0.0,
+        )
+
+    def breakdown_percent(self, node: int, channel: str) -> Dict[int, float]:
+        """Per-destination share (%) of ``node``'s egress (Fig. 18(B))."""
+        totals = {
+            d: stats.bits(self.packet_bits)
+            for (s, d, c), stats in self.flows.items()
+            if s == node and c == channel
+        }
+        grand = sum(totals.values())
+        if grand == 0:
+            return {}
+        return {d: 100.0 * bits / grand for d, bits in sorted(totals.items())}
+
+    def reset(self) -> None:
+        """Clear all accumulated flows (e.g. at an iteration boundary)."""
+        self.flows.clear()
+
+    # -- cooldown throttling (paper Sec. 5.4) --------------------------------
+
+    def cooldown_cycles_needed(
+        self, peak_packets: int, window_cycles: int
+    ) -> int:
+        """Smallest per-packet cooldown spreading a burst over a window.
+
+        The paper limits "the transmission of each board to once per
+        several cycles using cooldown counters, effectively spreading out
+        a peak over a period of time".  Sending ``peak_packets`` packets
+        with a gap of ``c`` cycles takes ``(peak_packets - 1) * c + 1``
+        cycles; the largest gap that still fits the window is returned
+        (at least 1 = back-to-back).
+        """
+        if peak_packets <= 0:
+            return window_cycles
+        if peak_packets == 1:
+            return window_cycles
+        return max(1, (window_cycles - 1) // (peak_packets - 1))
+
+    def peak_gbps_with_cooldown(
+        self, cooldown_cycles: int, clock_hz: float
+    ) -> float:
+        """Instantaneous peak rate when one packet leaves per cooldown."""
+        if cooldown_cycles < 1:
+            raise ValidationError("cooldown must be >= 1 cycle")
+        packets_per_second = clock_hz / cooldown_cycles
+        return packets_per_second * self.packet_bits / 1e9

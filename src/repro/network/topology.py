@@ -1,0 +1,291 @@
+"""Network topologies for inter-FPGA communication (paper Sec. 4.1).
+
+All topologies expose the same interface: node count, neighbor sets,
+shortest-path hop distances, and link enumeration.  The paper evaluates a
+switch-connected cluster whose *logical* organization is a 3-D torus
+matching the spatial decomposition; it argues hyper-rings (rings of
+rings) are attractive because RL traffic is neighbor-dominated, so the
+hyper-ring's weak distant-pair bandwidth is never exercised.  The
+topology ablation bench quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+class Topology:
+    """Abstract undirected topology over nodes ``0..n-1``."""
+
+    @property
+    def n_nodes(self) -> int:
+        raise NotImplementedError
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Directly connected nodes."""
+        raise NotImplementedError
+
+    def links(self) -> List[Tuple[int, int]]:
+        """All undirected links as (low, high) pairs."""
+        seen = set()
+        for a in range(self.n_nodes):
+            for b in self.neighbors(a):
+                seen.add((min(a, b), max(a, b)))
+        return sorted(seen)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Shortest-path hop count (BFS; topologies are small)."""
+        if src == dst:
+            return 0
+        self._check(src)
+        self._check(dst)
+        frontier = [src]
+        dist = {src: 0}
+        while frontier:
+            nxt = []
+            for a in frontier:
+                for b in self.neighbors(a):
+                    if b not in dist:
+                        dist[b] = dist[a] + 1
+                        if b == dst:
+                            return dist[b]
+                        nxt.append(b)
+            frontier = nxt
+        raise ValidationError(f"nodes {src} and {dst} are disconnected")
+
+    def diameter(self) -> int:
+        """Maximum hop distance over all node pairs."""
+        return max(
+            self.hop_distance(a, b)
+            for a in range(self.n_nodes)
+            for b in range(a + 1, self.n_nodes)
+        ) if self.n_nodes > 1 else 0
+
+    def average_distance(self) -> float:
+        """Mean hop distance over distinct pairs."""
+        if self.n_nodes < 2:
+            return 0.0
+        pairs = [
+            self.hop_distance(a, b)
+            for a in range(self.n_nodes)
+            for b in range(a + 1, self.n_nodes)
+        ]
+        return float(np.mean(pairs))
+
+    def bisection_width(self) -> int:
+        """Links crossing a balanced node-id bisection (lower-bound proxy).
+
+        Exact bisection width is NP-hard in general; for the regular
+        topologies here the id ordering is layout order and the straight
+        cut is the canonical one reported in the literature.
+        """
+        half = self.n_nodes // 2
+        left = set(range(half))
+        return sum(1 for a, b in self.links() if (a in left) != (b in left))
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValidationError(f"node {node} out of range [0, {self.n_nodes})")
+
+
+class RingTopology(Topology):
+    """A simple bidirectional ring (hyper-ring of order 1)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValidationError("ring needs at least 2 nodes")
+        self._n = n
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        self._check(node)
+        if self._n == 2:
+            return ((node + 1) % 2,)
+        return ((node - 1) % self._n, (node + 1) % self._n)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        d = abs(src - dst)
+        return min(d, self._n - d)
+
+
+class TorusTopology(Topology):
+    """A k-dimensional torus; FASDA's logical organization (paper Fig. 8).
+
+    Node ids follow the paper's cell-id convention (Eq. 7): x-major.
+    Dimensions of extent 1 are allowed (degenerate); extent-2 dimensions
+    contribute a single link (not a double link).
+    """
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d < 1 for d in dims):
+            raise ValidationError(f"torus dims must be positive, got {dims}")
+        self.dims = dims
+        self._strides = []
+        stride = 1
+        for d in reversed(dims):
+            self._strides.append(stride)
+            stride *= d
+        self._strides = tuple(reversed(self._strides))
+        self._n = int(np.prod(dims))
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def node_id(self, coords: Sequence[int]) -> int:
+        """Coordinate tuple -> node id (x-major, matching Eq. 7)."""
+        if len(coords) != len(self.dims):
+            raise ValidationError("coordinate rank mismatch")
+        return int(sum(c * s for c, s in zip(coords, self._strides)))
+
+    def node_coords(self, node: int) -> Tuple[int, ...]:
+        """Node id -> coordinate tuple."""
+        self._check(node)
+        coords = []
+        for s, d in zip(self._strides, self.dims):
+            coords.append((node // s) % d)
+        return tuple(coords)
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        self._check(node)
+        coords = self.node_coords(node)
+        out = []
+        for axis, extent in enumerate(self.dims):
+            if extent == 1:
+                continue
+            deltas = (1,) if extent == 2 else (-1, 1)
+            for delta in deltas:
+                nbr = list(coords)
+                nbr[axis] = (nbr[axis] + delta) % extent
+                out.append(self.node_id(nbr))
+        # Deduplicate while keeping order (extent-2 axes).
+        seen: Dict[int, None] = {}
+        for x in out:
+            seen.setdefault(x)
+        return tuple(seen)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        sc, dc = self.node_coords(src), self.node_coords(dst)
+        total = 0
+        for a, b, extent in zip(sc, dc, self.dims):
+            d = abs(a - b)
+            total += min(d, extent - d)
+        return total
+
+
+class SwitchTopology(Topology):
+    """A star through a central switch: every pair is 2 hops apart.
+
+    Models the paper's Dell Z9100-ON deployment where all QSFP28 ports
+    connect to one 100 GbE switch.  The switch itself is not a node; we
+    expose the any-to-any connectivity with uniform 2-hop distance and a
+    per-node link into the switch.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValidationError("switch cluster needs at least 2 nodes")
+        self._n = n
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        self._check(node)
+        return tuple(x for x in range(self._n) if x != node)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return 0 if src == dst else 2
+
+    def links(self) -> List[Tuple[int, int]]:
+        """The physical links are node<->switch; report one per node as
+        (node, node) is meaningless, so enumerate logical pairs is wrong
+        for cost. We report n links by convention (node uplinks)."""
+        return [(i, i) for i in range(self._n)]
+
+
+class HyperRingTopology(Topology):
+    """A hyper-ring: rings of rings (Sibai 1998), order 2 by default.
+
+    ``group_size`` nodes form a level-0 ring; ``n_groups`` such rings are
+    themselves connected in a level-1 ring through one gateway node per
+    group (node 0 of the group).  An order-3 hyper-ring nests once more.
+
+    Parameters
+    ----------
+    group_size:
+        Nodes per innermost ring.
+    n_groups:
+        Number of innermost rings per next-level ring (per level).
+    order:
+        Nesting depth; order 1 is a plain ring of ``group_size`` nodes.
+    """
+
+    def __init__(self, group_size: int, n_groups: int = 1, order: int = 2):
+        if order < 1 or order > 3:
+            raise ValidationError("hyper-ring order must be 1, 2, or 3")
+        if group_size < 2:
+            raise ValidationError("group_size must be >= 2")
+        if order > 1 and n_groups < 2:
+            raise ValidationError("n_groups must be >= 2 for order > 1")
+        self.group_size = group_size
+        self.n_groups = n_groups
+        self.order = order
+        self._n = group_size * (n_groups ** (order - 1))
+        self._adj: Dict[int, set] = {i: set() for i in range(self._n)}
+        self._build()
+
+    def _build(self) -> None:
+        def connect_ring(members: List[int]) -> None:
+            m = len(members)
+            if m == 2:
+                self._link(members[0], members[1])
+                return
+            for i in range(m):
+                self._link(members[i], members[(i + 1) % m])
+
+        # Level 0: partition ids into consecutive groups of group_size.
+        groups = [
+            list(range(g * self.group_size, (g + 1) * self.group_size))
+            for g in range(self._n // self.group_size)
+        ]
+        for g in groups:
+            connect_ring(g)
+        if self.order >= 2:
+            # Level 1: gateways (first of each group) in rings of n_groups.
+            gateways = [g[0] for g in groups]
+            super_groups = [
+                gateways[i : i + self.n_groups]
+                for i in range(0, len(gateways), self.n_groups)
+            ]
+            for sg in super_groups:
+                if len(sg) >= 2:
+                    connect_ring(sg)
+            if self.order == 3 and len(super_groups) >= 2:
+                # Level 2: one gateway per super-group.
+                connect_ring([sg[0] for sg in super_groups])
+
+    def _link(self, a: int, b: int) -> None:
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        self._check(node)
+        return tuple(sorted(self._adj[node]))

@@ -1,0 +1,18 @@
+"""Baseline performance models and the FPGA rate adapter (Fig. 16).
+
+The paper's CPU/GPU baselines run OpenMM 7.5.1 with an LJ-only force
+field on a Xeon Gold 6226R, up to 2x NVLink A100s, and up to 4x NVLink
+V100s.  Without that hardware we substitute *calibrated analytic models*
+encoding the mechanisms the paper names — per-step launch/sync overhead,
+kernel efficiency versus per-device workload, thread scaling limits —
+with every constant documented in :mod:`repro.perf.calibration`.
+
+The FPGA series is **not** calibrated against Fig. 16: it comes from the
+first-principles cycle model in :mod:`repro.core.cycles`.
+"""
+
+from repro.perf.cpu import CpuPerformanceModel
+from repro.perf.gpu import GpuPerformanceModel
+from repro.perf.fpga import FpgaPerformanceModel
+
+__all__ = ["CpuPerformanceModel", "GpuPerformanceModel", "FpgaPerformanceModel"]

@@ -1,0 +1,61 @@
+"""CPU baseline performance model (OpenMM CPU platform stand-in).
+
+Encodes the thread-scaling shape the paper reports for the Xeon Gold
+baseline: near-linear speedup to 4 threads, saturation around 8-16, and
+negative scaling at 32 as per-step synchronization costs overtake the
+shrinking per-thread work (Sec. 5.2).  Constants in
+:mod:`repro.perf.calibration`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.calibration import CPU_XEON
+from repro.util.errors import ValidationError
+from repro.util.units import simulation_rate_us_per_day
+
+
+class CpuPerformanceModel:
+    """Step-time / simulation-rate model for the CPU baseline."""
+
+    def __init__(self, params: dict = CPU_XEON):
+        self.params = params
+        table = sorted(params["speedup"].items())
+        self._threads = np.array([t for t, _ in table], dtype=np.float64)
+        self._speedups = np.array([s for _, s in table], dtype=np.float64)
+
+    def speedup(self, threads: int) -> float:
+        """Effective parallel speedup, log-interpolated between the
+        calibrated thread counts."""
+        if threads < 1:
+            raise ValidationError("threads must be >= 1")
+        t = min(float(threads), float(self._threads[-1]))
+        return float(
+            np.interp(np.log2(t), np.log2(self._threads), self._speedups)
+        )
+
+    def time_per_step_us(self, threads: int, n_particles: int) -> float:
+        """Wall microseconds per MD timestep."""
+        if n_particles < 1:
+            raise ValidationError("n_particles must be >= 1")
+        p = self.params
+        return (
+            p["a"] + p["b"] * n_particles / self.speedup(threads) + p["s"] * threads
+        )
+
+    def rate_us_per_day(
+        self, threads: int, n_particles: int, dt_fs: float = 2.0
+    ) -> float:
+        """Simulation rate in microseconds of MD time per wall day."""
+        t_us = self.time_per_step_us(threads, n_particles)
+        return simulation_rate_us_per_day(dt_fs, t_us * 1e-6)
+
+    def best_rate_us_per_day(
+        self, max_threads: int, n_particles: int, dt_fs: float = 2.0
+    ) -> float:
+        """Best rate over power-of-two thread counts up to ``max_threads``."""
+        if max_threads < 1:
+            raise ValidationError("max_threads must be >= 1")
+        counts = [t for t in (1, 2, 4, 8, 16, 32) if t <= max_threads]
+        return max(self.rate_us_per_day(t, n_particles, dt_fs) for t in counts)

@@ -1,0 +1,37 @@
+"""FPGA performance adapter: the cycle model behind a common interface.
+
+Unlike the CPU/GPU models, nothing here is calibrated against Fig. 16 —
+rates come from :func:`repro.core.cycles.estimate_from_config`, which
+measures one iteration of the functional machine and counts cycles from
+the microarchitecture.  Results are cached per config because measuring
+a large design point costs seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import MachineConfig
+from repro.core.cycles import CyclePerformance, estimate_from_config
+
+
+class FpgaPerformanceModel:
+    """Simulation-rate provider for FASDA design points."""
+
+    def __init__(self, seed: int = 2023):
+        self.seed = seed
+        self._cache: Dict[MachineConfig, CyclePerformance] = {}
+
+    def performance(self, config: MachineConfig) -> CyclePerformance:
+        """Full cycle-model output for a design point (cached)."""
+        if config not in self._cache:
+            self._cache[config] = estimate_from_config(config, seed=self.seed)
+        return self._cache[config]
+
+    def rate_us_per_day(self, config: MachineConfig) -> float:
+        """Simulation rate in microseconds of MD time per wall day."""
+        return self.performance(config).rate_us_per_day
+
+    def time_per_step_us(self, config: MachineConfig) -> float:
+        """Wall microseconds per MD timestep."""
+        return self.performance(config).seconds_per_step * 1e6

@@ -1,0 +1,73 @@
+"""GPU baseline performance model (OpenMM on A100/V100 stand-in).
+
+See :mod:`repro.perf.calibration` for the model form and how every
+constant was anchored to the paper's reported ratios.  The mechanisms
+are the ones the paper names for the GPUs' negative strong scaling:
+long synchronization latency between devices and low kernel efficiency
+when each device holds few particles (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perf.calibration import GPU_A100, GPU_V100
+from repro.util.errors import ValidationError
+from repro.util.units import simulation_rate_us_per_day
+
+#: Supported device types and their parameter sets.
+_DEVICES: Dict[str, Dict[str, float]] = {"a100": GPU_A100, "v100": GPU_V100}
+
+
+class GpuPerformanceModel:
+    """Step-time / simulation-rate model for one GPU type.
+
+    Parameters
+    ----------
+    device:
+        ``"a100"`` (paper: up to 2, NVLink pair) or ``"v100"``
+        (paper: up to 4, all-to-all NVLink).
+    """
+
+    def __init__(self, device: str = "a100"):
+        if device not in _DEVICES:
+            raise ValidationError(
+                f"unknown GPU device {device!r}; choose from {sorted(_DEVICES)}"
+            )
+        self.device = device
+        self.params = _DEVICES[device]
+
+    def time_per_step_us(self, n_gpus: int, n_particles: int) -> float:
+        """Wall microseconds per MD timestep.
+
+        ``t = a + sync(n, N) + b*(N/n) + c*(N/n)**2`` with
+        ``sync(n>1, N) = s0*(n-1) + s1*N`` (see calibration module).
+        """
+        if n_gpus < 1:
+            raise ValidationError("n_gpus must be >= 1")
+        if n_particles < 1:
+            raise ValidationError("n_particles must be >= 1")
+        p = self.params
+        per_gpu = n_particles / n_gpus
+        sync = 0.0 if n_gpus == 1 else p["s0"] * (n_gpus - 1) + p["s1"] * n_particles
+        return p["a"] + sync + p["b"] * per_gpu + p["c"] * per_gpu ** 2
+
+    def rate_us_per_day(
+        self, n_gpus: int, n_particles: int, dt_fs: float = 2.0
+    ) -> float:
+        """Simulation rate in microseconds of MD time per wall day."""
+        t_us = self.time_per_step_us(n_gpus, n_particles)
+        return simulation_rate_us_per_day(dt_fs, t_us * 1e-6)
+
+    def best_rate_us_per_day(
+        self, max_gpus: int, n_particles: int, dt_fs: float = 2.0
+    ) -> float:
+        """Best rate over 1..max_gpus devices (the paper compares FASDA
+        against "the best GPU result" because GPU strong scaling is
+        negative)."""
+        if max_gpus < 1:
+            raise ValidationError("max_gpus must be >= 1")
+        return max(
+            self.rate_us_per_day(n, n_particles, dt_fs)
+            for n in range(1, max_gpus + 1)
+        )

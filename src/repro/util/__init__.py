@@ -1,0 +1,41 @@
+"""Shared utilities: units, constants, errors, and validation helpers.
+
+Everything in :mod:`repro` uses one internal unit system (see
+:mod:`repro.util.units`): angstrom / femtosecond / atomic-mass-unit, with
+energies in kcal/mol.  The conversion constants needed to integrate
+Newton's equations in those units live here so no module hard-codes them.
+"""
+
+from repro.util.errors import (
+    ConfigError,
+    FasdaError,
+    SimulationError,
+    ValidationError,
+)
+from repro.util.units import (
+    BOLTZMANN_KCAL_MOL_K,
+    KCAL_MOL_TO_INTERNAL,
+    MASS_SODIUM_AMU,
+    FS_PER_DAY,
+    acceleration_from_force,
+)
+from repro.util.validation import (
+    check_positive,
+    check_shape,
+    ensure_f64,
+)
+
+__all__ = [
+    "FasdaError",
+    "ConfigError",
+    "SimulationError",
+    "ValidationError",
+    "KCAL_MOL_TO_INTERNAL",
+    "BOLTZMANN_KCAL_MOL_K",
+    "MASS_SODIUM_AMU",
+    "FS_PER_DAY",
+    "acceleration_from_force",
+    "check_positive",
+    "check_shape",
+    "ensure_f64",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the FASDA reproduction.
+
+All library-raised exceptions derive from :class:`FasdaError` so callers can
+catch everything from this package with one ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class FasdaError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(FasdaError):
+    """An invalid or inconsistent system / machine configuration."""
+
+
+class ValidationError(FasdaError):
+    """An argument failed validation (bad shape, dtype, or range)."""
+
+
+class SimulationError(FasdaError):
+    """The simulation reached a physically or logically invalid state.
+
+    Examples: particle overlap below the exclusion radius, non-finite
+    forces, or a synchronization deadlock in the event simulator.
+    """

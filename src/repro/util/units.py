@@ -1,0 +1,77 @@
+"""Internal unit system and physical constants.
+
+The library works in:
+
+========  =======================  =========================
+Quantity  Unit                     Symbol used in docstrings
+========  =======================  =========================
+length    angstrom                 A
+time      femtosecond              fs
+mass      atomic mass unit         amu
+energy    kcal/mol                 kcal/mol
+force     kcal/mol/A               (converted for integration)
+velocity  A/fs
+========  =======================  =========================
+
+Newton's second law in these units needs one conversion constant:
+``a [A/fs^2] = F [kcal/mol/A] * KCAL_MOL_TO_INTERNAL / m [amu]``.
+
+Derivation: 1 kcal/mol = 4184 J / N_A = 6.947695e-21 J per molecule, and
+1 amu*A^2/fs^2 = 1.66053906660e-27 kg * 1e-20 m^2 / 1e-30 s^2
+= 1.66053906660e-17 J, hence the ratio below (~4.184e-4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Joules in one kcal/mol, per molecule.
+_KCAL_MOL_IN_J = 4184.0 / 6.02214076e23
+
+#: Joules in one amu*A^2/fs^2.
+_AMU_A2_FS2_IN_J = 1.66053906660e-27 * 1e-20 / 1e-30
+
+#: Multiply a kcal/mol energy (or kcal/mol/A force) by this to get
+#: amu*A^2/fs^2 (or amu*A/fs^2).
+KCAL_MOL_TO_INTERNAL: float = _KCAL_MOL_IN_J / _AMU_A2_FS2_IN_J
+
+#: Boltzmann constant in kcal/mol/K.
+BOLTZMANN_KCAL_MOL_K: float = 0.0019872041
+
+#: Mass of a sodium atom in amu (the paper's dataset is neutral sodium).
+MASS_SODIUM_AMU: float = 22.98976928
+
+#: Femtoseconds in one day; used to convert seconds-per-timestep into the
+#: paper's "microseconds of simulated time per day" metric.
+FS_PER_DAY: float = 86400.0 * 1e15
+
+
+def acceleration_from_force(forces: np.ndarray, masses: np.ndarray) -> np.ndarray:
+    """Convert forces in kcal/mol/A into accelerations in A/fs^2.
+
+    Parameters
+    ----------
+    forces:
+        ``(N, 3)`` array of forces in kcal/mol/A.
+    masses:
+        ``(N,)`` array of masses in amu.
+
+    Returns
+    -------
+    ``(N, 3)`` array of accelerations in A/fs^2.
+    """
+    return forces * (KCAL_MOL_TO_INTERNAL / masses)[:, None]
+
+
+def simulation_rate_us_per_day(dt_fs: float, seconds_per_step: float) -> float:
+    """The paper's headline metric: microseconds of simulation per wall day.
+
+    Parameters
+    ----------
+    dt_fs:
+        MD timestep in femtoseconds (the paper uses 2 fs).
+    seconds_per_step:
+        Wall-clock seconds to execute one timestep.
+    """
+    steps_per_day = 86400.0 / seconds_per_step
+    return steps_per_day * dt_fs * 1e-9  # fs -> us

@@ -1,0 +1,31 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise :class:`ValidationError` unless ``value > 0``; returns it."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate an array shape; ``-1`` in ``shape`` matches any extent."""
+    actual = np.shape(array)
+    if len(actual) != len(shape) or any(
+        expected not in (-1, got) for expected, got in zip(shape, actual)
+    ):
+        raise ValidationError(f"{name} must have shape {tuple(shape)}, got {actual}")
+    return array
+
+
+def ensure_f64(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as a contiguous float64 ndarray (view when possible)."""
+    return np.ascontiguousarray(array, dtype=np.float64)

@@ -1,0 +1,57 @@
+"""Tests for the acceptance-matrix harness."""
+
+import pytest
+
+from repro.harness.acceptance import (
+    AcceptanceCase,
+    default_cases,
+    format_acceptance,
+    run_acceptance,
+    run_case,
+)
+
+
+class TestCases:
+    def test_default_matrix_covers_key_axes(self):
+        cases = default_cases()
+        names = {c.name for c in cases}
+        assert "ionic" in names
+        assert "multi-species" in names
+        assert "narrow-positions" in names
+        assert any(c.charged for c in cases)
+        assert any(c.frac_bits != 23 for c in cases)
+
+
+class TestRunCase:
+    def test_paper_workload_passes(self):
+        outcome = run_case(AcceptanceCase("paper"))
+        assert outcome.passed
+        assert outcome.force_rel_error < 2e-3
+
+    def test_ionic_case_passes(self):
+        outcome = run_case(
+            AcceptanceCase(
+                "salt", species=("Na", "Cl"), charged=True, min_distance=2.4
+            )
+        )
+        assert outcome.passed
+
+    def test_very_coarse_positions_fail(self):
+        """The budget is a real gate: 4-bit positions must fail it."""
+        outcome = run_case(AcceptanceCase("coarse", frac_bits=4))
+        assert not outcome.passed
+
+
+class TestFullMatrix:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_acceptance()
+
+    def test_everything_passes(self, report):
+        failing = [o.case.name for o in report.outcomes if not o.passed]
+        assert report.all_passed, f"failing cases: {failing}"
+
+    def test_report_format(self, report):
+        txt = format_acceptance(report)
+        assert "PASS" in txt
+        assert "0 of 8 failed" in txt

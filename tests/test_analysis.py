@@ -1,0 +1,185 @@
+"""Tests for trajectory/structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.md import CellGrid, LJTable, ParticleSystem, build_dataset
+from repro.md.analysis import (
+    UnwrappedTrajectory,
+    radial_distribution_function,
+    velocity_autocorrelation,
+    virial_pressure,
+)
+from repro.md.forcefield import LennardJonesKernel
+from repro.util.errors import ValidationError
+
+
+def ideal_gas_system(n=2000, box=30.0, seed=0):
+    rng = np.random.default_rng(seed)
+    lj = LJTable(("Na",))
+    return ParticleSystem(
+        positions=rng.uniform(0, box, size=(n, 3)),
+        velocities=rng.normal(scale=1e-3, size=(n, 3)),
+        species=np.zeros(n, dtype=np.int32),
+        lj_table=lj,
+        box=np.full(3, box),
+    )
+
+
+class TestRDF:
+    def test_ideal_gas_is_flat_at_one(self):
+        s = ideal_gas_system()
+        r, g = radial_distribution_function(s, r_max=12.0, n_bins=24)
+        # Beyond a couple of angstrom, g(r) ~ 1 for uniform random points.
+        far = g[r > 3.0]
+        assert np.all(np.abs(far - 1.0) < 0.25)
+
+    def test_exclusion_zone_visible(self):
+        """The generated dataset's minimum distance shows as g(r) = 0."""
+        s, _ = build_dataset((3, 3, 3), seed=1)
+        r, g = radial_distribution_function(s, r_max=10.0, n_bins=50)
+        assert np.all(g[r < 1.5] == 0.0)
+        assert g[r > 3.0].max() > 0.5
+
+    def test_rmax_bounded_by_half_box(self):
+        s = ideal_gas_system(box=20.0)
+        with pytest.raises(ValidationError, match="half the box"):
+            radial_distribution_function(s, r_max=11.0)
+
+    def test_bad_args(self):
+        s = ideal_gas_system()
+        with pytest.raises(ValidationError):
+            radial_distribution_function(s, r_max=-1.0)
+
+
+class TestUnwrappedTrajectory:
+    def test_unwraps_across_boundary(self):
+        lj = LJTable(("Na",))
+        s = ParticleSystem(
+            positions=np.array([[9.9, 5.0, 5.0]]),
+            velocities=np.zeros((1, 3)),
+            species=np.zeros(1, dtype=np.int32),
+            lj_table=lj,
+            box=np.full(3, 10.0),
+        )
+        traj = UnwrappedTrajectory(s)
+        # Particle crosses the +x boundary: wrapped 9.9 -> 0.3.
+        s.positions[0, 0] = 0.3
+        traj.record(s)
+        assert traj.frames[1][0, 0] == pytest.approx(10.3)
+
+    def test_msd_free_particle(self):
+        lj = LJTable(("Na",))
+        s = ParticleSystem(
+            positions=np.array([[5.0, 5.0, 5.0]]),
+            velocities=np.array([[0.5, 0.0, 0.0]]),
+            species=np.zeros(1, dtype=np.int32),
+            lj_table=lj,
+            box=np.full(3, 10.0),
+        )
+        traj = UnwrappedTrajectory(s)
+        for _ in range(5):
+            s.positions += s.velocities * 1.0  # dt = 1
+            s.wrap()
+            traj.record(s)
+        msd = traj.mean_squared_displacement()
+        expected = (0.5 * np.arange(6)) ** 2
+        np.testing.assert_allclose(msd, expected, atol=1e-12)
+
+
+class TestVACF:
+    def test_starts_at_one(self):
+        frames = [np.random.default_rng(0).normal(size=(50, 3))]
+        assert velocity_autocorrelation(frames)[0] == pytest.approx(1.0)
+
+    def test_uncorrelated_frames_near_zero(self):
+        rng = np.random.default_rng(1)
+        frames = [rng.normal(size=(5000, 3)) for _ in range(3)]
+        vacf = velocity_autocorrelation(frames)
+        assert abs(vacf[1]) < 0.05
+        assert abs(vacf[2]) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            velocity_autocorrelation([])
+        with pytest.raises(ValidationError):
+            velocity_autocorrelation([np.zeros((4, 3))])
+
+
+class TestStructureFactor:
+    def test_bragg_peak_of_fcc_crystal(self):
+        """An FCC crystal's (200) reflection gives S(k) ~ N; a
+        non-reciprocal-lattice vector gives S ~ 0."""
+        from repro.md.analysis import commensurate_k, static_structure_factor
+        from repro.md.lattice import build_fcc
+
+        s = build_fcc("Ar", 3, 5.26)  # box = 3 a0
+        k_bragg = commensurate_k(s, (6, 0, 0))      # = 2pi (2,0,0)/a0
+        k_off = commensurate_k(s, (1, 0, 0))        # incommensurate with lattice
+        sk = static_structure_factor(s, np.stack([k_bragg, k_off]))
+        assert sk[0] == pytest.approx(s.n, rel=1e-9)
+        assert sk[1] < 1e-9
+
+    def test_forbidden_reflection_vanishes(self):
+        """FCC forbids mixed-parity (hkl): the (100) reflection is zero."""
+        from repro.md.analysis import commensurate_k, static_structure_factor
+        from repro.md.lattice import build_fcc
+
+        s = build_fcc("Ar", 3, 5.26)
+        k_100 = commensurate_k(s, (3, 0, 0))  # = 2pi (1,0,0)/a0
+        assert static_structure_factor(s, k_100)[0] < 1e-9
+
+    def test_random_gas_near_one(self):
+        from repro.md.analysis import commensurate_k, static_structure_factor
+
+        s = ideal_gas_system(n=5000, box=30.0, seed=8)
+        ks = np.stack([commensurate_k(s, (m, 0, 0)) for m in range(3, 9)])
+        sk = static_structure_factor(s, ks)
+        assert np.all(sk < 5.0)  # no spurious order
+
+    def test_shape_validation(self):
+        from repro.md.analysis import static_structure_factor
+        from repro.util.errors import ValidationError
+
+        s = ideal_gas_system(n=10)
+        with pytest.raises(ValidationError):
+            static_structure_factor(s, np.zeros((2, 2)))
+
+
+class TestVirialPressure:
+    def test_dilute_gas_near_ideal(self):
+        """Well-separated particles: P ~ N kB T / V (interactions ~ 0).
+
+        Random uniform placement would put some pairs deep inside the
+        repulsive core and blow up the virial, so the gas sits on a
+        jittered 10-angstrom lattice where LJ forces are negligible.
+        """
+        from repro.util.units import BOLTZMANN_KCAL_MOL_K
+
+        rng = np.random.default_rng(4)
+        axis = 10.0 * np.arange(6) + 5.0
+        pos = np.stack(
+            np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        pos += rng.uniform(-1.0, 1.0, size=pos.shape)
+        lj = LJTable(("Na",))
+        s = ParticleSystem(
+            positions=pos,
+            velocities=rng.normal(scale=1e-3, size=pos.shape),
+            species=np.zeros(len(pos), dtype=np.int32),
+            lj_table=lj,
+            box=np.full(3, 60.0),
+        )
+        grid = CellGrid((6, 6, 6), 10.0)
+        p = virial_pressure(s, grid, LennardJonesKernel())
+        ideal = s.n * BOLTZMANN_KCAL_MOL_K * s.temperature() / 60.0 ** 3
+        assert p == pytest.approx(ideal, rel=0.1)
+
+    def test_dense_repulsive_system_above_ideal(self):
+        """The paper's dense dataset is strongly repulsive: P >> ideal."""
+        from repro.util.units import BOLTZMANN_KCAL_MOL_K
+
+        s, grid = build_dataset((3, 3, 3), seed=2)
+        p = virial_pressure(s, grid, LennardJonesKernel())
+        ideal = s.n * BOLTZMANN_KCAL_MOL_K * s.temperature() / float(np.prod(s.box))
+        assert p > 2 * ideal

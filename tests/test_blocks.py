@@ -1,0 +1,97 @@
+"""Tests for the CBB/SPE/SCBB structural composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    build_scbb,
+    interleave_particles,
+    load_imbalance,
+    pe_candidate_split,
+)
+from repro.core.config import MachineConfig, strong_scaling_configs
+from repro.util.errors import ValidationError
+
+
+class TestBuildScbb:
+    def test_design_a_structure(self):
+        """1-SPE 1-PE: the original CBB — 2 FCs, no HPC."""
+        scbb = build_scbb(strong_scaling_configs()["4x4x4-A"])
+        assert scbb.n_pes == 1
+        assert scbb.n_force_caches == 2
+        assert not scbb.has_home_position_cache
+        assert scbb.n_ring_node_sets == 1
+
+    def test_design_b_structure(self):
+        """1-SPE 3-PE: 4 FCs (n+1), still one ring set."""
+        scbb = build_scbb(strong_scaling_configs()["4x4x4-B"])
+        assert scbb.n_pes == 3
+        assert scbb.n_force_caches == 4
+        assert not scbb.has_home_position_cache
+
+    def test_design_c_structure(self):
+        """2-SPE 3-PE (Fig. 15): 8 FCs, HPC present, 2 ring sets."""
+        scbb = build_scbb(strong_scaling_configs()["4x4x4-C"])
+        assert scbb.n_pes == 6
+        assert scbb.n_force_caches == 8
+        assert scbb.has_home_position_cache
+        assert scbb.n_ring_node_sets == 2
+
+    def test_vc_mu_do_not_scale(self):
+        """VC, MU, and the MU routing do not scale with the SCBB."""
+        for cfg in strong_scaling_configs().values():
+            scbb = build_scbb(cfg)
+            assert scbb.has_velocity_cache
+            assert scbb.has_motion_update
+
+    def test_filters_per_pe(self):
+        scbb = build_scbb(MachineConfig((3, 3, 3), filters_per_pipeline=8))
+        assert scbb.spes[0].pes[0].filters == 8
+
+
+class TestInterleaving:
+    def test_even_odd_split(self):
+        ids = np.arange(10)
+        pc0, pc1 = interleave_particles(ids, 2)
+        np.testing.assert_array_equal(pc0, [0, 2, 4, 6, 8])
+        np.testing.assert_array_equal(pc1, [1, 3, 5, 7, 9])
+
+    def test_partition_is_disjoint_and_complete(self):
+        ids = np.arange(64)
+        parts = interleave_particles(ids, 3)
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, ids)
+
+    def test_balanced_within_one(self):
+        parts = interleave_particles(np.arange(64), 3)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_spe_identity(self):
+        parts = interleave_particles(np.arange(5), 1)
+        assert len(parts) == 1
+        np.testing.assert_array_equal(parts[0], np.arange(5))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            interleave_particles(np.arange(4), 0)
+
+
+class TestPECandidateSplit:
+    def test_totals_preserved_single_pe(self):
+        cfg = MachineConfig((3, 3, 3))
+        split = pe_candidate_split(64, (64,) * 13, cfg)
+        expected = 64 * 63 // 2 + 13 * 64 * 64
+        assert split.sum() == expected
+        assert len(split) == 1
+
+    def test_balanced_for_design_c(self):
+        cfg = strong_scaling_configs()["4x4x4-C"]
+        split = pe_candidate_split(64, (64,) * 13, cfg)
+        assert len(split) == 6
+        assert load_imbalance(split) < 1.05  # interleaving balances well
+
+    def test_imbalance_metric(self):
+        assert load_imbalance(np.array([10, 10, 10])) == 1.0
+        assert load_imbalance(np.array([20, 10, 0])) == 2.0
+        assert load_imbalance(np.array([0, 0])) == 1.0

@@ -1,0 +1,123 @@
+"""Tests for the two-level cell-ID conversion (paper Sec. 4.2, Fig. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cellids import (
+    RCID_HOME,
+    gcid,
+    gcid_coords,
+    gcid_to_lcid,
+    lcid_to_rcid,
+    node_of_cell,
+    node_origin,
+    rcid_valid,
+)
+from repro.util.errors import ValidationError
+
+
+class TestGcid:
+    def test_matches_eq7(self):
+        dims = (4, 5, 6)
+        assert gcid(np.array([3, 4, 5]), dims) == 3 * 30 + 4 * 6 + 5
+
+    @given(st.integers(0, 4 * 5 * 6 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, cid):
+        dims = (4, 5, 6)
+        assert int(gcid(gcid_coords(np.int64(cid), dims), dims)) == cid
+
+
+class TestNodeMapping:
+    def test_node_of_cell(self):
+        # 6x6x6 cells, 2x2x2 nodes of 3x3x3 cells each.
+        local = (3, 3, 3)
+        np.testing.assert_array_equal(node_of_cell(np.array([0, 0, 0]), local), [0, 0, 0])
+        np.testing.assert_array_equal(node_of_cell(np.array([3, 2, 5]), local), [1, 0, 1])
+
+    def test_node_origin(self):
+        np.testing.assert_array_equal(node_origin(np.array([1, 0, 1]), (3, 3, 3)), [3, 0, 3])
+
+
+class TestGcidToLcid:
+    """The two worked examples of paper Fig. 9 (2-D, embedded in 3-D with
+    a trivial z axis).  Nodes are 3x3 cells; global space 6x6."""
+
+    LOCAL = (3, 3, 3)
+    GLOBAL = (6, 6, 3)
+
+    def test_paper_example_left(self):
+        # Particle from cell GCID (5,2) in node (1,0) sent to node (0,0):
+        # LCID stays (5,2).
+        lcid = gcid_to_lcid(
+            np.array([5, 2, 0]), np.array([0, 0, 0]), self.LOCAL, self.GLOBAL
+        )
+        np.testing.assert_array_equal(lcid, [5, 2, 0])
+
+    def test_paper_example_right(self):
+        # Particle from cell GCID (2,1) in node (0,0) sent to node (1,0):
+        # LCID becomes (5,1).
+        lcid = gcid_to_lcid(
+            np.array([2, 1, 0]), np.array([1, 0, 0]), self.LOCAL, self.GLOBAL
+        )
+        np.testing.assert_array_equal(lcid, [5, 1, 0])
+
+    def test_destination_cell_appears_local(self):
+        # The destination cell GCID (3,0) in node (1,0) appears as (0,0).
+        lcid = gcid_to_lcid(
+            np.array([3, 0, 0]), np.array([1, 0, 0]), self.LOCAL, self.GLOBAL
+        )
+        np.testing.assert_array_equal(lcid, [0, 0, 0])
+
+    @given(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 2)),
+        st.tuples(st.integers(0, 1), st.integers(0, 1)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_homogeneity(self, cell, node_xy):
+        """Every node's own cells always map to 0..local_dims-1."""
+        node = np.array([node_xy[0], node_xy[1], 0])
+        origin = node_origin(node, self.LOCAL)
+        local_cell = np.mod(np.asarray(cell), (3, 3, 3)) + origin
+        lcid = gcid_to_lcid(local_cell, node, self.LOCAL, self.GLOBAL)
+        assert np.all(lcid >= 0)
+        assert np.all(lcid < np.asarray(self.LOCAL))
+
+
+class TestLcidToRcid:
+    def test_home_cell_is_222(self):
+        rcid = lcid_to_rcid(np.array([1, 1, 1]), np.array([1, 1, 1]), (6, 6, 6))
+        np.testing.assert_array_equal(rcid, [RCID_HOME] * 3)
+
+    def test_positive_neighbor(self):
+        rcid = lcid_to_rcid(np.array([2, 1, 1]), np.array([1, 1, 1]), (6, 6, 6))
+        np.testing.assert_array_equal(rcid, [3, 2, 2])
+
+    def test_negative_neighbor_with_wrap(self):
+        # Cell 5 is the -1 neighbor of cell 0 under periodic wrap.
+        rcid = lcid_to_rcid(np.array([5, 0, 0]), np.array([0, 0, 0]), (6, 6, 6))
+        np.testing.assert_array_equal(rcid, [1, 2, 2])
+
+    def test_non_neighbor_rejected(self):
+        with pytest.raises(ValidationError, match="not neighbors"):
+            lcid_to_rcid(np.array([3, 0, 0]), np.array([0, 0, 0]), (6, 6, 6))
+
+    @given(
+        st.tuples(st.integers(-1, 1), st.integers(-1, 1), st.integers(-1, 1)),
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_all_neighbor_offsets_valid(self, offset, dest):
+        dims = (6, 6, 6)
+        nbr = np.mod(np.asarray(dest) + np.asarray(offset), dims)
+        rcid = lcid_to_rcid(nbr, np.asarray(dest), dims)
+        assert rcid_valid(rcid)
+        np.testing.assert_array_equal(rcid, np.asarray(offset) + RCID_HOME)
+
+
+def test_rcid_valid_bounds():
+    assert rcid_valid(np.array([1, 2, 3]))
+    assert not rcid_valid(np.array([0, 2, 2]))
+    assert not rcid_valid(np.array([2, 4, 2]))

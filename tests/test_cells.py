@@ -1,0 +1,129 @@
+"""Tests for cell-space partitioning and the half-shell method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.cells import (
+    CellGrid,
+    CellList,
+    FULL_SHELL_OFFSETS,
+    HALF_SHELL_OFFSETS,
+)
+from repro.util.errors import ValidationError
+
+
+class TestOffsets:
+    def test_half_shell_has_13(self):
+        assert len(HALF_SHELL_OFFSETS) == 13
+
+    def test_full_shell_has_26(self):
+        assert len(FULL_SHELL_OFFSETS) == 26
+
+    def test_half_shell_and_negations_partition_full_shell(self):
+        """Half shell + its negations = the 26 neighbors, no overlap."""
+        negated = {tuple(-o for o in off) for off in HALF_SHELL_OFFSETS}
+        half = set(HALF_SHELL_OFFSETS)
+        assert not (half & negated)
+        assert half | negated == set(FULL_SHELL_OFFSETS)
+
+
+class TestCellGrid:
+    def test_dims_below_three_rejected(self):
+        with pytest.raises(ValidationError):
+            CellGrid((2, 3, 3), 8.5)
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            CellGrid((3, 3, 3), 0.0)
+
+    def test_cell_id_formula(self):
+        """CID = Dy*Dz*x + Dz*y + z (paper Eq. 7)."""
+        g = CellGrid((4, 5, 6), 1.0)
+        assert g.cell_id(np.array([0, 0, 0])) == 0
+        assert g.cell_id(np.array([0, 0, 1])) == 1
+        assert g.cell_id(np.array([0, 1, 0])) == 6
+        assert g.cell_id(np.array([1, 0, 0])) == 30
+        assert g.cell_id(np.array([3, 4, 5])) == 3 * 30 + 4 * 6 + 5
+
+    @given(
+        st.tuples(
+            st.integers(3, 8), st.integers(3, 8), st.integers(3, 8)
+        ),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cell_id_roundtrip(self, dims, raw):
+        g = CellGrid(dims, 1.0)
+        cid = raw % g.n_cells
+        coords = g.cell_coords(np.int64(cid))
+        assert int(g.cell_id(coords)) == cid
+        assert np.all(coords >= 0)
+        assert np.all(coords < np.asarray(dims))
+
+    def test_coords_of_positions_interior(self):
+        g = CellGrid((3, 3, 3), 2.0)
+        coords = g.coords_of_positions(np.array([[0.1, 2.1, 5.9]]))
+        np.testing.assert_array_equal(coords, [[0, 1, 2]])
+
+    def test_coords_of_positions_clamps_box_face(self):
+        """A wrapped position numerically equal to the box edge stays in range."""
+        g = CellGrid((3, 3, 3), 2.0)
+        coords = g.coords_of_positions(np.array([[6.0, 0.0, 0.0]]))
+        assert coords[0, 0] == 2
+
+    def test_neighbor_with_shift_no_wrap(self):
+        g = CellGrid((4, 4, 4), 2.0)
+        ncoord, shift = g.neighbor_with_shift((1, 1, 1), (1, 0, -1))
+        assert ncoord == (2, 1, 0)
+        np.testing.assert_array_equal(shift, 0.0)
+
+    def test_neighbor_with_shift_wraps_positive(self):
+        g = CellGrid((4, 4, 4), 2.0)
+        ncoord, shift = g.neighbor_with_shift((3, 0, 0), (1, 0, 0))
+        assert ncoord == (0, 0, 0)
+        np.testing.assert_array_equal(shift, [8.0, 0.0, 0.0])
+
+    def test_neighbor_with_shift_wraps_negative(self):
+        g = CellGrid((4, 4, 4), 2.0)
+        ncoord, shift = g.neighbor_with_shift((0, 0, 0), (-1, 0, 0))
+        assert ncoord == (3, 0, 0)
+        np.testing.assert_array_equal(shift, [-8.0, 0.0, 0.0])
+
+    def test_box_property(self):
+        g = CellGrid((3, 4, 5), 8.5)
+        np.testing.assert_allclose(g.box, [25.5, 34.0, 42.5])
+
+
+class TestCellList:
+    def test_every_particle_in_exactly_one_cell(self):
+        rng = np.random.default_rng(0)
+        g = CellGrid((3, 3, 3), 2.0)
+        pos = rng.uniform(0, 6.0, size=(200, 3))
+        cl = CellList(g, pos)
+        seen = np.concatenate(
+            [cl.particles_in_cell(c) for c in range(g.n_cells)]
+        )
+        assert sorted(seen) == list(range(200))
+
+    def test_particles_assigned_to_containing_cell(self):
+        g = CellGrid((3, 3, 3), 2.0)
+        pos = np.array([[0.5, 0.5, 0.5], [5.5, 5.5, 5.5], [2.5, 0.5, 4.5]])
+        cl = CellList(g, pos)
+        assert list(cl.particles_in_cell(int(g.cell_id(np.array([0, 0, 0]))))) == [0]
+        assert list(cl.particles_in_cell(int(g.cell_id(np.array([2, 2, 2]))))) == [1]
+        assert list(cl.particles_in_cell(int(g.cell_id(np.array([1, 0, 2]))))) == [2]
+
+    def test_occupancies_sum_to_n(self):
+        rng = np.random.default_rng(1)
+        g = CellGrid((4, 3, 5), 1.5)
+        pos = rng.uniform(0, g.box, size=(333, 3))
+        cl = CellList(g, pos)
+        assert cl.occupancies().sum() == 333
+
+    def test_empty_cells_listed_correctly(self):
+        g = CellGrid((3, 3, 3), 2.0)
+        pos = np.array([[0.5, 0.5, 0.5]])
+        cl = CellList(g, pos)
+        assert cl.cells_nonempty() == [0]

@@ -1,0 +1,79 @@
+"""Tests for machine checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import MachineConfig
+from repro.core.machine import FasdaMachine
+from repro.md import build_dataset
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture()
+def short_run_machine():
+    system, _ = build_dataset((3, 3, 3), particles_per_cell=8, seed=6)
+    machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system)
+    machine.run(5, record_every=5)
+    return machine
+
+
+def test_roundtrip_state_identical(short_run_machine, tmp_path):
+    machine = short_run_machine
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(machine, path)
+    restored, step = load_checkpoint(path)
+    assert step == 5
+    np.testing.assert_array_equal(restored.system.positions, machine.system.positions)
+    np.testing.assert_array_equal(restored.velocities, machine.velocities)
+    np.testing.assert_array_equal(restored.forces, machine.forces)
+    assert restored.config == machine.config
+
+
+def test_restored_trajectory_continues_identically(short_run_machine, tmp_path):
+    """The acid test: restore must be bit-transparent to the dynamics."""
+    machine = short_run_machine
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(machine, path)
+    restored, _ = load_checkpoint(path)
+    machine.run(5, record_every=0)
+    restored.run(5, record_every=0)
+    np.testing.assert_array_equal(
+        restored.system.positions, machine.system.positions
+    )
+    np.testing.assert_array_equal(restored.velocities, machine.velocities)
+
+
+def test_charged_machine_roundtrip(tmp_path):
+    system, _ = build_dataset(
+        (3, 3, 3), particles_per_cell=8, species=("Na", "Cl"),
+        charged=True, min_distance=2.4, seed=7,
+    )
+    cfg = MachineConfig((3, 3, 3), force_model="lj+coulomb", dt_fs=0.5)
+    machine = FasdaMachine(cfg, system=system)
+    machine.run(3, record_every=0)
+    path = str(tmp_path / "salt.npz")
+    save_checkpoint(machine, path)
+    restored, _ = load_checkpoint(path)
+    assert restored.config.force_model == "lj+coulomb"
+    np.testing.assert_array_equal(restored.system.charges, machine.system.charges)
+    machine.run(3, record_every=0)
+    restored.run(3, record_every=0)
+    np.testing.assert_array_equal(restored.velocities, machine.velocities)
+
+
+def test_unprimed_machine_roundtrip(tmp_path):
+    system, _ = build_dataset((3, 3, 3), particles_per_cell=4, seed=8)
+    machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system)
+    path = str(tmp_path / "fresh.npz")
+    save_checkpoint(machine, path)
+    restored, step = load_checkpoint(path)
+    assert step == 0
+    assert not restored._primed
+
+
+def test_bad_file_rejected(tmp_path):
+    path = str(tmp_path / "bogus.npz")
+    np.savez(path, format=np.array("something-else"), x=np.zeros(3))
+    with pytest.raises(ValidationError, match="not a FASDA checkpoint"):
+        load_checkpoint(path)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in (
+            "fig16", "fig17", "fig18", "fig19", "table1",
+            "ablations", "scaling", "sensitivity", "info",
+        ):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.seed == 2023
+        assert args.steps == 200
+        assert args.output is None
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "4x4x4-C" in out and "10x10x10-125F" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "lut.model" in out
+
+    def test_fig19_short(self, capsys):
+        assert main(["fig19", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "rel err" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = str(tmp_path / "out.txt")
+        assert main(["info", "--output", path]) == 0
+        capsys.readouterr()
+        with open(path) as fh:
+            assert "FASDA design points" in fh.read()
+
+    def test_fig18(self, capsys):
+        assert main(["fig18"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 18(A)" in out and "Fig 18(B)" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "C/A gain" in out

@@ -1,0 +1,85 @@
+"""Tests for the cluster-level integration simulation."""
+
+import pytest
+
+from repro.core.clustersim import (
+    format_phase_breakdown,
+    simulate_cluster,
+)
+from repro.core.config import MachineConfig
+from repro.core.cycles import estimate_performance
+from repro.core.machine import FasdaMachine
+from repro.md import build_dataset
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """Config + workload stats for an 8-node machine (reduced dataset)."""
+    cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+    system, _ = build_dataset((4, 4, 4), particles_per_cell=16, seed=13)
+    stats = FasdaMachine(cfg, system=system).measure_workload()
+    return cfg, stats
+
+
+class TestSimulateCluster:
+    def test_event_simulation_matches_analytic_model(self, measured):
+        """The integration check: protocol dynamics reproduce the
+        analytic cycles/iteration without jitter."""
+        cfg, stats = measured
+        trace = simulate_cluster(cfg, stats, n_iterations=6)
+        assert trace.agreement == pytest.approx(1.0, rel=0.02)
+
+    def test_jitter_slows_the_cluster(self, measured):
+        """Random workload jitter costs throughput (max over nodes per
+        hop), never gains it."""
+        cfg, stats = measured
+        clean = simulate_cluster(cfg, stats, n_iterations=8)
+        noisy = simulate_cluster(cfg, stats, n_iterations=8, jitter_fraction=0.2, seed=3)
+        assert (
+            noisy.simulated_iteration_cycles
+            > clean.simulated_iteration_cycles
+        )
+
+    def test_jitter_cost_bounded_by_worst_case(self, measured):
+        """With +-20% jitter the slowdown stays below the 20% worst case
+        (chained sync absorbs part of the variation)."""
+        cfg, stats = measured
+        noisy = simulate_cluster(
+            cfg, stats, n_iterations=10, jitter_fraction=0.2, seed=5
+        )
+        assert noisy.agreement < 1.2
+
+    def test_single_node_rejected(self):
+        cfg = MachineConfig((3, 3, 3))
+        system, _ = build_dataset((3, 3, 3), particles_per_cell=8, seed=1)
+        stats = FasdaMachine(cfg, system=system).measure_workload()
+        with pytest.raises(ValidationError):
+            simulate_cluster(cfg, stats)
+
+    def test_bad_jitter_rejected(self, measured):
+        cfg, stats = measured
+        with pytest.raises(ValidationError):
+            simulate_cluster(cfg, stats, jitter_fraction=1.5)
+
+    def test_deterministic_given_seed(self, measured):
+        cfg, stats = measured
+        a = simulate_cluster(cfg, stats, n_iterations=4, jitter_fraction=0.1, seed=7)
+        b = simulate_cluster(cfg, stats, n_iterations=4, jitter_fraction=0.1, seed=7)
+        assert a.simulated_iteration_cycles == b.simulated_iteration_cycles
+
+
+class TestPhaseBreakdown:
+    def test_format(self, measured):
+        cfg, stats = measured
+        perf = estimate_performance(cfg, stats)
+        txt = format_phase_breakdown(perf)
+        assert txt.startswith("|")
+        assert "F=force" in txt and "S=sync" in txt and "M=mu" in txt
+
+    def test_force_dominates(self, measured):
+        cfg, stats = measured
+        perf = estimate_performance(cfg, stats)
+        txt = format_phase_breakdown(perf)
+        bar = txt.split("|")[1]
+        assert bar.count("F") > bar.count("S") + bar.count("M")

@@ -1,0 +1,81 @@
+"""Tests for the communication-overlap simulation (Sec. 5.4's claim)."""
+
+import pytest
+
+from repro.core.commsim import simulate_comm_overlap
+from repro.core.config import MachineConfig, strong_scaling_configs
+from repro.core.cycles import estimate_performance
+from repro.core.machine import FasdaMachine
+from repro.md import build_dataset
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def measured_c():
+    """The most communication-intensive paper design (4x4x4-C)."""
+    cfg = strong_scaling_configs()["4x4x4-C"]
+    machine = FasdaMachine(cfg)
+    stats = machine.measure_workload()
+    perf = estimate_performance(cfg, stats)
+    return cfg, stats, perf
+
+
+class TestOverlap:
+    def test_exchange_hidden_under_compute(self, measured_c):
+        """The paper's claim: cooldown-paced communication completes
+        inside the force phase even for the fastest design."""
+        cfg, stats, perf = measured_c
+        result = simulate_comm_overlap(cfg, stats, perf)
+        assert result.dropped == 0
+        assert result.hidden
+        assert result.worst_overlap_fraction < 0.6
+
+    def test_default_cooldown_is_lossless(self, measured_c):
+        cfg, stats, perf = measured_c
+        assert cfg.cooldown_cycles == 8
+        result = simulate_comm_overlap(cfg, stats, perf)
+        assert result.dropped == 0
+
+    def test_unpaced_exchange_would_drop(self, measured_c):
+        """Without pacing the synchronized exchange overflows the switch
+        — the failure mode the cooldown counters exist to prevent."""
+        import dataclasses
+
+        cfg, stats, _ = measured_c
+        fast_cfg = dataclasses.replace(cfg, cooldown_cycles=1)
+        machine_perf = estimate_performance(fast_cfg, stats)
+        result = simulate_comm_overlap(fast_cfg, stats, machine_perf)
+        assert result.dropped > 0
+        assert not result.hidden
+
+    def test_every_receiving_node_has_arrival_time(self, measured_c):
+        cfg, stats, perf = measured_c
+        result = simulate_comm_overlap(cfg, stats, perf)
+        assert set(result.last_arrival) == set(range(cfg.n_fpgas))
+
+    def test_requires_per_node_cycles(self, measured_c):
+        cfg, stats, perf = measured_c
+        import dataclasses
+
+        broken = dataclasses.replace(perf, per_node_force_cycles=None)
+        with pytest.raises(ValidationError):
+            simulate_comm_overlap(cfg, stats, broken)
+
+
+class TestAcrossDesigns:
+    def test_hidden_for_all_paper_points(self):
+        from repro.core.config import weak_scaling_configs
+
+        for name, cfg in {
+            **weak_scaling_configs(), **strong_scaling_configs()
+        }.items():
+            if not cfg.is_distributed:
+                continue
+            system, _ = build_dataset(
+                cfg.global_cells, particles_per_cell=16, seed=3
+            )
+            machine = FasdaMachine(cfg, system=system)
+            stats = machine.measure_workload()
+            perf = estimate_performance(cfg, stats)
+            result = simulate_comm_overlap(cfg, stats, perf)
+            assert result.hidden, name

@@ -1,0 +1,146 @@
+"""Tests for MachineConfig and the paper's named design points."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    MachineConfig,
+    all_paper_configs,
+    simulated_scaling_configs,
+    strong_scaling_configs,
+    weak_scaling_configs,
+)
+from repro.util.errors import ConfigError
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        cfg = MachineConfig((3, 3, 3))
+        assert cfg.n_fpgas == 1
+        assert cfg.cells_per_fpga == 27
+
+    def test_global_cells_too_small(self):
+        with pytest.raises(ConfigError):
+            MachineConfig((2, 3, 3))
+
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(ConfigError, match="not divisible"):
+            MachineConfig((4, 4, 4), (3, 1, 1))
+
+    def test_bad_scaling_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig((3, 3, 3), pes_per_spe=0)
+
+    def test_bad_cooldown_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig((3, 3, 3), cooldown_cycles=0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig((3, 3, 3), clock_mhz=0)
+
+
+class TestDerivedGeometry:
+    def test_local_cells(self):
+        cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+        assert cfg.local_cells == (2, 2, 2)
+        assert cfg.n_fpgas == 8
+        assert cfg.cells_per_fpga == 8
+
+    def test_pes_per_cbb(self):
+        cfg = MachineConfig((4, 4, 4), (2, 2, 2), pes_per_spe=3, spes_per_cbb=2)
+        assert cfg.pes_per_cbb == 6
+        assert cfg.pes_per_fpga == 48
+
+    def test_box(self):
+        cfg = MachineConfig((4, 4, 4), cutoff=8.5)
+        np.testing.assert_allclose(cfg.box, 34.0)
+
+    def test_clock_conversions(self):
+        cfg = MachineConfig((3, 3, 3), clock_mhz=200.0)
+        assert cfg.clock_hz == 200e6
+        assert cfg.cycle_seconds == pytest.approx(5e-9)
+
+    def test_is_distributed(self):
+        assert not MachineConfig((3, 3, 3)).is_distributed
+        assert MachineConfig((6, 3, 3), (2, 1, 1)).is_distributed
+
+    def test_with_scaling_preserves_rest(self):
+        base = MachineConfig((4, 4, 4), (2, 2, 2), clock_mhz=150.0)
+        scaled = base.with_scaling(3, 2)
+        assert scaled.pes_per_spe == 3
+        assert scaled.spes_per_cbb == 2
+        assert scaled.clock_mhz == 150.0
+
+    def test_describe_mentions_key_facts(self):
+        txt = MachineConfig((4, 4, 4), (2, 2, 2), pes_per_spe=3, spes_per_cbb=2).describe()
+        assert "4x4x4" in txt and "8 FPGA" in txt and "2-SPE" in txt
+
+
+class TestFromCompileArgs:
+    """The artifact's ./compile.sh argument convention."""
+
+    def test_paper_invocation(self):
+        # "./compile.sh 222 444 ... configures the system for 2x2x2
+        # cells per FPGA, and 4x4x4 cells in total."
+        cfg = MachineConfig.from_compile_args("222", "444")
+        assert cfg.global_cells == (4, 4, 4)
+        assert cfg.fpga_grid == (2, 2, 2)
+        assert cfg.local_cells == (2, 2, 2)
+
+    def test_weak_scaling_invocation(self):
+        cfg = MachineConfig.from_compile_args("333", "666")
+        assert cfg.n_fpgas == 8
+
+    def test_single_fpga(self):
+        cfg = MachineConfig.from_compile_args("333", "333")
+        assert cfg.n_fpgas == 1
+
+    def test_extra_kwargs_forwarded(self):
+        cfg = MachineConfig.from_compile_args("222", "444", pes_per_spe=3)
+        assert cfg.pes_per_spe == 3
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig.from_compile_args("22", "444")
+        with pytest.raises(ConfigError):
+            MachineConfig.from_compile_args("2x2", "444")
+        with pytest.raises(ConfigError):
+            MachineConfig.from_compile_args("022", "444")
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError, match="not divisible"):
+            MachineConfig.from_compile_args("322", "444")
+
+
+class TestPaperPresets:
+    def test_weak_scaling_fpga_counts(self):
+        cfgs = weak_scaling_configs()
+        assert [c.n_fpgas for c in cfgs.values()] == [1, 2, 4, 8]
+        # Every weak-scaling node owns a 3x3x3 block.
+        assert all(c.local_cells == (3, 3, 3) for c in cfgs.values())
+
+    def test_strong_scaling_variants(self):
+        cfgs = strong_scaling_configs()
+        assert cfgs["4x4x4-A"].pes_per_cbb == 1
+        assert cfgs["4x4x4-B"].pes_per_cbb == 3
+        assert cfgs["4x4x4-C"].pes_per_cbb == 6
+        assert all(c.n_fpgas == 8 for c in cfgs.values())
+
+    def test_simulated_configs(self):
+        cfgs = simulated_scaling_configs()
+        assert cfgs["8x8x8-64F"].n_fpgas == 64
+        assert cfgs["10x10x10-125F"].n_fpgas == 125
+        assert all(c.local_cells == (2, 2, 2) for c in cfgs.values())
+
+    def test_all_paper_configs_count(self):
+        assert len(all_paper_configs()) == 9
+
+    def test_config_hashable_and_comparable(self):
+        """Frozen configs key performance caches (FpgaPerformanceModel)."""
+        a = MachineConfig((3, 3, 3))
+        b = MachineConfig((3, 3, 3))
+        c = MachineConfig((3, 3, 3), pes_per_spe=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2

@@ -1,0 +1,157 @@
+"""Tests for the cycle-accounting performance model (Figs. 16-17 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    MachineConfig,
+    strong_scaling_configs,
+    weak_scaling_configs,
+)
+from repro.core.cycles import (
+    PE_BUSY_FRACTION,
+    PE_FILTER_EFFICIENCY,
+    estimate_from_config,
+    estimate_performance,
+)
+from repro.core.machine import FasdaMachine
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def perf_by_name():
+    """Cycle-model results for the seven measured design points (shared —
+    measuring each costs a functional force pass)."""
+    out = {}
+    for name, cfg in {**weak_scaling_configs(), **strong_scaling_configs()}.items():
+        out[name] = estimate_from_config(cfg)
+    return out
+
+
+class TestHeadlineNumbers:
+    def test_weak_scaling_rate_near_2us_per_day(self, perf_by_name):
+        """Paper: 'the simulation rate of FPGAs remains consistent at
+        around 2 us/day for all four configurations'."""
+        for name in ("3x3x3", "6x3x3", "6x6x3", "6x6x6"):
+            assert 1.6 < perf_by_name[name].rate_us_per_day < 2.6
+
+    def test_weak_scaling_flat(self, perf_by_name):
+        rates = [perf_by_name[n].rate_us_per_day for n in ("3x3x3", "6x3x3", "6x6x3", "6x6x6")]
+        assert max(rates) / min(rates) < 1.1
+
+    def test_strong_scaling_c_over_a(self, perf_by_name):
+        """Paper: 'the performance is increased to 5.26x with 3 PEs per
+        SPE and 2 SPEs per SCBB compared to 1 PE per cell'."""
+        gain = (
+            perf_by_name["4x4x4-C"].rate_us_per_day
+            / perf_by_name["4x4x4-A"].rate_us_per_day
+        )
+        assert 4.2 < gain < 6.0
+
+    def test_strong_scaling_monotone(self, perf_by_name):
+        a = perf_by_name["4x4x4-A"].rate_us_per_day
+        b = perf_by_name["4x4x4-B"].rate_us_per_day
+        c = perf_by_name["4x4x4-C"].rate_us_per_day
+        assert a < b < c
+
+    def test_pe_bound_for_paper_points(self, perf_by_name):
+        """All evaluated points are compute-bound, which is what makes
+        the PE-scaling strategy pay off."""
+        for name, perf in perf_by_name.items():
+            assert perf.bound == "pe", name
+
+
+class TestUtilizations:
+    def test_pe_time_utilization_near_80(self, perf_by_name):
+        for name, perf in perf_by_name.items():
+            assert 0.6 < perf.utilization["pe"].time < 0.9, name
+
+    def test_pe_hardware_utilization_range(self, perf_by_name):
+        """Paper: 'hardware utilization of approximately 50%~60%'."""
+        for name, perf in perf_by_name.items():
+            assert 0.40 < perf.utilization["pe"].hardware < 0.62, name
+
+    def test_filters_match_pe(self, perf_by_name):
+        """Paper: 'the upstream filters match the PEs well'."""
+        for perf in perf_by_name.values():
+            f = perf.utilization["filter"].hardware
+            p = perf.utilization["pe"].hardware
+            assert abs(f - p) < 0.2
+
+    def test_pr_is_least_utilized_ring(self, perf_by_name):
+        """Paper: 'only the PR underused due to the excellent locality
+        of position data'."""
+        for name, perf in perf_by_name.items():
+            assert (
+                perf.utilization["pr"].hardware < perf.utilization["fr"].hardware
+            ), name
+
+    def test_mu_below_5_percent(self, perf_by_name):
+        """Paper: 'the MU has the lowest overall utilization (< 5%)'."""
+        for name, perf in perf_by_name.items():
+            assert perf.utilization["mu"].time < 0.05, name
+
+    def test_pr_utilization_rises_with_weak_scaling(self, perf_by_name):
+        """Paper: 'in weak scaling scenarios both the hardware and time
+        utilizations of PR increase' (fragmented position locality)."""
+        hw = [
+            perf_by_name[n].utilization["pr"].hardware
+            for n in ("3x3x3", "6x3x3", "6x6x3", "6x6x6")
+        ]
+        assert hw == sorted(hw)
+
+    def test_rings_rise_a_to_b_then_flat_to_c(self, perf_by_name):
+        """Paper: PR/FR utilization increases A -> B, then stays almost
+        the same B -> C (doubling SPEs doubles the rings)."""
+        a = perf_by_name["4x4x4-A"].utilization["fr"].hardware
+        b = perf_by_name["4x4x4-B"].utilization["fr"].hardware
+        c = perf_by_name["4x4x4-C"].utilization["fr"].hardware
+        assert b > a
+        assert abs(c - b) < 0.15
+
+
+class TestModelMechanics:
+    def test_invalid_efficiencies_rejected(self):
+        cfg = MachineConfig((3, 3, 3))
+        machine = FasdaMachine(cfg)
+        stats = machine.measure_workload()
+        with pytest.raises(ValidationError):
+            estimate_performance(cfg, stats, filter_efficiency=0.0)
+        with pytest.raises(ValidationError):
+            estimate_performance(cfg, stats, busy_fraction=1.5)
+
+    def test_iteration_decomposition(self, perf_by_name):
+        for perf in perf_by_name.values():
+            assert perf.iteration_cycles == pytest.approx(
+                perf.force_cycles + perf.sync_cycles + perf.mu_cycles
+            )
+
+    def test_single_node_has_no_sync(self, perf_by_name):
+        assert perf_by_name["3x3x3"].sync_cycles == 0.0
+        assert perf_by_name["6x3x3"].sync_cycles > 0.0
+
+    def test_rate_inversely_proportional_to_cycles(self, perf_by_name):
+        p = perf_by_name["3x3x3"]
+        expected = (
+            p.config.dt_fs * 1e-9 * 86400.0
+            / (p.iteration_cycles * p.config.cycle_seconds)
+        )
+        assert p.rate_us_per_day == pytest.approx(expected)
+
+    def test_more_filters_speed_up_pe_bound_designs(self):
+        cfg6 = MachineConfig((3, 3, 3), filters_per_pipeline=6)
+        cfg12 = MachineConfig((3, 3, 3), filters_per_pipeline=12)
+        machine = FasdaMachine(cfg6)
+        stats = machine.measure_workload()
+        p6 = estimate_performance(cfg6, stats)
+        p12 = estimate_performance(cfg12, stats)
+        assert p12.rate_us_per_day > p6.rate_us_per_day
+
+    def test_per_node_cycles_shape(self, perf_by_name):
+        perf = perf_by_name["6x6x6"]
+        assert perf.per_node_force_cycles.shape == (8,)
+        assert np.all(perf.per_node_force_cycles > 0)
+
+    def test_efficiency_constants_documented_values(self):
+        assert PE_FILTER_EFFICIENCY == 0.70
+        assert PE_BUSY_FRACTION == 0.80

@@ -1,0 +1,170 @@
+"""Tests for the functional filter and force pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import FixedPointFormat, ForceTableSet
+from repro.core.datapath import (
+    ForcePipeline,
+    PairFilter,
+    quantize_cell_fractions,
+)
+from repro.md.params import LJTable
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return ForceTableSet(n_s=14, n_b=256)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tables):
+    return ForcePipeline(LJTable(("Na",)), cutoff=8.5, tables=tables)
+
+
+class TestPairFilter:
+    def test_r2_min_validation(self):
+        with pytest.raises(ValidationError):
+            PairFilter(0.0)
+        with pytest.raises(ValidationError):
+            PairFilter(1.0)
+
+    def test_accepts_inside_cutoff(self):
+        f = PairFilter(2.0 ** -14)
+        res = f.check(np.array([[0.5, 0.0, 0.0]]))
+        assert res.mask[0]
+        assert res.n_accepted == 1
+        assert res.r2[0] == pytest.approx(0.25)
+
+    def test_rejects_outside_cutoff(self):
+        f = PairFilter(2.0 ** -14)
+        res = f.check(np.array([[0.8, 0.8, 0.0]]))  # r2 = 1.28
+        assert not res.mask[0]
+        assert res.n_accepted == 0
+        assert res.n_candidates == 1
+
+    def test_exactly_at_cutoff_rejected(self):
+        f = PairFilter(2.0 ** -14)
+        res = f.check(np.array([[1.0, 0.0, 0.0]]))
+        assert not res.mask[0]
+
+    def test_collapse_raises(self):
+        f = PairFilter(2.0 ** -6)
+        with pytest.raises(ValidationError, match="excluded small-r"):
+            f.check(np.array([[0.01, 0.0, 0.0]]))
+
+    def test_r2_is_float32(self):
+        f = PairFilter(2.0 ** -14)
+        res = f.check(np.array([[0.3, 0.2, 0.1]]))
+        assert res.r2.dtype == np.float32
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-0.99, 0.99), st.floats(-0.99, 0.99), st.floats(-0.99, 0.99)
+            ),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mask_matches_r2_threshold(self, vectors):
+        f = PairFilter(2.0 ** -20)
+        dr = np.asarray(vectors)
+        r2 = np.sum(dr * dr, axis=1)
+        # Keep clear of both thresholds to avoid f32-rounding ambiguity.
+        keep = (np.abs(r2 - 1.0) > 1e-6) & (r2 > 2.0 ** -18)
+        dr = dr[keep]
+        if len(dr) == 0:
+            return
+        res = f.check(dr)
+        expected = np.sum(dr * dr, axis=1) < 1.0
+        np.testing.assert_array_equal(res.mask, expected)
+
+
+class TestForcePipeline:
+    def test_force_matches_analytic(self, pipeline):
+        """Pipeline output ~ double-precision Eq. 2 within table error."""
+        lj = LJTable(("Na",))
+        cutoff = 8.5
+        r_phys = 4.0
+        rn = r_phys / cutoff
+        dr = np.array([[rn, 0.0, 0.0]])
+        r2 = np.array([rn * rn], dtype=np.float32)
+        f, e = pipeline.compute(dr, r2, np.array([0]), np.array([0]))
+        scalar = lj.c14[0, 0] * r_phys ** -14 - lj.c8[0, 0] * r_phys ** -8
+        expected_fx = scalar * r_phys  # kcal/mol/A along +x
+        assert f[0, 0] == pytest.approx(expected_fx, rel=2e-3)
+        expected_e = lj.c12[0, 0] * r_phys ** -12 - lj.c6[0, 0] * r_phys ** -6
+        assert e[0] == pytest.approx(expected_e, rel=2e-3)
+
+    def test_output_dtype_is_float32(self, pipeline):
+        dr = np.array([[0.3, 0.1, 0.0]])
+        r2 = np.sum(dr * dr, axis=1).astype(np.float32)
+        f, e = pipeline.compute(dr, r2, np.array([0]), np.array([0]))
+        assert f.dtype == np.float32
+        assert e.dtype == np.float32
+
+    def test_antisymmetric_in_dr(self, pipeline):
+        dr = np.array([[0.3, -0.2, 0.1]])
+        r2 = np.sum(dr * dr, axis=1).astype(np.float32)
+        f_pos, _ = pipeline.compute(dr, r2, np.array([0]), np.array([0]))
+        f_neg, _ = pipeline.compute(-dr, r2, np.array([0]), np.array([0]))
+        np.testing.assert_array_equal(f_pos, -f_neg)
+
+    def test_multispecies_coefficients(self, tables):
+        """Na-Ar pairs use mixed coefficients, not either pure pair."""
+        lj = LJTable(("Na", "Ar"))
+        pipe = ForcePipeline(lj, 8.5, tables)
+        dr = np.array([[0.4, 0.0, 0.0]])
+        r2 = np.sum(dr * dr, axis=1).astype(np.float32)
+        f_nana, _ = pipe.compute(dr, r2, np.array([0]), np.array([0]))
+        f_naar, _ = pipe.compute(dr, r2, np.array([0]), np.array([1]))
+        f_arar, _ = pipe.compute(dr, r2, np.array([1]), np.array([1]))
+        assert f_nana[0, 0] != f_naar[0, 0] != f_arar[0, 0]
+
+    @given(st.floats(min_value=0.25, max_value=0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_relative_error_vs_double(self, rn):
+        """Pipeline force stays within combined table+f32 error bounds."""
+        lj = LJTable(("Na",))
+        cutoff = 8.5
+        tables = ForceTableSet(n_s=14, n_b=256)
+        pipe = ForcePipeline(lj, cutoff, tables)
+        dr = np.array([[rn, 0.0, 0.0]])
+        r2 = np.array([rn * rn], dtype=np.float32)
+        f, _ = pipe.compute(dr, r2, np.array([0]), np.array([0]))
+        r_phys = rn * cutoff
+        expected = (lj.c14[0, 0] * r_phys ** -14 - lj.c8[0, 0] * r_phys ** -8) * r_phys
+        if abs(expected) > 1e-6:
+            assert f[0, 0] == pytest.approx(expected, rel=5e-3, abs=1e-5)
+
+
+class TestQuantizeCellFractions:
+    def test_basic_quantization(self):
+        fmt = FixedPointFormat(frac_bits=8)
+        pos = np.array([[1.0, 2.5, 8.4]])
+        coords = np.array([[0, 0, 0]])
+        frac = quantize_cell_fractions(pos, coords, 8.5, fmt)
+        assert np.all(frac >= 0) and np.all(frac < 1.0)
+        np.testing.assert_allclose(frac[0], pos[0] / 8.5, atol=2 ** -9 + 1e-12)
+
+    def test_face_particle_clamped(self):
+        """A particle numerically at the cell's upper face stays in [0,1)."""
+        fmt = FixedPointFormat(frac_bits=8)
+        pos = np.array([[8.5, 0.0, 0.0]])
+        coords = np.array([[0, 0, 0]])  # assigned to cell 0 despite pos = edge
+        frac = quantize_cell_fractions(pos, coords, 8.5, fmt)
+        assert frac[0, 0] == 1.0 - 2.0 ** -8
+
+    def test_fraction_relative_to_cell(self):
+        fmt = FixedPointFormat(frac_bits=16)
+        pos = np.array([[9.0, 17.5, 0.5]])
+        coords = np.array([[1, 2, 0]])
+        frac = quantize_cell_fractions(pos, coords, 8.5, fmt)
+        np.testing.assert_allclose(
+            frac[0], [0.5 / 8.5, 0.5 / 8.5, 0.5 / 8.5], atol=2 ** -17 + 1e-12
+        )

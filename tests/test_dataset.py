@@ -1,0 +1,138 @@
+"""Tests for the paper's dataset generator (Sec. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.md import build_dataset
+from repro.md.dataset import (
+    DEFAULT_MIN_DISTANCE_A,
+    PAPER_CUTOFF_A,
+    PAPER_PARTICLES_PER_CELL,
+    maxwell_boltzmann_velocities,
+)
+from repro.md.cells import CellList
+from repro.util.errors import ValidationError
+from repro.util.units import BOLTZMANN_KCAL_MOL_K, KCAL_MOL_TO_INTERNAL
+
+
+def min_image_min_distance(positions, box):
+    n = len(positions)
+    ii, jj = np.triu_indices(n, k=1)
+    dr = positions[ii] - positions[jj]
+    dr -= box * np.rint(dr / box)
+    return float(np.sqrt(np.min(np.sum(dr * dr, axis=1))))
+
+
+def test_paper_constants():
+    assert PAPER_CUTOFF_A == 8.5
+    assert PAPER_PARTICLES_PER_CELL == 64
+
+
+def test_particle_count_and_box():
+    sys_, grid = build_dataset((3, 3, 3))
+    assert sys_.n == 27 * 64
+    np.testing.assert_allclose(grid.box, 3 * 8.5)
+    np.testing.assert_allclose(sys_.box, grid.box)
+
+
+def test_each_cell_has_exactly_64_particles():
+    sys_, grid = build_dataset((3, 3, 3), seed=42)
+    cl = CellList(grid, sys_.positions)
+    np.testing.assert_array_equal(cl.occupancies(), 64)
+
+
+def test_minimum_distance_respected_jittered():
+    sys_, grid = build_dataset((3, 3, 3), seed=7)
+    assert min_image_min_distance(sys_.positions, sys_.box) >= DEFAULT_MIN_DISTANCE_A
+
+
+def test_minimum_distance_respected_rsa():
+    sys_, grid = build_dataset(
+        (3, 3, 3), particles_per_cell=8, method="rsa", min_distance=2.5, seed=3
+    )
+    assert sys_.n == 27 * 8
+    assert min_image_min_distance(sys_.positions, sys_.box) >= 2.5
+
+
+def test_rsa_fails_gracefully_at_impossible_density():
+    with pytest.raises(ValidationError, match="RSA placement failed"):
+        build_dataset(
+            (3, 3, 3), particles_per_cell=64, method="rsa", min_distance=4.0
+        )
+
+
+def test_deterministic_given_seed():
+    a, _ = build_dataset((3, 3, 3), seed=11)
+    b, _ = build_dataset((3, 3, 3), seed=11)
+    np.testing.assert_array_equal(a.positions, b.positions)
+    np.testing.assert_array_equal(a.velocities, b.velocities)
+
+
+def test_different_seeds_differ():
+    a, _ = build_dataset((3, 3, 3), seed=1)
+    b, _ = build_dataset((3, 3, 3), seed=2)
+    assert not np.allclose(a.positions, b.positions)
+
+
+def test_com_momentum_zero():
+    sys_, _ = build_dataset((3, 3, 3), seed=5)
+    momentum = (sys_.masses[:, None] * sys_.velocities).sum(axis=0)
+    np.testing.assert_allclose(momentum, 0.0, atol=1e-10)
+
+
+def test_temperature_near_target():
+    sys_, _ = build_dataset((4, 4, 4), temperature_k=300.0, seed=9)
+    # 4096 particles: sample temperature within a few percent of target.
+    assert sys_.temperature() == pytest.approx(300.0, rel=0.05)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValidationError):
+        build_dataset((3, 3, 3), method="magic")
+
+
+def test_impossible_jitter_rejected():
+    with pytest.raises(ValidationError, match="cannot fit"):
+        build_dataset((3, 3, 3), min_distance=3.0)  # spacing 2.125 < 3.0
+
+
+def test_multispecies_cycling():
+    sys_, _ = build_dataset((3, 3, 3), species=("Na", "Ar"), seed=1)
+    assert set(np.unique(sys_.species)) == {0, 1}
+    # Species alternate by particle index.
+    assert sys_.species[0] == 0 and sys_.species[1] == 1
+
+
+class TestGradientDataset:
+    def test_occupancy_ramps_along_x(self):
+        from repro.md.dataset import build_gradient_dataset
+
+        system, grid = build_gradient_dataset((4, 4, 4), min_per_cell=8, max_per_cell=32, seed=1)
+        cl = CellList(grid, system.positions)
+        occ = cl.occupancies().reshape(grid.dims)
+        per_slab = occ.sum(axis=(1, 2)) / (grid.dims[1] * grid.dims[2])
+        assert per_slab[0] == 8
+        assert per_slab[-1] == 32
+        assert list(per_slab) == sorted(per_slab)
+
+    def test_min_distance_respected(self):
+        from repro.md.dataset import build_gradient_dataset
+
+        system, _ = build_gradient_dataset((3, 3, 3), min_per_cell=4, max_per_cell=16, seed=2)
+        assert min_image_min_distance(system.positions, system.box) >= DEFAULT_MIN_DISTANCE_A
+
+    def test_validation(self):
+        from repro.md.dataset import build_gradient_dataset
+
+        with pytest.raises(ValidationError):
+            build_gradient_dataset((3, 3, 3), min_per_cell=10, max_per_cell=5)
+
+
+def test_maxwell_boltzmann_statistics():
+    rng = np.random.default_rng(0)
+    masses = np.full(20000, 22.98976928)
+    v = maxwell_boltzmann_velocities(rng, masses, 300.0)
+    kt_internal = BOLTZMANN_KCAL_MOL_K * 300.0 * KCAL_MOL_TO_INTERNAL
+    sigma_expected = np.sqrt(kt_internal / masses[0])
+    assert np.std(v) == pytest.approx(sigma_expected, rel=0.02)
+    assert np.mean(v) == pytest.approx(0.0, abs=sigma_expected * 0.05)

@@ -1,0 +1,154 @@
+"""Tests for the discrete-event kernel and message network."""
+
+import pytest
+
+from repro.eventsim import EventSimulator, Message, MessageNetwork, NodeProcess
+from repro.util.errors import SimulationError, ValidationError
+
+
+class TestEventSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = EventSimulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            EventSimulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_nested_scheduling(self):
+        sim = EventSimulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_livelock_detection(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run(max_events=1000)
+
+    def test_schedule_at_absolute(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_events_processed_counter(self):
+        sim = EventSimulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_peek(self):
+        sim = EventSimulator()
+        assert sim.peek() is None
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek() == 4.0
+
+
+class _Echo(NodeProcess):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_message(self, msg):
+        self.received.append((msg.kind, msg.src, self.sim.now))
+        if msg.kind == "ping":
+            self.send(msg.src, "pong")
+
+
+class TestMessageNetwork:
+    def test_delivery_with_latency(self):
+        sim = EventSimulator()
+        net = MessageNetwork(sim, default_latency=3.0)
+        a, b = _Echo(0), _Echo(1)
+        net.attach(a)
+        net.attach(b)
+        sim.schedule(0.0, lambda: a.send(1, "ping"))
+        sim.run()
+        assert b.received == [("ping", 0, 3.0)]
+        assert a.received == [("pong", 1, 6.0)]
+
+    def test_duplicate_node_rejected(self):
+        sim = EventSimulator()
+        net = MessageNetwork(sim)
+        net.attach(_Echo(0))
+        with pytest.raises(ValidationError):
+            net.attach(_Echo(0))
+
+    def test_unknown_destination_rejected(self):
+        sim = EventSimulator()
+        net = MessageNetwork(sim)
+        a = _Echo(0)
+        net.attach(a)
+        with pytest.raises(ValidationError):
+            a.send(9, "ping")
+
+    def test_message_counts(self):
+        sim = EventSimulator()
+        net = MessageNetwork(sim, default_latency=1.0)
+        a, b = _Echo(0), _Echo(1)
+        net.attach(a)
+        net.attach(b)
+        sim.schedule(0.0, lambda: a.send(1, "ping"))
+        sim.run()
+        assert net.message_counts[(0, 1)] == 1
+        assert net.message_counts[(1, 0)] == 1
+
+    def test_per_link_latency_fn(self):
+        sim = EventSimulator()
+        net = MessageNetwork(sim, latency_fn=lambda s, d: 10.0 if d == 1 else 1.0)
+        a, b = _Echo(0), _Echo(1)
+        net.attach(a)
+        net.attach(b)
+        sim.schedule(0.0, lambda: a.send(1, "ping"))
+        sim.run()
+        assert b.received[0][2] == 10.0
+        assert a.received[0][2] == 11.0

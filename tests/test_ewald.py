@@ -1,0 +1,107 @@
+"""Tests for the real-space Ewald electrostatics substrate."""
+
+import numpy as np
+import pytest
+from scipy.special import erfc
+
+from repro.md.ewald import (
+    COULOMB_KCAL_MOL_A,
+    choose_beta,
+    ewald_real_energy_scalar,
+    ewald_real_forces_bruteforce,
+    ewald_real_scalar,
+)
+from repro.util.errors import ValidationError
+
+
+class TestChooseBeta:
+    def test_meets_tolerance_tightly(self):
+        beta = choose_beta(8.5, 1e-5)
+        assert erfc(beta * 8.5) <= 1e-5
+        # Not overly conservative: 1% smaller beta would violate it.
+        assert erfc(0.99 * beta * 8.5) > 1e-5 * 0.5
+
+    def test_tighter_tolerance_needs_larger_beta(self):
+        assert choose_beta(8.5, 1e-8) > choose_beta(8.5, 1e-4)
+
+    def test_larger_cutoff_needs_smaller_beta(self):
+        assert choose_beta(12.0, 1e-5) < choose_beta(8.5, 1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            choose_beta(0.0)
+        with pytest.raises(ValidationError):
+            choose_beta(8.5, tolerance=2.0)
+
+
+class TestScalars:
+    def test_force_is_gradient_of_energy(self):
+        """F(r) = -dV/dr: S(r2)*r == -d/dr [E(r2)]."""
+        beta = 0.35
+        r = np.linspace(1.0, 8.0, 50)
+        h = 1e-6
+        e_plus = ewald_real_energy_scalar((r + h) ** 2, beta)
+        e_minus = ewald_real_energy_scalar((r - h) ** 2, beta)
+        numeric = -(e_plus - e_minus) / (2 * h)
+        analytic = ewald_real_scalar(r ** 2, beta) * r
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-6)
+
+    def test_reduces_to_coulomb_at_small_beta_r(self):
+        """For beta*r -> 0, the kernel approaches plain Coulomb."""
+        r = 2.0
+        e = ewald_real_energy_scalar(np.array([r * r]), beta=1e-6)[0]
+        assert e == pytest.approx(COULOMB_KCAL_MOL_A / r, rel=1e-4)
+
+    def test_screened_at_large_beta_r(self):
+        r = 8.0
+        e = ewald_real_energy_scalar(np.array([r * r]), beta=0.5)[0]
+        assert e < 1e-3 * COULOMB_KCAL_MOL_A / r
+
+    def test_positive_for_like_charges(self):
+        s = ewald_real_scalar(np.array([4.0, 16.0, 49.0]), beta=0.35)
+        assert np.all(s > 0)  # repulsive along +dr for qq > 0
+
+
+class TestBruteforce:
+    def test_two_opposite_charges_attract(self):
+        pos = np.array([[5.0, 5.0, 5.0], [8.0, 5.0, 5.0]])
+        charges = np.array([1.0, -1.0])
+        forces, energy = ewald_real_forces_bruteforce(
+            pos, charges, np.full(3, 50.0), cutoff=10.0, beta=0.3
+        )
+        assert energy < 0
+        assert forces[0, 0] > 0  # pulled toward +x
+        assert forces[1, 0] < 0
+
+    def test_newtons_third_law(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 20.0, size=(40, 3))
+        charges = rng.choice([-1.0, 1.0], size=40)
+        forces, _ = ewald_real_forces_bruteforce(
+            pos, charges, np.full(3, 20.0), cutoff=6.0, beta=0.4
+        )
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_cutoff_respected(self):
+        pos = np.array([[0.0, 0.0, 0.0], [7.0, 0.0, 0.0]])
+        charges = np.array([1.0, 1.0])
+        forces, energy = ewald_real_forces_bruteforce(
+            pos, charges, np.full(3, 50.0), cutoff=5.0, beta=0.3
+        )
+        np.testing.assert_array_equal(forces, 0.0)
+        assert energy == 0.0
+
+    def test_charge_shape_validated(self):
+        with pytest.raises(ValidationError):
+            ewald_real_forces_bruteforce(
+                np.zeros((3, 3)), np.zeros(2), np.full(3, 10.0), 5.0, 0.3
+            )
+
+    def test_neutral_pair_no_force(self):
+        pos = np.array([[1.0, 1.0, 1.0], [3.0, 1.0, 1.0]])
+        charges = np.array([0.0, 1.0])
+        forces, energy = ewald_real_forces_bruteforce(
+            pos, charges, np.full(3, 20.0), cutoff=8.0, beta=0.3
+        )
+        np.testing.assert_array_equal(forces, 0.0)
+        assert energy == 0.0

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast examples run end-to-end.
+
+Only the quick examples run here (the full set is exercised manually /
+in benchmarks); these guard against API drift breaking the documented
+entry points.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, capsys):
+    runpy.run_path(os.path.join(EXAMPLES, name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "simulation rate" in out
+    assert "paper: ~2" in out
+
+
+def test_straggler_resilience(capsys):
+    out = run_example("straggler_resilience.py", capsys)
+    assert "chained sync" in out
+    assert "makespan" in out
+
+
+def test_custom_cluster_design(capsys):
+    out = run_example("custom_cluster_design.py", capsys)
+    assert "chosen design" in out
+    assert "OK" in out

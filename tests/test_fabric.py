@@ -1,0 +1,130 @@
+"""Tests for fabric traffic accounting (Fig. 18 math)."""
+
+import pytest
+
+from repro.network.fabric import Fabric, LinkStats
+from repro.util.errors import ValidationError
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        Fabric(0)
+    with pytest.raises(ValidationError):
+        Fabric(2, packet_bits=0)
+
+
+def test_records_packed_into_packets():
+    f = Fabric(4)
+    f.add_records(0, 1, "position", 9)  # ceil(9/4) = 3 packets
+    stats = f.flows[(0, 1, "position")]
+    assert stats.records == 9
+    assert stats.packets == 3
+    assert stats.bits(512) == 3 * 512
+
+
+def test_zero_records_creates_no_flow():
+    f = Fabric(4)
+    f.add_records(0, 1, "position", 0)
+    assert not f.flows
+
+
+def test_unknown_channel_rejected():
+    f = Fabric(2)
+    with pytest.raises(ValidationError):
+        f.add_records(0, 1, "velocity", 1)
+
+
+def test_out_of_range_node_rejected():
+    f = Fabric(2)
+    with pytest.raises(ValidationError):
+        f.add_records(0, 5, "position", 1)
+
+
+def test_negative_records_rejected():
+    f = Fabric(2)
+    with pytest.raises(ValidationError):
+        f.add_records(0, 1, "position", -1)
+
+
+def test_node_egress_sums_destinations():
+    f = Fabric(4)
+    f.add_records(0, 1, "position", 4)
+    f.add_records(0, 2, "position", 4)
+    f.add_records(0, 1, "force", 4)
+    f.add_records(1, 0, "position", 4)
+    assert f.node_egress_bits(0, "position") == 2 * 512
+    assert f.node_egress_bits(0, "force") == 512
+    assert f.node_egress_bits(1, "position") == 512
+
+
+def test_egress_gbps():
+    f = Fabric(2)
+    f.add_records(0, 1, "position", 4)  # 1 packet = 512 bits
+    # 512 bits over 1 us = 0.000512 Gbps... over 512 ns = 1 Gbps.
+    assert f.node_egress_gbps(0, "position", 512e-9) == pytest.approx(1.0)
+
+
+def test_egress_gbps_bad_interval():
+    f = Fabric(2)
+    with pytest.raises(ValidationError):
+        f.node_egress_gbps(0, "position", 0.0)
+
+
+def test_max_node_egress():
+    f = Fabric(3)
+    f.add_records(0, 1, "position", 4)
+    f.add_records(2, 1, "position", 8)
+    assert f.max_node_egress_gbps("position", 1.0) == pytest.approx(
+        2 * 512 / 1e9
+    )
+
+
+def test_breakdown_percent_sums_to_100():
+    f = Fabric(4)
+    f.add_records(0, 1, "force", 12)
+    f.add_records(0, 2, "force", 4)
+    bd = f.breakdown_percent(0, "force")
+    assert sum(bd.values()) == pytest.approx(100.0)
+    assert bd[1] == pytest.approx(75.0)
+    assert bd[2] == pytest.approx(25.0)
+
+
+def test_breakdown_empty():
+    assert Fabric(2).breakdown_percent(0, "force") == {}
+
+
+def test_reset():
+    f = Fabric(2)
+    f.add_records(0, 1, "position", 4)
+    f.reset()
+    assert not f.flows
+
+
+class TestCooldown:
+    def test_cooldown_cycles_needed(self):
+        f = Fabric(2)
+        # 10 packets over a 100-cycle window: gap of 11 fits ((10-1)*11=99).
+        assert f.cooldown_cycles_needed(10, 100) == 11
+
+    def test_single_packet_gets_full_window(self):
+        f = Fabric(2)
+        assert f.cooldown_cycles_needed(1, 100) == 100
+
+    def test_minimum_one_cycle(self):
+        f = Fabric(2)
+        assert f.cooldown_cycles_needed(1000, 10) == 1
+
+    def test_peak_gbps_with_cooldown(self):
+        f = Fabric(2)
+        # One 512-bit packet per 4 cycles at 200 MHz = 25.6 Gbps.
+        assert f.peak_gbps_with_cooldown(4, 200e6) == pytest.approx(25.6)
+
+    def test_cooldown_spreads_peak_below_line_rate(self):
+        """The paper's mechanism: cooldown keeps peaks under 100 Gbps."""
+        f = Fabric(2)
+        assert f.peak_gbps_with_cooldown(1, 200e6) > 100.0  # unthrottled burst
+        assert f.peak_gbps_with_cooldown(2, 200e6) < 100.0  # throttled
+
+    def test_bad_cooldown_rejected(self):
+        with pytest.raises(ValidationError):
+            Fabric(2).peak_gbps_with_cooldown(0, 200e6)

@@ -1,0 +1,92 @@
+"""Tests for the fixed-point position format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import FixedPointFormat
+from repro.util.errors import ValidationError
+
+
+def test_default_format_widths():
+    fmt = FixedPointFormat()
+    assert fmt.total_bits == 25
+    assert fmt.scale == 2.0 ** -23
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValidationError):
+        FixedPointFormat(frac_bits=0)
+    with pytest.raises(ValidationError):
+        FixedPointFormat(frac_bits=60)
+    with pytest.raises(ValidationError):
+        FixedPointFormat(frac_bits=8, int_bits=0)
+
+
+def test_roundtrip_exact_values():
+    fmt = FixedPointFormat(frac_bits=8)
+    values = np.array([0.0, 0.5, 1.25, 3.99609375])  # all multiples of 2^-8
+    np.testing.assert_array_equal(fmt.quantize(values), values)
+
+
+def test_quantize_rounds_to_nearest():
+    fmt = FixedPointFormat(frac_bits=2)  # LSB = 0.25
+    assert fmt.quantize(np.array([0.3]))[0] == pytest.approx(0.25)
+    assert fmt.quantize(np.array([0.4]))[0] == pytest.approx(0.5)
+
+
+def test_overflow_raises():
+    fmt = FixedPointFormat(frac_bits=4, int_bits=2)
+    with pytest.raises(ValidationError, match="overflow"):
+        fmt.to_raw(np.array([4.0]))
+    with pytest.raises(ValidationError, match="overflow"):
+        fmt.to_raw(np.array([-0.1]))
+
+
+def test_max_value_representable():
+    fmt = FixedPointFormat(frac_bits=4, int_bits=2)
+    assert fmt.quantize(np.array([fmt.max_value]))[0] == fmt.max_value
+
+
+def test_quantize_fraction_domain():
+    fmt = FixedPointFormat(frac_bits=8)
+    with pytest.raises(ValidationError):
+        fmt.quantize_fraction(np.array([1.0]))
+    with pytest.raises(ValidationError):
+        fmt.quantize_fraction(np.array([-0.01]))
+
+
+def test_quantize_fraction_clamps_below_one():
+    fmt = FixedPointFormat(frac_bits=4)
+    # 0.99 rounds to 1.0 at 4 fraction bits; must clamp to 1 - 2^-4.
+    out = fmt.quantize_fraction(np.array([0.99]))
+    assert out[0] == 1.0 - 2.0 ** -4
+
+
+@given(
+    st.floats(min_value=0.0, max_value=3.9, allow_nan=False),
+    st.integers(min_value=4, max_value=30),
+)
+@settings(max_examples=200, deadline=None)
+def test_quantization_error_bounded_by_half_lsb(value, frac_bits):
+    fmt = FixedPointFormat(frac_bits=frac_bits)
+    q = fmt.quantize(np.array([value]))[0]
+    assert abs(q - value) <= 0.5 * fmt.scale + 1e-15
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=0.9999), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_quantize_fraction_idempotent(fractions):
+    fmt = FixedPointFormat(frac_bits=16)
+    once = fmt.quantize_fraction(np.asarray(fractions))
+    twice = fmt.quantize_fraction(once)
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(st.integers(min_value=2, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_raw_roundtrip_is_identity(frac_bits):
+    fmt = FixedPointFormat(frac_bits=frac_bits)
+    raw = np.arange(0, 1 << min(frac_bits + 2, 12), dtype=np.int64)
+    np.testing.assert_array_equal(fmt.to_raw(fmt.from_raw(raw)), raw)

@@ -1,0 +1,237 @@
+"""Tests for the experiment harness (integration across the whole stack)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    format_fig16,
+    format_fig17,
+    format_fig18,
+    format_fig19,
+    format_table1,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_table1,
+)
+from repro.harness.report import format_csv, format_table
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    return run_fig16()
+
+
+@pytest.fixture(scope="module")
+def fig17():
+    return run_fig17()
+
+
+@pytest.fixture(scope="module")
+def fig18():
+    return run_fig18()
+
+
+class TestReportFormatting:
+    def test_basic_table(self):
+        txt = format_table(["a", "bb"], [["x", 1.5], ["yy", None]])
+        lines = txt.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "1.50" in txt
+        assert txt.splitlines()[-1].strip().endswith("-")
+
+    def test_title(self):
+        txt = format_table(["a"], [[1]], title="My Table")
+        assert txt.startswith("My Table\n========")
+
+    def test_precision(self):
+        txt = format_table(["a"], [[3.14159]], precision=4)
+        assert "3.1416" in txt
+
+    def test_csv_basic(self):
+        txt = format_csv(["x", "y"], [[1, 2.5], ["a", None]])
+        lines = txt.splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.500000"
+        assert lines[2] == "a,"
+
+    def test_csv_quoting(self):
+        txt = format_csv(["v"], [['he said "hi", ok']])
+        assert txt.splitlines()[1] == '"he said ""hi"", ok"'
+
+    def test_bar_chart(self):
+        from repro.harness.report import format_bar_chart
+
+        txt = format_bar_chart(["a", "bb"], [10.0, 5.0], width=10, unit="x")
+        lines = txt.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert "10.00x" in lines[0]
+
+    def test_bar_chart_handles_none_and_zero(self):
+        from repro.harness.report import format_bar_chart
+
+        txt = format_bar_chart(["a", "b"], [0.0, None], width=5)
+        assert "-" in txt.splitlines()[1]
+
+    def test_bar_chart_length_mismatch(self):
+        from repro.harness.report import format_bar_chart
+
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestFig16(object):
+    def test_sections_present(self, fig16):
+        assert len(fig16.weak) == 4
+        assert len(fig16.strong) == 3
+        assert len(fig16.simulated) == 2
+
+    def test_weak_scaling_flat_fpga(self, fig16):
+        rates = [r.fpga for r in fig16.weak]
+        assert max(rates) / min(rates) < 1.1
+
+    def test_headline_ratios(self, fig16):
+        assert 4.2 < fig16.strong_speedup_c_over_a < 6.0  # paper 5.26
+        assert 3.7 < fig16.speedup_vs_best_gpu < 5.6      # paper 4.67
+
+    def test_fpga_beats_every_baseline_on_strong_scaling(self, fig16):
+        row_c = next(r for r in fig16.strong if r.name == "4x4x4-C")
+        assert row_c.fpga > row_c.best_cpu
+        assert row_c.fpga > row_c.best_gpu
+
+    def test_simulated_scaleout_keeps_rate(self, fig16):
+        """Fig. 16 right: 64/125-FPGA deployments keep the per-node rate
+        (communication latency unchanged, each FPGA on 2x2x2 cells)."""
+        row_c = next(r for r in fig16.strong if r.name == "4x4x4-C")
+        for row in fig16.simulated:
+            assert row.fpga == pytest.approx(row_c.fpga, rel=0.15)
+
+    def test_gpu_efficiency_grows_with_workload(self, fig16):
+        """Paper: 'the efficiency of a single GPU increases as the
+        workload grows' — its rate falls much slower than 1/N."""
+        small = fig16.weak[0]       # 1728 particles
+        big = fig16.simulated[-1]   # 64000 particles
+        rate_ratio = big.gpu_a100[1] / small.gpu_a100[1]
+        workload_ratio = small.n_particles / big.n_particles  # 1/37
+        assert rate_ratio > 3 * workload_ratio
+
+    def test_gpu_competitive_only_at_small_sizes(self, fig16):
+        """At 3x3x3 a single GPU is launch-bound and close to the FPGA;
+        by 4x4x4-C the FPGA leads by > 4x."""
+        small = fig16.weak[0]
+        assert small.best_gpu > 0.5 * small.fpga
+        row_c = next(r for r in fig16.strong if r.name == "4x4x4-C")
+        assert row_c.fpga > 4 * row_c.best_gpu
+
+    def test_format_contains_headline(self, fig16):
+        txt = format_fig16(fig16)
+        assert "paper: 5.26x" in txt
+        assert "paper: 4.67x" in txt
+        assert "Fig 16 (weak scaling)" in txt
+
+
+class TestFig17:
+    def test_seven_variants(self, fig17):
+        assert len(fig17.rows) == 7
+
+    def test_components_present(self, fig17):
+        for row in fig17.rows:
+            assert set(row.hardware) == {"pe", "filter", "pr", "fr", "mu"}
+            assert set(row.time) == {"pe", "filter", "pr", "fr", "mu"}
+
+    def test_utilizations_are_fractions(self, fig17):
+        for row in fig17.rows:
+            for v in list(row.hardware.values()) + list(row.time.values()):
+                assert 0.0 <= v <= 1.0
+
+    def test_format(self, fig17):
+        txt = format_fig17(fig17)
+        assert "4x4x4-C" in txt and "pr.hw" in txt
+
+
+class TestFig18:
+    def test_bandwidth_below_25_gbps(self, fig18):
+        """Paper: 'the average bandwidth demand for an FPGA is below
+        25 Gbps for either position or force'."""
+        for row in fig18.rows:
+            assert row.position_gbps < 25.0, row.name
+            assert row.force_gbps < 25.0, row.name
+
+    def test_bandwidth_well_below_line_rate(self, fig18):
+        for row in fig18.rows:
+            assert row.position_gbps < 100.0
+
+    def test_strong_scaling_raises_bandwidth(self, fig18):
+        by_name = {r.name: r for r in fig18.rows}
+        assert by_name["4x4x4-C"].position_gbps > by_name["4x4x4-A"].position_gbps
+
+    def test_force_breakdown_concentrated_near(self, fig18):
+        """Paper: 'an FPGA only communicates intensely with the nodes
+        logically close to it, particularly for forces'."""
+        frc = fig18.breakdown["force"]
+        hop1 = [frc[d] for d, h in fig18.hop_distance.items() if h == 1]
+        hop3 = [frc[d] for d, h in fig18.hop_distance.items() if h == 3]
+        assert min(hop1) > max(hop3)
+
+    def test_corner_force_share_small(self, fig18):
+        """Zero forces to the corner node are discarded, so its share is
+        marginal (paper: 'sometimes do not pass through any filter')."""
+        corner = [d for d, h in fig18.hop_distance.items() if h == 3][0]
+        assert fig18.breakdown["force"][corner] < 6.0
+
+    def test_position_breakdown_sums_to_100(self, fig18):
+        assert sum(fig18.breakdown["position"].values()) == pytest.approx(100.0)
+
+    def test_format(self, fig18):
+        txt = format_fig18(fig18)
+        assert "Fig 18(A)" in txt and "Fig 18(B)" in txt
+
+
+class TestDeterminism:
+    """Experiments are pure functions of their seed."""
+
+    def test_fig18_deterministic(self):
+        a = run_fig18(seed=7)
+        b = run_fig18(seed=7)
+        assert [r.position_gbps for r in a.rows] == [r.position_gbps for r in b.rows]
+        assert a.breakdown == b.breakdown
+
+    def test_table1_deterministic(self):
+        assert run_table1().rows == run_table1().rows
+
+
+class TestTable1:
+    def test_rows_and_format(self):
+        result = run_table1()
+        assert len(result.rows) == 7
+        txt = format_table1(result)
+        assert "lut.model" in txt and "4x4x4-C" in txt
+
+    def test_model_tracks_paper(self):
+        result = run_table1()
+        for name, res_map in result.rows.items():
+            for res, (model, paper) in res_map.items():
+                assert abs(model - paper) <= 15.0, (name, res)
+
+
+class TestFig19:
+    def test_short_run_error_bounds(self):
+        """Paper: 'relative error is always significantly less than 1e-3
+        and generally below 1e-4'."""
+        result = run_fig19(n_steps=60, record_every=20, dims=(3, 3, 3))
+        assert result.max_relative_error < 1e-3
+        assert result.median_relative_error < 1e-4
+
+    def test_energy_series_aligned(self):
+        result = run_fig19(n_steps=40, record_every=20, dims=(3, 3, 3))
+        assert len(result.steps) == len(result.machine_energy)
+        assert len(result.steps) == len(result.reference_energy)
+        assert result.steps[0] == 0
+
+    def test_format(self):
+        result = run_fig19(n_steps=20, record_every=20, dims=(3, 3, 3))
+        txt = format_fig19(result)
+        assert "rel err" in txt and "paper" in txt

@@ -1,0 +1,133 @@
+"""Tests for the host control plane (artifact workflow model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.host import AxiLiteRegisters, ClusterController
+from repro.host.registers import REGISTER_MAP
+from repro.util.errors import ConfigError, ValidationError
+
+
+class TestAxiLiteRegisters:
+    def test_all_registers_start_zero(self):
+        regs = AxiLiteRegisters()
+        for name in REGISTER_MAP:
+            assert regs.read(name) == 0
+
+    def test_write_read(self):
+        regs = AxiLiteRegisters()
+        regs.write("PE_cycle_cnt", 12345)
+        assert regs.read("PE_cycle_cnt") == 12345
+
+    def test_read_by_offset(self):
+        regs = AxiLiteRegisters()
+        regs.write("operation_cycle_cnt", 999)
+        assert regs.read_offset(REGISTER_MAP["operation_cycle_cnt"]) == 999
+
+    def test_bad_offset_rejected(self):
+        with pytest.raises(ValidationError):
+            AxiLiteRegisters().read_offset(99)
+
+    def test_unknown_register_rejected(self):
+        regs = AxiLiteRegisters()
+        with pytest.raises(ValidationError):
+            regs.read("bogus")
+        with pytest.raises(ValidationError):
+            regs.write("bogus", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            AxiLiteRegisters().write("PE_cycle_cnt", -1)
+
+    def test_saturating_accumulate(self):
+        regs = AxiLiteRegisters()
+        regs.write("iteration_cnt", (1 << 64) - 10)
+        regs.accumulate("iteration_cnt", 100)
+        assert regs.read("iteration_cnt") == (1 << 64) - 1
+
+    def test_reset(self):
+        regs = AxiLiteRegisters()
+        regs.write("PE_cycle_cnt", 5)
+        regs.reset()
+        assert regs.read("PE_cycle_cnt") == 0
+
+    def test_dump_and_iter(self):
+        regs = AxiLiteRegisters()
+        regs.write("pair_accepted", 7)
+        assert regs.dump()["pair_accepted"] == 7
+        assert dict(regs)["pair_accepted"] == 7
+
+
+@pytest.fixture(scope="module")
+def cluster_report():
+    """A short distributed run shared across tests."""
+    from repro.md import build_dataset
+
+    cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+    controller = ClusterController(cfg, seed=5)
+    controller.configure_all()
+    # Shrink the dataset for speed: rebuild the machine on fewer particles.
+    system, _ = build_dataset((4, 4, 4), particles_per_cell=16, seed=5)
+    from repro.core.machine import FasdaMachine
+
+    controller._machine = FasdaMachine(cfg, system=system)
+    report = controller.run(n_iterations=3, dump_group=0)
+    return controller, report
+
+
+class TestClusterController:
+    def test_run_requires_configuration(self):
+        controller = ClusterController(MachineConfig((3, 3, 3)))
+        with pytest.raises(ConfigError, match="configure_all"):
+            controller.run(1)
+
+    def test_one_host_per_fpga(self, cluster_report):
+        controller, _ = cluster_report
+        assert len(controller.hosts) == 8
+
+    def test_scheduler_address_format(self):
+        controller = ClusterController(MachineConfig((3, 3, 3)))
+        assert controller.scheduler_address.startswith("tcp://")
+
+    def test_register_dumps_per_node(self, cluster_report):
+        _, report = cluster_report
+        assert set(report.register_dumps) == set(range(8))
+        for dump in report.register_dumps.values():
+            assert dump["iteration_cnt"] == 3
+            assert dump["operation_cycle_cnt"] > 0
+            assert dump["PE_cycle_cnt"] <= dump["operation_cycle_cnt"]
+            assert dump["MU_cycle_cnt"] < dump["PE_cycle_cnt"]
+
+    def test_traffic_registers_populated(self, cluster_report):
+        _, report = cluster_report
+        assert report.total_packets("pos", "out") > 0
+        assert report.total_packets("frc", "out") > 0
+        # Conservation: packets sent = packets received cluster-wide.
+        assert report.total_packets("pos", "out") == report.total_packets("pos", "in")
+        assert report.total_packets("frc", "out") == report.total_packets("frc", "in")
+
+    def test_rate_conversion_matches_cycle_model(self, cluster_report):
+        """The artifact's check: register cycles convert to the reported
+        us/day rate."""
+        controller, report = cluster_report
+        from repro.core.cycles import estimate_performance
+
+        stats = controller._machine.measure_workload()
+        perf = estimate_performance(report.config, stats)
+        assert report.rate_us_per_day() == pytest.approx(
+            perf.rate_us_per_day, rel=0.05
+        )
+
+    def test_dump_group_returns_forces(self, cluster_report):
+        _, report = cluster_report
+        assert report.dump_forces is not None
+        assert report.dump_forces.shape[1] == 3
+        assert np.all(np.isfinite(report.dump_forces))
+
+    def test_invalid_run_args(self, cluster_report):
+        controller, _ = cluster_report
+        with pytest.raises(ValidationError):
+            controller.run(0)
+        with pytest.raises(ValidationError):
+            controller.run(1, dump_group=10_000)

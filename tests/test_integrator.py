@@ -1,0 +1,117 @@
+"""Tests for the velocity-Verlet integrator."""
+
+import numpy as np
+import pytest
+
+from repro.md import LJTable, ParticleSystem, VelocityVerlet
+from repro.util.errors import ValidationError
+from repro.util.units import KCAL_MOL_TO_INTERNAL
+
+
+def free_particle_system(v):
+    lj = LJTable(("Na",))
+    return ParticleSystem(
+        positions=np.array([[5.0, 5.0, 5.0]]),
+        velocities=np.array([v]),
+        species=np.zeros(1, dtype=np.int32),
+        lj_table=lj,
+        box=np.full(3, 100.0),
+    )
+
+
+def zero_force(system):
+    return np.zeros_like(system.positions), 0.0
+
+
+def test_bad_dt_rejected():
+    with pytest.raises(ValidationError):
+        VelocityVerlet(0.0)
+    with pytest.raises(ValidationError):
+        VelocityVerlet(-1.0)
+
+
+def test_free_particle_moves_linearly():
+    s = free_particle_system([0.01, 0.0, -0.02])
+    integ = VelocityVerlet(2.0)
+    integ.prime(s, zero_force)
+    for _ in range(10):
+        integ.step(s, zero_force)
+    np.testing.assert_allclose(s.positions[0], [5.0 + 0.01 * 20, 5.0, 5.0 - 0.02 * 20])
+    np.testing.assert_allclose(s.velocities[0], [0.01, 0.0, -0.02])
+
+
+def test_constant_force_quadratic_trajectory():
+    """Under constant F, x(t) = x0 + v0 t + a t^2 / 2 exactly (Verlet is
+    exact for constant acceleration)."""
+    f_const = np.array([[1.0, 0.0, 0.0]])  # kcal/mol/A
+
+    def const_force(system):
+        return f_const.copy(), 0.0
+
+    s = free_particle_system([0.0, 0.0, 0.0])
+    m = s.masses[0]
+    a = 1.0 * KCAL_MOL_TO_INTERNAL / m
+    integ = VelocityVerlet(2.0)
+    integ.prime(s, const_force)
+    n = 25
+    for _ in range(n):
+        integ.step(s, const_force)
+    t = 2.0 * n
+    assert s.positions[0, 0] == pytest.approx(5.0 + 0.5 * a * t * t, rel=1e-12)
+    assert s.velocities[0, 0] == pytest.approx(a * t, rel=1e-12)
+
+
+def test_harmonic_oscillator_energy_conservation():
+    """A particle on a (linearized) spring conserves energy to O(dt^2)."""
+    k = 10.0  # kcal/mol/A^2 around x=5
+
+    def spring(system):
+        x = system.positions[0, 0] - 5.0
+        f = np.zeros_like(system.positions)
+        f[0, 0] = -k * x
+        return f, 0.5 * k * x * x
+
+    s = free_particle_system([1e-3, 0.0, 0.0])
+    integ = VelocityVerlet(0.5)
+    pot = integ.prime(s, spring)
+    e0 = s.kinetic_energy() + pot
+    for _ in range(2000):
+        pot = integ.step(s, spring)
+    e1 = s.kinetic_energy() + pot
+    assert abs(e1 - e0) / abs(e0) < 1e-4
+
+
+def test_time_reversibility():
+    """Running forward then with negated velocities returns to the start."""
+    k = 4.0
+
+    def spring(system):
+        x = system.positions[0] - 5.0
+        return (-k * x)[None, :], float(0.5 * k * np.sum(x * x))
+
+    s = free_particle_system([2e-3, -1e-3, 5e-4])
+    start = s.positions.copy()
+    integ = VelocityVerlet(1.0)
+    integ.prime(s, spring)
+    for _ in range(100):
+        integ.step(s, spring)
+    s.velocities *= -1.0
+    # Re-prime not needed: forces already match current positions.
+    for _ in range(100):
+        integ.step(s, spring)
+    np.testing.assert_allclose(s.positions, start, atol=1e-9)
+
+
+def test_step_updates_forces_in_system():
+    calls = []
+
+    def recording_force(system):
+        calls.append(system.positions.copy())
+        return np.full_like(system.positions, 0.5), 0.0
+
+    s = free_particle_system([0.0, 0.0, 0.0])
+    integ = VelocityVerlet(2.0)
+    integ.prime(s, recording_force)
+    integ.step(s, recording_force)
+    np.testing.assert_array_equal(s.forces, 0.5)
+    assert len(calls) == 2  # one prime + one step

@@ -1,0 +1,149 @@
+"""Tests for the indexed linear-interpolation tables (paper Eqs. 8-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import ForceTableSet, InterpolationTable
+from repro.arith.interp import section_bin_indices
+from repro.util.errors import ValidationError
+
+
+class TestSectionBinIndices:
+    def test_section_edges(self):
+        n_s, n_b = 8, 16
+        # Left edge of section s is 2**(s - n_s).
+        for s in range(n_s):
+            r2 = np.array([2.0 ** (s - n_s)])
+            si, bi = section_bin_indices(r2, n_s, n_b)
+            assert si[0] == s
+            assert bi[0] == 0
+
+    def test_last_bin_of_section(self):
+        n_s, n_b = 8, 16
+        # Just below the right edge of section 3.
+        r2 = np.array([2.0 ** (4 - n_s) * (1 - 1e-12)])
+        si, bi = section_bin_indices(r2, n_s, n_b)
+        assert si[0] == 3
+        assert bi[0] == n_b - 1
+
+    def test_cutoff_value_folds_into_last_bin(self):
+        si, bi = section_bin_indices(np.array([1.0]), 8, 16)
+        assert si[0] == 7
+        assert bi[0] == 15
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValidationError):
+            section_bin_indices(np.array([2.0 ** -9]), 8, 16)
+        with pytest.raises(ValidationError):
+            section_bin_indices(np.array([1.5]), 8, 16)
+
+    @given(st.floats(min_value=2.0 ** -14, max_value=1.0, exclude_max=True))
+    @settings(max_examples=300, deadline=None)
+    def test_indices_match_paper_formulas(self, r2):
+        """Cross-check the frexp path against Eqs. 9-10 evaluated directly."""
+        n_s, n_b = 14, 64
+        si, bi = section_bin_indices(np.array([r2]), n_s, n_b)
+        s_ref = int(np.floor(np.log2(r2))) + n_s
+        # Guard against log2 landing exactly on an integer boundary from below.
+        if 2.0 ** (s_ref - n_s) > r2:
+            s_ref -= 1
+        elif 2.0 ** (s_ref - n_s + 1) <= r2:
+            s_ref += 1
+        b_ref = int(np.floor((2.0 ** (n_s - s_ref) * r2 - 1.0) * n_b))
+        b_ref = min(b_ref, n_b - 1)
+        assert si[0] == s_ref
+        assert bi[0] == b_ref
+
+
+class TestInterpolationTable:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            InterpolationTable(alpha=0)
+        with pytest.raises(ValidationError):
+            InterpolationTable(alpha=8, n_s=0)
+        with pytest.raises(ValidationError):
+            InterpolationTable(alpha=8, n_b=0)
+
+    def test_exact_at_bin_edges(self):
+        """Endpoint-fit segments are exact at every bin edge."""
+        t = InterpolationTable(alpha=8, n_s=6, n_b=8)
+        for s in range(6):
+            lo = 2.0 ** (s - 6)
+            edges = lo + (lo / 8) * np.arange(8)
+            np.testing.assert_allclose(t.evaluate(edges), t.exact(edges), rtol=1e-12)
+
+    @pytest.mark.parametrize("alpha", [6, 8, 12, 14])
+    def test_error_small_at_default_size(self, alpha):
+        t = InterpolationTable(alpha=alpha)
+        assert t.max_relative_error() < 5e-4
+
+    def test_error_shrinks_quadratically_with_bins(self):
+        """First-order interpolation: error ~ (bin width)^2."""
+        e_64 = InterpolationTable(alpha=14, n_s=10, n_b=64).max_relative_error()
+        e_256 = InterpolationTable(alpha=14, n_s=10, n_b=256).max_relative_error()
+        ratio = e_64 / e_256
+        assert 12 < ratio < 20  # ideal 16
+
+    def test_interpolant_overestimates_convex_function(self):
+        """r^-alpha is convex, so the chord lies above the function."""
+        t = InterpolationTable(alpha=14, n_s=8, n_b=16)
+        rng = np.random.default_rng(7)
+        r2 = rng.uniform(2.0 ** -8, 1.0, size=500)
+        assert np.all(t.evaluate(r2) >= t.exact(r2) * (1 - 1e-12))
+
+    def test_bram_words(self):
+        t = InterpolationTable(alpha=8, n_s=10, n_b=32)
+        assert t.bram_words == 2 * 10 * 32
+
+    @given(
+        st.floats(min_value=2.0 ** -10, max_value=1.0),
+        st.sampled_from([6, 8, 12, 14]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_relative_error_bounded_everywhere(self, r2, alpha):
+        t = InterpolationTable(alpha=alpha, n_s=10, n_b=256)
+        approx = float(t.evaluate(np.array([r2]))[0])
+        exact = float(t.exact(np.array([r2]))[0])
+        assert abs(approx - exact) / exact < 1e-3
+
+
+class TestSharedIndexEvaluation:
+    def test_evaluate_f32_at_matches_evaluate_f32(self):
+        """The pipelines decode section/bin once for all tables; the
+        shared-index path must equal the standalone one exactly."""
+        t = InterpolationTable(alpha=14, n_s=10, n_b=64)
+        rng = np.random.default_rng(0)
+        r2_32 = rng.uniform(2.0 ** -9, 0.999, size=500).astype(np.float32)
+        s, b = section_bin_indices(r2_32.astype(np.float64), 10, 64)
+        np.testing.assert_array_equal(
+            t.evaluate_f32_at(s, b, r2_32), t.evaluate_f32(r2_32)
+        )
+
+    def test_unchecked_indices_match_checked(self):
+        rng = np.random.default_rng(1)
+        r2 = rng.uniform(2.0 ** -9, 0.999, size=300)
+        s1, b1 = section_bin_indices(r2, 10, 64, checked=True)
+        s2, b2 = section_bin_indices(r2, 10, 64, checked=False)
+        np.testing.assert_array_equal(s1, s2)
+        np.testing.assert_array_equal(b1, b2)
+
+
+class TestForceTableSet:
+    def test_contains_force_and_energy_tables(self):
+        ts = ForceTableSet(n_s=8, n_b=32)
+        for alpha in (14, 8, 12, 6):
+            assert ts[alpha].alpha == alpha
+
+    def test_energy_tables_optional(self):
+        ts = ForceTableSet(n_s=8, n_b=32, with_energy=False)
+        with pytest.raises(KeyError):
+            ts[12]
+
+    def test_bram_accounting(self):
+        ts = ForceTableSet(n_s=8, n_b=32)
+        assert ts.bram_words == 4 * 2 * 8 * 32
+
+    def test_r2_min(self):
+        assert ForceTableSet(n_s=12, n_b=16).r2_min == 2.0 ** -12

@@ -1,0 +1,101 @@
+"""Tests for reciprocal-space Ewald (the LR complement / validation)."""
+
+import numpy as np
+import pytest
+
+from repro.md.ewald import COULOMB_KCAL_MOL_A
+from repro.md.longrange import (
+    ewald_reciprocal_energy,
+    ewald_self_energy,
+    ewald_total_energy,
+    madelung_constant_rocksalt,
+)
+from repro.util.errors import ValidationError
+
+
+class TestSelfEnergy:
+    def test_formula(self):
+        charges = np.array([1.0, -1.0, 2.0])
+        beta = 0.4
+        expected = -COULOMB_KCAL_MOL_A * beta / np.sqrt(np.pi) * 6.0
+        assert ewald_self_energy(charges, beta) == pytest.approx(expected)
+
+    def test_always_negative_for_charged_particles(self):
+        assert ewald_self_energy(np.array([1.0]), 0.3) < 0
+
+
+class TestReciprocal:
+    def test_neutral_uniform_pair(self):
+        """Two opposite charges: reciprocal energy is finite and real."""
+        pos = np.array([[2.0, 5.0, 5.0], [8.0, 5.0, 5.0]])
+        q = np.array([1.0, -1.0])
+        e = ewald_reciprocal_energy(pos, q, np.full(3, 10.0), beta=0.35)
+        assert np.isfinite(e)
+
+    def test_invariant_under_translation(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 12.0, size=(16, 3))
+        q = np.tile([1.0, -1.0], 8)
+        box = np.full(3, 12.0)
+        e0 = ewald_reciprocal_energy(pos, q, box, beta=0.4)
+        e1 = ewald_reciprocal_energy((pos + 3.7) % box, q, box, beta=0.4)
+        assert e1 == pytest.approx(e0, rel=1e-9)
+
+    def test_converged_in_kmax(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 10.0, size=(8, 3))
+        q = np.tile([1.0, -1.0], 4)
+        box = np.full(3, 10.0)
+        e8 = ewald_reciprocal_energy(pos, q, box, beta=0.45, k_max=8)
+        e12 = ewald_reciprocal_energy(pos, q, box, beta=0.45, k_max=12)
+        assert e8 == pytest.approx(e12, rel=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ewald_reciprocal_energy(
+                np.zeros((2, 3)), np.zeros(3), np.full(3, 10.0), 0.3
+            )
+        with pytest.raises(ValidationError):
+            ewald_reciprocal_energy(
+                np.zeros((2, 3)), np.zeros(2), np.full(3, 10.0), 0.3, k_max=0
+            )
+
+
+class TestTotalEnergy:
+    def test_beta_independence(self):
+        """The physical total must not depend on the splitting parameter
+        — the definitive internal-consistency check of an Ewald sum."""
+        from repro.md.lattice import build_rocksalt
+
+        s = build_rocksalt(2, 6.0)
+        box = s.box
+        cutoff = float(np.min(box)) / 2.0 * 0.999
+        totals = []
+        # Betas large enough that erfc(beta * cutoff) is fully converged;
+        # smaller betas would need a bigger real-space cutoff.
+        for beta in (0.55, 0.65, 0.8):
+            real, rec, self_e = ewald_total_energy(
+                s.positions, s.charges, box, beta, cutoff, k_max=12
+            )
+            totals.append(real + rec + self_e)
+        assert totals[0] == pytest.approx(totals[1], rel=1e-5)
+        assert totals[1] == pytest.approx(totals[2], rel=1e-5)
+
+    def test_charged_system_rejected(self):
+        with pytest.raises(ValidationError, match="neutral"):
+            ewald_total_energy(
+                np.zeros((1, 3)), np.array([1.0]), np.full(3, 10.0), 0.4, 4.0
+            )
+
+
+class TestMadelung:
+    def test_rocksalt_madelung_constant(self):
+        """The classic Ewald validation: NaCl Madelung = 1.747565."""
+        m = madelung_constant_rocksalt(n_cells=2, k_max=10)
+        assert m == pytest.approx(1.747565, rel=2e-4)
+
+    def test_independent_of_lattice_constant(self):
+        """Madelung is dimensionless: any a0 gives the same value."""
+        m1 = madelung_constant_rocksalt(n_cells=2, lattice_constant=5.0, k_max=10)
+        m2 = madelung_constant_rocksalt(n_cells=2, lattice_constant=7.0, k_max=10)
+        assert m1 == pytest.approx(m2, rel=1e-4)

@@ -1,0 +1,238 @@
+"""Tests for the functional FASDA machine (datapath fidelity + accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import FasdaMachine
+from repro.md import build_dataset
+from repro.md.reference import compute_forces_cells
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    """A 3x3x3 single-node machine with a reduced dataset (fast)."""
+    cfg = MachineConfig((3, 3, 3))
+    system, _ = build_dataset((3, 3, 3), particles_per_cell=16, seed=7)
+    return FasdaMachine(cfg, system=system), system
+
+
+@pytest.fixture(scope="module")
+def distributed_machine():
+    """An 8-node 4x4x4 machine with a reduced dataset."""
+    cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+    system, _ = build_dataset((4, 4, 4), particles_per_cell=16, seed=8)
+    return FasdaMachine(cfg, system=system), system
+
+
+class TestConstruction:
+    def test_box_mismatch_rejected(self):
+        cfg = MachineConfig((3, 3, 3))
+        system, _ = build_dataset((4, 4, 4), particles_per_cell=4)
+        with pytest.raises(ConfigError, match="does not match"):
+            FasdaMachine(cfg, system=system)
+
+    def test_default_dataset_generated(self):
+        m = FasdaMachine(MachineConfig((3, 3, 3)))
+        assert m.system.n == 27 * 64
+
+    def test_caller_system_not_mutated(self):
+        cfg = MachineConfig((3, 3, 3))
+        system, _ = build_dataset((3, 3, 3), particles_per_cell=8, seed=1)
+        before = system.positions.copy()
+        m = FasdaMachine(cfg, system=system)
+        m.run(2, record_every=0)
+        np.testing.assert_array_equal(system.positions, before)
+
+
+class TestForceFidelity:
+    def test_forces_match_reference_within_datapath_error(self, small_machine):
+        machine, system = small_machine
+        machine.compute_forces(collect_traffic=False)
+        from repro.md.cells import CellGrid
+
+        grid = CellGrid((3, 3, 3), 8.5)
+        f_ref, e_ref = compute_forces_cells(system, grid)
+        f_mac = machine.forces.astype(np.float64)
+        scale = np.abs(f_ref).max()
+        assert np.abs(f_mac - f_ref).max() / scale < 1e-3
+
+    def test_energy_matches_reference(self, small_machine):
+        machine, system = small_machine
+        stats = machine.compute_forces(collect_traffic=False)
+        from repro.md.cells import CellGrid
+
+        _, e_ref = compute_forces_cells(system, CellGrid((3, 3, 3), 8.5))
+        assert stats.potential_energy == pytest.approx(e_ref, rel=1e-3)
+
+    def test_newtons_third_law(self, small_machine):
+        machine, _ = small_machine
+        machine.compute_forces(collect_traffic=False)
+        total = machine.forces.astype(np.float64).sum(axis=0)
+        # float32 accumulation: zero to float32 roundoff of the force sums.
+        assert np.abs(total).max() < 1e-2
+
+    def test_forces_are_float32(self, small_machine):
+        machine, _ = small_machine
+        assert machine.forces.dtype == np.float32
+        assert machine.velocities.dtype == np.float32
+
+
+class TestWorkloadStats:
+    def test_acceptance_rate_near_theory(self):
+        """Paper Eq. 3: ~15.5% of candidates are valid pairs."""
+        machine = FasdaMachine(MachineConfig((3, 3, 3)))
+        stats = machine.measure_workload()
+        assert 0.12 < stats.acceptance_rate < 0.17
+
+    def test_candidate_count_formula(self):
+        """Candidates = home pairs + 13 * occ^2 per cell for uniform 64."""
+        machine = FasdaMachine(MachineConfig((3, 3, 3)))
+        stats = machine.measure_workload()
+        expected_per_cell = 64 * 63 // 2 + 13 * 64 * 64
+        np.testing.assert_array_equal(stats.candidates_per_cell, expected_per_cell)
+
+    def test_single_node_has_no_remote_traffic(self, small_machine):
+        machine, _ = small_machine
+        stats = machine.measure_workload()
+        assert stats.position_records == {}
+        assert stats.force_records == {}
+
+    def test_distributed_traffic_present(self, distributed_machine):
+        machine, _ = distributed_machine
+        stats = machine.measure_workload()
+        assert stats.position_records
+        assert stats.force_records
+        # Traffic is symmetric in structure: every node both sends and
+        # receives positions.
+        senders = {s for s, _ in stats.position_records}
+        receivers = {d for _, d in stats.position_records}
+        assert senders == receivers == set(range(8))
+
+    def test_forces_fewer_than_positions_to_far_nodes(self, distributed_machine):
+        """Zero forces are discarded: force records to a corner node are
+        rarer than position records from it (paper Sec. 5.4)."""
+        machine, _ = distributed_machine
+        stats = machine.measure_workload()
+        total_pos = sum(stats.position_records.values())
+        total_frc = sum(stats.force_records.values())
+        assert total_frc < total_pos
+
+    def test_ring_loads_populated_per_node(self, distributed_machine):
+        machine, _ = distributed_machine
+        stats = machine.measure_workload()
+        assert set(stats.pr_load) == set(range(8))
+        for load in stats.pr_load.values():
+            assert load.total_records > 0
+            assert load.min_cycles > 0
+
+    def test_occupancy_sums_to_n(self, distributed_machine):
+        machine, system = distributed_machine
+        stats = machine.measure_workload()
+        assert stats.occupancy_per_cell.sum() == system.n
+
+
+class TestSparseSystems:
+    """The machine must handle empty and near-empty cells (real systems
+    are not uniformly filled the way the paper's benchmark is)."""
+
+    def _sparse_system(self, n=40, seed=31):
+        import numpy as np
+
+        from repro.md import CellGrid, LJTable, ParticleSystem
+
+        rng = np.random.default_rng(seed)
+        grid = CellGrid((3, 3, 3), 8.5)
+        lj = LJTable(("Na",))
+        # Cluster all particles into one octant: most cells stay empty.
+        pos = rng.uniform(0, 8.0, size=(n, 3))
+        keep = [0]
+        for i in range(1, n):
+            d = pos[keep] - pos[i]
+            if np.min(np.sum(d * d, axis=1)) > 2.2 ** 2:
+                keep.append(i)
+        pos = pos[keep]
+        return (
+            ParticleSystem(
+                positions=pos,
+                velocities=np.zeros_like(pos),
+                species=np.zeros(len(pos), dtype=np.int32),
+                lj_table=lj,
+                box=grid.box,
+            ),
+            grid,
+        )
+
+    def test_force_pass_with_empty_cells(self):
+        import numpy as np
+
+        from repro.md.reference import compute_forces_cells
+
+        system, grid = self._sparse_system()
+        machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system)
+        machine.compute_forces(collect_traffic=True)
+        f_ref, _ = compute_forces_cells(system, grid)
+        scale = max(float(np.abs(f_ref).max()), 1e-9)
+        assert np.abs(machine.forces.astype(np.float64) - f_ref).max() / scale < 2e-3
+
+    def test_dynamics_with_empty_cells(self):
+        system, grid = self._sparse_system()
+        machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system)
+        recs = machine.run(10, record_every=5)
+        e0 = recs[0].total
+        for rec in recs:
+            assert abs(rec.total - e0) / max(abs(e0), 1e-9) < 5e-2
+
+    def test_single_particle_system(self):
+        import numpy as np
+
+        from repro.md import CellGrid, LJTable, ParticleSystem
+
+        grid = CellGrid((3, 3, 3), 8.5)
+        system = ParticleSystem(
+            positions=np.array([[5.0, 5.0, 5.0]]),
+            velocities=np.zeros((1, 3)),
+            species=np.zeros(1, dtype=np.int32),
+            lj_table=LJTable(("Na",)),
+            box=grid.box,
+        )
+        machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system)
+        stats = machine.compute_forces(collect_traffic=True)
+        assert stats.total_candidates == 0
+        assert stats.total_accepted == 0
+        np.testing.assert_array_equal(machine.forces, 0.0)
+
+
+class TestDynamics:
+    def test_energy_conservation_short_run(self, small_machine):
+        machine, _ = small_machine
+        recs = machine.run(40, record_every=10)
+        e0 = recs[0].total
+        for rec in recs:
+            assert abs(rec.total - e0) / abs(e0) < 5e-3
+
+    def test_machine_tracks_reference_energy(self):
+        """The Fig. 19 property on a small system: machine total energy
+        stays within 1e-3 of the float64 reference trajectory's."""
+        from repro.md import ReferenceEngine
+        from repro.md.cells import CellGrid
+
+        system, grid = build_dataset((3, 3, 3), particles_per_cell=16, seed=3)
+        machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system.copy())
+        reference = ReferenceEngine(system.copy(), grid, dt_fs=2.0)
+        m_recs = machine.run(30, record_every=10)
+        r_recs = reference.run(30, record_every=10)
+        for m, r in zip(m_recs, r_recs):
+            assert abs(m.total - r.total) / abs(r.total) < 1e-3
+
+    def test_positions_stay_in_box(self, small_machine):
+        machine, _ = small_machine
+        machine.run(5, record_every=0)
+        assert np.all(machine.system.positions >= 0)
+        assert np.all(machine.system.positions < machine.system.box)
+
+    def test_negative_steps_rejected(self, small_machine):
+        machine, _ = small_machine
+        with pytest.raises(Exception):
+            machine.run(-1)

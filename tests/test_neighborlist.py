@@ -1,0 +1,153 @@
+"""Tests for Verlet neighbor lists (the skin-margin alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.md import build_dataset
+from repro.md.cells import CellGrid
+from repro.md.neighborlist import VerletNeighborList, compute_forces_verlet
+from repro.md.reference import compute_forces_cells
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture()
+def small_system():
+    return build_dataset((3, 3, 3), particles_per_cell=8, seed=21)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            VerletNeighborList(0.0, 1.0, np.full(3, 30.0))
+        with pytest.raises(ValidationError):
+            VerletNeighborList(8.5, -1.0, np.full(3, 30.0))
+        with pytest.raises(ValidationError, match="box too small"):
+            VerletNeighborList(8.5, 2.0, np.full(3, 20.0))
+
+    def test_pairs_before_build_rejected(self):
+        nlist = VerletNeighborList(8.5, 1.0, np.full(3, 30.0))
+        with pytest.raises(ValidationError):
+            nlist.pairs()
+
+
+class TestCorrectness:
+    def test_forces_match_cell_list(self, small_system):
+        system, grid = small_system
+        nlist = VerletNeighborList(grid.cell_edge, 1.0, system.box)
+        f_verlet, e_verlet = compute_forces_verlet(system, nlist)
+        f_cells, e_cells = compute_forces_cells(system, grid)
+        np.testing.assert_allclose(f_verlet, f_cells, rtol=1e-9, atol=1e-10)
+        assert e_verlet == pytest.approx(e_cells, rel=1e-12)
+
+    def test_zero_skin_also_correct(self, small_system):
+        system, grid = small_system
+        nlist = VerletNeighborList(grid.cell_edge, 0.0, system.box)
+        f_verlet, _ = compute_forces_verlet(system, nlist)
+        f_cells, _ = compute_forces_cells(system, grid)
+        np.testing.assert_allclose(f_verlet, f_cells, rtol=1e-9, atol=1e-10)
+
+    def test_correct_across_motion_without_rebuild(self, small_system):
+        """Particles moving less than skin/2 reuse the stale list and
+        still produce exact forces."""
+        system, grid = small_system
+        nlist = VerletNeighborList(grid.cell_edge, 2.0, system.box)
+        compute_forces_verlet(system, nlist)
+        builds_before = nlist.builds
+        rng = np.random.default_rng(0)
+        system.positions += rng.uniform(-0.4, 0.4, size=system.positions.shape)
+        system.wrap()
+        f_verlet, _ = compute_forces_verlet(system, nlist)
+        assert nlist.builds == builds_before  # no rebuild needed
+        f_cells, _ = compute_forces_cells(system, grid)
+        np.testing.assert_allclose(f_verlet, f_cells, rtol=1e-9, atol=1e-10)
+
+
+class TestPropertyEquivalence:
+    """Verlet list and cell list must agree on arbitrary systems."""
+
+    def test_random_systems_match(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.integers(0, 10_000))
+        @settings(max_examples=10, deadline=None)
+        def check(seed):
+            import numpy as np
+
+            from repro.md import CellGrid, LJTable, ParticleSystem
+
+            rng = np.random.default_rng(seed)
+            grid = CellGrid((3, 3, 3), 8.5)
+            lj = LJTable(("Na",))
+            pos = rng.uniform(0, grid.box, size=(60, 3))
+            keep = [0]
+            for i in range(1, len(pos)):
+                d = pos[keep] - pos[i]
+                d -= grid.box * np.rint(d / grid.box)
+                if np.min(np.sum(d * d, axis=1)) > 4.0:
+                    keep.append(i)
+            pos = pos[keep]
+            system = ParticleSystem(
+                positions=pos,
+                velocities=np.zeros_like(pos),
+                species=np.zeros(len(pos), dtype=np.int32),
+                lj_table=lj,
+                box=grid.box,
+            )
+            nlist = VerletNeighborList(8.5, 1.0, system.box)
+            f_v, e_v = compute_forces_verlet(system, nlist)
+            f_c, e_c = compute_forces_cells(system, grid)
+            np.testing.assert_allclose(f_v, f_c, rtol=1e-9, atol=1e-10)
+            assert abs(e_v - e_c) <= 1e-9 * max(abs(e_c), 1.0)
+
+        check()
+
+
+class TestRebuildLogic:
+    def test_rebuild_triggered_by_large_motion(self, small_system):
+        system, _ = small_system
+        nlist = VerletNeighborList(8.5, 1.0, system.box)
+        nlist.build(system.positions)
+        moved = system.positions.copy()
+        moved[0, 0] += 0.6  # > skin/2
+        assert nlist.needs_rebuild(moved)
+
+    def test_no_rebuild_below_half_skin(self, small_system):
+        system, _ = small_system
+        nlist = VerletNeighborList(8.5, 1.0, system.box)
+        nlist.build(system.positions)
+        moved = system.positions.copy()
+        moved[0, 0] += 0.4  # < skin/2
+        assert not nlist.needs_rebuild(moved)
+
+    def test_displacement_wraps_minimum_image(self, small_system):
+        """A particle crossing the periodic boundary hasn't 'moved far'."""
+        system, _ = small_system
+        nlist = VerletNeighborList(8.5, 1.0, system.box)
+        pos = system.positions.copy()
+        pos[0] = [0.1, 5.0, 5.0]
+        nlist.build(pos)
+        moved = pos.copy()
+        moved[0, 0] = system.box[0] - 0.1  # wrapped -0.2 shift
+        assert not nlist.needs_rebuild(moved)
+
+    def test_build_counter(self, small_system):
+        system, _ = small_system
+        nlist = VerletNeighborList(8.5, 1.0, system.box)
+        nlist.ensure(system.positions)
+        nlist.ensure(system.positions)
+        assert nlist.builds == 1
+
+    def test_skin_amortizes_builds_during_md(self):
+        """Running MD with a skin rebuilds far less than once per step —
+        the margin benefit the paper notes does not apply on FPGAs."""
+        from repro.md import ReferenceEngine
+
+        system, grid = build_dataset((3, 3, 3), particles_per_cell=8, seed=3)
+        nlist = VerletNeighborList(grid.cell_edge, 1.5, system.box)
+        engine = ReferenceEngine(system, grid, dt_fs=2.0)
+        n_steps = 30
+        for _ in range(n_steps):
+            engine.run(1, record_every=0)
+            nlist.ensure(engine.system.positions)
+        assert nlist.builds < n_steps / 3

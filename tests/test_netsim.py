@@ -1,0 +1,91 @@
+"""Tests for the packet-level switch model (cooldown justification)."""
+
+import numpy as np
+import pytest
+
+from repro.network.netsim import Burst, OutputQueuedSwitch, incast_loss_rate
+from repro.util.errors import ValidationError
+
+
+class TestBurst:
+    def test_emission_schedule(self):
+        b = Burst(src=1, dst=0, n_packets=3, gap_cycles=4, start_cycle=10)
+        np.testing.assert_array_equal(b.emission_cycles(), [10, 14, 18])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Burst(0, 1, n_packets=-1)
+        with pytest.raises(ValidationError):
+            Burst(0, 1, 1, gap_cycles=0)
+
+
+class TestOutputQueuedSwitch:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            OutputQueuedSwitch(1)
+        with pytest.raises(ValidationError):
+            OutputQueuedSwitch(4, drain_per_cycle=0)
+        switch = OutputQueuedSwitch(4)
+        with pytest.raises(ValidationError):
+            switch.run([Burst(0, 9, 1)])
+
+    def test_single_sender_never_drops(self):
+        """One paced sender stays under the port's line rate."""
+        switch = OutputQueuedSwitch(4, buffer_packets=4)
+        stats = switch.run([Burst(1, 0, n_packets=500, gap_cycles=2)])
+        assert stats.dropped == 0
+        assert stats.delivered == 500
+
+    def test_everything_accounted(self):
+        switch = OutputQueuedSwitch(8, buffer_packets=8)
+        bursts = [Burst(s, 0, 100, gap_cycles=1) for s in range(1, 8)]
+        stats = switch.run(bursts)
+        assert stats.delivered + stats.dropped == 700
+
+    def test_incast_without_pacing_drops(self):
+        """7 synchronized line-rate senders to one port overflow it."""
+        loss, peak = incast_loss_rate(
+            n_senders=7, packets_per_sender=200, cooldown_cycles=1,
+            buffer_packets=64,
+        )
+        assert loss > 0.3
+        assert peak == 64  # buffer pinned at its limit
+
+    def test_incast_with_sufficient_cooldown_is_lossless(self):
+        """Pacing each sender to 1/8 line rate keeps the aggregate under
+        the port's drain rate: zero loss."""
+        loss, peak = incast_loss_rate(
+            n_senders=7, packets_per_sender=200, cooldown_cycles=8,
+            buffer_packets=64,
+        )
+        assert loss == 0.0
+        assert peak < 64
+
+    def test_loss_monotone_in_cooldown(self):
+        losses = [
+            incast_loss_rate(7, 200, c, buffer_packets=64)[0]
+            for c in (1, 2, 4, 8)
+        ]
+        assert all(a >= b for a, b in zip(losses, losses[1:]))
+        assert losses[0] > losses[-1]
+
+    def test_bigger_buffer_absorbs_more(self):
+        small = incast_loss_rate(7, 100, 1, buffer_packets=16)[0]
+        large = incast_loss_rate(7, 100, 1, buffer_packets=512)[0]
+        assert large < small
+
+    def test_staggered_bursts_avoid_incast(self):
+        """The same traffic spread in time (what cooldown effectively
+        does across iterations) is lossless even unpaced per train."""
+        switch = OutputQueuedSwitch(8, buffer_packets=32)
+        bursts = [
+            Burst(s, 0, 100, gap_cycles=1, start_cycle=s * 150)
+            for s in range(1, 8)
+        ]
+        stats = switch.run(bursts)
+        assert stats.dropped == 0
+
+    def test_zero_packet_burst(self):
+        switch = OutputQueuedSwitch(4)
+        stats = switch.run([Burst(1, 0, 0)])
+        assert stats.delivered == 0 and stats.dropped == 0

@@ -1,0 +1,190 @@
+"""Tests for the communication interface (packets, gates, chains)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packets import (
+    F2RGate,
+    P2REncapsulatorChain,
+    Packet,
+    PacketGate,
+    Record,
+    unpack,
+)
+from repro.util.errors import ValidationError
+
+
+def pos_record(pid, cell=(0, 0, 0)):
+    return Record("position", pid, cell, (0.1, 0.2, 0.3))
+
+
+def frc_record(pid, cell=(0, 0, 0)):
+    return Record("force", pid, cell, (1.0, -1.0, 0.5))
+
+
+class TestRecord:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            Record("velocity", 0, (0, 0, 0), (0.0,))
+
+
+class TestPacket:
+    def test_size_limits(self):
+        with pytest.raises(ValidationError):
+            Packet(0, records=())
+        with pytest.raises(ValidationError):
+            Packet(0, records=tuple(pos_record(i) for i in range(5)))
+
+    def test_unpack_roundtrip(self):
+        records = tuple(pos_record(i) for i in range(3))
+        assert unpack(Packet(1, records)) == records
+
+
+class TestPacketGate:
+    def test_emits_on_fourth_record(self):
+        gate = PacketGate(dst=2)
+        assert gate.push(pos_record(0)) is None
+        assert gate.push(pos_record(1)) is None
+        assert gate.push(pos_record(2)) is None
+        pkt = gate.push(pos_record(3))
+        assert pkt is not None
+        assert len(pkt.records) == 4
+        assert not pkt.last
+        assert pkt.dst == 2
+
+    def test_flush_partial_sets_last(self):
+        gate = PacketGate(dst=0)
+        gate.push(pos_record(0))
+        pkt = gate.flush()
+        assert pkt is not None
+        assert pkt.last
+        assert len(pkt.records) == 1
+
+    def test_flush_empty_returns_none(self):
+        assert PacketGate(dst=0).flush() is None
+
+    def test_counters(self):
+        gate = PacketGate(dst=0)
+        for i in range(6):
+            gate.push(pos_record(i))
+        gate.flush()
+        assert gate.records_sent == 6
+        assert gate.packets_sent == 2  # one full + one partial
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_packet_count_is_ceil(self, n):
+        gate = PacketGate(dst=0)
+        for i in range(n):
+            gate.push(pos_record(i))
+        gate.flush()
+        assert gate.packets_sent == (n + 3) // 4
+        assert gate.records_sent == n
+
+
+class TestP2RChain:
+    def test_duplicate_neighbors_rejected(self):
+        with pytest.raises(ValidationError):
+            P2REncapsulatorChain([1, 1])
+
+    def test_rejects_forces(self):
+        chain = P2REncapsulatorChain([1])
+        with pytest.raises(ValidationError):
+            chain.route(frc_record(0), [1])
+
+    def test_multi_destination_copies(self):
+        """One position with three destination nodes lands in three gates."""
+        chain = P2REncapsulatorChain([1, 2, 3])
+        for i in range(4):
+            chain.route(pos_record(i), [1, 2, 3])
+        # Each gate filled exactly once.
+        assert chain.packets_sent == 3
+        for gate in chain.gates.values():
+            assert gate.records_sent == 4
+
+    def test_unknown_destination_rejected(self):
+        chain = P2REncapsulatorChain([1])
+        with pytest.raises(ValidationError, match="departure gate"):
+            chain.route(pos_record(0), [9])
+
+    def test_flush_all_flushes_every_gate(self):
+        chain = P2REncapsulatorChain([1, 2])
+        chain.route(pos_record(0), [1])
+        chain.route(pos_record(1), [2])
+        pkts = chain.flush_all()
+        assert len(pkts) == 2
+        assert all(p.last for p in pkts)
+
+
+class TestPacketFuzz:
+    """Property tests: arbitrary routing patterns conserve records."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 200),          # particle id
+                st.sets(st.integers(1, 5), min_size=1, max_size=5),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chain_conserves_records(self, routes):
+        chain = P2REncapsulatorChain([1, 2, 3, 4, 5])
+        packets = []
+        expected = {dst: 0 for dst in (1, 2, 3, 4, 5)}
+        for pid, dests in routes:
+            packets.extend(chain.route(pos_record(pid), sorted(dests)))
+            for d in dests:
+                expected[d] += 1
+        packets.extend(chain.flush_all())
+        received = {dst: 0 for dst in (1, 2, 3, 4, 5)}
+        for pkt in packets:
+            received[pkt.dst] += len(pkt.records)
+        assert received == expected
+        # Only the final packet per destination carries `last`.
+        for dst in (1, 2, 3, 4, 5):
+            lasts = [p.last for p in packets if p.dst == dst]
+            assert sum(lasts) <= 1
+            if lasts:
+                assert not any(lasts[:-1])
+
+    @given(st.lists(st.integers(1, 3), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_f2r_conserves_records(self, destinations):
+        gate = F2RGate([1, 2, 3])
+        packets = []
+        for i, dst in enumerate(destinations):
+            pkt = gate.route(frc_record(i), dst)
+            if pkt is not None:
+                packets.append(pkt)
+        packets.extend(gate.flush_all())
+        total = sum(len(p.records) for p in packets)
+        assert total == len(destinations)
+
+
+class TestF2RGate:
+    def test_rejects_positions(self):
+        gate = F2RGate([1])
+        with pytest.raises(ValidationError):
+            gate.route(pos_record(0), 1)
+
+    def test_single_destination(self):
+        gate = F2RGate([1, 2])
+        for i in range(4):
+            assert gate.route(frc_record(i), 1) is None or i == 3
+        assert gate.gates[1].packets_sent == 1
+        assert gate.gates[2].packets_sent == 0
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValidationError):
+            F2RGate([1]).route(frc_record(0), 5)
+
+    def test_flush_all(self):
+        gate = F2RGate([1, 2])
+        gate.route(frc_record(0), 2)
+        pkts = gate.flush_all()
+        assert len(pkts) == 1
+        assert pkts[0].dst == 2 and pkts[0].last

@@ -1,0 +1,100 @@
+"""Tests for LJ parameters, mixing rules, and coefficient scaling."""
+
+import numpy as np
+import pytest
+
+from repro.md.params import ELEMENTS, LJTable
+from repro.util.errors import ValidationError
+
+
+def test_registry_contains_sodium():
+    na = ELEMENTS["Na"]
+    assert na.mass == pytest.approx(22.98976928)
+    assert na.sigma > 0 and na.epsilon > 0
+
+
+def test_empty_species_rejected():
+    with pytest.raises(ValidationError):
+        LJTable(())
+
+
+def test_unknown_species_rejected():
+    with pytest.raises(ValidationError, match="unknown element"):
+        LJTable(("Na", "Unobtainium"))
+
+
+def test_lorentz_berthelot_mixing():
+    t = LJTable(("Na", "Ar"))
+    na, ar = ELEMENTS["Na"], ELEMENTS["Ar"]
+    assert t.sigma_ij[0, 1] == pytest.approx(0.5 * (na.sigma + ar.sigma))
+    assert t.eps_ij[0, 1] == pytest.approx(np.sqrt(na.epsilon * ar.epsilon))
+    # Symmetry.
+    np.testing.assert_allclose(t.sigma_ij, t.sigma_ij.T)
+    np.testing.assert_allclose(t.eps_ij, t.eps_ij.T)
+
+
+def test_coefficient_definitions():
+    t = LJTable(("Ar",))
+    ar = ELEMENTS["Ar"]
+    assert t.c14[0, 0] == pytest.approx(48 * ar.epsilon * ar.sigma ** 12)
+    assert t.c8[0, 0] == pytest.approx(24 * ar.epsilon * ar.sigma ** 6)
+    assert t.c12[0, 0] == pytest.approx(4 * ar.epsilon * ar.sigma ** 12)
+    assert t.c6[0, 0] == pytest.approx(4 * ar.epsilon * ar.sigma ** 6)
+
+
+def test_force_is_gradient_of_energy():
+    """F(r) = -dV/dr numerically, from the coefficient tables."""
+    t = LJTable(("Na",))
+    r = np.linspace(2.5, 8.0, 40)
+    h = 1e-6
+
+    def energy(rr):
+        return t.c12[0, 0] * rr ** -12 - t.c6[0, 0] * rr ** -6
+
+    f_scalar = t.c14[0, 0] * r ** -14 - t.c8[0, 0] * r ** -8  # multiplies r_vec
+    f_radial = f_scalar * r  # magnitude along r
+    numeric = -(energy(r + h) - energy(r - h)) / (2 * h)
+    np.testing.assert_allclose(f_radial, numeric, rtol=1e-5)
+
+
+def test_energy_zero_at_sigma():
+    t = LJTable(("Na",))
+    sigma = ELEMENTS["Na"].sigma
+    v = t.c12[0, 0] * sigma ** -12 - t.c6[0, 0] * sigma ** -6
+    assert v == pytest.approx(0.0, abs=1e-10)
+
+
+def test_minimum_at_rmin():
+    """LJ force vanishes at r = 2^(1/6) sigma."""
+    t = LJTable(("Na",))
+    rmin = 2.0 ** (1.0 / 6.0) * ELEMENTS["Na"].sigma
+    f = t.c14[0, 0] * rmin ** -14 - t.c8[0, 0] * rmin ** -8
+    assert f == pytest.approx(0.0, abs=1e-12)
+
+
+class TestScaled:
+    def test_energy_invariant_under_scaling(self):
+        t = LJTable(("Na",))
+        L = 8.5
+        ts = t.scaled(L)
+        r = 4.0  # angstrom
+        rn = r / L
+        v_phys = t.c12[0, 0] * r ** -12 - t.c6[0, 0] * r ** -6
+        v_norm = ts.c12[0, 0] * rn ** -12 - ts.c6[0, 0] * rn ** -6
+        assert v_norm == pytest.approx(v_phys, rel=1e-12)
+
+    def test_force_scaling_relation(self):
+        """Normalized-space force = physical force * L (chain rule)."""
+        t = LJTable(("Na",))
+        L = 8.5
+        ts = t.scaled(L)
+        r = 3.7
+        rn = r / L
+        # Radial force magnitudes: scalar * r.
+        f_phys = (t.c14[0, 0] * r ** -14 - t.c8[0, 0] * r ** -8) * r
+        f_norm = (ts.c14[0, 0] * rn ** -14 - ts.c8[0, 0] * rn ** -8) * rn
+        assert f_norm == pytest.approx(f_phys * L, rel=1e-12)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            LJTable(("Na",)).scaled(0.0)

@@ -1,0 +1,67 @@
+"""Tests for minimal PDB I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.md import build_dataset
+from repro.md.pdbio import pdb_string, read_pdb, write_pdb
+from repro.util.errors import ValidationError
+
+
+def test_roundtrip_positions_and_box():
+    sys_, _ = build_dataset((3, 3, 3), particles_per_cell=4, seed=0)
+    text = pdb_string(sys_)
+    back = read_pdb(io.StringIO(text))
+    np.testing.assert_allclose(back.box, sys_.box, atol=1e-3)
+    # PDB stores 3 decimals.
+    np.testing.assert_allclose(back.positions, sys_.positions, atol=5e-4)
+    assert back.n == sys_.n
+
+
+def test_roundtrip_species():
+    sys_, _ = build_dataset((3, 3, 3), particles_per_cell=4, species=("Na", "Ar"), seed=1)
+    back = read_pdb(io.StringIO(pdb_string(sys_)))
+    orig_symbols = [sys_.lj_table.species[s] for s in sys_.species]
+    back_symbols = [back.lj_table.species[s] for s in back.species]
+    assert orig_symbols == back_symbols
+
+
+def test_file_roundtrip(tmp_path):
+    sys_, _ = build_dataset((3, 3, 3), particles_per_cell=2, seed=2)
+    path = str(tmp_path / "system.pdb")
+    write_pdb(sys_, path)
+    back = read_pdb(path)
+    np.testing.assert_allclose(back.positions, sys_.positions, atol=5e-4)
+
+
+def test_read_resamples_velocities_at_temperature():
+    sys_, _ = build_dataset((3, 3, 3), particles_per_cell=8, seed=3)
+    back = read_pdb(io.StringIO(pdb_string(sys_)), temperature_k=300.0, seed=1)
+    assert back.temperature() == pytest.approx(300.0, rel=0.2)
+
+
+def test_read_zero_kelvin_gives_zero_velocities():
+    sys_, _ = build_dataset((3, 3, 3), particles_per_cell=2, seed=4)
+    back = read_pdb(io.StringIO(pdb_string(sys_)))
+    np.testing.assert_array_equal(back.velocities, 0.0)
+
+
+def test_missing_cryst1_rejected():
+    with pytest.raises(ValidationError, match="CRYST1"):
+        read_pdb(io.StringIO("HETATM    1 Na  Na  A   1       1.000   1.000   1.000\nEND\n"))
+
+
+def test_empty_pdb_rejected():
+    with pytest.raises(ValidationError, match="no ATOM"):
+        read_pdb(io.StringIO("CRYST1   25.500   25.500   25.500  90.00  90.00  90.00 P 1           1\nEND\n"))
+
+
+def test_serial_wraps_at_pdb_limit():
+    """PDB serial field is 5 digits; large systems must still serialize."""
+    sys_, _ = build_dataset((3, 3, 3), particles_per_cell=4, seed=5)
+    text = pdb_string(sys_)
+    assert "HETATM" in text
+    for line in text.splitlines():
+        assert len(line) <= 80

@@ -1,0 +1,136 @@
+"""Tests for the calibrated CPU/GPU baseline models and the FPGA adapter."""
+
+import pytest
+
+from repro.core.config import MachineConfig, strong_scaling_configs
+from repro.perf import CpuPerformanceModel, FpgaPerformanceModel, GpuPerformanceModel
+from repro.util.errors import ValidationError
+
+
+class TestGpuModel:
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValidationError):
+            GpuPerformanceModel("h100")
+
+    def test_invalid_args_rejected(self):
+        g = GpuPerformanceModel()
+        with pytest.raises(ValidationError):
+            g.time_per_step_us(0, 100)
+        with pytest.raises(ValidationError):
+            g.time_per_step_us(1, 0)
+
+    def test_a100_anchor_rate(self):
+        """1 A100 on 4x4x4 (4096 particles) ~ 2.27 us/day (derived from
+        the paper's 4.67x claim; see calibration module)."""
+        g = GpuPerformanceModel("a100")
+        assert g.rate_us_per_day(1, 4096) == pytest.approx(2.27, rel=0.02)
+
+    def test_two_a100_lose_26_percent(self):
+        """Paper Sec. 5.2: '2 GPUs ... result in 26% performance loss'."""
+        g = GpuPerformanceModel("a100")
+        ratio = g.rate_us_per_day(2, 4096) / g.rate_us_per_day(1, 4096)
+        assert ratio == pytest.approx(0.74, abs=0.03)
+
+    def test_four_v100_lose_49_percent(self):
+        """Paper Sec. 5.2: '4 GPUs result in ... 49% performance loss'."""
+        v = GpuPerformanceModel("v100")
+        a = GpuPerformanceModel("a100")
+        ratio = v.rate_us_per_day(4, 4096) / a.rate_us_per_day(1, 4096)
+        assert ratio == pytest.approx(0.51, abs=0.03)
+
+    def test_one_gpu_8x8x8_drops_60_percent(self):
+        """Paper Sec. 5.2: 'performance only drops by 60% when
+        transitioning from 4x4x4 to 8x8x8 cells'."""
+        g = GpuPerformanceModel("a100")
+        ratio = g.rate_us_per_day(1, 32768) / g.rate_us_per_day(1, 4096)
+        assert ratio == pytest.approx(0.40, abs=0.03)
+
+    def test_10x10x10_halves_from_8x8x8(self):
+        g = GpuPerformanceModel("a100")
+        ratio = g.rate_us_per_day(1, 64000) / g.rate_us_per_day(1, 32768)
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_negative_strong_scaling_even_at_64k(self):
+        """Paper: 'even for 10x10x10 cells (64K particles), GPUs still
+        demonstrate negative strong scaling'."""
+        g = GpuPerformanceModel("a100")
+        assert g.rate_us_per_day(2, 64000) < g.rate_us_per_day(1, 64000)
+
+    def test_weak_scaling_roughly_halves(self):
+        """Paper: 'doubling the number of GPUs ... only provides half the
+        simulation rate' for doubled workload."""
+        g = GpuPerformanceModel("a100")
+        ratio = g.rate_us_per_day(2, 8192) / g.rate_us_per_day(1, 4096)
+        assert 0.4 < ratio < 0.7
+
+    def test_best_rate_picks_single_gpu_at_small_n(self):
+        g = GpuPerformanceModel("a100")
+        assert g.best_rate_us_per_day(2, 4096) == g.rate_us_per_day(1, 4096)
+
+
+class TestCpuModel:
+    def test_scales_well_to_4_threads(self):
+        c = CpuPerformanceModel()
+        r1 = c.rate_us_per_day(1, 4096)
+        r4 = c.rate_us_per_day(4, 4096)
+        assert r4 / r1 > 2.8
+
+    def test_negative_scaling_at_32_threads(self):
+        """Paper: 'negative scaling for 16 threads and beyond'."""
+        c = CpuPerformanceModel()
+        assert c.rate_us_per_day(32, 4096) < c.rate_us_per_day(16, 4096)
+
+    def test_saturation_between_8_and_16(self):
+        c = CpuPerformanceModel()
+        r8 = c.rate_us_per_day(8, 4096)
+        r16 = c.rate_us_per_day(16, 4096)
+        assert abs(r16 - r8) / r8 < 0.15
+
+    def test_competitive_at_small_sizes(self):
+        """Paper: 'CPUs exhibit competitive performance for smaller space
+        sizes' — best CPU within ~2x of the FPGA's ~2 us/day at 3x3x3."""
+        c = CpuPerformanceModel()
+        assert c.best_rate_us_per_day(32, 1728) > 1.0
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValidationError):
+            CpuPerformanceModel().rate_us_per_day(0, 100)
+
+    def test_speedup_interpolation_monotone_to_16(self):
+        c = CpuPerformanceModel()
+        sp = [c.speedup(t) for t in (1, 2, 4, 8, 16)]
+        assert sp == sorted(sp)
+
+    def test_speedup_clamps_above_table(self):
+        c = CpuPerformanceModel()
+        assert c.speedup(64) == c.speedup(32)
+
+
+class TestFpgaAdapter:
+    def test_rate_and_cache(self):
+        model = FpgaPerformanceModel()
+        cfg = MachineConfig((3, 3, 3))
+        r1 = model.rate_us_per_day(cfg)
+        assert 1.5 < r1 < 2.7
+        # Second call hits the cache (same object).
+        assert model.performance(cfg) is model.performance(cfg)
+
+    def test_time_per_step_consistent(self):
+        model = FpgaPerformanceModel()
+        cfg = MachineConfig((3, 3, 3))
+        t_us = model.time_per_step_us(cfg)
+        assert t_us == pytest.approx(model.performance(cfg).seconds_per_step * 1e6)
+
+
+class TestHeadlineSpeedup:
+    def test_fasda_vs_best_gpu_speedup(self):
+        """The paper's headline: FASDA 4x4x4-C is ~4.67x the best GPU."""
+        fpga = FpgaPerformanceModel()
+        cfg_c = strong_scaling_configs()["4x4x4-C"]
+        rate_c = fpga.rate_us_per_day(cfg_c)
+        best_gpu = max(
+            GpuPerformanceModel("a100").best_rate_us_per_day(2, 4096),
+            GpuPerformanceModel("v100").best_rate_us_per_day(4, 4096),
+        )
+        speedup = rate_c / best_gpu
+        assert 3.7 < speedup < 5.6

@@ -1,0 +1,163 @@
+"""Tests for the double-precision reference force kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import CellGrid, LJTable, ParticleSystem
+from repro.md.reference import (
+    compute_forces_bruteforce,
+    compute_forces_cells,
+)
+from repro.util.errors import ValidationError
+
+
+def random_system(n, box_cells, cell_edge=4.0, seed=0, species=("Na",)):
+    rng = np.random.default_rng(seed)
+    grid = CellGrid((box_cells,) * 3, cell_edge)
+    lj = LJTable(species)
+    # Keep a minimum distance so forces are finite and well-conditioned.
+    pos = rng.uniform(0, grid.box, size=(n, 3))
+    keep = [0]
+    for i in range(1, n):
+        dr = pos[keep] - pos[i]
+        dr -= grid.box * np.rint(dr / grid.box)
+        if np.min(np.sum(dr * dr, axis=1)) > 2.0 ** 2:
+            keep.append(i)
+    pos = pos[keep]
+    sys_ = ParticleSystem(
+        positions=pos,
+        velocities=np.zeros_like(pos),
+        species=(np.arange(len(pos)) % len(species)).astype(np.int32),
+        lj_table=lj,
+        box=grid.box,
+    )
+    return sys_, grid
+
+
+class TestTwoParticleForce:
+    def _two_particle(self, r, cell_edge=4.0):
+        grid = CellGrid((3, 3, 3), cell_edge)
+        lj = LJTable(("Na",))
+        pos = np.array([[1.0, 1.0, 1.0], [1.0 + r, 1.0, 1.0]])
+        return (
+            ParticleSystem(
+                positions=pos,
+                velocities=np.zeros_like(pos),
+                species=np.zeros(2, dtype=np.int32),
+                lj_table=lj,
+                box=grid.box,
+            ),
+            grid,
+        )
+
+    def test_analytic_force_value(self):
+        r = 3.0
+        sys_, grid = self._two_particle(r)
+        forces, energy = compute_forces_cells(sys_, grid)
+        lj = sys_.lj_table
+        expected_scalar = lj.c14[0, 0] * r ** -14 - lj.c8[0, 0] * r ** -8
+        # Particle 0 at smaller x: force on it points in -x if repulsive.
+        assert forces[0, 0] == pytest.approx(-expected_scalar * r)
+        assert forces[1, 0] == pytest.approx(expected_scalar * r)
+        expected_e = lj.c12[0, 0] * r ** -12 - lj.c6[0, 0] * r ** -6
+        assert energy == pytest.approx(expected_e)
+
+    def test_force_zero_beyond_cutoff(self):
+        sys_, grid = self._two_particle(4.5)  # beyond cutoff = cell edge 4.0
+        forces, energy = compute_forces_cells(sys_, grid)
+        np.testing.assert_array_equal(forces, 0.0)
+        assert energy == 0.0
+
+    def test_repulsive_inside_rmin(self):
+        sys_, grid = self._two_particle(2.0)  # < sigma
+        forces, _ = compute_forces_cells(sys_, grid)
+        assert forces[0, 0] < 0  # pushed apart
+        assert forces[1, 0] > 0
+
+    def test_attractive_outside_rmin(self):
+        sys_, grid = self._two_particle(3.5)  # > 2^(1/6) sigma ~ 2.89
+        forces, _ = compute_forces_cells(sys_, grid)
+        assert forces[0, 0] > 0  # pulled together
+        assert forces[1, 0] < 0
+
+    def test_pbc_interaction_across_boundary(self):
+        """Particles near opposite box faces interact through the boundary."""
+        grid = CellGrid((3, 3, 3), 4.0)
+        lj = LJTable(("Na",))
+        pos = np.array([[0.5, 6.0, 6.0], [11.5, 6.0, 6.0]])  # 1.0 apart via PBC
+        sys_ = ParticleSystem(
+            positions=pos,
+            velocities=np.zeros_like(pos),
+            species=np.zeros(2, dtype=np.int32),
+            lj_table=lj,
+            box=grid.box,
+        )
+        forces, energy = compute_forces_cells(sys_, grid)
+        assert energy > 0  # strongly repulsive at r = 1.0
+        assert forces[0, 0] > 0  # pushed inward (+x, away from the face)
+        assert forces[1, 0] < 0
+
+
+class TestCellsVsBruteforce:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forces_match(self, seed):
+        sys_, grid = random_system(150, 3, seed=seed)
+        f_cells, e_cells = compute_forces_cells(sys_, grid)
+        f_brute, e_brute = compute_forces_bruteforce(sys_, grid.cell_edge)
+        np.testing.assert_allclose(f_cells, f_brute, rtol=1e-9, atol=1e-10)
+        assert e_cells == pytest.approx(e_brute, rel=1e-12)
+
+    def test_forces_match_multispecies(self):
+        sys_, grid = random_system(120, 3, seed=9, species=("Na", "Ar", "Ne"))
+        f_cells, e_cells = compute_forces_cells(sys_, grid)
+        f_brute, e_brute = compute_forces_bruteforce(sys_, grid.cell_edge)
+        np.testing.assert_allclose(f_cells, f_brute, rtol=1e-9, atol=1e-10)
+        assert e_cells == pytest.approx(e_brute, rel=1e-12)
+
+    def test_forces_match_larger_grid(self):
+        sys_, grid = random_system(400, 4, seed=4)
+        f_cells, _ = compute_forces_cells(sys_, grid)
+        f_brute, _ = compute_forces_bruteforce(sys_, grid.cell_edge)
+        np.testing.assert_allclose(f_cells, f_brute, rtol=1e-9, atol=1e-10)
+
+
+class TestInvariants:
+    def test_newtons_third_law_total_force_zero(self):
+        sys_, grid = random_system(200, 3, seed=11)
+        forces, _ = compute_forces_cells(sys_, grid)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_translation_invariance(self, seed_shift):
+        """Rigid translation (with rewrap) leaves forces unchanged."""
+        sys_, grid = random_system(80, 3, seed=2)
+        f0, e0 = compute_forces_cells(sys_, grid)
+        rng = np.random.default_rng(seed_shift)
+        shift = rng.uniform(0, grid.box)
+        moved = sys_.copy()
+        moved.positions += shift
+        moved.wrap()
+        f1, e1 = compute_forces_cells(moved, grid)
+        np.testing.assert_allclose(f1, f0, rtol=1e-7, atol=1e-8)
+        assert e1 == pytest.approx(e0, rel=1e-9)
+
+    def test_energy_shift_changes_energy_not_forces(self):
+        sys_, grid = random_system(100, 3, seed=3)
+        f0, e0 = compute_forces_cells(sys_, grid, shift=False)
+        f1, e1 = compute_forces_cells(sys_, grid, shift=True)
+        np.testing.assert_allclose(f0, f1)
+        assert e1 != pytest.approx(e0)
+
+    def test_shift_rejected_for_multispecies(self):
+        sys_, grid = random_system(50, 3, seed=5, species=("Na", "Ar"))
+        with pytest.raises(ValidationError):
+            compute_forces_cells(sys_, grid, shift=True)
+
+    def test_grid_box_mismatch_rejected(self):
+        sys_, _ = random_system(10, 3, seed=6)
+        wrong_grid = CellGrid((4, 4, 4), 4.0)
+        with pytest.raises(ValidationError):
+            compute_forces_cells(sys_, wrong_grid)

@@ -1,0 +1,94 @@
+"""Tests for the FPGA resource model (Table 1)."""
+
+import pytest
+
+from repro.core.config import (
+    MachineConfig,
+    strong_scaling_configs,
+    weak_scaling_configs,
+)
+from repro.core.resources import (
+    PAPER_TABLE1,
+    U280,
+    comm_neighbor_count,
+    estimate_resources,
+)
+
+
+@pytest.fixture(scope="module")
+def model_table():
+    configs = {**weak_scaling_configs(), **strong_scaling_configs()}
+    return {
+        name: estimate_resources(cfg).utilization_percent()
+        for name, cfg in configs.items()
+    }
+
+
+class TestAgainstPaperTable1:
+    @pytest.mark.parametrize("resource,tolerance", [
+        ("lut", 2.0), ("ff", 1.0), ("dsp", 1.0), ("bram", 15.0), ("uram", 7.0),
+    ])
+    def test_within_tolerance(self, model_table, resource, tolerance):
+        """LUT/FF/DSP reproduce Table 1 tightly; BRAM/URAM within the
+        noise of the paper's own BRAM<->URAM rebalancing (Sec. 5.5)."""
+        for name, paper in PAPER_TABLE1.items():
+            model = model_table[name][resource]
+            assert abs(model - paper[resource]) <= tolerance, (
+                f"{name} {resource}: model {model:.1f} vs paper {paper[resource]}"
+            )
+
+    def test_strong_scaling_monotone_in_pes(self, model_table):
+        """A < B < C on every resource (more PEs cost more)."""
+        for res in ("lut", "ff", "bram", "dsp"):
+            a = model_table["4x4x4-A"][res]
+            b = model_table["4x4x4-B"][res]
+            c = model_table["4x4x4-C"][res]
+            assert a < b < c, res
+
+    def test_distributed_costs_more_than_single(self, model_table):
+        """3x3x3 -> 6x3x3 keeps the per-node design but adds remote-data
+        handling (paper: 'significant change in design required')."""
+        for res in ("lut", "ff", "bram", "uram"):
+            assert model_table["6x3x3"][res] > model_table["3x3x3"][res], res
+
+    def test_everything_fits_the_device(self, model_table):
+        for name, util in model_table.items():
+            for res, pct in util.items():
+                assert pct < 100.0, f"{name} {res} over capacity"
+
+
+class TestMechanics:
+    def test_fits_with_margin(self):
+        usage = estimate_resources(MachineConfig((4, 4, 4), (2, 2, 2)))
+        assert usage.fits()
+        assert usage.fits(margin=0.9)
+
+    def test_capacities_are_u280(self):
+        assert U280["dsp"] == 9024
+        assert U280["bram"] == 2016
+        assert U280["uram"] == 960
+
+    def test_utilization_percent_keys(self):
+        u = estimate_resources(MachineConfig((3, 3, 3))).utilization_percent()
+        assert set(u) == {"lut", "ff", "bram", "uram", "dsp"}
+
+
+class TestCommNeighborCount:
+    def test_single_node_zero(self):
+        assert comm_neighbor_count(MachineConfig((3, 3, 3))) == 0
+
+    def test_two_nodes_one_neighbor(self):
+        assert comm_neighbor_count(MachineConfig((6, 3, 3), (2, 1, 1))) == 1
+
+    def test_four_nodes_three_neighbors(self):
+        """(2,2,1) grid: two face + one diagonal partner."""
+        assert comm_neighbor_count(MachineConfig((6, 6, 3), (2, 2, 1))) == 3
+
+    def test_eight_nodes_seven_neighbors(self):
+        """(2,2,2) grid: every other node is a halo partner, as Fig. 18(B)
+        shows traffic to all seven."""
+        assert comm_neighbor_count(MachineConfig((6, 6, 6), (2, 2, 2))) == 7
+
+    def test_large_grid_26_neighbors(self):
+        """A 4x4x4 FPGA grid gives the full 26-neighborhood."""
+        assert comm_neighbor_count(MachineConfig((8, 8, 8), (4, 4, 4))) == 26

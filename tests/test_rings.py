@@ -1,0 +1,103 @@
+"""Tests for on-chip ring structure and load accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rings import RingLoadModel, RingPath, cbb_ring_order
+from repro.util.errors import ValidationError
+
+
+class TestRingPath:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RingPath(0)
+        with pytest.raises(ValidationError):
+            RingPath(4, direction=2)
+
+    def test_clockwise_hops(self):
+        ring = RingPath(8, +1)
+        assert ring.hops(0, 3) == 3
+        assert ring.hops(3, 0) == 5  # must go around
+        assert ring.hops(5, 5) == 0
+
+    def test_counterclockwise_hops(self):
+        ring = RingPath(8, -1)
+        assert ring.hops(3, 0) == 3
+        assert ring.hops(0, 3) == 5
+
+    def test_links_traversed(self):
+        ring = RingPath(5, +1)
+        assert ring.links_traversed(3, 1) == [3, 4, 0]
+        assert ring.links_traversed(1, 1) == []
+
+    def test_links_traversed_ccw(self):
+        ring = RingPath(5, -1)
+        assert ring.links_traversed(1, 4) == [1, 0]
+
+    @given(st.integers(2, 20), st.integers(0, 19), st.integers(0, 19))
+    @settings(max_examples=200, deadline=None)
+    def test_opposite_directions_sum_to_circumference(self, n, a, b):
+        a, b = a % n, b % n
+        if a == b:
+            return
+        cw = RingPath(n, +1).hops(a, b)
+        ccw = RingPath(n, -1).hops(a, b)
+        assert cw + ccw == n
+
+
+class TestRingLoadModel:
+    def test_inject_accounts_links(self):
+        model = RingLoadModel(RingPath(4, +1))
+        model.inject(0, 2, count=3)
+        np.testing.assert_array_equal(model.link_load, [3, 3, 0, 0])
+        assert model.total_hops == 6
+        assert model.total_records == 3
+        assert model.min_cycles == 3
+
+    def test_zero_count_noop(self):
+        model = RingLoadModel(RingPath(4, +1))
+        model.inject(0, 2, count=0)
+        assert model.total_records == 0
+
+    def test_negative_count_rejected(self):
+        model = RingLoadModel(RingPath(4, +1))
+        with pytest.raises(ValidationError):
+            model.inject(0, 1, count=-1)
+
+    def test_broadcast_rides_once(self):
+        """A broadcast stream to several destinations crosses each link at
+        most once per record, up to the farthest destination."""
+        model = RingLoadModel(RingPath(6, +1))
+        model.broadcast(0, [1, 2, 4], count=2)
+        np.testing.assert_array_equal(model.link_load, [2, 2, 2, 2, 0, 0])
+        assert model.total_records == 2
+        assert model.total_hops == 8
+
+    def test_broadcast_empty_dsts_noop(self):
+        model = RingLoadModel(RingPath(6, +1))
+        model.broadcast(0, [], count=5)
+        assert model.total_records == 0
+
+    def test_min_cycles_is_busiest_link(self):
+        model = RingLoadModel(RingPath(4, +1))
+        model.inject(0, 1, count=5)
+        model.inject(3, 1, count=2)  # links 3, 0
+        np.testing.assert_array_equal(model.link_load, [7, 0, 0, 2])
+        assert model.min_cycles == 7
+
+    def test_mean_link_load(self):
+        model = RingLoadModel(RingPath(4, +1))
+        model.inject(0, 2, count=4)
+        assert model.mean_link_load == pytest.approx(2.0)
+
+
+def test_cbb_ring_order_matches_eq7():
+    order = cbb_ring_order((2, 2, 2))
+    assert order[0] == (0, 0, 0)
+    assert order[1] == (0, 0, 1)
+    assert order[2] == (0, 1, 0)
+    assert order[-1] == (1, 1, 1)
+    assert len(order) == 8
+    assert len(set(order)) == 8

@@ -1,0 +1,115 @@
+"""Tests for shortest-path routing and link-load analysis."""
+
+import numpy as np
+import pytest
+
+from repro.network.routing import (
+    fasda_traffic_matrix,
+    route_traffic,
+    shortest_path,
+)
+from repro.network.topology import (
+    HyperRingTopology,
+    RingTopology,
+    SwitchTopology,
+    TorusTopology,
+)
+from repro.util.errors import ValidationError
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        assert shortest_path(RingTopology(6), 2, 2) == [2]
+
+    def test_ring_path(self):
+        path = shortest_path(RingTopology(6), 0, 2)
+        assert path == [0, 1, 2]
+
+    def test_ring_wraps(self):
+        path = shortest_path(RingTopology(6), 0, 5)
+        assert path == [0, 5]
+
+    def test_path_length_matches_hop_distance(self):
+        topo = TorusTopology((3, 3, 2))
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = rng.integers(0, topo.n_nodes, size=2)
+            path = shortest_path(topo, int(a), int(b))
+            assert len(path) - 1 == topo.hop_distance(int(a), int(b))
+            # Consecutive path nodes are adjacent.
+            for x, y in zip(path[:-1], path[1:]):
+                assert y in topo.neighbors(x)
+
+
+class TestRouteTraffic:
+    def test_single_flow_loads_path_links(self):
+        topo = RingTopology(6)
+        report = route_traffic(topo, {(0, 2): 10.0})
+        assert report.link_loads[(0, 1)] == 10.0
+        assert report.link_loads[(1, 2)] == 10.0
+        assert report.link_loads[(2, 3)] == 0.0
+        assert report.total_traffic == 10.0
+
+    def test_zero_and_self_flows_ignored(self):
+        topo = RingTopology(4)
+        report = route_traffic(topo, {(0, 0): 5.0, (0, 1): 0.0})
+        assert report.total_traffic == 0.0
+        assert report.max_link_load == 0.0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValidationError):
+            route_traffic(RingTopology(4), {(0, 1): -1.0})
+
+    def test_switch_uplinks_charged(self):
+        topo = SwitchTopology(4)
+        report = route_traffic(topo, {(0, 1): 8.0})
+        assert report.link_loads[(0, 0)] == 4.0
+        assert report.link_loads[(1, 1)] == 4.0
+
+    def test_imbalance_metric(self):
+        topo = RingTopology(4)
+        report = route_traffic(topo, {(0, 1): 4.0})
+        assert report.max_link_load == 4.0
+        assert report.load_imbalance == pytest.approx(4.0)  # 1 of 4 links
+
+
+class TestFasdaPatternOnFabrics:
+    """The paper's Sec. 4.1 argument, quantified: neighbor-dominated
+    traffic keeps hyper-rings viable."""
+
+    @pytest.fixture(scope="class")
+    def traffic(self):
+        """Measured position traffic of the 8-node 4x4x4 machine."""
+        from repro.core.config import MachineConfig
+        from repro.core.machine import FasdaMachine
+        from repro.md import build_dataset
+
+        cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+        system, _ = build_dataset((4, 4, 4), particles_per_cell=16, seed=4)
+        stats = FasdaMachine(cfg, system=system).measure_workload()
+        return fasda_traffic_matrix(cfg.fpga_grid, stats.position_records)
+
+    def test_total_traffic_preserved(self, traffic):
+        topo = TorusTopology((2, 2, 2))
+        report = route_traffic(topo, traffic)
+        assert report.total_traffic == sum(traffic.values())
+
+    def test_hyper_ring_max_load_within_factor_of_torus(self, traffic):
+        torus = route_traffic(TorusTopology((2, 2, 2)), traffic)
+        hyper = route_traffic(
+            HyperRingTopology(group_size=4, n_groups=2, order=2), traffic
+        )
+        # Fewer links concentrate load, but only by a small factor under
+        # neighbor-dominated traffic (vs. the link-count savings).
+        assert hyper.max_link_load < 4.0 * torus.max_link_load
+
+    def test_neighbor_flows_dominate(self, traffic):
+        """Volume between 1-hop torus neighbors exceeds corner flows."""
+        torus = TorusTopology((2, 2, 2))
+        near = sum(
+            v for (s, d), v in traffic.items() if torus.hop_distance(s, d) == 1
+        )
+        far = sum(
+            v for (s, d), v in traffic.items() if torus.hop_distance(s, d) == 3
+        )
+        assert near > far

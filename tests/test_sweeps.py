@@ -1,0 +1,101 @@
+"""Tests for design-space sweeps (scaling curve + sensitivity)."""
+
+import pytest
+
+from repro.harness.sweeps import (
+    _divisor_grids,
+    best_fitting_config,
+    run_fpga_scaling,
+    run_sensitivity,
+)
+from repro.util.errors import ValidationError
+
+
+class TestDivisorGrids:
+    def test_eight_nodes_on_4x4x4(self):
+        grids = _divisor_grids((4, 4, 4), 8)
+        assert (2, 2, 2) in grids
+        # Balanced decomposition preferred.
+        assert grids[0] == (2, 2, 2)
+
+    def test_all_grids_divide_evenly(self):
+        for grid in _divisor_grids((6, 6, 6), 4):
+            assert all(g % f == 0 for g, f in zip((6, 6, 6), grid))
+
+    def test_impossible_node_count(self):
+        assert _divisor_grids((4, 4, 4), 7) == []
+
+
+class TestBestFittingConfig:
+    def test_single_fpga_is_resource_bound(self):
+        cfg = best_fitting_config((4, 4, 4), 1)
+        assert cfg is not None
+        assert cfg.pes_per_cbb == 1  # 64 CBBs leave no room for more
+
+    def test_eight_fpgas_afford_many_pes(self):
+        cfg = best_fitting_config((4, 4, 4), 8)
+        assert cfg is not None
+        assert cfg.pes_per_cbb >= 6
+
+    def test_returns_none_when_impossible(self):
+        assert best_fitting_config((4, 4, 4), 7) is None
+
+    def test_fits_the_device(self):
+        from repro.core.resources import estimate_resources
+
+        for n in (1, 2, 4, 8):
+            cfg = best_fitting_config((4, 4, 4), n)
+            assert estimate_resources(cfg).fits(margin=0.9)
+
+
+class TestScalingSweep:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        return run_fpga_scaling(node_counts=(1, 8))
+
+    def test_speedup_normalized_to_first(self, scaling):
+        assert scaling.rows[0].speedup == 1.0
+        assert scaling.rows[0].efficiency == 1.0
+
+    def test_eight_nodes_much_faster(self, scaling):
+        assert scaling.rows[-1].speedup > 6.0
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ValidationError):
+            run_fpga_scaling(node_counts=(7,))
+
+
+class TestWeakScalingExtension:
+    def test_flat_out_to_27(self):
+        from repro.harness.sweeps import run_weak_scaling_extension
+
+        result = run_weak_scaling_extension(
+            multipliers=((1, 1, 1), (3, 3, 3))
+        )
+        assert result.flatness < 1.05
+        assert result.rows[-1].n_fpgas == 27
+
+
+class TestLatencySweep:
+    def test_monotone_and_bounded(self):
+        from repro.harness.ablations import run_latency_sweep
+
+        result = run_latency_sweep(latencies_cycles=(200, 20_000))
+        rates = [r.rate_us_per_day for r in result.rows]
+        assert rates[0] > rates[1]
+        assert result.rows[0].sync_share < result.rows[1].sync_share
+        assert result.tight_vs_loose > 5
+
+
+class TestSensitivity:
+    def test_center_point_matches_defaults(self):
+        result = run_sensitivity(perturbations=(1.0,))
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.rate_3x3x3 == pytest.approx(2.09, abs=0.05)
+        assert row.strong_gain_c_over_a == pytest.approx(5.2, abs=0.2)
+
+    def test_gain_robust_to_perturbation(self):
+        result = run_sensitivity()
+        gains = [r.strong_gain_c_over_a for r in result.rows]
+        assert max(gains) - min(gains) < 0.5

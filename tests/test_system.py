@@ -1,0 +1,123 @@
+"""Tests for the ParticleSystem state container."""
+
+import numpy as np
+import pytest
+
+from repro.md import LJTable, ParticleSystem
+from repro.util.errors import ValidationError
+from repro.util.units import BOLTZMANN_KCAL_MOL_K
+
+
+def make_system(n=8, box=20.0, seed=0):
+    rng = np.random.default_rng(seed)
+    lj = LJTable(("Na",))
+    return ParticleSystem(
+        positions=rng.uniform(0, box, size=(n, 3)),
+        velocities=rng.normal(scale=1e-3, size=(n, 3)),
+        species=np.zeros(n, dtype=np.int32),
+        lj_table=lj,
+        box=np.full(3, box),
+    )
+
+
+def test_construction_and_defaults():
+    s = make_system()
+    assert s.n == 8
+    assert s.forces.shape == (8, 3)
+    np.testing.assert_array_equal(s.forces, 0.0)
+    np.testing.assert_array_equal(s.masses, 22.98976928)
+
+
+def test_positions_wrapped_on_construction():
+    lj = LJTable(("Na",))
+    s = ParticleSystem(
+        positions=np.array([[25.0, -3.0, 5.0]]),
+        velocities=np.zeros((1, 3)),
+        species=np.zeros(1, dtype=np.int32),
+        lj_table=lj,
+        box=np.full(3, 10.0),
+    )
+    np.testing.assert_allclose(s.positions, [[5.0, 7.0, 5.0]])
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("velocities", np.zeros((3, 3))),
+        ("species", np.zeros(3, dtype=np.int32)),
+    ],
+)
+def test_shape_mismatch_rejected(field, value):
+    lj = LJTable(("Na",))
+    kwargs = dict(
+        positions=np.zeros((2, 3)),
+        velocities=np.zeros((2, 3)),
+        species=np.zeros(2, dtype=np.int32),
+        lj_table=lj,
+        box=np.full(3, 10.0),
+    )
+    kwargs[field] = value
+    with pytest.raises(ValidationError):
+        ParticleSystem(**kwargs)
+
+
+def test_species_out_of_range_rejected():
+    lj = LJTable(("Na",))
+    with pytest.raises(ValidationError):
+        ParticleSystem(
+            positions=np.zeros((1, 3)),
+            velocities=np.zeros((1, 3)),
+            species=np.array([1], dtype=np.int32),
+            lj_table=lj,
+            box=np.full(3, 10.0),
+        )
+
+
+def test_bad_box_rejected():
+    lj = LJTable(("Na",))
+    with pytest.raises(ValidationError):
+        ParticleSystem(
+            positions=np.zeros((1, 3)),
+            velocities=np.zeros((1, 3)),
+            species=np.zeros(1, dtype=np.int32),
+            lj_table=lj,
+            box=np.array([10.0, -1.0, 10.0]),
+        )
+
+
+def test_kinetic_energy_known_value():
+    """One Na at |v| = 1e-3 A/fs: KE = m v^2 / 2 converted to kcal/mol."""
+    lj = LJTable(("Na",))
+    s = ParticleSystem(
+        positions=np.zeros((1, 3)),
+        velocities=np.array([[1e-3, 0.0, 0.0]]),
+        species=np.zeros(1, dtype=np.int32),
+        lj_table=lj,
+        box=np.full(3, 10.0),
+    )
+    expected = 0.5 * 22.98976928 * 1e-6 / 4.184e-4  # internal -> kcal/mol
+    assert s.kinetic_energy() == pytest.approx(expected, rel=1e-3)
+
+
+def test_temperature_definition():
+    s = make_system(n=100, seed=3)
+    t = s.temperature()
+    expected = 2 * s.kinetic_energy() / (3 * s.n * BOLTZMANN_KCAL_MOL_K)
+    assert t == pytest.approx(expected)
+
+
+def test_remove_com_velocity():
+    s = make_system(n=50, seed=5)
+    s.remove_com_velocity()
+    momentum = (s.masses[:, None] * s.velocities).sum(axis=0)
+    np.testing.assert_allclose(momentum, 0.0, atol=1e-12)
+
+
+def test_copy_is_independent():
+    s = make_system()
+    c = s.copy()
+    c.positions += 1.0
+    c.velocities += 1.0
+    assert not np.allclose(c.positions, s.positions)
+    assert not np.allclose(c.velocities, s.velocities)
+    assert c.lj_table is s.lj_table  # immutable table is shared

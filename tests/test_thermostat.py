@@ -1,0 +1,88 @@
+"""Tests for thermostats and the equilibration helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import FasdaMachine
+from repro.md import ReferenceEngine, build_dataset
+from repro.md.thermostat import (
+    BerendsenThermostat,
+    VelocityRescaleThermostat,
+    equilibrate,
+)
+from repro.util.errors import ValidationError
+
+
+class TestVelocityRescale:
+    def test_hits_target_exactly(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=8, temperature_k=500.0, seed=1)
+        VelocityRescaleThermostat(300.0).apply(s)
+        assert s.temperature() == pytest.approx(300.0, rel=1e-10)
+
+    def test_scale_factor_returned(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=8, temperature_k=1200.0, seed=2)
+        scale = VelocityRescaleThermostat(300.0).apply(s)
+        assert scale == pytest.approx(np.sqrt(300.0 / 1200.0), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            VelocityRescaleThermostat(0.0)
+
+    def test_zero_velocity_noop(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=4, temperature_k=300.0, seed=3)
+        s.velocities[:] = 0.0
+        assert VelocityRescaleThermostat(300.0).apply(s) == 1.0
+
+
+class TestBerendsen:
+    def test_moves_toward_target(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=8, temperature_k=600.0, seed=4)
+        t0 = s.temperature()
+        BerendsenThermostat(300.0, tau_fs=100.0, dt_fs=10.0).apply(s)
+        t1 = s.temperature()
+        assert 300.0 < t1 < t0  # partial relaxation, not a jump
+
+    def test_weak_coupling_is_gentle(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=8, temperature_k=600.0, seed=5)
+        t0 = s.temperature()
+        BerendsenThermostat(300.0, tau_fs=10_000.0, dt_fs=2.0).apply(s)
+        assert abs(s.temperature() - t0) / t0 < 1e-3
+
+    def test_exact_relaxation_fraction(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=8, temperature_k=600.0, seed=6)
+        t0 = s.temperature()
+        BerendsenThermostat(300.0, tau_fs=100.0, dt_fs=50.0).apply(s)
+        expected = t0 * (1.0 + 0.5 * (300.0 / t0 - 1.0))
+        assert s.temperature() == pytest.approx(expected, rel=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BerendsenThermostat(300.0, tau_fs=1.0, dt_fs=2.0)  # dt > tau
+        with pytest.raises(ValidationError):
+            BerendsenThermostat(-1.0, 100.0, 2.0)
+
+
+class TestEquilibrate:
+    def test_reference_engine_cools_toward_target(self):
+        s, grid = build_dataset((3, 3, 3), particles_per_cell=16, temperature_k=300.0, seed=7)
+        engine = ReferenceEngine(s, grid, dt_fs=2.0)
+        # The hot dataset heats up in NVE; the thermostat pins it back.
+        t = equilibrate(engine, VelocityRescaleThermostat(300.0), n_steps=30, apply_every=5)
+        assert t == pytest.approx(300.0, rel=0.15)
+
+    def test_machine_velocity_cache_stays_consistent(self):
+        s, _ = build_dataset((3, 3, 3), particles_per_cell=16, temperature_k=300.0, seed=8)
+        machine = FasdaMachine(MachineConfig((3, 3, 3)), system=s)
+        equilibrate(machine, VelocityRescaleThermostat(300.0), n_steps=10, apply_every=5)
+        np.testing.assert_allclose(
+            machine.system.velocities,
+            machine._velocities32.astype(np.float64),
+            rtol=1e-6,
+        )
+
+    def test_validation(self):
+        s, grid = build_dataset((3, 3, 3), particles_per_cell=4, seed=9)
+        engine = ReferenceEngine(s, grid)
+        with pytest.raises(ValidationError):
+            equilibrate(engine, VelocityRescaleThermostat(300.0), n_steps=-1)

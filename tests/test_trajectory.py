@@ -1,0 +1,80 @@
+"""Tests for XYZ trajectory I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.md import build_dataset
+from repro.md.trajectory import TrajectoryWriter, dump_trajectory, read_xyz
+from repro.util.errors import ValidationError
+
+
+def test_write_read_roundtrip():
+    system, _ = build_dataset((3, 3, 3), particles_per_cell=2, seed=0)
+    buf = io.StringIO()
+    writer = TrajectoryWriter(buf)
+    writer.write_frame(system, step=0)
+    system.positions += 0.5
+    system.wrap()
+    writer.write_frame(system, step=10)
+    frames = read_xyz(io.StringIO(buf.getvalue()))
+    assert len(frames) == 2
+    step0, box0, symbols0, pos0 = frames[0]
+    step1, _, _, pos1 = frames[1]
+    assert step0 == 0 and step1 == 10
+    np.testing.assert_allclose(box0, system.box, atol=1e-6)
+    assert symbols0[0] == "Na"
+    np.testing.assert_allclose(pos1, system.positions, atol=1e-6)
+    assert not np.allclose(pos0, pos1)
+
+
+def test_file_roundtrip(tmp_path):
+    system, _ = build_dataset((3, 3, 3), particles_per_cell=2, seed=1)
+    path = str(tmp_path / "traj.xyz")
+    with TrajectoryWriter(path) as writer:
+        writer.write_frame(system)
+    frames = read_xyz(path)
+    assert len(frames) == 1
+    np.testing.assert_allclose(frames[0][3], system.positions, atol=1e-6)
+
+
+def test_dump_trajectory_with_reference_engine(tmp_path):
+    from repro.md import ReferenceEngine
+
+    system, grid = build_dataset((3, 3, 3), particles_per_cell=4, seed=2)
+    engine = ReferenceEngine(system, grid, dt_fs=2.0)
+    path = str(tmp_path / "run.xyz")
+    n_frames = dump_trajectory(engine, path, n_steps=20, dump_every=5)
+    assert n_frames == 5  # initial + 4 chunks
+    frames = read_xyz(path)
+    assert [f[0] for f in frames] == [0, 5, 10, 15, 20]
+
+
+def test_dump_trajectory_with_machine(tmp_path):
+    from repro.core import FasdaMachine, MachineConfig
+
+    system, _ = build_dataset((3, 3, 3), particles_per_cell=4, seed=3)
+    machine = FasdaMachine(MachineConfig((3, 3, 3)), system=system)
+    path = str(tmp_path / "machine.xyz")
+    n_frames = dump_trajectory(machine, path, n_steps=10, dump_every=5)
+    assert n_frames == 3
+
+
+def test_bad_count_line_rejected():
+    with pytest.raises(ValidationError, match="count line"):
+        read_xyz(io.StringIO("notanumber\ncomment\n"))
+
+
+def test_bad_atom_line_rejected():
+    with pytest.raises(ValidationError, match="atom line"):
+        read_xyz(io.StringIO('1\nstep=0 box="1 1 1"\nNa 1.0 2.0\n'))
+
+
+def test_dump_validation(tmp_path):
+    from repro.md import ReferenceEngine
+
+    system, grid = build_dataset((3, 3, 3), particles_per_cell=2, seed=4)
+    engine = ReferenceEngine(system, grid)
+    with pytest.raises(ValidationError):
+        dump_trajectory(engine, str(tmp_path / "x.xyz"), n_steps=-1)

@@ -1,0 +1,50 @@
+"""Tests for the internal unit system and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import (
+    BOLTZMANN_KCAL_MOL_K,
+    KCAL_MOL_TO_INTERNAL,
+    acceleration_from_force,
+    simulation_rate_us_per_day,
+)
+
+
+def test_kcal_conversion_magnitude():
+    # Known value: 1 kcal/mol = 4.184e-4 amu*A^2/fs^2 to ~5 digits.
+    assert KCAL_MOL_TO_INTERNAL == pytest.approx(4.184e-4, rel=1e-3)
+
+
+def test_boltzmann_constant():
+    # Direct check against kB in J/K converted to kcal/mol/K.
+    kb_kcal_mol = 1.380649e-23 * 6.02214076e23 / 4184.0
+    assert BOLTZMANN_KCAL_MOL_K == pytest.approx(kb_kcal_mol, rel=1e-5)
+
+
+def test_acceleration_from_force_units():
+    forces = np.array([[1.0, 0.0, 0.0]])  # kcal/mol/A
+    masses = np.array([1.0])  # amu
+    a = acceleration_from_force(forces, masses)
+    assert a.shape == (1, 3)
+    assert a[0, 0] == pytest.approx(KCAL_MOL_TO_INTERNAL)
+    assert a[0, 1] == 0.0
+
+
+def test_acceleration_scales_inversely_with_mass():
+    forces = np.ones((2, 3))
+    masses = np.array([1.0, 2.0])
+    a = acceleration_from_force(forces, masses)
+    np.testing.assert_allclose(a[0], 2.0 * a[1])
+
+
+def test_simulation_rate_us_per_day():
+    # 2 fs steps at 1 ms/step: 86.4e6 steps/day * 2 fs = 172.8e6 fs = 0.1728 us.
+    rate = simulation_rate_us_per_day(2.0, 1e-3)
+    assert rate == pytest.approx(0.1728)
+
+
+def test_simulation_rate_scales_linearly_with_dt():
+    assert simulation_rate_us_per_day(4.0, 1e-3) == pytest.approx(
+        2 * simulation_rate_us_per_day(2.0, 1e-3)
+    )

@@ -1,0 +1,63 @@
+"""Tests for argument-validation helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ConfigError,
+    FasdaError,
+    SimulationError,
+    ValidationError,
+    check_positive,
+    check_shape,
+    ensure_f64,
+)
+
+
+def test_exception_hierarchy():
+    for exc in (ConfigError, ValidationError, SimulationError):
+        assert issubclass(exc, FasdaError)
+    assert issubclass(FasdaError, Exception)
+
+
+def test_check_positive_accepts_positive():
+    assert check_positive("x", 2.5) == 2.5
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValidationError, match="x must be positive"):
+        check_positive("x", bad)
+
+
+def test_check_shape_exact():
+    a = np.zeros((4, 3))
+    assert check_shape("a", a, (4, 3)) is a
+
+
+def test_check_shape_wildcard():
+    a = np.zeros((7, 3))
+    assert check_shape("a", a, (-1, 3)) is a
+
+
+def test_check_shape_rejects_wrong_rank():
+    with pytest.raises(ValidationError):
+        check_shape("a", np.zeros(3), (-1, 3))
+
+
+def test_check_shape_rejects_wrong_extent():
+    with pytest.raises(ValidationError):
+        check_shape("a", np.zeros((3, 4)), (-1, 3))
+
+
+def test_ensure_f64_casts():
+    out = ensure_f64(np.arange(3, dtype=np.int32))
+    assert out.dtype == np.float64
+    assert out.flags["C_CONTIGUOUS"]
+
+
+def test_ensure_f64_passthrough_is_view():
+    a = np.zeros(5, dtype=np.float64)
+    out = ensure_f64(a)
+    out[0] = 1.0
+    assert a[0] == 1.0  # no copy for already-conforming input
