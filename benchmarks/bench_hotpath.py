@@ -1,0 +1,146 @@
+"""Hot-path timing: batched pair-plan force path vs the per-cell loop.
+
+Times the two implementations of the cell-list force evaluation
+(`compute_forces_cells` batched vs `compute_forces_cells_loop`) and one
+`FasdaMachine` timestep at N ~ {2k, 10k, 50k} (paper-density boxes, 64
+particles per cell), and writes machine-readable
+``benchmarks/results/BENCH_hotpath.json`` so future PRs have a perf
+trajectory.  Plan-build time is measured separately from steady-state
+force time (the plan is cached per grid geometry and amortizes to zero).
+
+Run standalone (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke]
+
+``--smoke`` runs only the smallest size with one repetition — the CI
+sanity check that the script and the equivalence assertions still work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.machine import FasdaMachine
+from repro.md.cells import CellGrid
+from repro.md.dataset import build_dataset
+from repro.md.pairplan import _plan_cached, plan_for_grid
+from repro.md.reference import (
+    compute_forces_bruteforce,
+    compute_forces_cells,
+    compute_forces_cells_loop,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: (label, cell dims) — 64 particles/cell paper density: ~2k / ~10k / ~50k.
+SIZES = [
+    ("2k", (3, 3, 3)),
+    ("10k", (5, 5, 6)),
+    ("50k", (9, 9, 10)),
+]
+
+
+def _median_time(fn, reps: int) -> float:
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def bench_size(label: str, dims, reps: int, check_brute: bool) -> dict:
+    system, grid = build_dataset(dims, seed=2023)
+
+    # Plan build, cold (cache cleared) — reported separately because the
+    # steady state never pays it.
+    _plan_cached.cache_clear()
+    t0 = time.perf_counter()
+    plan_for_grid(grid)
+    plan_build_s = time.perf_counter() - t0
+
+    # Correctness before speed: batched path vs the per-cell loop, and
+    # (small sizes only) vs the O(N^2) brute-force golden model.
+    f_new, e_new = compute_forces_cells(system, grid)
+    f_old, e_old = compute_forces_cells_loop(system, grid)
+    err_loop = float(np.abs(f_new - f_old).max())
+    assert err_loop < 1e-10, f"batched vs loop forces differ: {err_loop}"
+    assert abs(e_new - e_old) <= 1e-10 * max(abs(e_old), 1.0)
+    err_brute = None
+    if check_brute:
+        f_ref, e_ref = compute_forces_bruteforce(system, grid.cell_edge)
+        err_brute = float(np.abs(f_new - f_ref).max())
+        assert err_brute < 1e-10, f"batched vs brute forces differ: {err_brute}"
+        assert abs(e_new - e_ref) <= 1e-10 * max(abs(e_ref), 1.0)
+
+    t_batched = _median_time(lambda: compute_forces_cells(system, grid), reps)
+    t_loop = _median_time(lambda: compute_forces_cells_loop(system, grid), reps)
+
+    machine = FasdaMachine(MachineConfig(dims), system=system.copy())
+    machine.step()  # prime force banks + warm caches
+    t_step = _median_time(lambda: machine.step(), reps)
+
+    result = {
+        "label": label,
+        "dims": list(dims),
+        "n_particles": int(system.n),
+        "reps": reps,
+        "plan_build_s": plan_build_s,
+        "forces_cells_batched_s": t_batched,
+        "forces_cells_loop_s": t_loop,
+        "speedup_vs_loop": t_loop / t_batched,
+        "machine_step_s": t_step,
+        "max_force_err_vs_loop": err_loop,
+        "max_force_err_vs_bruteforce": err_brute,
+    }
+    print(
+        f"[{label}] N={system.n}: batched {t_batched * 1e3:.1f} ms, "
+        f"loop {t_loop * 1e3:.1f} ms ({result['speedup_vs_loop']:.1f}x), "
+        f"machine step {t_step * 1e3:.1f} ms, "
+        f"plan build {plan_build_s * 1e3:.2f} ms"
+    )
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smallest size, 1 rep — CI sanity check",
+    )
+    parser.add_argument("--reps", type=int, default=5, help="repetitions (median)")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(RESULTS_DIR, "BENCH_hotpath.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+
+    sizes = SIZES[:1] if args.smoke else SIZES
+    reps = 1 if args.smoke else max(args.reps, 5)
+    results = [
+        bench_size(label, dims, reps, check_brute=(label == "2k"))
+        for label, dims in sizes
+    ]
+
+    payload = {
+        "benchmark": "hotpath",
+        "smoke": args.smoke,
+        "sizes": results,
+    }
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

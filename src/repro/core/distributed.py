@@ -40,6 +40,8 @@ from repro.core.datapath import ForcePipeline, PairFilter, quantize_cell_fractio
 from repro.core.packets import P2REncapsulatorChain, Packet, Record
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
+from repro.md.kernels import scatter_add
+from repro.md.pairplan import ROWS_PER_CELL, iter_pair_chunks, plan_for_grid
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
 from repro.util.errors import ConfigError, ValidationError
@@ -155,20 +157,24 @@ class DistributedMachine:
             )
             for n in range(config.n_fpgas)
         }
-        # Half-shell neighbor table and, per cell, the destination nodes
-        # its particles must reach (the P2R chain's gate assignments).
-        self._neighbor_cids = np.empty((n_cells, 13), dtype=np.int64)
-        send_targets: Dict[int, set] = {c: set() for c in range(n_cells)}
-        for cid in range(n_cells):
-            coord = tuple(int(c) for c in self._cell_coords[cid])
-            for k, off in enumerate(HALF_SHELL_OFFSETS):
-                ncoord, _ = self.grid.neighbor_with_shift(coord, off)
-                ncid = int(self.grid.cell_id(np.asarray(ncoord)))
-                self._neighbor_cids[cid, k] = ncid
-                # ncid's particles are needed at cid's node.
-                if int(self._cell_node[ncid]) != int(self._cell_node[cid]):
-                    send_targets[ncid].add(int(self._cell_node[cid]))
-        self._send_targets = {c: sorted(t) for c, t in send_targets.items()}
+        # Half-shell topology from the shared (cached) pair plan and, per
+        # cell, the destination nodes its particles must reach (the P2R
+        # chain's gate assignments).
+        plan = plan_for_grid(self.grid)
+        self._plan = plan
+        self._neighbor_cids = plan.neighbor_ids
+        home_nodes = self._cell_node[plan.home]
+        nbr_nodes = self._cell_node[plan.nbr]
+        remote = ~plan.is_self & (home_nodes != nbr_nodes)
+        self._send_targets: Dict[int, List[int]] = {
+            c: [] for c in range(n_cells)
+        }
+        # ncid's particles are needed at the home cell's node.
+        flows = np.unique(
+            np.stack([plan.nbr[remote], home_nodes[remote]], axis=1), axis=0
+        )
+        for src_cell, dst_node in flows:
+            self._send_targets[int(src_cell)].append(int(dst_node))
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -298,6 +304,35 @@ class DistributedMachine:
             e = e + ec
         return f, e
 
+    def _verify_id_conversion(self, node: _Node) -> None:
+        """Assert the Sec. 4.2 GCID -> LCID -> RCID machinery on this node.
+
+        For every (home cell, half-shell neighbor) pair of the node, the
+        offset recovered through the homogeneous local ID space must
+        equal the geometric half-shell offset — this is the check the
+        per-cell loop performed inline before displacement evaluation.
+        """
+        if not node.local_cells:
+            return
+        gd = self.config.global_cells
+        ld = self.config.local_cells
+        local = np.asarray(node.local_cells, dtype=np.int64)
+        home_lcid = gcid_to_lcid(
+            self._cell_coords[local], node.node_coords, ld, gd
+        )
+        nbr_lcid = gcid_to_lcid(
+            self._cell_coords[self._neighbor_cids[local]],
+            node.node_coords,
+            ld,
+            gd,
+        )
+        rcid = lcid_to_rcid(nbr_lcid, home_lcid[:, None, :], gd)
+        offsets = np.asarray(HALF_SHELL_OFFSETS, dtype=np.int64)
+        if not np.array_equal(rcid - RCID_HOME, np.broadcast_to(
+            offsets[None, :, :], rcid.shape
+        )):
+            raise ValidationError("RCID conversion mismatch")
+
     def _evaluate_node(
         self, node: _Node
     ) -> Tuple[np.ndarray, float, Dict[int, List[Tuple[int, np.ndarray]]]]:
@@ -307,80 +342,88 @@ class DistributedMachine:
         its partial potential, and the neighbor-force records destined
         for other nodes — no shared state is touched, so nodes evaluate
         concurrently.
+
+        The node's visible cells (local + halo) are concatenated into
+        flat position-cache arrays and all candidate pairs of the node's
+        plan rows flow through the filter and pipelines in batches, like
+        the global machine's hot path.
         """
-        gd = self.config.global_cells
-        ld = self.config.local_cells
+        plan = self._plan
+        n_cells = self.grid.n_cells
         bank = np.zeros((self.system.n, 3), dtype=np.float32)
         potential = np.float32(0.0)
         returns: Dict[int, List[Tuple[int, np.ndarray]]] = {}
-        offsets = np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)
+        self._verify_id_conversion(node)
 
-        for cid in node.local_cells:
-            data = node.cells[cid]
-            if len(data.particle_ids) == 0:
-                continue
-            fq_h = data.fractions
-            # Home-home pairs.
-            if len(data.particle_ids) > 1:
-                ii, jj = np.triu_indices(len(data.particle_ids), k=1)
-                dr = fq_h[ii] - fq_h[jj]
-                res = self.filter.check(dr)
-                if res.n_accepted:
-                    m = res.mask
-                    f, e = self._pipelines(
-                        dr[m], res.r2,
-                        data.species[ii[m]], data.species[jj[m]],
-                        data.particle_ids[ii[m]], data.particle_ids[jj[m]],
-                    )
-                    np.add.at(bank, data.particle_ids[ii[m]], f)
-                    np.add.at(bank, data.particle_ids[jj[m]], -f)
-                    potential += e.sum(dtype=np.float32)
-            # Half-shell neighbors (local or halo).
-            home_lcid = gcid_to_lcid(
-                self._cell_coords[cid], node.node_coords, ld, gd
+        # Concatenate visible cells (ascending cid) into bucket arrays.
+        visible = sorted(
+            list(node.cells.items()) + list(node.halo.items())
+        )
+        counts = np.zeros(n_cells, dtype=np.int64)
+        for cid, data in visible:
+            counts[cid] = len(data.particle_ids)
+        start = np.concatenate([[0], np.cumsum(counts)])
+        if start[-1] == 0:
+            return bank, float(potential), returns
+        frac_cat = np.concatenate(
+            [d.fractions.reshape(-1, 3) for _, d in visible]
+        )
+        pid_cat = np.concatenate([d.particle_ids for _, d in visible])
+        spc_cat = np.concatenate([d.species for _, d in visible])
+        owner_is_local = self._cell_node == node.node_id
+
+        rows = (
+            np.asarray(sorted(node.local_cells), dtype=np.int64)[:, None]
+            * ROWS_PER_CELL
+            + np.arange(ROWS_PER_CELL, dtype=np.int64)[None, :]
+        ).reshape(-1)
+        n_slots = np.int64(start[-1])
+
+        for chunk in iter_pair_chunks(plan, counts, start, rows=rows):
+            dr = (
+                frac_cat[chunk.ii]
+                - frac_cat[chunk.jj]
+                - plan.offset[chunk.row]
             )
-            for k in range(13):
-                ncid = int(self._neighbor_cids[cid, k])
-                nbr = self._cell_view(node, ncid)
-                if nbr is None or len(nbr.particle_ids) == 0:
-                    continue
-                # LCID -> RCID: the offset used for displacement is
-                # derived through the homogeneous ID space.
-                nbr_lcid = gcid_to_lcid(
-                    self._cell_coords[ncid], node.node_coords, ld, gd
+            res = self.filter.check(dr)
+            if not res.n_accepted:
+                continue
+            m = res.mask
+            ii = chunk.ii[m]
+            jj = chunk.jj[m]
+            row = chunk.row[m]
+            f, e = self._pipelines(
+                dr[m], res.r2,
+                spc_cat[ii], spc_cat[jj],
+                pid_cat[ii], pid_cat[jj],
+            )
+            scatter_add(bank, pid_cat[ii], f)
+            potential += e.sum(dtype=np.float32)
+            # Reaction forces: straight into the bank when the neighbor
+            # particle lives on this node, else per-(block, particle)
+            # records returned to the owner.
+            keep = plan.is_self[row] | owner_is_local[plan.nbr[row]]
+            if keep.any():
+                scatter_add(bank, pid_cat[jj[keep]], -f[keep])
+            rem = ~keep
+            if rem.any():
+                # One record per (plan row, neighbor particle), forces
+                # coalesced — chunks carry whole rows, so per-chunk
+                # grouping is per-block exact; ascending keys preserve
+                # the (home cell, offset, slot) record order of the
+                # hardware's return stream.
+                keys, inv = np.unique(
+                    row[rem] * n_slots + jj[rem], return_inverse=True
                 )
-                rcid = lcid_to_rcid(nbr_lcid, home_lcid, gd)
-                offset = (rcid - RCID_HOME).astype(np.float64)
-                if not np.array_equal(offset, offsets[k]):
-                    raise ValidationError("RCID conversion mismatch")
-                dr = (
-                    fq_h[:, None, :]
-                    - (offset[None, None, :] + nbr.fractions[None, :, :])
-                ).reshape(-1, 3)
-                res = self.filter.check(dr)
-                if not res.n_accepted:
-                    continue
-                m = res.mask
-                hi, nj = np.divmod(np.nonzero(m)[0], len(nbr.particle_ids))
-                f, e = self._pipelines(
-                    dr[m], res.r2,
-                    data.species[hi], nbr.species[nj],
-                    data.particle_ids[hi], nbr.particle_ids[nj],
-                )
-                np.add.at(bank, data.particle_ids[hi], f)
-                potential += e.sum(dtype=np.float32)
-                # Neighbor forces: accumulate per neighbor particle.
-                nbr_forces = np.zeros((len(nbr.particle_ids), 3), dtype=np.float32)
-                np.add.at(nbr_forces, nj, -f)
-                touched = np.unique(nj)
-                owner = int(self._cell_node[ncid])
-                if owner == node.node_id:
-                    np.add.at(
-                        bank, nbr.particle_ids[touched], nbr_forces[touched]
-                    )
-                else:
-                    returns.setdefault(owner, []).extend(
-                        (int(nbr.particle_ids[t]), nbr_forces[t]) for t in touched
+                fr = np.zeros((len(keys), 3), dtype=np.float32)
+                scatter_add(fr, inv, -f[rem])
+                urow = keys // n_slots
+                uslot = keys % n_slots
+                owners = self._cell_node[plan.nbr[urow]]
+                upid = pid_cat[uslot]
+                for t in range(len(keys)):
+                    returns.setdefault(int(owners[t]), []).append(
+                        (int(upid[t]), fr[t])
                     )
         return bank, float(potential), returns
 

@@ -40,8 +40,14 @@ from repro.core.datapath import (
     quantize_cell_fractions,
 )
 from repro.core.rings import RingLoadModel, RingPath, cbb_ring_order
-from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
+from repro.md.cells import CellGrid, CellList
 from repro.md.dataset import build_dataset
+from repro.md.kernels import scatter_add
+from repro.md.pairplan import (
+    candidates_per_cell,
+    iter_pair_chunks,
+    plan_for_grid,
+)
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
 from repro.network.fabric import Fabric
@@ -198,17 +204,10 @@ class FasdaMachine:
         )
         self._ring_slots = config.cells_per_fpga + 1  # + EX
         self._ex_slot = config.cells_per_fpga
-        # Static half-shell neighbor table: cell -> 13 neighbor cell ids
-        # (the geometry never changes; recomputing it per step dominated
-        # the Python-side loop cost).
-        self._neighbor_cids = np.empty((self.grid.n_cells, 13), dtype=np.int64)
-        for cid in range(self.grid.n_cells):
-            coord = tuple(int(c) for c in self._cell_coords[cid])
-            for k, off in enumerate(HALF_SHELL_OFFSETS):
-                ncoord, _ = self.grid.neighbor_with_shift(coord, off)
-                self._neighbor_cids[cid, k] = int(
-                    self.grid.cell_id(np.asarray(ncoord))
-                )
+        # Static half-shell topology: the shared (cached) pair plan
+        # carries every (home, neighbor, shift) triple as flat arrays.
+        self._plan = plan_for_grid(self.grid)
+        self._neighbor_cids = self._plan.neighbor_ids
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -246,116 +245,119 @@ class FasdaMachine:
 
         Updates the internal float32 force banks and returns workload
         statistics.  Does not advance time.
+
+        All candidate pairs flow through the filter and the force
+        pipelines in step-wide batches from the shared pair plan; the
+        per-(home cell, neighbor cell) workload statistics of the
+        original per-cell traversal are recovered exactly — candidates
+        analytically from cell occupancies, acceptance and unique
+        neighbor-force records by segment counting over the batch.
         """
         cfg = self.config
         grid = self.grid
+        plan = self._plan
         pos = self.system.positions
+        n = self.system.n
         n_cells = grid.n_cells
         clist = CellList(grid, pos)
         coords = grid.coords_of_positions(pos)
         frac = quantize_cell_fractions(pos, coords, cfg.cutoff, self.fmt)
 
-        home_bank = np.zeros((self.system.n, 3), dtype=np.float32)
-        nbr_bank = np.zeros((self.system.n, 3), dtype=np.float32)
-        candidates = np.zeros(n_cells, dtype=np.int64)
+        home_bank = np.zeros((n, 3), dtype=np.float32)
+        nbr_bank = np.zeros((n, 3), dtype=np.float32)
+        candidates = candidates_per_cell(plan, clist.counts)
         accepted = np.zeros(n_cells, dtype=np.int64)
-        nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
+        # Unique neighbor particles touched per plan row — the per-block
+        # force-return record counts of the hardware (zero forces and
+        # duplicate touches within a block are coalesced).
+        uniq_per_row = np.zeros(plan.n_rows, dtype=np.int64)
         potential = np.float32(0.0)
 
         # (source cell, dest node) pairs that carried at least one position.
         pos_sent: Dict[Tuple[int, int], bool] = {}
         force_records: Dict[Tuple[int, int], int] = {}
         pr_models = {
-            n: RingLoadModel(RingPath(self._ring_slots, +1))
-            for n in range(cfg.n_fpgas)
+            n_: RingLoadModel(RingPath(self._ring_slots, +1))
+            for n_ in range(cfg.n_fpgas)
         }
         fr_models = {
-            n: RingLoadModel(RingPath(self._ring_slots, -1))
-            for n in range(cfg.n_fpgas)
+            n_: RingLoadModel(RingPath(self._ring_slots, -1))
+            for n_ in range(cfg.n_fpgas)
         }
         # Position-ring destinations per (node, source slot) for broadcasts.
         pr_dests: Dict[Tuple[int, int], List[int]] = {}
         pr_counts: Dict[Tuple[int, int], int] = {}
 
-        offsets = np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)
-
-        for cid in range(n_cells):
-            idx_h = clist.particles_in_cell(cid)
-            if len(idx_h) == 0:
+        for chunk in iter_pair_chunks(plan, clist.counts, clist.start, clist.order):
+            # Displacement home - neighbor = frac_h - offset - frac_n
+            # (offset zero on home-home rows), exact in float64 for
+            # quantized fractions.
+            dr = frac[chunk.ii] - frac[chunk.jj] - plan.offset[chunk.row]
+            res = self.filter.check(dr)
+            if not res.n_accepted:
                 continue
-            fq_h = frac[idx_h]
-            home_node = int(self._cell_node[cid])
-            home_slot = int(self._cell_ring_slot[cid])
+            m = res.mask
+            ii = chunk.ii[m]
+            jj = chunk.jj[m]
+            row = chunk.row[m]
+            scatter_add(accepted, plan.home[row])
+            f, e = self._pipelines(dr[m], res.r2, ii, jj)
+            sel = plan.is_self[row]
+            scatter_add(home_bank, ii, f)
+            if sel.any():
+                scatter_add(home_bank, jj[sel], -f[sel])
+            nsel = ~sel
+            if nsel.any():
+                scatter_add(nbr_bank, jj[nsel], -f[nsel])
+                # Unique (row, neighbor particle) keys; chunks carry
+                # whole rows, so per-chunk uniqueness is per-block exact.
+                keys = np.unique(row[nsel] * np.int64(n) + jj[nsel])
+                scatter_add(uniq_per_row, keys // np.int64(n))
+            potential += e.sum(dtype=np.float32)
 
-            # Home-home pairs (upper triangle) — these never ride a ring.
-            if len(idx_h) > 1:
-                ii, jj = np.triu_indices(len(idx_h), k=1)
-                dr = fq_h[ii] - fq_h[jj]
-                res = self.filter.check(dr)
-                candidates[cid] += res.n_candidates
-                accepted[cid] += res.n_accepted
-                if res.n_accepted:
-                    m = res.mask
-                    f, e = self._pipelines(
-                        dr[m], res.r2, idx_h[ii[m]], idx_h[jj[m]]
-                    )
-                    np.add.at(home_bank, idx_h[ii[m]], f)
-                    np.add.at(home_bank, idx_h[jj[m]], -f)
-                    potential += e.sum(dtype=np.float32)
+        nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
+        scatter_add(nbr_frc_records, plan.home, uniq_per_row)
 
-            # Half-shell neighbor cells: their particles visit this CBB.
-            for k in range(13):
-                ncid = int(self._neighbor_cids[cid, k])
-                idx_n = clist.particles_in_cell(ncid)
-                if len(idx_n) == 0:
-                    continue
+        if collect_traffic:
+            # Per-(home cell, neighbor cell) bookkeeping over the active
+            # neighbor rows, in the same (cid, k) order as the hardware
+            # schedules blocks.
+            counts = clist.counts
+            active_rows = np.flatnonzero(
+                ~plan.is_self
+                & (counts[plan.home] > 0)
+                & (counts[plan.nbr] > 0)
+            )
+            for r in active_rows:
+                cid = int(plan.home[r])
+                ncid = int(plan.nbr[r])
+                home_node = int(self._cell_node[cid])
+                home_slot = int(self._cell_ring_slot[cid])
                 src_node = int(self._cell_node[ncid])
-                # RCID(neighbor w.r.t. this home cell) = 2 + offset, home = 2;
-                # displacement home - neighbor = frac_h - (offset + frac_n),
-                # exact in float64 for quantized fractions.
-                dr = (
-                    fq_h[:, None, :]
-                    - (offsets[k][None, None, :] + frac[idx_n][None, :, :])
-                ).reshape(-1, 3)
-                res = self.filter.check(dr)
-                candidates[cid] += res.n_candidates
-                accepted[cid] += res.n_accepted
-                if collect_traffic:
-                    # Position stream: source cell -> this node (dedup per node).
-                    pos_sent[(ncid, home_node)] = True
-                    # Ring broadcast bookkeeping.
-                    src_slot = (
+                # Position stream: source cell -> this node (dedup per node).
+                pos_sent[(ncid, home_node)] = True
+                # Ring broadcast bookkeeping.
+                key = (
+                    home_node,
+                    int(self._cell_ring_slot[ncid])
+                    if src_node == home_node
+                    else self._ex_slot + 10_000 + ncid,
+                )
+                pr_dests.setdefault(key, []).append(home_slot)
+                pr_counts[key] = int(counts[ncid])
+                uniq = int(uniq_per_row[r])
+                if uniq:
+                    if src_node != home_node:
+                        key2 = (home_node, src_node)
+                        force_records[key2] = force_records.get(key2, 0) + uniq
+                    # Force-ring injection: evaluating CBB -> home CBB
+                    # (or EX when remote).
+                    dst_slot = (
                         int(self._cell_ring_slot[ncid])
                         if src_node == home_node
                         else self._ex_slot
                     )
-                    key = (home_node, src_slot if src_node == home_node else self._ex_slot + 10_000 + ncid)
-                    pr_dests.setdefault(key, []).append(home_slot)
-                    pr_counts[key] = len(idx_n)
-                if res.n_accepted:
-                    m = res.mask
-                    hi, nj = np.divmod(np.nonzero(m)[0], len(idx_n))
-                    f, e = self._pipelines(
-                        dr[m], res.r2, idx_h[hi], idx_n[nj]
-                    )
-                    np.add.at(home_bank, idx_h[hi], f)
-                    np.add.at(nbr_bank, idx_n[nj], -f)
-                    potential += e.sum(dtype=np.float32)
-                    # Nonzero neighbor forces return to their home cell.
-                    uniq = int(len(np.unique(nj)))
-                    nbr_frc_records[cid] += uniq
-                    if collect_traffic:
-                        if src_node != home_node:
-                            key2 = (home_node, src_node)
-                            force_records[key2] = force_records.get(key2, 0) + uniq
-                        # Force-ring injection: evaluating CBB -> home CBB
-                        # (or EX when remote).
-                        dst_slot = (
-                            int(self._cell_ring_slot[ncid])
-                            if src_node == home_node
-                            else self._ex_slot
-                        )
-                        fr_models[home_node].inject(home_slot, dst_slot, uniq)
+                    fr_models[home_node].inject(home_slot, dst_slot, uniq)
 
         if collect_traffic:
             # Replay position broadcasts: one ring traversal per source

@@ -22,8 +22,20 @@ from repro.md.forcefield import (
     compute_forces_kernel,
 )
 from repro.md.integrator import VelocityVerlet
+from repro.md.kernels import pair_forces_energy, scatter_add
+from repro.md.pairplan import (
+    CellPairPlan,
+    candidates_per_cell,
+    iter_pair_chunks,
+    plan_for_dims,
+    plan_for_grid,
+)
 from repro.md.params import Element, ELEMENTS, LJTable
-from repro.md.reference import compute_forces_bruteforce, compute_forces_cells
+from repro.md.reference import (
+    compute_forces_bruteforce,
+    compute_forces_cells,
+    compute_forces_cells_loop,
+)
 from repro.md.minimize import minimize
 from repro.md.system import ParticleSystem
 from repro.md.thermostat import BerendsenThermostat, VelocityRescaleThermostat
@@ -38,8 +50,16 @@ __all__ = [
     "VelocityVerlet",
     "ReferenceEngine",
     "compute_forces_cells",
+    "compute_forces_cells_loop",
     "compute_forces_bruteforce",
     "compute_forces_kernel",
+    "CellPairPlan",
+    "plan_for_grid",
+    "plan_for_dims",
+    "iter_pair_chunks",
+    "candidates_per_cell",
+    "pair_forces_energy",
+    "scatter_add",
     "LennardJonesKernel",
     "EwaldRealKernel",
     "CompositeKernel",

@@ -11,7 +11,7 @@ their particles to it (paper Fig. 2(c)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -150,6 +150,6 @@ class CellList:
         """Per-cell particle counts."""
         return self.counts
 
-    def cells_nonempty(self) -> List[int]:
-        """Ids of cells containing at least one particle."""
-        return [int(c) for c in np.nonzero(self.counts)[0]]
+    def cells_nonempty(self) -> np.ndarray:
+        """Ids of cells containing at least one particle (int64 array)."""
+        return np.nonzero(self.counts)[0]

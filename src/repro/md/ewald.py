@@ -29,6 +29,7 @@ from typing import Tuple
 import numpy as np
 from scipy.special import erfc
 
+from repro.md.kernels import scatter_add
 from repro.util.errors import ValidationError
 
 #: Coulomb constant in kcal/mol * A / e^2 (CHARMM/AMBER convention).
@@ -105,7 +106,7 @@ def ewald_real_forces_bruteforce(
         return forces, 0.0
     qq = charges[ii] * charges[jj]
     f = (qq * ewald_real_scalar(r2, beta))[:, None] * dr
-    np.add.at(forces, ii, f)
-    np.add.at(forces, jj, -f)
+    scatter_add(forces, ii, f)
+    scatter_add(forces, jj, -f)
     energy = float(np.sum(qq * ewald_real_energy_scalar(r2, beta)))
     return forces, energy

@@ -22,8 +22,10 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
+from repro.md.cells import CellGrid, CellList
 from repro.md.ewald import ewald_real_energy_scalar, ewald_real_scalar
+from repro.md.kernels import pair_forces_energy, scatter_add
+from repro.md.pairplan import iter_pair_chunks, plan_for_grid
 from repro.md.system import ParticleSystem
 from repro.util.errors import ValidationError
 
@@ -51,17 +53,13 @@ class LennardJonesKernel(PairKernel):
     """The LJ force of paper Eqs. 1-2, by species-pair coefficients."""
 
     def evaluate(self, system, dr, r2, idx_i, idx_j):
-        lj = system.lj_table
-        si, sj = system.species[idx_i], system.species[idx_j]
-        inv_r2 = 1.0 / r2
-        inv_r6 = inv_r2 * inv_r2 * inv_r2
-        inv_r8 = inv_r6 * inv_r2
-        inv_r12 = inv_r6 * inv_r6
-        inv_r14 = inv_r12 * inv_r2
-        scalar = lj.c14[si, sj] * inv_r14 - lj.c8[si, sj] * inv_r8
-        forces = scalar[:, None] * dr
-        energy = float(np.sum(lj.c12[si, sj] * inv_r12 - lj.c6[si, sj] * inv_r6))
-        return forces, energy
+        return pair_forces_energy(
+            dr,
+            r2,
+            system.species[idx_i],
+            system.species[idx_j],
+            system.lj_table,
+        )
 
 
 class EwaldRealKernel(PairKernel):
@@ -114,7 +112,9 @@ def compute_forces_kernel(
 
     Same traversal as the LJ reference (one evaluation per unordered
     pair within the cutoff, forces scattered with Newton's third law);
-    the kernel decides the physics.
+    the kernel decides the physics.  Pairs are enumerated in step-wide
+    batches from the cached pair plan, so arbitrary kernels get the
+    same batched hot path as the LJ reference.
     """
     if not np.allclose(grid.box, system.box):
         raise ValidationError("grid box does not match system box")
@@ -123,38 +123,21 @@ def compute_forces_kernel(
     forces = np.zeros_like(pos)
     energy = 0.0
     clist = CellList(grid, pos)
+    plan = plan_for_grid(grid)
 
-    for cid in clist.cells_nonempty():
-        home_idx = clist.particles_in_cell(cid)
-        hp = pos[home_idx]
-        if len(home_idx) > 1:
-            ii, jj = np.triu_indices(len(home_idx), k=1)
-            dr = hp[ii] - hp[jj]
-            r2 = np.sum(dr * dr, axis=1)
-            mask = r2 < cutoff2
-            if np.any(mask):
-                gi, gj = home_idx[ii[mask]], home_idx[jj[mask]]
-                f, e = kernel.evaluate(system, dr[mask], r2[mask], gi, gj)
-                np.add.at(forces, gi, f)
-                np.add.at(forces, gj, -f)
-                energy += e
-        coord = tuple(int(c) for c in grid.cell_coords(np.int64(cid)))
-        for offset in HALF_SHELL_OFFSETS:
-            ncoord, img_shift = grid.neighbor_with_shift(coord, offset)
-            ncid = int(grid.cell_id(np.asarray(ncoord)))
-            nbr_idx = clist.particles_in_cell(ncid)
-            if len(nbr_idx) == 0:
-                continue
-            npos = pos[nbr_idx] + img_shift
-            dr = hp[:, None, :] - npos[None, :, :]
-            r2 = np.einsum("ijk,ijk->ij", dr, dr)
-            mask = r2 < cutoff2
-            if not np.any(mask):
-                continue
-            hi, nj = np.nonzero(mask)
-            gi, gj = home_idx[hi], nbr_idx[nj]
-            f, e = kernel.evaluate(system, dr[hi, nj], r2[hi, nj], gi, gj)
-            np.add.at(forces, gi, f)
-            np.add.at(forces, gj, -f)
-            energy += e
+    for chunk in iter_pair_chunks(plan, clist.counts, clist.start, clist.order):
+        dr = pos[chunk.ii] - pos[chunk.jj]
+        shifted = plan.has_shift[chunk.row]
+        if shifted.any():
+            dr[shifted] -= plan.shift[chunk.row[shifted]]
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        mask = r2 < cutoff2
+        if not mask.any():
+            continue
+        gi = chunk.ii[mask]
+        gj = chunk.jj[mask]
+        f, e = kernel.evaluate(system, dr[mask], r2[mask], gi, gj)
+        scatter_add(forces, gi, f)
+        scatter_add(forces, gj, -f)
+        energy += e
     return forces, energy

@@ -1,57 +1,47 @@
 """Double-precision reference force evaluation (the golden model).
 
-Two implementations of the range-limited LJ force (paper Eqs. 1-2):
+Three implementations of the range-limited LJ force (paper Eqs. 1-2):
 
-* :func:`compute_forces_cells` — O(N*m) cell-list/half-shell evaluation,
-  vectorized over every cell pair; this is what production runs use and
-  what the FASDA machine is compared against.
+* :func:`compute_forces_cells` — cell-list/half-shell evaluation driven
+  by the cached :class:`~repro.md.pairplan.CellPairPlan`: all candidate
+  pairs for the step are enumerated in a few large batches, the LJ
+  kernel runs fused over each batch, and forces scatter back through
+  :func:`~repro.md.kernels.scatter_add`.  This is what production runs
+  use and what the FASDA machine is compared against.
+* :func:`compute_forces_cells_loop` — the original per-cell Python loop,
+  kept as an independently-coded equivalence oracle for the batched path
+  (and as the pre-plan baseline for ``benchmarks/bench_hotpath.py``).
 * :func:`compute_forces_bruteforce` — O(N^2) minimum-image evaluation for
   small systems; exists purely to cross-check the cell-list code in tests.
 
-Both apply a plain truncation at the cutoff (no switching function), as
+All apply a plain truncation at the cutoff (no switching function), as
 the paper's LJ-only custom force field does, and optionally shift the
 potential so V(R_c) = 0 for energy bookkeeping.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
 
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
+from repro.md.kernels import lj_scalar_energy, pair_forces_energy, scatter_add
 from repro.md.params import LJTable
+from repro.md.pairplan import (
+    ROWS_PER_CELL,
+    CellPairPlan,
+    candidates_per_cell,
+    iter_pair_chunks,
+    plan_for_grid,
+)
 from repro.md.system import ParticleSystem
 from repro.util.errors import ValidationError
 
-
-def _pair_forces_energy(
-    dr: np.ndarray,
-    r2: np.ndarray,
-    si: np.ndarray,
-    sj: np.ndarray,
-    lj: LJTable,
-    shift_energy: float,
-) -> Tuple[np.ndarray, float]:
-    """Force vectors on i from j, and total pair energy, for given pairs.
-
-    ``dr`` is ``x_i - x_j`` so a *repulsive* (positive) coefficient pushes
-    particle i away from j along ``+dr``.
-    """
-    inv_r2 = 1.0 / r2
-    inv_r6 = inv_r2 * inv_r2 * inv_r2
-    inv_r8 = inv_r6 * inv_r2
-    inv_r12 = inv_r6 * inv_r6
-    inv_r14 = inv_r12 * inv_r2
-    c14 = lj.c14[si, sj]
-    c8 = lj.c8[si, sj]
-    scalar = c14 * inv_r14 - c8 * inv_r8
-    forces = scalar[:, None] * dr
-    energy = float(
-        np.sum(lj.c12[si, sj] * inv_r12 - lj.c6[si, sj] * inv_r6)
-        - shift_energy * len(r2)
-    )
-    return forces, energy
+# Kept under its historical name: the shared kernel used to live here as
+# a private helper and external callers import it by this name.
+_pair_forces_energy = pair_forces_energy
 
 
 def _cutoff_shift(lj: LJTable, cutoff: float, shift: bool) -> float:
@@ -88,11 +78,201 @@ def compute_forces_bruteforce(
     if len(r2) == 0:
         return forces, 0.0
     shift_e = _cutoff_shift(system.lj_table, cutoff, shift)
-    f, energy = _pair_forces_energy(
+    f, energy = pair_forces_energy(
         dr, r2, system.species[ii], system.species[jj], system.lj_table, shift_e
     )
-    np.add.at(forces, ii, f)
-    np.add.at(forces, jj, -f)
+    scatter_add(forces, ii, f)
+    scatter_add(forces, jj, -f)
+    return forces, energy
+
+
+#: Padded-broadcast fast-path limits: per-offset scratch is ``C * cap^2``
+#: float32 elements (80 MB at the element cap), and padding waste — padded
+#: candidate volume over true half-shell candidates — must stay bounded
+#: or sparse/skewed occupancies would burn bandwidth on sentinel slots.
+_PADDED_MAX_ELEMS = 20_000_000
+_PADDED_MAX_WASTE = 8.0
+
+
+@lru_cache(maxsize=2)
+def _decode_tables(n_cells: int, cap: int):
+    """Cached flat-index -> (cell, home slot, neighbor slot) decode tables.
+
+    A flat survivor index into the ``(C, cap, cap)`` mask decodes as
+    ``cell = f // cap^2``, ``i = (f // cap) % cap``, ``j = f % cap``;
+    precomputing the tables turns three per-survivor integer divisions
+    per offset into three cheap int32 gathers.  Keyed on ``(C, cap)``
+    only, so consecutive steps of the same box reuse them.
+    """
+    cap2 = cap * cap
+    f = np.arange(n_cells * cap2, dtype=np.int64)
+    cell_of = (f // cap2).astype(np.int32)
+    i_of = ((f // cap) % cap).astype(np.int32)
+    j_of = (f % cap).astype(np.int32)
+    return cell_of, i_of, j_of
+
+
+def _padded_viable(plan: CellPairPlan, clist: CellList) -> bool:
+    """Whether the dense padded broadcast beats chunked gather-enumeration.
+
+    The padded path does ``ROWS_PER_CELL * C * cap^2`` distance work no
+    matter how full the buckets are; it wins exactly when occupancy is
+    dense and even (the paper's 64-per-cell workload), and loses to the
+    chunked enumerator on sparse or skewed boxes.
+    """
+    if clist.counts.size == 0:
+        return False
+    cap = int(clist.counts.max())
+    if cap < 2:
+        return False
+    vol = plan.n_cells * cap * cap
+    if vol > _PADDED_MAX_ELEMS:
+        return False
+    cand = int(candidates_per_cell(plan, clist.counts).sum())
+    if cand == 0:
+        return False
+    return ROWS_PER_CELL * vol <= _PADDED_MAX_WASTE * 2 * cand
+
+
+def _forces_cells_padded(
+    pos: np.ndarray,
+    spc: np.ndarray,
+    lj: LJTable,
+    plan: CellPairPlan,
+    clist: CellList,
+    cutoff2: float,
+    shift_e: float,
+) -> Tuple[np.ndarray, float]:
+    """Dense padded-broadcast evaluation of the half-shell traversal.
+
+    Per-pair fancy gathers are the bandwidth floor of the chunked path;
+    this path never gathers per *candidate*.  Buckets are padded to the
+    max occupancy ``cap`` and each of the 14 plan offsets becomes one
+    ``(C, cap, cap)`` batched matmul over float32 *cell-local* coordinates
+    (``r2 = |p_i|^2 + |p_j|^2 - 2 p_i.p_j``), a conservative-band cutoff
+    test, and one ``flatnonzero`` compaction.  Only the surviving ~15%
+    are rechecked in float64 with the exact same ``pos[i] - pos[j] -
+    shift`` arithmetic as the chunked path, so accepted pairs and their
+    ``dr`` are bit-identical; the band (1e-3 relative, ~1000x the f32
+    error bound of cell-local coordinates) only ever lets *extra* pairs
+    through to the recheck, never drops true ones.
+    """
+    order, start, counts = clist.order, clist.start, clist.counts
+    C = plan.n_cells
+    cap = int(counts.max())
+    n = len(pos)
+    cids = np.arange(C, dtype=np.int64)
+    corner = plan.edges * plan.cell_coords_of(cids)
+
+    # Bucket-sorted coordinates: slot s holds particle order[s].
+    ps = pos[order]
+    local = ps - corner[clist.sorted_cids]
+    if np.abs(local).max(initial=0.0) > 4.0 * plan.edges.max():
+        # Positions far outside the box break the f32 error bound the
+        # band relies on; signal the caller to take the chunked path.
+        raise FloatingPointError("positions not box-local")
+    psx, psy, psz = ps[:, 0].copy(), ps[:, 1].copy(), ps[:, 2].copy()
+    within = np.arange(n, dtype=np.int64) - start[clist.sorted_cids]
+    P = np.zeros((C, cap, 3), dtype=np.float32)
+    P[clist.sorted_cids, within] = local.astype(np.float32)
+    padm = np.arange(cap)[None, :] >= counts[:, None]
+    S = np.einsum("cix,cix->ci", P, P, dtype=np.float32)
+    S[padm] = np.inf  # pad slots poison every r2 they appear in
+
+    nbr_mat = plan.nbr.reshape(C, ROWS_PER_CELL)
+    shift_mat = plan.shift.reshape(C, ROWS_PER_CELL, 3)
+    off_len = np.concatenate(
+        [np.zeros((1, 3)), np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)]
+    ) * plan.edges
+    band = np.float32(cutoff2 * (1.0 + 1e-3))
+
+    # Flat-index decode tables: a single cached division pass over
+    # C*cap^2 instead of three per offset over every survivor.
+    cell_of, i_of, j_of = _decode_tables(C, cap)
+    a_of = start[cell_of] + i_of
+
+    iu = np.arange(cap)
+    tri = iu[:, None] < iu[None, :]
+    mask = np.empty((C, cap, cap), dtype=bool)
+    multi = lj.n_species > 1
+    sspc = spc[order] if multi else None
+
+    fx = np.zeros(n)
+    fy = np.zeros(n)
+    fz = np.zeros(n)
+    energy = 0.0
+    G = np.empty((C, cap, cap), dtype=np.float32)
+    H = np.empty((C, cap, cap), dtype=np.float32)
+    for k in range(ROWS_PER_CELL):
+        nb = nbr_mat[:, k]
+        Q = P[nb] + off_len[k].astype(np.float32)
+        Sq = np.einsum("cix,cix->ci", Q, Q, dtype=np.float32)
+        Sq[padm[nb]] = np.inf
+        np.matmul(P, Q.transpose(0, 2, 1), out=G)
+        # r2 = S_i + Sq_j - 2 G_ij < band  <=>  G_ij > (S_i - band)/2 + Sq_j/2
+        np.add(
+            ((S - band) * np.float32(0.5))[:, :, None],
+            (Sq * np.float32(0.5))[:, None, :],
+            out=H,
+        )
+        np.greater(G, H, out=mask)
+        if k == 0:
+            mask &= tri  # home-home upper triangle
+        flat = np.flatnonzero(mask.reshape(-1))
+        if flat.size == 0:
+            continue
+        a = a_of[flat]
+        c = cell_of[flat]
+        b = start[nb][c] + j_of[flat]
+        # Exact float64 recheck with the chunked path's arithmetic:
+        # dr = pos[i] - pos[j] - shift, r2 = dx^2 + dy^2 + dz^2.  The
+        # shift is zero except in boundary cells, so it is subtracted
+        # only for survivors living there (subtracting 0 elsewhere would
+        # be a bitwise no-op at three full passes' cost).
+        dxa = psx[a]
+        dxa -= psx[b]
+        dya = psy[a]
+        dya -= psy[b]
+        dza = psz[a]
+        dza -= psz[b]
+        if k > 0:
+            shifted_cells = np.any(shift_mat[:, k] != 0.0, axis=1)
+            if shifted_cells.any():
+                sel = np.flatnonzero(shifted_cells[c])
+                if sel.size:
+                    cs_sel = c[sel]
+                    dxa[sel] -= shift_mat[:, k, 0][cs_sel]
+                    dya[sel] -= shift_mat[:, k, 1][cs_sel]
+                    dza[sel] -= shift_mat[:, k, 2][cs_sel]
+        r2 = dxa * dxa
+        tmp = dya * dya
+        r2 += tmp
+        np.multiply(dza, dza, out=tmp)
+        r2 += tmp
+        drop = r2 >= cutoff2  # band survivors beyond the true cutoff
+        n_kept = len(r2) - int(np.count_nonzero(drop))
+        if n_kept == 0:
+            continue
+        if n_kept != len(r2):
+            r2[drop] = np.inf  # 1/inf = 0 zeroes their force and energy
+        si = sspc[a] if multi else None
+        sj = sspc[b] if multi else None
+        scalar, evec = lj_scalar_energy(r2, si, sj, lj)
+        energy += float(np.sum(evec)) - shift_e * n_kept
+        fxa = scalar * dxa
+        fx += np.bincount(a, weights=fxa, minlength=n)
+        fx -= np.bincount(b, weights=fxa, minlength=n)
+        np.multiply(scalar, dya, out=fxa)
+        fy += np.bincount(a, weights=fxa, minlength=n)
+        fy -= np.bincount(b, weights=fxa, minlength=n)
+        np.multiply(scalar, dza, out=fxa)
+        fz += np.bincount(a, weights=fxa, minlength=n)
+        fz -= np.bincount(b, weights=fxa, minlength=n)
+
+    forces = np.empty_like(pos)
+    forces[order, 0] = fx
+    forces[order, 1] = fy
+    forces[order, 2] = fz
     return forces, energy
 
 
@@ -101,12 +281,70 @@ def compute_forces_cells(
     grid: CellGrid,
     shift: bool = False,
 ) -> Tuple[np.ndarray, float]:
-    """Cell-list + half-shell LJ forces and potential energy.
+    """Cell-list + half-shell LJ forces and potential energy (batched).
 
-    The cutoff equals ``grid.cell_edge``.  For every home cell the
-    home-home upper-triangle pairs and the 13 half-shell cell pairs are
-    evaluated with broadcasting, forces scattered back with
-    ``np.add.at`` — Newton's third law applied exactly once per pair.
+    The cutoff equals ``grid.cell_edge``.  Dense boxes (the paper's
+    64-per-cell workload) take the padded-broadcast fast path of
+    :func:`_forces_cells_padded`; sparse or skewed occupancies fall back
+    to the chunked pair-plan enumerator.  Both cut each candidate batch
+    at the cutoff, run the fused LJ kernel once per batch, and scatter
+    with bincount accumulation — Newton's third law applied exactly once
+    per pair.  Matches :func:`compute_forces_cells_loop` to float64
+    round-off.
+    """
+    if not np.allclose(grid.box, system.box):
+        raise ValidationError(
+            f"grid box {grid.box} does not match system box {system.box}"
+        )
+    cutoff2 = grid.cell_edge * grid.cell_edge
+    shift_e = _cutoff_shift(system.lj_table, grid.cell_edge, shift)
+    pos = system.positions
+    spc = system.species
+    lj = system.lj_table
+    forces = np.zeros_like(pos)
+    energy = 0.0
+    clist = CellList(grid, pos)
+    plan = plan_for_grid(grid)
+
+    if _padded_viable(plan, clist):
+        try:
+            return _forces_cells_padded(
+                pos, spc, lj, plan, clist, cutoff2, shift_e
+            )
+        except FloatingPointError:
+            pass  # non-box-local positions: chunked path below
+
+    for chunk in iter_pair_chunks(plan, clist.counts, clist.start, clist.order):
+        dr = pos[chunk.ii] - pos[chunk.jj]
+        shifted = plan.has_shift[chunk.row]
+        if shifted.any():
+            dr[shifted] -= plan.shift[chunk.row[shifted]]
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        mask = r2 < cutoff2
+        if not mask.any():
+            continue
+        ii = chunk.ii[mask]
+        jj = chunk.jj[mask]
+        f, e = pair_forces_energy(
+            dr[mask], r2[mask], spc[ii], spc[jj], lj, shift_e
+        )
+        scatter_add(forces, ii, f)
+        scatter_add(forces, jj, -f)
+        energy += e
+    return forces, energy
+
+
+def compute_forces_cells_loop(
+    system: ParticleSystem,
+    grid: CellGrid,
+    shift: bool = False,
+) -> Tuple[np.ndarray, float]:
+    """Per-cell-loop half-shell evaluation (pre-plan implementation).
+
+    Semantically identical to :func:`compute_forces_cells` but walks the
+    cells in Python and re-derives the half-shell topology per cell.
+    Retained as an independent oracle for the batched path and as the
+    baseline the hot-path benchmark measures speedup against.
     """
     if not np.allclose(grid.box, system.box):
         raise ValidationError(
@@ -133,7 +371,7 @@ def compute_forces_cells(
             r2 = np.sum(dr * dr, axis=1)
             mask = r2 < cutoff2
             if np.any(mask):
-                f, e = _pair_forces_energy(
+                f, e = pair_forces_energy(
                     dr[mask], r2[mask], hs[ii[mask]], hs[jj[mask]], lj, shift_e
                 )
                 np.add.at(forces, home_idx[ii[mask]], f)
@@ -154,7 +392,7 @@ def compute_forces_cells(
             if not np.any(mask):
                 continue
             hi, nj = np.nonzero(mask)
-            f, e = _pair_forces_energy(
+            f, e = pair_forces_energy(
                 dr[hi, nj], r2[hi, nj], hs[hi], spc[nbr_idx[nj]], lj, shift_e
             )
             np.add.at(forces, home_idx[hi], f)

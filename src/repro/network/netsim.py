@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.md.kernels import scatter_add
 from repro.util.errors import ValidationError
 
 
@@ -120,7 +121,7 @@ class OutputQueuedSwitch:
                 grown = np.zeros(horizon, dtype=np.int64)
                 grown[: len(per_port)] = per_port
                 arrivals[b.dst] = grown
-            np.add.at(arrivals[b.dst], cycles.astype(np.int64), 1)
+            scatter_add(arrivals[b.dst], cycles.astype(np.int64))
 
         delivered = 0
         dropped = 0

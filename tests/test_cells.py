@@ -126,4 +126,4 @@ class TestCellList:
         g = CellGrid((3, 3, 3), 2.0)
         pos = np.array([[0.5, 0.5, 0.5]])
         cl = CellList(g, pos)
-        assert cl.cells_nonempty() == [0]
+        np.testing.assert_array_equal(cl.cells_nonempty(), [0])
