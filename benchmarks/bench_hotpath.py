@@ -8,6 +8,16 @@ particles per cell), and writes machine-readable
 trajectory.  Plan-build time is measured separately from steady-state
 force time (the plan is cached per grid geometry and amortizes to zero).
 
+Two further sections cover the simulated machine step (PR 2):
+
+* ``machine_step`` — one `FasdaMachine.compute_forces` pass with traffic
+  accounting on/off, vectorized (padded pair path + group-by traffic)
+  vs the retained loop oracles, with in-bench equivalence asserts on
+  the full `StepStats`;
+* ``distributed_step`` — one `DistributedMachine` step, serial vs
+  thread-pooled node evaluation and batched vs per-record exchange,
+  with a bitwise force comparison between the modes.
+
 Run standalone (not under pytest):
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke]
@@ -27,6 +37,7 @@ import time
 import numpy as np
 
 from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
 from repro.core.machine import FasdaMachine
 from repro.md.cells import CellGrid
 from repro.md.dataset import build_dataset
@@ -109,6 +120,127 @@ def bench_size(label: str, dims, reps: int, check_brute: bool) -> dict:
     return result
 
 
+def _stats_signature(stats) -> dict:
+    from dataclasses import asdict
+
+    return {
+        "position_records": stats.position_records,
+        "force_records": stats.force_records,
+        "pr_load": {n: asdict(s) for n, s in stats.pr_load.items()},
+        "fr_load": {n: asdict(s) for n, s in stats.fr_load.items()},
+        "accepted": stats.accepted_per_cell.tolist(),
+        "nbr_frc": stats.neighbor_force_records_per_cell.tolist(),
+    }
+
+
+def _fpga_grid_for(dims) -> tuple:
+    """A >1-node partition that divides the box evenly."""
+    for axis in (2, 1, 0):
+        if dims[axis] % 2 == 0:
+            grid = [1, 1, 1]
+            grid[axis] = 2
+            return tuple(grid)
+    return (dims[0], 1, 1)
+
+
+def bench_machine_step(label: str, dims, reps: int) -> dict:
+    """One compute_forces pass: vectorized (padded + group-by traffic)
+    vs the loop oracles, traffic on and off."""
+    fpga_grid = _fpga_grid_for(dims)
+    machine = FasdaMachine(MachineConfig(dims, fpga_grid))
+    machine.compute_forces()  # warm plan/table/decode caches
+
+    # Equivalence before speed: full StepStats must match the oracles.
+    machine.pair_path, machine.traffic_impl = "auto", "vectorized"
+    s_vec = machine.compute_forces(collect_traffic=True)
+    machine.pair_path, machine.traffic_impl = "chunked", "loop"
+    s_loop = machine.compute_forces(collect_traffic=True)
+    assert _stats_signature(s_vec) == _stats_signature(s_loop), (
+        "vectorized StepStats diverged from the loop oracle"
+    )
+
+    machine.pair_path, machine.traffic_impl = "auto", "vectorized"
+    t_traffic = _median_time(
+        lambda: machine.compute_forces(collect_traffic=True), reps
+    )
+    t_no_traffic = _median_time(
+        lambda: machine.compute_forces(collect_traffic=False), reps
+    )
+    machine.pair_path, machine.traffic_impl = "chunked", "loop"
+    t_loop = _median_time(
+        lambda: machine.compute_forces(collect_traffic=True), reps
+    )
+
+    result = {
+        "label": label,
+        "dims": list(dims),
+        "fpga_grid": list(fpga_grid),
+        "n_particles": int(machine.system.n),
+        "reps": reps,
+        "machine_step_s": t_traffic,
+        "machine_step_no_traffic_s": t_no_traffic,
+        "machine_step_loop_s": t_loop,
+        "speedup_vs_loop": t_loop / t_traffic,
+        "stats_match_loop_oracle": True,
+    }
+    print(
+        f"[{label}] machine step: vectorized {t_traffic * 1e3:.1f} ms "
+        f"(traffic off {t_no_traffic * 1e3:.1f} ms), "
+        f"loop oracle {t_loop * 1e3:.1f} ms "
+        f"({result['speedup_vs_loop']:.1f}x)"
+    )
+    return result
+
+
+def bench_distributed_step(label: str, dims, reps: int) -> dict:
+    """One distributed force pass: serial vs thread-pooled nodes,
+    batched vs per-record exchange."""
+    fpga_grid = _fpga_grid_for(dims)
+    system, _ = build_dataset(dims, seed=2023)
+
+    serial = DistributedMachine(
+        MachineConfig(dims, fpga_grid), system=system.copy(), parallel=False
+    )
+    pooled = DistributedMachine(
+        MachineConfig(dims, fpga_grid), system=system.copy(), parallel="thread"
+    )
+    try:
+        serial.compute_forces()
+        pooled.compute_forces()
+        assert np.array_equal(serial.forces, pooled.forces), (
+            "parallel node evaluation diverged from serial"
+        )
+
+        t_serial = _median_time(serial.compute_forces, reps)
+        t_parallel = _median_time(pooled.compute_forces, reps)
+        serial.exchange_impl = "loop"
+        t_serial_loop_exchange = _median_time(serial.compute_forces, reps)
+        serial.exchange_impl = "batched"
+    finally:
+        pooled.close()
+
+    result = {
+        "label": label,
+        "dims": list(dims),
+        "fpga_grid": list(fpga_grid),
+        "n_particles": int(system.n),
+        "reps": reps,
+        "distributed_step_s": t_serial,
+        "distributed_step_parallel_s": t_parallel,
+        "distributed_step_loop_exchange_s": t_serial_loop_exchange,
+        "parallel_speedup": t_serial / t_parallel,
+        "parallel_bitwise_identical": True,
+    }
+    print(
+        f"[{label}] distributed step ({np.prod(fpga_grid)} nodes): "
+        f"serial {t_serial * 1e3:.1f} ms, "
+        f"parallel {t_parallel * 1e3:.1f} ms "
+        f"({result['parallel_speedup']:.2f}x), "
+        f"loop exchange {t_serial_loop_exchange * 1e3:.1f} ms"
+    )
+    return result
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -130,11 +262,24 @@ def main() -> None:
         bench_size(label, dims, reps, check_brute=(label == "2k"))
         for label, dims in sizes
     ]
+    machine_results = [
+        bench_machine_step(label, dims, reps) for label, dims in sizes
+    ]
+    # The distributed machine favors protocol fidelity over speed; the
+    # largest size would dominate wall time for no extra signal.
+    dist_sizes = sizes[:1] if args.smoke else sizes[:2]
+    dist_reps = 1 if args.smoke else max(args.reps // 2, 2)
+    distributed_results = [
+        bench_distributed_step(label, dims, dist_reps)
+        for label, dims in dist_sizes
+    ]
 
     payload = {
         "benchmark": "hotpath",
         "smoke": args.smoke,
         "sizes": results,
+        "machine_step": machine_results,
+        "distributed_step": distributed_results,
     }
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     with open(args.out, "w") as fh:

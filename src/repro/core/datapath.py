@@ -75,7 +75,17 @@ class PairFilter:
         differences).  Returns admitted mask and float32 r2 values."""
         dr = np.asarray(dr, dtype=np.float64)
         r2_exact = np.einsum("...k,...k->...", dr, dr)
-        r2_f32 = r2_exact.astype(np.float32)
+        return self.admit_r2(r2_exact)
+
+    def admit_r2(self, r2_exact: np.ndarray) -> FilterResult:
+        """Filter precomputed exact float64 squared distances.
+
+        The padded-broadcast fast path computes candidate ``r2`` without
+        materializing every ``dr``; this entry point applies the exact
+        same float32 conversion, cutoff test and small-r guard as
+        :meth:`check`, so both paths admit bitwise-identical pair sets.
+        """
+        r2_f32 = np.asarray(r2_exact, dtype=np.float64).astype(np.float32)
         mask = r2_f32 < np.float32(1.0)
         below = mask & (r2_f32 < np.float32(self.r2_min))
         if np.any(below):

@@ -37,7 +37,7 @@ from repro.core.cellids import (
 )
 from repro.core.config import MachineConfig
 from repro.core.datapath import ForcePipeline, PairFilter, quantize_cell_fractions
-from repro.core.packets import P2REncapsulatorChain, Packet, Record
+from repro.core.packets import P2REncapsulatorChain, Packet, Record, RecordBatch
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
 from repro.md.kernels import scatter_add
@@ -71,6 +71,17 @@ class _Node:
     packets_out: int = 0
 
 
+#: Machine inherited by forked evaluation workers (set just before the
+#: fork; the machine's tables/pipelines hold lambdas and cannot be
+#: pickled, but a forked child shares them by copy-on-write).
+_FORK_MACHINE: Optional["DistributedMachine"] = None
+
+
+def _fork_eval_node(node: "_Node"):
+    """Process-pool entry point: evaluate one node in a forked worker."""
+    return _FORK_MACHINE._evaluate_node(node)
+
+
 class DistributedMachine:
     """Executes a FASDA deployment node by node with explicit exchange.
 
@@ -84,7 +95,7 @@ class DistributedMachine:
         config: MachineConfig,
         system: Optional[ParticleSystem] = None,
         seed: int = 2023,
-        parallel: bool = False,
+        parallel=False,
         max_workers: Optional[int] = None,
     ):
         """See class docstring.
@@ -92,12 +103,16 @@ class DistributedMachine:
         Parameters
         ----------
         parallel:
-            Evaluate nodes concurrently with a thread pool (NumPy kernels
-            release the GIL).  Each node accumulates into a private force
-            bank merged afterward, so results are independent of worker
-            scheduling.
+            Evaluate nodes concurrently.  ``False`` runs serially;
+            ``True`` or ``"thread"`` uses a thread pool (NumPy kernels
+            release the GIL); ``"process"`` uses a forked process pool
+            (node evaluation reads only static machine state, so forked
+            workers stay valid across steps).  Each node accumulates
+            into a private force bank and results are merged in node-id
+            order regardless of worker scheduling, so every mode
+            produces the bitwise-identical trajectory.
         max_workers:
-            Thread-pool size (defaults to the node count).
+            Pool size (defaults to the node count).
         """
         if not config.is_distributed:
             raise ConfigError("DistributedMachine needs more than one node")
@@ -175,6 +190,27 @@ class DistributedMachine:
         )
         for src_cell, dst_node in flows:
             self._send_targets[int(src_cell)].append(int(dst_node))
+        # Per-(src node, dst node) flow: the ascending source cells whose
+        # particles ship src -> dst.  This is the batched view of the
+        # same gate assignments: one RecordBatch per flow replaces the
+        # per-particle chain walk, with identical packet counts (each
+        # gate fills from its cells in ascending-cid order and flushes
+        # once at end of iteration).
+        self._node_flows: Dict[Tuple[int, int], np.ndarray] = {}
+        if len(flows):
+            fsrc = self._cell_node[flows[:, 0]]
+            fkeys = fsrc * np.int64(config.n_fpgas) + flows[:, 1]
+            for key in np.unique(fkeys):
+                sel = fkeys == key
+                self._node_flows[
+                    (int(key) // config.n_fpgas, int(key) % config.n_fpgas)
+                ] = np.sort(flows[sel, 0])
+        #: Exchange implementation: "batched" (array-packed RecordBatch
+        #: per flow) or "loop" (per-particle Record objects through the
+        #: P2R chain — the retained protocol oracle).
+        self.exchange_impl = "batched"
+        self._executor = None
+        self._executor_kind = None
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -209,7 +245,76 @@ class DistributedMachine:
     # -- position exchange ------------------------------------------------------
 
     def _exchange_positions(self, nodes: Dict[int, _Node]) -> None:
-        """Pack, send, and unpack boundary-cell positions as packets."""
+        """Pack, send, and unpack boundary-cell positions.
+
+        Dispatches on :attr:`exchange_impl` — the batched path ships one
+        array-packed :class:`~repro.core.packets.RecordBatch` per
+        (source node, destination node) flow; the loop path walks the
+        per-particle :class:`~repro.core.packets.Record` /
+        :class:`~repro.core.packets.P2REncapsulatorChain` protocol and
+        is retained as the equivalence oracle (identical halos and
+        packet counts, asserted by the tests).
+        """
+        if self.exchange_impl == "loop":
+            self._exchange_positions_loop(nodes)
+        else:
+            self._exchange_positions_batched(nodes)
+
+    def _exchange_positions_batched(self, nodes: Dict[int, _Node]) -> None:
+        """Array-packed exchange: one RecordBatch per (src, dst) flow.
+
+        Gate-chain equivalence: the loop's per-destination gate receives
+        exactly this flow's records in ascending (cell, slot) order and
+        flushes once at end of iteration, so its packet count is
+        ``ceil(n_records / records_per_packet)`` — precisely
+        :meth:`~repro.core.packets.RecordBatch.n_packets`.
+        """
+        rpp = self.config.records_per_packet
+        gd = np.asarray(self.config.global_cells, dtype=np.int64)
+        ld = self.config.local_cells
+        for (src, dst), cids in self._node_flows.items():
+            node = nodes[src]
+            parts = [node.cells[int(c)] for c in cids]
+            occ = np.array([len(p.particle_ids) for p in parts], dtype=np.int64)
+            if int(occ.sum()) == 0:
+                continue
+            payload = np.empty((int(occ.sum()), 4))
+            payload[:, :3] = np.concatenate(
+                [p.fractions.reshape(-1, 3) for p in parts]
+            )
+            payload[:, 3] = np.concatenate([p.species for p in parts])
+            batch = RecordBatch(
+                kind="position",
+                dst=int(dst),
+                particle_ids=np.concatenate([p.particle_ids for p in parts]),
+                cells=np.repeat(self._cell_coords[cids], occ, axis=0),
+                payload=payload,
+            )
+            node.packets_out += batch.n_packets(rpp)
+            self.total_position_packets += batch.n_packets(rpp)
+            # Arrival: whole-batch GCID -> LCID conversion (round-trip
+            # asserted, as in the per-record path), then halo bucketing
+            # by contiguous ascending-cid runs.
+            dnode = nodes[int(dst)]
+            dnode.packets_in += batch.n_packets(rpp)
+            lcid = gcid_to_lcid(batch.cells, dnode.node_coords, ld, gd)
+            origin = dnode.node_coords * np.asarray(ld, dtype=np.int64)
+            back = np.mod(lcid + origin, gd)
+            if not np.array_equal(back, batch.cells):
+                raise ValidationError("LCID conversion corrupted a cell id")
+            starts = np.concatenate([[0], np.cumsum(occ)])
+            for k, cid in enumerate(cids):
+                lo, hi = int(starts[k]), int(starts[k + 1])
+                if lo == hi:
+                    continue
+                dnode.halo[int(cid)] = _CellData(
+                    particle_ids=batch.particle_ids[lo:hi].copy(),
+                    fractions=batch.payload[lo:hi, :3].copy(),
+                    species=batch.payload[lo:hi, 3].astype(np.int32),
+                )
+
+    def _exchange_positions_loop(self, nodes: Dict[int, _Node]) -> None:
+        """Per-particle packet exchange (the original protocol walk)."""
         mailboxes: Dict[int, List[Packet]] = {n: [] for n in nodes}
         for node in nodes.values():
             neighbor_nodes = sorted(
@@ -335,13 +440,15 @@ class DistributedMachine:
 
     def _evaluate_node(
         self, node: _Node
-    ) -> Tuple[np.ndarray, float, Dict[int, List[Tuple[int, np.ndarray]]]]:
+    ) -> Tuple[np.ndarray, float, Dict[int, List[Tuple[np.ndarray, np.ndarray]]]]:
         """Evaluate one node's home cells against local + halo data.
 
         Returns the node's private force bank (global-sized, float32),
         its partial potential, and the neighbor-force records destined
-        for other nodes — no shared state is touched, so nodes evaluate
-        concurrently.
+        for other nodes as per-owner ``(particle_ids, forces)`` array
+        segments — no shared state is touched (only static machine
+        attributes are read), so nodes evaluate concurrently in threads
+        or forked processes.
 
         The node's visible cells (local + halo) are concatenated into
         flat position-cache arrays and all candidate pairs of the node's
@@ -352,7 +459,7 @@ class DistributedMachine:
         n_cells = self.grid.n_cells
         bank = np.zeros((self.system.n, 3), dtype=np.float32)
         potential = np.float32(0.0)
-        returns: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        returns: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
         self._verify_id_conversion(node)
 
         # Concatenate visible cells (ascending cid) into bucket arrays.
@@ -421,11 +528,68 @@ class DistributedMachine:
                 uslot = keys % n_slots
                 owners = self._cell_node[plan.nbr[urow]]
                 upid = pid_cat[uslot]
-                for t in range(len(keys)):
-                    returns.setdefault(int(owners[t]), []).append(
-                        (int(upid[t]), fr[t])
+                # Segment the ascending-key records by owning node:
+                # stable sort keeps the hardware's return-stream order
+                # within each owner's segment.
+                osort = np.argsort(owners, kind="stable")
+                so = owners[osort]
+                bounds = np.flatnonzero(np.diff(so)) + 1
+                for seg in np.split(osort, bounds):
+                    returns.setdefault(int(owners[seg[0]]), []).append(
+                        (upid[seg], fr[seg])
                     )
         return bank, float(potential), returns
+
+    def _get_executor(self):
+        """Build (once) and return the evaluation pool for this machine.
+
+        ``"thread"``/``True`` gets a thread pool; ``"process"`` a forked
+        process pool.  Forked workers inherit the machine by reference
+        at fork time; :meth:`_evaluate_node` reads only *static* machine
+        state (geometry, plan, filter, pipelines) — all per-step state
+        travels inside the pickled ``_Node`` — so the workers stay valid
+        for the machine's whole life and the pool is reused across steps.
+        """
+        kind = "process" if self.parallel == "process" else "thread"
+        if self._executor is not None and self._executor_kind == kind:
+            return self._executor
+        self.close()
+        workers = self.max_workers or self.config.n_fpgas
+        if kind == "process":
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            global _FORK_MACHINE
+            _FORK_MACHINE = self
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                # No fork on this platform: threads are the honest
+                # fallback (the machine holds unpicklable table lambdas).
+                kind = "thread"
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=ctx
+                )
+        if kind == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(max_workers=workers)
+        self._executor_kind = kind
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the evaluation pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_kind = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def compute_forces(self) -> float:
         """One distributed force pass; returns the potential energy."""
@@ -433,10 +597,10 @@ class DistributedMachine:
         self._exchange_positions(nodes)
         node_list = [nodes[n] for n in sorted(nodes)]
         if self.parallel:
-            from concurrent.futures import ThreadPoolExecutor
-
-            workers = self.max_workers or len(node_list)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+            pool = self._get_executor()
+            if self._executor_kind == "process":
+                results = list(pool.map(_fork_eval_node, node_list))
+            else:
                 results = list(pool.map(self._evaluate_node, node_list))
         else:
             results = [self._evaluate_node(node) for node in node_list]
@@ -445,22 +609,26 @@ class DistributedMachine:
         # scheduling): sum banks, apply returned neighbor forces.
         home_bank = np.zeros((self.system.n, 3), dtype=np.float32)
         potential = np.float32(0.0)
-        return_records: Dict[int, List[Tuple[int, np.ndarray]]] = {
+        return_records: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {
             n.node_id: [] for n in node_list
         }
         for bank, pot, returns in results:
             home_bank += bank
             potential += np.float32(pot)
-            for owner, records in returns.items():
-                return_records[owner].extend(records)
-        # Force return: pack nonzero neighbor forces into packets.
+            for owner, segments in returns.items():
+                return_records[owner].extend(segments)
+        # Force return: apply each arriving segment in order and account
+        # its packets.  Segments from one evaluating node never repeat a
+        # (block, particle) key, so within a segment the scatter is
+        # collision-ordered exactly like the per-record loop was.
         for node in node_list:
-            records = return_records[node.node_id]
-            if records:
-                for pid, fvec in records:
-                    home_bank[pid] += fvec
+            n_records = 0
+            for pids, fvecs in return_records[node.node_id]:
+                scatter_add(home_bank, pids, fvecs)
+                n_records += len(pids)
+            if n_records:
                 self.total_force_packets += int(
-                    np.ceil(len(records) / self.config.records_per_packet)
+                    np.ceil(n_records / self.config.records_per_packet)
                 )
         self._forces32 = home_bank
         self._last_potential = float(potential)

@@ -40,14 +40,16 @@ from repro.core.datapath import (
     quantize_cell_fractions,
 )
 from repro.core.rings import RingLoadModel, RingPath, cbb_ring_order
-from repro.md.cells import CellGrid, CellList
+from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
 from repro.md.kernels import scatter_add
 from repro.md.pairplan import (
+    ROWS_PER_CELL,
     candidates_per_cell,
     iter_pair_chunks,
     plan_for_grid,
 )
+from repro.md.reference import _decode_tables, _padded_viable
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
 from repro.network.fabric import Fabric
@@ -208,6 +210,13 @@ class FasdaMachine:
         # carries every (home, neighbor, shift) triple as flat arrays.
         self._plan = plan_for_grid(self.grid)
         self._neighbor_cids = self._plan.neighbor_ids
+        #: Pair enumeration path: "auto" (padded fast path when the box
+        #: is dense enough, else chunked), "padded", or "chunked".  Both
+        #: paths admit bitwise-identical pair sets.
+        self.pair_path = "auto"
+        #: Traffic accounting implementation: "vectorized" (group-by
+        #: passes) or "loop" (the retained per-row oracle).
+        self.traffic_impl = "vectorized"
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -246,12 +255,18 @@ class FasdaMachine:
         Updates the internal float32 force banks and returns workload
         statistics.  Does not advance time.
 
-        All candidate pairs flow through the filter and the force
-        pipelines in step-wide batches from the shared pair plan; the
-        per-(home cell, neighbor cell) workload statistics of the
-        original per-cell traversal are recovered exactly — candidates
-        analytically from cell occupancies, acceptance and unique
-        neighbor-force records by segment counting over the batch.
+        Dense boxes (the paper's 64-per-cell workload) take the
+        padded-broadcast fast path: candidate squared distances come
+        from batched per-cell float32 matmuls, a conservative band keeps
+        every possible admission, and only the ~15% of survivors are
+        rebuilt as exact fixed-point displacements and pushed through
+        the real :class:`~repro.core.datapath.PairFilter` — so the
+        admitted pair set, every ``dr``/``r2`` entering the pipelines,
+        and all integer workload statistics are bit-identical to the
+        chunked enumeration (``pair_path="chunked"``), which remains the
+        fallback for sparse or skewed occupancies.  Traffic accounting
+        runs as vectorized group-by passes (``traffic_impl="loop"``
+        selects the retained per-row oracle).
         """
         cfg = self.config
         grid = self.grid
@@ -271,23 +286,80 @@ class FasdaMachine:
         # force-return record counts of the hardware (zero forces and
         # duplicate touches within a block are coalesced).
         uniq_per_row = np.zeros(plan.n_rows, dtype=np.int64)
+
+        use_padded = self.pair_path != "chunked" and (
+            self.pair_path == "padded" or _padded_viable(plan, clist)
+        )
+        if use_padded:
+            potential = self._eval_padded(
+                clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+            )
+        else:
+            potential = self._eval_chunked(
+                clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+            )
+
+        nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
+        scatter_add(nbr_frc_records, plan.home, uniq_per_row)
+
+        occupancy = clist.occupancies()
+        if collect_traffic:
+            account = (
+                self._account_traffic_loop
+                if self.traffic_impl == "loop"
+                else self._account_traffic
+            )
+            position_records, force_records, pr_models, fr_models = account(
+                clist.counts, occupancy, uniq_per_row
+            )
+        else:
+            position_records = {}
+            force_records = {}
+            pr_models = {
+                n_: RingLoadModel(RingPath(self._ring_slots, +1))
+                for n_ in range(cfg.n_fpgas)
+            }
+            fr_models = {
+                n_: RingLoadModel(RingPath(self._ring_slots, -1))
+                for n_ in range(cfg.n_fpgas)
+            }
+
+        # Adder-tree combination of the FC banks (Sec. 4.5).
+        self._forces32 = home_bank + nbr_bank
+
+        stats = StepStats(
+            candidates_per_cell=candidates,
+            accepted_per_cell=accepted,
+            occupancy_per_cell=occupancy.copy(),
+            potential_energy=float(potential),
+            position_records=position_records,
+            force_records=force_records,
+            pr_load={n: RingLoadSummary.from_model(m) for n, m in pr_models.items()},
+            fr_load={n: RingLoadSummary.from_model(m) for n, m in fr_models.items()},
+            neighbor_force_records_per_cell=nbr_frc_records,
+        )
+        self.last_stats = stats
+        return stats
+
+    def _eval_chunked(
+        self,
+        clist: CellList,
+        frac: np.ndarray,
+        home_bank: np.ndarray,
+        nbr_bank: np.ndarray,
+        accepted: np.ndarray,
+        uniq_per_row: np.ndarray,
+    ) -> np.float32:
+        """Gather-enumerated datapath pass (the original hot loop).
+
+        All candidate pairs flow through the filter and the force
+        pipelines in step-wide batches from the shared pair plan; kept
+        as the general path for sparse/skewed boxes and as the oracle
+        the padded fast path is asserted against.
+        """
+        plan = self._plan
+        n = np.int64(self.system.n)
         potential = np.float32(0.0)
-
-        # (source cell, dest node) pairs that carried at least one position.
-        pos_sent: Dict[Tuple[int, int], bool] = {}
-        force_records: Dict[Tuple[int, int], int] = {}
-        pr_models = {
-            n_: RingLoadModel(RingPath(self._ring_slots, +1))
-            for n_ in range(cfg.n_fpgas)
-        }
-        fr_models = {
-            n_: RingLoadModel(RingPath(self._ring_slots, -1))
-            for n_ in range(cfg.n_fpgas)
-        }
-        # Position-ring destinations per (node, source slot) for broadcasts.
-        pr_dests: Dict[Tuple[int, int], List[int]] = {}
-        pr_counts: Dict[Tuple[int, int], int] = {}
-
         for chunk in iter_pair_chunks(plan, clist.counts, clist.start, clist.order):
             # Displacement home - neighbor = frac_h - offset - frac_n
             # (offset zero on home-home rows), exact in float64 for
@@ -311,97 +383,335 @@ class FasdaMachine:
                 scatter_add(nbr_bank, jj[nsel], -f[nsel])
                 # Unique (row, neighbor particle) keys; chunks carry
                 # whole rows, so per-chunk uniqueness is per-block exact.
-                keys = np.unique(row[nsel] * np.int64(n) + jj[nsel])
-                scatter_add(uniq_per_row, keys // np.int64(n))
+                keys = np.unique(row[nsel] * n + jj[nsel])
+                scatter_add(uniq_per_row, keys // n)
             potential += e.sum(dtype=np.float32)
+        return potential
 
-        nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
-        scatter_add(nbr_frc_records, plan.home, uniq_per_row)
+    def _eval_padded(
+        self,
+        clist: CellList,
+        frac: np.ndarray,
+        home_bank: np.ndarray,
+        nbr_bank: np.ndarray,
+        accepted: np.ndarray,
+        uniq_per_row: np.ndarray,
+    ) -> np.float32:
+        """Padded-broadcast datapath pass (dense-occupancy fast path).
 
-        if collect_traffic:
-            # Per-(home cell, neighbor cell) bookkeeping over the active
-            # neighbor rows, in the same (cid, k) order as the hardware
-            # schedules blocks.
-            counts = clist.counts
-            active_rows = np.flatnonzero(
-                ~plan.is_self
-                & (counts[plan.home] > 0)
-                & (counts[plan.nbr] > 0)
+        Buckets are padded to the max occupancy ``cap`` and each of the
+        14 plan offsets becomes one ``(C, cap, cap)`` float32 matmul
+        over quantized in-cell fractions (exactly representable in
+        float32 at the default 23 fraction bits, and conservatively
+        banded regardless), ``r2 = |f_i|^2 + |f_j + off|^2 - 2 f_i.(f_j
+        + off)``.  Survivors of the band are rebuilt as exact float64
+        fixed-point displacements and pushed through the real
+        :class:`~repro.core.datapath.PairFilter`, so admissions, the
+        pipeline inputs, and the per-row unique-record statistics match
+        the chunked path exactly; only float32 accumulation *grouping*
+        differs (14 offset batches instead of ~2M-pair chunks).
+        """
+        plan = self._plan
+        n = self.system.n
+        C = plan.n_cells
+        order, start, counts = clist.order, clist.start, clist.counts
+        cap = int(counts.max())
+
+        # Bucket-sorted fractions: slot s holds particle order[s].
+        frac_s = frac[order]
+        fsx = np.ascontiguousarray(frac_s[:, 0])
+        fsy = np.ascontiguousarray(frac_s[:, 1])
+        fsz = np.ascontiguousarray(frac_s[:, 2])
+        within = np.arange(n, dtype=np.int64) - start[clist.sorted_cids]
+        P = np.zeros((C, cap, 3), dtype=np.float32)
+        P[clist.sorted_cids, within] = frac_s.astype(np.float32)
+        padm = np.arange(cap)[None, :] >= counts[:, None]
+        S = np.einsum("cix,cix->ci", P, P, dtype=np.float32)
+        S[padm] = np.inf  # pad slots poison every r2 they appear in
+
+        nbr_mat = plan.nbr.reshape(C, ROWS_PER_CELL)
+        offs = np.concatenate(
+            [np.zeros((1, 3)), np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)]
+        )
+        # Cutoff in normalized units is 1; the band only ever admits
+        # *extra* candidates to the exact filter recheck.
+        band = np.float32(1.0 + 1e-3)
+        cell_of, i_of, j_of = _decode_tables(C, cap)
+        a_of = start[cell_of] + i_of
+        iu = np.arange(cap)
+        tri = iu[:, None] < iu[None, :]
+        mask = np.empty((C, cap, cap), dtype=bool)
+        G = np.empty((C, cap, cap), dtype=np.float32)
+        H = np.empty((C, cap, cap), dtype=np.float32)
+        present = np.zeros(C * cap, dtype=bool)
+        potential = np.float32(0.0)
+
+        for k in range(ROWS_PER_CELL):
+            nb = nbr_mat[:, k]
+            Q = P[nb] + offs[k].astype(np.float32)
+            Sq = np.einsum("cix,cix->ci", Q, Q, dtype=np.float32)
+            Sq[padm[nb]] = np.inf
+            np.matmul(P, Q.transpose(0, 2, 1), out=G)
+            # r2 = S_i + Sq_j - 2 G_ij < band  <=>  G > (S - band)/2 + Sq/2
+            np.add(
+                ((S - band) * np.float32(0.5))[:, :, None],
+                (Sq * np.float32(0.5))[:, None, :],
+                out=H,
             )
-            for r in active_rows:
-                cid = int(plan.home[r])
-                ncid = int(plan.nbr[r])
-                home_node = int(self._cell_node[cid])
-                home_slot = int(self._cell_ring_slot[cid])
-                src_node = int(self._cell_node[ncid])
-                # Position stream: source cell -> this node (dedup per node).
-                pos_sent[(ncid, home_node)] = True
-                # Ring broadcast bookkeeping.
-                key = (
-                    home_node,
+            np.greater(G, H, out=mask)
+            if k == 0:
+                mask &= tri  # home-home upper triangle
+            flat = np.flatnonzero(mask.reshape(-1))
+            if flat.size == 0:
+                continue
+            a = a_of[flat]
+            c = cell_of[flat]
+            jsl = j_of[flat]
+            b = start[nb][c] + jsl
+            # Exact fixed-point displacements for the band survivors,
+            # with the chunked path's arithmetic, through the real
+            # filter — bitwise-identical admissions and r2.
+            dr = np.empty((len(flat), 3))
+            dr[:, 0] = fsx[a] - fsx[b] - offs[k, 0]
+            dr[:, 1] = fsy[a] - fsy[b] - offs[k, 1]
+            dr[:, 2] = fsz[a] - fsz[b] - offs[k, 2]
+            res = self.filter.check(dr)
+            if not res.n_accepted:
+                continue
+            m = res.mask
+            ii = order[a[m]]
+            jj = order[b[m]]
+            cc = c[m]
+            scatter_add(accepted, cc)
+            f, e = self._pipelines(dr[m], res.r2, ii, jj)
+            scatter_add(home_bank, ii, f)
+            if k == 0:
+                scatter_add(home_bank, jj, -f)
+            else:
+                scatter_add(nbr_bank, jj, -f)
+                # Unique (row, neighbor particle) records via bucket-slot
+                # presence bits — each offset k owns its rows outright.
+                present[:] = False
+                present[cc * cap + jsl[m]] = True
+                touched = np.flatnonzero(present)
+                scatter_add(
+                    uniq_per_row, (touched // cap) * ROWS_PER_CELL + k
+                )
+            potential += e.sum(dtype=np.float32)
+        return potential
+
+    # -- traffic accounting ----------------------------------------------------
+
+    def _traffic_models(
+        self,
+    ) -> Tuple[Dict[int, RingLoadModel], Dict[int, RingLoadModel]]:
+        cfg = self.config
+        pr_models = {
+            n_: RingLoadModel(RingPath(self._ring_slots, +1))
+            for n_ in range(cfg.n_fpgas)
+        }
+        fr_models = {
+            n_: RingLoadModel(RingPath(self._ring_slots, -1))
+            for n_ in range(cfg.n_fpgas)
+        }
+        return pr_models, fr_models
+
+    def _active_neighbor_rows(self, counts: np.ndarray) -> np.ndarray:
+        """Non-self plan rows whose home and neighbor cells are occupied,
+        in the (cid, k) order the hardware schedules blocks."""
+        plan = self._plan
+        return np.flatnonzero(
+            ~plan.is_self & (counts[plan.home] > 0) & (counts[plan.nbr] > 0)
+        )
+
+    def _account_traffic(
+        self,
+        counts: np.ndarray,
+        occupancy: np.ndarray,
+        uniq_per_row: np.ndarray,
+    ) -> Tuple[
+        Dict[Tuple[int, int], int],
+        Dict[Tuple[int, int], int],
+        Dict[int, RingLoadModel],
+        Dict[int, RingLoadModel],
+    ]:
+        """Vectorized traffic accounting over the active neighbor rows.
+
+        Replaces the per-row Python loop (retained as
+        :meth:`_account_traffic_loop`) with numpy group-by passes —
+        sort/:func:`numpy.unique` over composite (cell, node, slot) keys
+        and batched :class:`~repro.core.rings.RingLoadModel` charging —
+        producing bitwise-identical records, link loads and summaries.
+        """
+        plan = self._plan
+        S = self._ring_slots
+        nf = np.int64(self.config.n_fpgas)
+        position_records: Dict[Tuple[int, int], int] = {}
+        force_records: Dict[Tuple[int, int], int] = {}
+        pr_models, fr_models = self._traffic_models()
+        act = self._active_neighbor_rows(counts)
+        if act.size == 0:
+            return position_records, force_records, pr_models, fr_models
+
+        cid = plan.home[act]
+        ncid = plan.nbr[act]
+        home_node = self._cell_node[cid]
+        home_slot = self._cell_ring_slot[cid]
+        src_node = self._cell_node[ncid]
+        local = src_node == home_node
+
+        # Position stream dedup: unique (source cell, dest node) flows;
+        # remote flows charge the source cell's occupancy per record.
+        pkeys = np.unique(ncid * nf + home_node)
+        pcell = pkeys // nf
+        pdst = pkeys % nf
+        psrc = self._cell_node[pcell]
+        remote = psrc != pdst
+        if remote.any():
+            rk = psrc[remote] * nf + pdst[remote]
+            uk, inv = np.unique(rk, return_inverse=True)
+            sums = np.bincount(
+                inv, weights=occupancy[pcell[remote]].astype(np.float64)
+            ).astype(np.int64)
+            position_records = {
+                (int(k // nf), int(k % nf)): int(s) for k, s in zip(uk, sums)
+            }
+
+        # Position-ring broadcasts: one ring traversal per (node, source
+        # stream) key, up to the farthest destination CBB (Sec. 4.5).
+        # Remote streams enter at EX; the key keeps them distinct per
+        # source cell exactly as the loop oracle does.
+        key_mod = np.int64(self._ex_slot + 10_000 + plan.n_cells + 1)
+        src_key = np.where(
+            local,
+            self._cell_ring_slot[ncid],
+            self._ex_slot + 10_000 + ncid,
+        )
+        comp = home_node * key_mod + src_key
+        uc, cinv = np.unique(comp, return_inverse=True)
+        ksrc = uc % key_mod
+        src_slot = np.where(ksrc < S, ksrc, self._ex_slot)
+        # Per-key stream length (constant per key: one source cell) and
+        # farthest-destination hop count on the +1 ring.
+        key_count = np.zeros(len(uc), dtype=np.int64)
+        key_count[cinv] = counts[ncid]
+        hops = (home_slot - src_slot[cinv]) % S
+        far = np.zeros(len(uc), dtype=np.int64)
+        np.maximum.at(far, cinv, hops)
+        key_node = uc // key_mod
+        for n_ in pr_models:
+            sel = key_node == n_
+            if sel.any():
+                pr_models[n_].broadcast_many(
+                    src_slot[sel], far[sel], key_count[sel]
+                )
+
+        # Force-ring injections: evaluating CBB -> home CBB (or EX when
+        # the neighbor particles live on another node).
+        u = uniq_per_row[act]
+        has = u > 0
+        if has.any():
+            rem_f = has & ~local
+            if rem_f.any():
+                fk = home_node[rem_f] * nf + src_node[rem_f]
+                uf, finv = np.unique(fk, return_inverse=True)
+                fsums = np.bincount(
+                    finv, weights=u[rem_f].astype(np.float64)
+                ).astype(np.int64)
+                force_records = {
+                    (int(k // nf), int(k % nf)): int(s)
+                    for k, s in zip(uf, fsums)
+                }
+            dst_slot = np.where(local, self._cell_ring_slot[ncid], self._ex_slot)
+            for n_ in fr_models:
+                sel = has & (home_node == n_)
+                if sel.any():
+                    fr_models[n_].inject_many(
+                        home_slot[sel], dst_slot[sel], u[sel]
+                    )
+            # Remote arriving forces also ride the destination node's FR
+            # from EX to the home CBB: home cells unknown at this
+            # granularity — charge the mean path (EX to mid-ring).
+            for (src, dst), recs in force_records.items():
+                fr_models[dst].inject(self._ex_slot, S // 2, recs)
+
+        return position_records, force_records, pr_models, fr_models
+
+    def _account_traffic_loop(
+        self,
+        counts: np.ndarray,
+        occupancy: np.ndarray,
+        uniq_per_row: np.ndarray,
+    ) -> Tuple[
+        Dict[Tuple[int, int], int],
+        Dict[Tuple[int, int], int],
+        Dict[int, RingLoadModel],
+        Dict[int, RingLoadModel],
+    ]:
+        """Per-row traffic accounting (the original loop), retained as the
+        equivalence oracle for :meth:`_account_traffic`."""
+        position_records: Dict[Tuple[int, int], int] = {}
+        force_records: Dict[Tuple[int, int], int] = {}
+        pr_models, fr_models = self._traffic_models()
+        plan = self._plan
+        # (source cell, dest node) pairs that carried at least one position.
+        pos_sent: Dict[Tuple[int, int], bool] = {}
+        # Position-ring destinations per (node, source slot) for broadcasts.
+        pr_dests: Dict[Tuple[int, int], List[int]] = {}
+        pr_counts: Dict[Tuple[int, int], int] = {}
+        for r in self._active_neighbor_rows(counts):
+            cid = int(plan.home[r])
+            ncid = int(plan.nbr[r])
+            home_node = int(self._cell_node[cid])
+            home_slot = int(self._cell_ring_slot[cid])
+            src_node = int(self._cell_node[ncid])
+            # Position stream: source cell -> this node (dedup per node).
+            pos_sent[(ncid, home_node)] = True
+            # Ring broadcast bookkeeping.
+            key = (
+                home_node,
+                int(self._cell_ring_slot[ncid])
+                if src_node == home_node
+                else self._ex_slot + 10_000 + ncid,
+            )
+            pr_dests.setdefault(key, []).append(home_slot)
+            pr_counts[key] = int(counts[ncid])
+            uniq = int(uniq_per_row[r])
+            if uniq:
+                if src_node != home_node:
+                    key2 = (home_node, src_node)
+                    force_records[key2] = force_records.get(key2, 0) + uniq
+                # Force-ring injection: evaluating CBB -> home CBB
+                # (or EX when remote).
+                dst_slot = (
                     int(self._cell_ring_slot[ncid])
                     if src_node == home_node
-                    else self._ex_slot + 10_000 + ncid,
+                    else self._ex_slot
                 )
-                pr_dests.setdefault(key, []).append(home_slot)
-                pr_counts[key] = int(counts[ncid])
-                uniq = int(uniq_per_row[r])
-                if uniq:
-                    if src_node != home_node:
-                        key2 = (home_node, src_node)
-                        force_records[key2] = force_records.get(key2, 0) + uniq
-                    # Force-ring injection: evaluating CBB -> home CBB
-                    # (or EX when remote).
-                    dst_slot = (
-                        int(self._cell_ring_slot[ncid])
-                        if src_node == home_node
-                        else self._ex_slot
-                    )
-                    fr_models[home_node].inject(home_slot, dst_slot, uniq)
+                fr_models[home_node].inject(home_slot, dst_slot, uniq)
 
-        if collect_traffic:
-            # Replay position broadcasts: one ring traversal per source
-            # stream, visiting all destination CBBs (Sec. 4.5 semantics).
-            for (node, src_key), dests in pr_dests.items():
-                src_slot = src_key if src_key < self._ring_slots else self._ex_slot
-                pr_models[node].broadcast(src_slot, dests, pr_counts[(node, src_key)])
-            # Remote arriving forces also ride the destination node's FR
-            # from EX to the home CBB.
-            for (src, dst), recs in force_records.items():
-                # records arrive at node dst via EX; home cells unknown at
-                # this granularity — charge the mean path (EX to mid-ring).
-                fr_models[dst].inject(
-                    self._ex_slot, self._ring_slots // 2, recs
-                )
+        # Replay position broadcasts: one ring traversal per source
+        # stream, visiting all destination CBBs (Sec. 4.5 semantics).
+        for (node, src_key), dests in pr_dests.items():
+            src_slot = src_key if src_key < self._ring_slots else self._ex_slot
+            pr_models[node].broadcast(src_slot, dests, pr_counts[(node, src_key)])
+        # Remote arriving forces also ride the destination node's FR
+        # from EX to the home CBB.
+        for (src, dst), recs in force_records.items():
+            # records arrive at node dst via EX; home cells unknown at
+            # this granularity — charge the mean path (EX to mid-ring).
+            fr_models[dst].inject(self._ex_slot, self._ring_slots // 2, recs)
 
-        position_records: Dict[Tuple[int, int], int] = {}
-        if collect_traffic:
-            occupancy = clist.occupancies()
-            for (src_cell, dst_node), _ in pos_sent.items():
-                src_node = int(self._cell_node[src_cell])
-                if src_node == dst_node:
-                    continue
-                key = (src_node, dst_node)
-                position_records[key] = position_records.get(key, 0) + int(
-                    occupancy[src_cell]
-                )
+        for (src_cell, dst_node), _ in pos_sent.items():
+            src_node = int(self._cell_node[src_cell])
+            if src_node == dst_node:
+                continue
+            key = (src_node, dst_node)
+            position_records[key] = position_records.get(key, 0) + int(
+                occupancy[src_cell]
+            )
 
-        # Adder-tree combination of the FC banks (Sec. 4.5).
-        self._forces32 = home_bank + nbr_bank
-
-        stats = StepStats(
-            candidates_per_cell=candidates,
-            accepted_per_cell=accepted,
-            occupancy_per_cell=clist.occupancies().copy(),
-            potential_energy=float(potential),
-            position_records=position_records,
-            force_records=force_records,
-            pr_load={n: RingLoadSummary.from_model(m) for n, m in pr_models.items()},
-            fr_load={n: RingLoadSummary.from_model(m) for n, m in fr_models.items()},
-            neighbor_force_records_per_cell=nbr_frc_records,
-        )
-        self.last_stats = stats
-        return stats
+        return position_records, force_records, pr_models, fr_models
 
     # -- time integration (motion-update units) --------------------------------
 

@@ -62,6 +62,58 @@ class Packet:
             raise ValidationError("a packet carries 1..4 records")
 
 
+@dataclass(frozen=True)
+class RecordBatch:
+    """An array-packed run of records for one (source, destination) flow.
+
+    The wire format is unchanged — a batch of ``n`` records still ships
+    as ``ceil(n / records_per_packet)`` 512-bit packets, the last one
+    carrying the ``last`` flag — but the *model* keeps the columns as
+    ndarrays instead of ``n`` :class:`Record` objects, so packing,
+    GCID -> LCID conversion and halo bucketing on arrival all run as
+    whole-array operations.
+
+    Attributes
+    ----------
+    kind:
+        ``"position"`` or ``"force"``.
+    dst:
+        Destination node id.
+    particle_ids:
+        ``(n,)`` int64 global particle identifiers.
+    cells:
+        ``(n, 3)`` int64 global cell coordinates (home cell per record).
+    payload:
+        ``(n, k)`` data words — ``(x, y, z, element)`` columns for
+        positions, force components for forces.
+    """
+
+    kind: str
+    dst: int
+    particle_ids: "np.ndarray"
+    cells: "np.ndarray"
+    payload: "np.ndarray"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("position", "force"):
+            raise ValidationError(f"unknown record kind {self.kind!r}")
+        if len(self.particle_ids) != len(self.cells) or len(
+            self.particle_ids
+        ) != len(self.payload):
+            raise ValidationError("record batch columns disagree on length")
+
+    @property
+    def n_records(self) -> int:
+        return len(self.particle_ids)
+
+    def n_packets(self, records_per_packet: int = 4) -> int:
+        """Packets this batch occupies on the wire (last one flushed
+        partially full, exactly like a :class:`PacketGate` stream)."""
+        if records_per_packet < 1:
+            raise ValidationError("records_per_packet must be >= 1")
+        return -(-self.n_records // records_per_packet)
+
+
 class PacketGate:
     """One departure gate: a four-register packet buffer for one destination.
 

@@ -114,6 +114,7 @@ class MessageNetwork:
         self.nodes[msg.dst].on_message(msg)
 
     def start(self) -> None:
-        """Invoke every node's ``on_start`` at t=0."""
-        for node in self.nodes.values():
-            self.sim.schedule(0.0, node.on_start)
+        """Invoke every node's ``on_start`` at t=0 (one bulk insert)."""
+        self.sim.schedule_many(
+            [(0.0, node.on_start, ()) for node in self.nodes.values()]
+        )

@@ -147,7 +147,14 @@ class CellList:
         return self.order[self.start[cid] : self.start[cid + 1]]
 
     def occupancies(self) -> np.ndarray:
-        """Per-cell particle counts."""
+        """Per-cell particle counts, memoized per build.
+
+        Returns the ``counts`` array computed by the constructor's single
+        bucket pass — calling this any number of times per step costs
+        nothing, so hot paths (traffic accounting, :class:`StepStats`)
+        may all read it without coordinating.  The array is shared, not
+        copied; callers that store it across steps must copy.
+        """
         return self.counts
 
     def cells_nonempty(self) -> np.ndarray:

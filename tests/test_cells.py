@@ -127,3 +127,14 @@ class TestCellList:
         pos = np.array([[0.5, 0.5, 0.5]])
         cl = CellList(g, pos)
         np.testing.assert_array_equal(cl.cells_nonempty(), [0])
+
+    def test_occupancies_memoized_per_build(self):
+        """occupancies() returns the constructor's counts array itself —
+        repeated calls in a step are free and see identical data."""
+        rng = np.random.default_rng(2)
+        g = CellGrid((4, 3, 5), 1.5)
+        pos = rng.uniform(0, g.box, size=(200, 3))
+        cl = CellList(g, pos)
+        first = cl.occupancies()
+        assert first is cl.occupancies()
+        assert first is cl.counts

@@ -127,6 +127,45 @@ class TestParallelExecution:
             serial.system.positions, threaded.system.positions
         )
 
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_parallel_trajectory_bitwise_20_steps(self, mode):
+        """Serial vs pooled trajectories stay bitwise-identical over a
+        long run — positions, velocities, forces and energy history."""
+        cfg = MachineConfig((4, 4, 4), (2, 2, 1))
+        system, _ = build_dataset((4, 4, 4), particles_per_cell=12, seed=12)
+        serial = DistributedMachine(cfg, system=system.copy(), parallel=False)
+        pooled = DistributedMachine(cfg, system=system.copy(), parallel=mode)
+        try:
+            serial.run(20, record_every=1)
+            pooled.run(20, record_every=1)
+            np.testing.assert_array_equal(
+                serial.system.positions, pooled.system.positions
+            )
+            np.testing.assert_array_equal(serial.forces, pooled.forces)
+            np.testing.assert_array_equal(
+                serial.velocities, pooled.velocities
+            )
+            assert [(r.step, r.kinetic, r.potential) for r in serial.history] == [
+                (r.step, r.kinetic, r.potential) for r in pooled.history
+            ]
+            assert serial.total_position_packets == pooled.total_position_packets
+            assert serial.total_force_packets == pooled.total_force_packets
+        finally:
+            pooled.close()
+
+    def test_executor_reused_across_steps(self):
+        cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+        system, _ = build_dataset((4, 4, 4), particles_per_cell=8, seed=10)
+        d = DistributedMachine(cfg, system=system, parallel="thread")
+        try:
+            d.compute_forces()
+            first = d._executor
+            d.compute_forces()
+            assert d._executor is first
+        finally:
+            d.close()
+        assert d._executor is None
+
 
 class TestProtocolProperties:
     def test_energy_conserved(self, pair):

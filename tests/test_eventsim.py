@@ -92,6 +92,57 @@ class TestEventSimulator:
         sim.schedule(4.0, lambda: None)
         assert sim.peek() == 4.0
 
+    def test_schedule_at_past_rejected(self):
+        sim = EventSimulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValidationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_many_matches_per_event_order(self):
+        """Bulk insert fires in exactly the order per-event schedule
+        calls would: by time, then by submission order on ties."""
+        events = [(2.0, "b1"), (1.0, "a"), (2.0, "b2"), (0.5, "z"), (2.0, "b3")]
+        fired_one, fired_many = [], []
+        sim1 = EventSimulator()
+        for delay, tag in events:
+            sim1.schedule(delay, fired_one.append, tag)
+        sim1.run()
+        sim2 = EventSimulator()
+        sim2.schedule_many(
+            [(delay, fired_many.append, (tag,)) for delay, tag in events]
+        )
+        sim2.run()
+        assert fired_many == fired_one == ["z", "a", "b1", "b2", "b3"]
+
+    def test_schedule_many_interleaves_with_schedule(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "mid")
+        sim.schedule_many([(1.0, fired.append, ("early",)), (2.0, fired.append, ("late",))])
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_schedule_many_small_batch_on_big_heap(self):
+        # Exercises the push (non-heapify) branch.
+        sim = EventSimulator()
+        for i in range(50):
+            sim.schedule(float(i + 10), lambda: None)
+        fired = []
+        sim.schedule_many([(1.0, fired.append, ("x",))])
+        sim.run(until=5.0)
+        assert fired == ["x"]
+
+    def test_schedule_many_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValidationError):
+            sim.schedule_many([(-1.0, lambda: None, ())])
+
+    def test_schedule_many_empty_noop(self):
+        sim = EventSimulator()
+        sim.schedule_many([])
+        assert sim.peek() is None
+
 
 class _Echo(NodeProcess):
     def __init__(self, node_id):

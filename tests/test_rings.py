@@ -93,6 +93,94 @@ class TestRingLoadModel:
         assert model.mean_link_load == pytest.approx(2.0)
 
 
+class TestBatchedAccounting:
+    """inject_many/broadcast_many are bitwise-equivalent to per-record calls."""
+
+    @given(
+        st.integers(2, 12),
+        st.sampled_from([+1, -1]),
+        st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11), st.integers(0, 7)),
+            min_size=0,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_inject_many_matches_loop(self, n, direction, triples):
+        triples = [(s % n, d % n, c) for s, d, c in triples]
+        loop = RingLoadModel(RingPath(n, direction))
+        for s, d, c in triples:
+            loop.inject(s, d, count=c)
+        batched = RingLoadModel(RingPath(n, direction))
+        if triples:
+            src, dst, cnt = (np.array(col) for col in zip(*triples))
+            batched.inject_many(src, dst, cnt)
+        np.testing.assert_array_equal(batched.link_load, loop.link_load)
+        assert batched.total_records == loop.total_records
+        assert batched.total_hops == loop.total_hops
+
+    @given(
+        st.integers(2, 12),
+        st.sampled_from([+1, -1]),
+        st.lists(
+            st.tuples(
+                st.integers(0, 11),
+                st.lists(st.integers(0, 11), min_size=1, max_size=5),
+                st.integers(0, 7),
+            ),
+            min_size=0,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_broadcast_many_matches_loop(self, n, direction, streams):
+        streams = [(s % n, [d % n for d in ds], c) for s, ds, c in streams]
+        loop = RingLoadModel(RingPath(n, direction))
+        for s, ds, c in streams:
+            loop.broadcast(s, ds, count=c)
+        batched = RingLoadModel(RingPath(n, direction))
+        if streams:
+            src = np.array([s for s, _, _ in streams])
+            far = np.array(
+                [
+                    max(loop.ring.hops(s, d) for d in ds)
+                    for s, ds, _ in streams
+                ]
+            )
+            cnt = np.array([c for _, _, c in streams])
+            batched.broadcast_many(src, far, cnt)
+        np.testing.assert_array_equal(batched.link_load, loop.link_load)
+        assert batched.total_records == loop.total_records
+        assert batched.total_hops == loop.total_hops
+
+    def test_inject_many_wraparound_ccw(self):
+        # Direction -1 with a wrapped span: 1 -> 4 on a 5-ring crosses
+        # links 1, 0, 4 (ccw), exercising the difference-array wrap.
+        loop = RingLoadModel(RingPath(5, -1))
+        loop.inject(1, 4, count=3)
+        batched = RingLoadModel(RingPath(5, -1))
+        batched.inject_many(np.array([1]), np.array([4]), np.array([3]))
+        np.testing.assert_array_equal(batched.link_load, loop.link_load)
+
+    def test_inject_many_validation(self):
+        model = RingLoadModel(RingPath(4, +1))
+        with pytest.raises(ValidationError):
+            model.inject_many(np.array([0]), np.array([1]), np.array([-1]))
+        with pytest.raises(ValidationError):
+            model.inject_many(np.array([4]), np.array([1]), np.array([1]))
+
+    def test_broadcast_many_validation(self):
+        model = RingLoadModel(RingPath(4, +1))
+        with pytest.raises(ValidationError):
+            model.broadcast_many(np.array([0]), np.array([4]), np.array([1]))
+
+    def test_empty_batches_noop(self):
+        model = RingLoadModel(RingPath(4, +1))
+        model.inject_many(np.array([]), np.array([]), np.array([]))
+        model.broadcast_many(np.array([]), np.array([]), np.array([]))
+        assert model.total_records == 0
+
+
 def test_cbb_ring_order_matches_eq7():
     order = cbb_ring_order((2, 2, 2))
     assert order[0] == (0, 0, 0)
