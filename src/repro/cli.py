@@ -8,6 +8,7 @@ Usage::
     python -m repro fig19 --steps 200
     python -m repro table1           # resource utilization
     python -m repro ablations        # all five ablation studies
+    python -m repro faults --json benchmarks/results/FAULTS_sweep.json
     python -m repro info             # design-point summary table
 
 Each command prints the same text table the corresponding benchmark
@@ -107,6 +108,21 @@ def _cmd_acceptance(args) -> str:
     return format_acceptance(run_acceptance())
 
 
+def _cmd_faults(args) -> str:
+    from repro.harness.faultsweep import format_fault_sweep, run_fault_sweep
+
+    result = run_fault_sweep(seed=args.seed)
+    if args.json:
+        import os
+
+        dirname = os.path.dirname(args.json)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json() + "\n")
+    return format_fault_sweep(result)
+
+
 def _cmd_scaling(args) -> str:
     return format_fpga_scaling(run_fpga_scaling(seed=args.seed))
 
@@ -145,6 +161,7 @@ _COMMANDS = {
     "fig19": _cmd_fig19,
     "table1": _cmd_table1,
     "ablations": _cmd_ablations,
+    "faults": _cmd_faults,
     "acceptance": _cmd_acceptance,
     "scaling": _cmd_scaling,
     "sensitivity": _cmd_sensitivity,
@@ -165,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output", type=str, default=None, help="also write the table to a file"
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="for `faults`: also write the sweep result as JSON to this path",
     )
     return parser
 

@@ -38,13 +38,20 @@ from repro.core.cellids import (
 from repro.core.config import MachineConfig
 from repro.core.datapath import ForcePipeline, PairFilter, quantize_cell_fractions
 from repro.core.packets import P2REncapsulatorChain, Packet, Record, RecordBatch
+from repro.faults import (
+    DegradationRecord,
+    FaultInjector,
+    TransportConfig,
+    TransportStats,
+    send_flow,
+)
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
 from repro.md.kernels import scatter_add
 from repro.md.pairplan import ROWS_PER_CELL, iter_pair_chunks, plan_for_grid
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
-from repro.util.errors import ConfigError, ValidationError
+from repro.util.errors import ConfigError, TransportError, ValidationError
 from repro.util.units import KCAL_MOL_TO_INTERNAL
 
 
@@ -97,6 +104,9 @@ class DistributedMachine:
         seed: int = 2023,
         parallel=False,
         max_workers: Optional[int] = None,
+        injector: Optional[FaultInjector] = None,
+        transport: Optional[TransportConfig] = None,
+        degradation: str = "stale",
     ):
         """See class docstring.
 
@@ -113,11 +123,34 @@ class DistributedMachine:
             produces the bitwise-identical trajectory.
         max_workers:
             Pool size (defaults to the node count).
+        injector:
+            Fault injection for the position exchange.  A plan with all
+            rates zero leaves the trajectory bitwise identical to a run
+            without an injector (asserted by the fault tests).
+        transport:
+            Reliable-transport parameters layered over the lossy fabric;
+            packets the injector drops/corrupts are retransmitted (with
+            cycle accounting in :attr:`transport_stats`) until the retry
+            budget runs out.  ``None`` models the paper's bare UDP.
+        degradation:
+            What to do about halo records lost beyond recovery:
+            ``"stale"`` substitutes the last good snapshot of the cell
+            (recording a :class:`~repro.faults.DegradationRecord` with a
+            force-error bound) while ``"raise"`` raises
+            :class:`~repro.util.errors.TransportError`.  Loss with no
+            stale snapshot to fall back on always raises.
         """
         if not config.is_distributed:
             raise ConfigError("DistributedMachine needs more than one node")
+        if degradation not in ("stale", "raise"):
+            raise ConfigError(
+                f"degradation must be 'stale' or 'raise', got {degradation!r}"
+            )
         self.parallel = parallel
         self.max_workers = max_workers
+        self.injector = injector
+        self.transport = transport
+        self.degradation = degradation
         self.config = config
         self.grid = CellGrid(config.global_cells, config.cutoff)
         if system is None:
@@ -216,6 +249,18 @@ class DistributedMachine:
         self._last_potential = 0.0
         self.total_position_packets = 0
         self.total_force_packets = 0
+        # -- resilience state (inert without an injector) -------------------
+        #: Force-pass index, the fault keys' iteration component.
+        self._iteration = 0
+        #: (dst node, cell id) -> (capture iteration, last good halo data).
+        self._stale_halo: Dict[Tuple[int, int], Tuple[int, _CellData]] = {}
+        #: Reliability-layer accounting accumulated over all force passes.
+        self.transport_stats = TransportStats()
+        #: Every stale-halo substitution, in occurrence order.
+        self.degradation_log: List[DegradationRecord] = []
+        #: Records lost this force pass that degradation papered over.
+        self.last_degraded_records = 0
+        self._lipschitz: Optional[float] = None
 
     # -- node construction per step --------------------------------------------
 
@@ -256,6 +301,11 @@ class DistributedMachine:
         packet counts, asserted by the tests).
         """
         if self.exchange_impl == "loop":
+            if self.injector is not None:
+                raise ConfigError(
+                    "fault injection requires the batched exchange path "
+                    "(exchange_impl='batched')"
+                )
             self._exchange_positions_loop(nodes)
         else:
             self._exchange_positions_batched(nodes)
@@ -290,13 +340,31 @@ class DistributedMachine:
                 cells=np.repeat(self._cell_coords[cids], occ, axis=0),
                 payload=payload,
             )
-            node.packets_out += batch.n_packets(rpp)
-            self.total_position_packets += batch.n_packets(rpp)
+            n_pkts = batch.n_packets(rpp)
+            node.packets_out += n_pkts
+            self.total_position_packets += n_pkts
+            dnode = nodes[int(dst)]
+            # Fault exposure: resolve which packets of this flow survive
+            # the fabric (plus any retransmissions the transport pays
+            # for).  Without an injector every record arrives and the
+            # hot path below is byte-for-byte the lossless one.
+            rec_ok = None
+            if self.injector is not None:
+                ok_pkts, tstats = send_flow(
+                    self.injector, int(src), int(dst), "position",
+                    self._iteration, n_pkts, self.transport,
+                )
+                self.transport_stats += tstats
+                node.packets_out += tstats.retransmits
+                self.total_position_packets += tstats.retransmits
+                dnode.packets_in += tstats.delivered
+                if tstats.lost:
+                    rec_ok = np.repeat(ok_pkts, rpp)[: batch.n_records]
+            else:
+                dnode.packets_in += n_pkts
             # Arrival: whole-batch GCID -> LCID conversion (round-trip
             # asserted, as in the per-record path), then halo bucketing
             # by contiguous ascending-cid runs.
-            dnode = nodes[int(dst)]
-            dnode.packets_in += batch.n_packets(rpp)
             lcid = gcid_to_lcid(batch.cells, dnode.node_coords, ld, gd)
             origin = dnode.node_coords * np.asarray(ld, dtype=np.int64)
             back = np.mod(lcid + origin, gd)
@@ -307,11 +375,30 @@ class DistributedMachine:
                 lo, hi = int(starts[k]), int(starts[k + 1])
                 if lo == hi:
                     continue
-                dnode.halo[int(cid)] = _CellData(
+                if rec_ok is not None and not rec_ok[lo:hi].all():
+                    # The cell's record run is incomplete: a node cannot
+                    # evaluate against a partially-arrived cell, so it
+                    # degrades (stale snapshot) or errors out.
+                    self._degrade_cell(
+                        int(src), int(dst), int(cid), dnode,
+                        lost=int(np.count_nonzero(~rec_ok[lo:hi])),
+                        total=hi - lo,
+                    )
+                    continue
+                data = _CellData(
                     particle_ids=batch.particle_ids[lo:hi].copy(),
                     fractions=batch.payload[lo:hi, :3].copy(),
                     species=batch.payload[lo:hi, 3].astype(np.int32),
                 )
+                dnode.halo[int(cid)] = data
+                if self.injector is not None:
+                    # Snapshot for graceful degradation: the receiver's
+                    # last complete view of this cell.  The arrays are
+                    # never mutated downstream, so storing by reference
+                    # is safe.
+                    self._stale_halo[(int(dst), int(cid))] = (
+                        self._iteration, data,
+                    )
 
     def _exchange_positions_loop(self, nodes: Dict[int, _Node]) -> None:
         """Per-particle packet exchange (the original protocol walk)."""
@@ -378,6 +465,112 @@ class DistributedMachine:
                     species=np.array([i[2] for i in items], dtype=np.int32),
                 )
         self.total_position_packets += sum(n.packets_out for n in nodes.values())
+
+    # -- graceful degradation ---------------------------------------------------
+
+    def _force_lipschitz(self) -> float:
+        """Max |dF/dr| (kcal/mol/A^2) of the pair kernel over the
+        *physically occupied* range — the constant turning a
+        stale-position displacement bound into a per-interaction
+        force-error bound.
+
+        Estimated once by finite-differencing the machine's own tabulated
+        pipelines for every species pair present (and, with Ewald
+        enabled, the worst charge product).  The scan starts at the
+        current minimum interparticle distance (with a 20% margin), not
+        at the table's r_min: the divergent LJ core below any occurring
+        pair separation would otherwise dominate the constant and make
+        the bound vacuous.
+        """
+        if self._lipschitz is not None:
+            return self._lipschitz
+        # Nearest pair actually present, from the verlet-style bucketing
+        # already used to build the dataset; conservative 0.8 factor for
+        # drift during the run.
+        from repro.md.neighborlist import minimum_pair_distance
+
+        r_nearest = minimum_pair_distance(self.system, self.grid)
+        r_lo = max(
+            float(np.sqrt(self.tables.r2_min)),
+            0.8 * r_nearest / self.config.cutoff,
+        )
+        r = np.linspace(r_lo, 1.0, 1024)
+        dr = np.zeros((len(r), 3))
+        dr[:, 0] = r
+        r2 = r * r
+        worst = 0.0
+        species = np.unique(self.system.species)
+        for si in species:
+            for sj in species:
+                sa = np.full(len(r), si, dtype=np.int32)
+                sb = np.full(len(r), sj, dtype=np.int32)
+                f, _ = self.pipeline.compute(dr, r2, sa, sb)
+                grad = np.abs(np.diff(f[:, 0].astype(np.float64)) / np.diff(r))
+                worst = max(worst, float(grad.max()))
+        if self.coulomb_pipeline is not None:
+            qq_max = float(np.abs(self._charges32).max()) ** 2
+            fc, _ = self.coulomb_pipeline.compute(
+                dr, r2, np.full(len(r), qq_max, dtype=np.float32)
+            )
+            grad = np.abs(np.diff(fc[:, 0].astype(np.float64)) / np.diff(r))
+            worst += float(grad.max())
+        # The pipelines take normalized displacements (cell edge = 1), so
+        # the finite difference is per normalized unit; convert to per A.
+        self._lipschitz = worst / self.config.cutoff
+        return self._lipschitz
+
+    def _degrade_cell(
+        self, src: int, dst: int, cid: int, dnode: _Node, lost: int, total: int
+    ) -> None:
+        """Handle a halo cell whose records were lost beyond recovery.
+
+        Falls back to the last complete snapshot of the cell (recording
+        the event with a force-error bound), or raises
+        :class:`~repro.util.errors.TransportError` when configured to —
+        or when there is no snapshot to degrade onto.
+        """
+        entry = self._stale_halo.get((dst, cid))
+        where = (
+            f"halo cell {cid} (flow node {src} -> node {dst}) lost "
+            f"{lost}/{total} position records at iteration {self._iteration}"
+        )
+        if entry is None or self.degradation == "raise":
+            raise TransportError(
+                where
+                + (
+                    " with no stale snapshot to fall back on"
+                    if entry is None
+                    else " (degradation='raise')"
+                )
+                + "; increase the transport retry budget to recover in-band"
+            )
+        snap_iter, data = entry
+        age = self._iteration - snap_iter
+        if len(data.particle_ids):
+            v = self.system.velocities[data.particle_ids]
+            speed = float(np.sqrt((v * v).sum(axis=1)).max())
+        else:  # pragma: no cover - empty cells are skipped upstream
+            speed = 0.0
+        max_disp = age * self.config.dt_fs * speed
+        record = DegradationRecord(
+            iteration=self._iteration,
+            src=src,
+            dst=dst,
+            cell=cid,
+            lost_records=lost,
+            stale_records=len(data.particle_ids),
+            age=age,
+            max_displacement=max_disp,
+            force_error_bound=max_disp * self._force_lipschitz(),
+        )
+        self.degradation_log.append(record)
+        self.last_degraded_records += lost
+        dnode.halo[cid] = data
+
+    @property
+    def degraded_records_total(self) -> int:
+        """Position records ever replaced by stale fallbacks."""
+        return sum(rec.lost_records for rec in self.degradation_log)
 
     # -- force evaluation -------------------------------------------------------
 
@@ -593,8 +786,10 @@ class DistributedMachine:
 
     def compute_forces(self) -> float:
         """One distributed force pass; returns the potential energy."""
+        self.last_degraded_records = 0
         nodes = self._build_nodes()
         self._exchange_positions(nodes)
+        self._iteration += 1
         node_list = [nodes[n] for n in sorted(nodes)]
         if self.parallel:
             pool = self._get_executor()

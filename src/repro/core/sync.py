@@ -24,14 +24,16 @@ by a callable so straggler injection is trivial.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.eventsim import EventSimulator, Message, MessageNetwork, NodeProcess
+from repro.faults import FaultInjector, PredicateInjector, TransportConfig
 from repro.network.topology import Topology
-from repro.util.errors import ConfigError, SimulationError
+from repro.util.errors import ConfigError, DeadlockError, SimulationError
 
 #: Work model: (node_id, iteration) -> force-phase compute cycles.
 WorkFn = Callable[[int, int], float]
@@ -48,9 +50,13 @@ class SyncResult:
         ``n`` finished iteration ``k`` (end of its motion update).
     makespan:
         Completion time of the whole run (max over nodes, last iteration).
+    fault_counts:
+        Fabric fault/reliability accounting (dropped, retransmits, ...)
+        when a fault injector was attached; ``None`` for clean runs.
     """
 
     iteration_complete: np.ndarray
+    fault_counts: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     @property
     def makespan(self) -> float:
@@ -139,6 +145,9 @@ class _ChainedNode(NodeProcess):
         #: their iteration; replayed when we get there.  Skew is at most
         #: one iteration because a neighbor needs our signals to advance.
         self._pending: Dict[int, List[Message]] = {}
+        #: Late duplicates / retransmits of already-consumed signals,
+        #: discarded on arrival.  Always zero on a lossless fabric.
+        self.stale_messages = 0
         self._reset_flags()
 
     def _reset_flags(self) -> None:
@@ -188,8 +197,14 @@ class _ChainedNode(NodeProcess):
 
     def on_message(self, msg: Message) -> None:
         if msg.payload != self.iteration:
-            if msg.payload < self.iteration:  # pragma: no cover - defensive
-                raise SimulationError("message for an already-completed iteration")
+            if not isinstance(msg.payload, int) or msg.payload < self.iteration:
+                # A duplicate or late retransmit of a signal we already
+                # consumed (sets below are idempotent, so the protocol
+                # already advanced past it), or a corrupted iteration
+                # tag.  Both are discarded — a genuinely *missing*
+                # signal is what the deadlock watchdog diagnoses.
+                self.stale_messages += 1
+                return
             # A faster neighbor may already be in iteration k+1 while we
             # are in k; its signals for k+1 are buffered until we get there.
             self._pending.setdefault(msg.payload, []).append(msg)
@@ -229,6 +244,43 @@ class _ChainedNode(NodeProcess):
             self._begin_iteration()
 
 
+def _diagnose_deadlock(
+    nodes: List[_ChainedNode], n_iterations: int
+) -> Optional[str]:
+    """Name the first stalled node and its missing handshake edges.
+
+    Returns ``None`` when every node completed all iterations (a clean
+    drain); otherwise a diagnosis string for :class:`DeadlockError`.
+    """
+    stuck = [nd for nd in nodes if nd.iteration < n_iterations]
+    if not stuck:
+        return None
+    first = min(stuck, key=lambda nd: (nd.iteration, nd.node_id))
+    missing: List[str] = []
+    waiting_pos = sorted(set(first.neighbors) - set(first.recv_last_pos))
+    waiting_frc = sorted(set(first.neighbors) - first.recv_last_frc)
+    if waiting_pos:
+        missing.append(
+            "last_position from node(s) " + ", ".join(map(str, waiting_pos))
+        )
+    if waiting_frc:
+        missing.append(
+            "last_force from node(s) " + ", ".join(map(str, waiting_frc))
+        )
+    if not missing:
+        unsent = sorted(set(first.neighbors) - first.sent_last_frc)
+        missing.append(
+            "its own last_force send to node(s) " + ", ".join(map(str, unsent))
+            if unsent
+            else "its motion update"
+        )
+    return (
+        f"chained sync deadlocked: node {first.node_id} stuck at iteration "
+        f"{first.iteration} ({len(stuck)}/{len(nodes)} nodes unfinished), "
+        "waiting for " + "; ".join(missing)
+    )
+
+
 def run_chained_sync(
     topology: Topology,
     work_fn: WorkFn,
@@ -237,6 +289,8 @@ def run_chained_sync(
     mu_cycles: float = 100.0,
     position_tail_fraction: float = 0.05,
     drop_message_fn: Optional[Callable[[Message], bool]] = None,
+    injector: Optional[FaultInjector] = None,
+    transport: Optional[TransportConfig] = None,
 ) -> SyncResult:
     """Simulate chained synchronization over a topology.
 
@@ -255,40 +309,75 @@ def run_chained_sync(
         Fraction of the force phase needed to finish processing a
         neighbor's stream after its last position arrives.
     drop_message_fn:
-        Fault injection: messages for which this returns True are lost
-        in the fabric.  The protocol has no retransmission (the paper's
-        UDP transport relies on cooldown keeping the switch lossless), so
-        a lost `last` signal deadlocks the cluster — the simulation
-        detects that and raises :class:`SimulationError`.
+        Deprecated — wrapped into a
+        :class:`~repro.faults.PredicateInjector`; pass ``injector``
+        instead.
+    injector:
+        Fault injection for the fabric (drop / duplicate / delay /
+        corrupt) and node stall faults.  Without a ``transport`` the
+        protocol has no retransmission (the paper's UDP relies on
+        cooldown keeping the switch lossless), so a lost `last` signal
+        deadlocks the cluster — the progress watchdog converts that into
+        a :class:`~repro.util.errors.DeadlockError` naming the stuck
+        node and the missing handshake edge.
+    transport:
+        Reliable-transport parameters; lost signals are then
+        retransmitted with exponential backoff, which shows up as
+        makespan overhead instead of a deadlock (until the retry budget
+        is exhausted).
     """
     if n_iterations < 1:
         raise ConfigError("n_iterations must be >= 1")
+    if drop_message_fn is not None:
+        if injector is not None:
+            raise ConfigError(
+                "pass either injector or the deprecated drop_message_fn, not both"
+            )
+        warnings.warn(
+            "drop_message_fn is deprecated; pass injector="
+            "repro.faults.PredicateInjector(fn) (or a FaultPlan-driven "
+            "FaultInjector) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        injector = PredicateInjector(drop_message_fn)
+    effective_work = work_fn
+    if injector is not None and injector.plan.has_stall_faults:
+        def effective_work(node: int, iteration: int) -> float:
+            return work_fn(node, iteration) * injector.work_multiplier(
+                node, iteration
+            )
+
     sim = EventSimulator()
-
-    class _FaultyNetwork(MessageNetwork):
-        def deliver(self, msg: Message) -> None:
-            if drop_message_fn is not None and drop_message_fn(msg):
-                return  # lost in the fabric
-            super().deliver(msg)
-
-    net = _FaultyNetwork(sim, default_latency=link_latency)
+    net = MessageNetwork(
+        sim, default_latency=link_latency, injector=injector, transport=transport
+    )
     result = np.zeros((topology.n_nodes, n_iterations))
+    node_list: List[_ChainedNode] = []
     for nid in range(topology.n_nodes):
         node = _ChainedNode(
             nid,
             topology.neighbors(nid),
-            work_fn,
+            effective_work,
             mu_cycles,
             n_iterations,
             result,
             position_tail_fraction,
         )
         net.attach(node)
+        node_list.append(node)
+    sim.add_watchdog(lambda: _diagnose_deadlock(node_list, n_iterations))
     net.start()
     sim.run()
-    if np.any(result[:, -1] == 0.0):
-        raise SimulationError("chained sync deadlocked: some node never finished")
-    return SyncResult(result)
+    if np.any(result[:, -1] == 0.0):  # pragma: no cover - watchdog fires first
+        raise DeadlockError(
+            _diagnose_deadlock(node_list, n_iterations)
+            or "chained sync deadlocked: some node never finished"
+        )
+    return SyncResult(
+        result,
+        fault_counts=dict(net.fault_counts) if injector is not None else None,
+    )
 
 
 # -- bulk-synchronous baseline -------------------------------------------------

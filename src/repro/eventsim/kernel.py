@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.util.errors import SimulationError, ValidationError
+from repro.util.errors import DeadlockError, SimulationError, ValidationError
 
 
 class EventSimulator:
@@ -32,6 +32,7 @@ class EventSimulator:
         self._seq = 0
         self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
+        self._watchdogs: List[Callable[[], Optional[str]]] = []
 
     @property
     def now(self) -> float:
@@ -97,9 +98,32 @@ class EventSimulator:
             self._queue.extend(entries)
             heapq.heapify(self._queue)
 
+    def add_watchdog(self, probe: Callable[[], Optional[str]]) -> None:
+        """Register a progress watchdog fired when the queue drains.
+
+        Each probe inspects its subsystem and returns ``None`` when it
+        finished cleanly, or a human-readable diagnosis when the drained
+        queue actually means a silent deadlock (e.g. a sync handshake
+        stuck waiting for a message that was lost in the fabric).  Any
+        non-None diagnosis makes :meth:`run` raise
+        :class:`~repro.util.errors.DeadlockError` naming the culprit
+        instead of returning as if the simulation had completed.
+        """
+        self._watchdogs.append(probe)
+
+    def _fire_watchdogs(self) -> None:
+        diagnoses = [d for d in (probe() for probe in self._watchdogs) if d]
+        if diagnoses:
+            raise DeadlockError("; ".join(diagnoses))
+
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Process events until the queue drains, ``until`` passes, or the
-        event budget is exhausted (which raises — it means a livelock)."""
+        event budget is exhausted (which raises — it means a livelock).
+
+        A natural drain (queue empty) additionally fires the registered
+        progress watchdogs; an early ``until`` return does not (the
+        simulation is paused, not finished).
+        """
         processed = 0
         while self._queue:
             time, _, callback, args = self._queue[0]
@@ -118,6 +142,7 @@ class EventSimulator:
                 )
         if until is not None:
             self._now = until
+        self._fire_watchdogs()
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""

@@ -3,15 +3,27 @@
 A :class:`MessageNetwork` connects :class:`NodeProcess` instances and
 delivers :class:`Message` objects after a per-link latency — the shape of
 an inter-FPGA fabric seen from the synchronization logic's perspective.
+
+The fabric can be made lossy by attaching a
+:class:`~repro.faults.FaultInjector` (drop, duplication, reordering
+delay, payload corruption), and optionally reliable again by layering a
+:class:`~repro.faults.TransportConfig` on top: dropped or
+checksum-failed messages are then retransmitted after an exponentially
+backed-off timeout until the retry budget runs out.  All fault decisions
+are keyed by (src, dst, kind, iteration, unit, attempt), so faulty runs
+are exactly reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.eventsim.kernel import EventSimulator
 from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults import FaultInjector, TransportConfig
 
 
 @dataclass(frozen=True)
@@ -83,12 +95,23 @@ class MessageNetwork:
         sim: EventSimulator,
         latency_fn: Optional[Callable[[int, int], float]] = None,
         default_latency: float = 1.0,
+        injector: Optional["FaultInjector"] = None,
+        transport: Optional["TransportConfig"] = None,
     ):
         self.sim = sim
         self._latency_fn = latency_fn or (lambda s, d: default_latency)
         self.nodes: Dict[int, NodeProcess] = {}
         #: (src, dst) -> count of messages delivered, for traffic assertions.
         self.message_counts: Dict[Tuple[int, int], int] = {}
+        self.injector = injector
+        self.transport = transport
+        #: Fault/reliability accounting over the network's lifetime.
+        self.fault_counts: Dict[str, int] = {
+            "dropped": 0, "duplicated": 0, "delayed": 0, "corrupted": 0,
+            "retransmits": 0, "lost": 0,
+        }
+        #: Per-(src, dst, kind) send sequence — the injector's `unit` key.
+        self._send_seq: Dict[Tuple[int, int, str], int] = {}
 
     def attach(self, node: NodeProcess) -> None:
         """Register a node; its id must be unique."""
@@ -101,12 +124,69 @@ class MessageNetwork:
         """Link latency between two nodes."""
         return self._latency_fn(src, dst)
 
+    @staticmethod
+    def _iteration_of(msg: Message) -> int:
+        """Fault-key iteration: integer payloads carry it (sync signals)."""
+        return int(msg.payload) if isinstance(msg.payload, int) else 0
+
     def deliver(self, msg: Message) -> None:
-        """Schedule delivery of a message after the link latency."""
+        """Schedule delivery of a message after the link latency.
+
+        With a fault injector attached, the message is first exposed to
+        the plan's drop / duplicate / delay / corrupt processes; with a
+        transport layered on top, lost or corrupted messages are
+        retransmitted on a backed-off timer until the retry budget is
+        exhausted.  Without an injector this is the original lossless
+        single-schedule path, untouched.
+        """
         if msg.dst not in self.nodes:
             raise ValidationError(f"unknown destination node {msg.dst}")
+        if self.injector is None:
+            self.sim.schedule(self.latency(msg.src, msg.dst), self._dispatch, msg)
+            return
+        key = (msg.src, msg.dst, msg.kind)
+        unit = self._send_seq.get(key, 0)
+        self._send_seq[key] = unit + 1
+        self._attempt(msg, unit, 0)
+
+    def _attempt(self, msg: Message, unit: int, attempt: int) -> None:
+        """One transmission attempt of a message through the lossy fabric."""
         lat = self.latency(msg.src, msg.dst)
-        self.sim.schedule(lat, self._dispatch, msg)
+        iteration = self._iteration_of(msg)
+        dec = self.injector.decide_message(
+            msg, iteration=iteration, unit=unit, attempt=attempt
+        )
+        failed = dec.drop
+        out = msg
+        if dec.corrupt and not failed:
+            if self.transport is not None:
+                # The transport checksum catches the flip: the packet is
+                # discarded at the receiver, i.e. it behaves like a loss.
+                failed = True
+            else:
+                self.fault_counts["corrupted"] += 1
+                out = replace(
+                    msg,
+                    payload=self.injector.corrupt_payload(
+                        msg.payload, msg.src, msg.dst, msg.kind, iteration
+                    ),
+                )
+        if failed:
+            self.fault_counts["dropped"] += 1
+            t = self.transport
+            if t is not None and attempt < t.retry_budget:
+                self.fault_counts["retransmits"] += 1
+                wait = t.timeout_cycles * t.backoff ** attempt + t.packet_cycles
+                self.sim.schedule(wait, self._attempt, msg, unit, attempt + 1)
+            else:
+                self.fault_counts["lost"] += 1
+            return
+        if dec.delay:
+            self.fault_counts["delayed"] += 1
+        self.sim.schedule(lat + dec.delay, self._dispatch, out)
+        for k in range(dec.duplicates):
+            self.fault_counts["duplicated"] += 1
+            self.sim.schedule(lat + dec.delay + (k + 1) * lat, self._dispatch, out)
 
     def _dispatch(self, msg: Message) -> None:
         key = (msg.src, msg.dst)

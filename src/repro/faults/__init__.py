@@ -1,0 +1,34 @@
+"""Fault injection and resilience modelling for the FASDA cluster.
+
+See :mod:`repro.faults.plan` for the deterministic injector and
+:mod:`repro.faults.transport` for the reliable-transport model the
+harness weighs against the paper's bare-UDP + cooldown operating point.
+"""
+
+from repro.faults.degradation import DegradationRecord
+from repro.faults.plan import (
+    CLEAN,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    PredicateInjector,
+)
+from repro.faults.transport import (
+    ACK_SUFFIX,
+    TransportConfig,
+    TransportStats,
+    send_flow,
+)
+
+__all__ = [
+    "ACK_SUFFIX",
+    "CLEAN",
+    "DegradationRecord",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "PredicateInjector",
+    "TransportConfig",
+    "TransportStats",
+    "send_flow",
+]

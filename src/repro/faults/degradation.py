@@ -1,0 +1,52 @@
+"""Graceful-degradation bookkeeping for the distributed machine.
+
+When a halo cell's position records are lost (or arrive corrupted) and
+the transport cannot recover them within its retry budget, the receiving
+node can keep the iteration alive by reusing the *last successfully
+received* snapshot of that cell — stale by one or more iterations.  Each
+such substitution is recorded as a :class:`DegradationRecord` so the
+harness can report how often the cluster degraded and how large the
+resulting force error can be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One stale-halo substitution event.
+
+    Attributes
+    ----------
+    iteration:
+        Force-pass index at which the substitution happened.
+    src, dst:
+        The flow whose packets were lost (sender and receiving node).
+    cell:
+        Global cell id whose records were replaced.
+    lost_records:
+        Position records of this cell lost beyond recovery this pass.
+    stale_records:
+        Records substituted from the stale snapshot.
+    age:
+        Iterations since the snapshot was captured (>= 1).
+    max_displacement:
+        First-order bound on how far any substituted particle may have
+        moved since the snapshot: ``age * dt * max|v|`` (angstrom).
+    force_error_bound:
+        Per-interaction force-error bound (kcal/mol/A): the displacement
+        bound times the force kernel's Lipschitz constant over the
+        admitted range.
+    """
+
+    iteration: int
+    src: int
+    dst: int
+    cell: int
+    lost_records: int
+    stale_records: int
+    age: int
+    max_displacement: float
+    force_error_bound: float

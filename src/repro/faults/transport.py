@@ -1,0 +1,216 @@
+"""Reliable-transport model layered over the lossy fabric.
+
+The paper ships raw UDP and relies on cooldown pacing to keep the switch
+lossless (Sec. 5.4).  This module models the alternative a production
+cluster needs: per-flow sequence numbers, receiver ACKs, and sender
+retransmit timers with exponential backoff and a bounded retry budget —
+together with *cycle accounting*, so the harness can report what
+reliability costs relative to the bare-UDP operating point.
+
+The model is flow-level, not event-level: :func:`send_flow` resolves the
+fate of every packet of one (src, dst, channel, iteration) flow in
+rounds.  Round 0 is the original transmission; each later round
+retransmits exactly the unacknowledged packets after a timeout that
+doubles per round.  Packet loss, corruption (detected by the packet
+checksum and treated as loss), and ACK loss (which causes a spurious
+retransmission of an already-delivered packet) all come from the shared
+:class:`~repro.faults.plan.FaultInjector`, keyed by attempt number, so
+the whole exchange is bitwise reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultInjector
+from repro.util.errors import ValidationError
+
+#: Channel suffix carrying acknowledgements (its loss process is keyed
+#: independently of the data channel's).
+ACK_SUFFIX = "/ack"
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Parameters of the reliability layer.
+
+    Attributes
+    ----------
+    retry_budget:
+        Maximum retransmission rounds per packet (0 = send once, never
+        retry — still detects loss, unlike bare UDP which is oblivious).
+    timeout_cycles:
+        Initial retransmit timer.  At 200 MHz and ~1 us switch RTT the
+        paper-scale figure is a few hundred cycles; the default is
+        deliberately conservative (2x a 200-cycle one-way latency).
+    backoff:
+        Multiplier applied to the timer each round (exponential backoff).
+    packet_cycles:
+        Serialization cost of putting one packet back on the wire.
+    model_acks:
+        Expose ACKs to the same loss process as data (a lost ACK causes
+        a spurious retransmission that the receiver discards as a
+        duplicate).
+    """
+
+    retry_budget: int = 3
+    timeout_cycles: float = 400.0
+    backoff: float = 2.0
+    packet_cycles: float = 1.0
+    model_acks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 0:
+            raise ValidationError("retry_budget must be >= 0")
+        if self.timeout_cycles < 0 or self.packet_cycles < 0:
+            raise ValidationError("cycle costs must be >= 0")
+        if self.backoff < 1.0:
+            raise ValidationError("backoff must be >= 1")
+
+
+@dataclass
+class TransportStats:
+    """Accumulated reliability-layer accounting (mergeable with ``+``).
+
+    ``overhead_cycles`` is the cost *beyond* the fault-free one-shot
+    send: timeout waits plus retransmitted-packet serialization.  The
+    fault-free baseline therefore reports exactly zero overhead.
+    """
+
+    packets_sent: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    ack_drops: int = 0
+    duplicates: int = 0
+    corrupt_detected: int = 0
+    delivered: int = 0
+    lost: int = 0
+    rounds: int = 0
+    overhead_cycles: float = 0.0
+
+    def __add__(self, other: "TransportStats") -> "TransportStats":
+        if not isinstance(other, TransportStats):
+            return NotImplemented
+        return TransportStats(
+            packets_sent=self.packets_sent + other.packets_sent,
+            retransmits=self.retransmits + other.retransmits,
+            acks_sent=self.acks_sent + other.acks_sent,
+            ack_drops=self.ack_drops + other.ack_drops,
+            duplicates=self.duplicates + other.duplicates,
+            corrupt_detected=self.corrupt_detected + other.corrupt_detected,
+            delivered=self.delivered + other.delivered,
+            lost=self.lost + other.lost,
+            rounds=max(self.rounds, other.rounds),
+            overhead_cycles=self.overhead_cycles + other.overhead_cycles,
+        )
+
+    def __radd__(self, other):
+        # Support sum(stats_list) starting from 0.
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+    @property
+    def delivery_rate(self) -> float:
+        total = self.delivered + self.lost
+        return self.delivered / total if total else 1.0
+
+    @property
+    def overhead_per_packet(self) -> float:
+        """Mean extra cycles per originally-sent packet."""
+        original = self.packets_sent - self.retransmits
+        return self.overhead_cycles / original if original else 0.0
+
+
+def send_flow(
+    injector: Optional[FaultInjector],
+    src: int,
+    dst: int,
+    channel: str,
+    iteration: int,
+    n_packets: int,
+    config: Optional[TransportConfig] = None,
+) -> Tuple[np.ndarray, TransportStats]:
+    """Resolve one flow's packets through the (possibly lossy) fabric.
+
+    Parameters
+    ----------
+    injector:
+        Fault source; ``None`` means a lossless fabric.
+    config:
+        Reliability layer; ``None`` models the paper's bare UDP — one
+        transmission, no ACKs, no retries.
+
+    Returns
+    -------
+    (delivered, stats):
+        ``delivered`` is a boolean mask over the flow's packet indices;
+        ``stats`` the accounting for this flow (overhead is zero when
+        nothing went wrong).
+    """
+    if n_packets < 0:
+        raise ValidationError("n_packets must be >= 0")
+    stats = TransportStats()
+    delivered = np.ones(n_packets, dtype=bool)
+    if n_packets == 0:
+        return delivered, stats
+    if injector is None:
+        stats.packets_sent = n_packets
+        stats.delivered = n_packets
+        if config is not None and config.model_acks:
+            stats.acks_sent = n_packets
+        return delivered, stats
+
+    if config is None:
+        # Bare UDP: one shot; corruption is caught by the packet checksum
+        # at the NIC and discarded, so it manifests as loss.
+        drop, corrupt = injector.drop_corrupt_arrays(
+            src, dst, channel, iteration, n_packets, attempt=0
+        )
+        delivered = ~(drop | corrupt)
+        stats.packets_sent = n_packets
+        stats.corrupt_detected = int(np.count_nonzero(corrupt & ~drop))
+        stats.delivered = int(np.count_nonzero(delivered))
+        stats.lost = n_packets - stats.delivered
+        stats.rounds = 1
+        return delivered, stats
+
+    delivered = np.zeros(n_packets, dtype=bool)
+    unacked = np.ones(n_packets, dtype=bool)
+    for attempt in range(config.retry_budget + 1):
+        n_send = int(np.count_nonzero(unacked))
+        if n_send == 0:
+            break
+        stats.rounds = attempt + 1
+        stats.packets_sent += n_send
+        if attempt > 0:
+            stats.retransmits += n_send
+            stats.overhead_cycles += (
+                config.timeout_cycles * config.backoff ** (attempt - 1)
+                + n_send * config.packet_cycles
+            )
+        drop, corrupt = injector.drop_corrupt_arrays(
+            src, dst, channel, iteration, n_packets, attempt=attempt
+        )
+        fail = (drop | corrupt) & unacked
+        stats.corrupt_detected += int(np.count_nonzero(corrupt & ~drop & unacked))
+        arrived = unacked & ~fail
+        stats.duplicates += int(np.count_nonzero(arrived & delivered))
+        delivered |= arrived
+        stats.acks_sent += int(np.count_nonzero(arrived))
+        if config.model_acks:
+            ack_drop, _ = injector.drop_corrupt_arrays(
+                src, dst, channel + ACK_SUFFIX, iteration, n_packets,
+                attempt=attempt,
+            )
+            ack_lost = arrived & ack_drop
+            stats.ack_drops += int(np.count_nonzero(ack_lost))
+        else:
+            ack_lost = np.zeros(n_packets, dtype=bool)
+        unacked = fail | ack_lost
+    stats.delivered = int(np.count_nonzero(delivered))
+    stats.lost = n_packets - stats.delivered
+    return delivered, stats

@@ -1,0 +1,327 @@
+"""Fault sweep: survival and overhead under packet loss (loss x budget).
+
+The paper's cluster runs bare UDP and keeps it lossless purely by pacing
+transmissions with cooldown counters (Sec. 5.4).  This harness measures
+what that choice costs when the losslessness assumption breaks: a grid
+of injected loss rates crossed with reliable-transport retry budgets,
+reporting for each cell whether the run survived, how far the trajectory
+drifted from the fault-free baseline, how many halo records degraded to
+stale snapshots, and the retransmission cycle overhead.  A companion
+sweep exercises the chained-synchronization protocol, where a lost
+``last`` signal under bare UDP deadlocks the handshake — the progress
+watchdog's diagnosis (naming the stuck node and missing edge) is
+captured verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
+from repro.core.sync import run_chained_sync
+from repro.faults import FaultInjector, FaultPlan, TransportConfig
+from repro.harness.report import format_table
+from repro.md import build_dataset
+from repro.network.topology import TorusTopology
+from repro.util.errors import DeadlockError, TransportError
+
+#: Loss rates swept by default; 0.01 is the acceptance operating point.
+DEFAULT_LOSS_RATES = (0.0, 0.01, 0.02)
+#: Retry budgets swept for the reliable transport (budget 0 = one shot).
+DEFAULT_RETRY_BUDGETS = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class FaultSweepCell:
+    """One (loss rate, transport mode) outcome of the machine sweep."""
+
+    loss_rate: float
+    mode: str  # "reliable" or "bare"
+    retry_budget: Optional[int]  # None for bare UDP
+    survived: bool
+    bitwise_identical: bool
+    max_position_error: float  # angstrom vs fault-free; nan if dead
+    degraded_records: int
+    packets_sent: int
+    retransmits: int
+    lost_packets: int
+    overhead_cycles: float
+    failure: Optional[str] = None  # error text when not survived
+
+
+@dataclass(frozen=True)
+class SyncFaultRow:
+    """One (loss rate, transport mode) outcome of the sync-protocol sweep."""
+
+    loss_rate: float
+    mode: str
+    completed: bool
+    makespan: float  # cycles; nan when deadlocked
+    overhead_percent: float  # vs fault-free makespan; nan when deadlocked
+    retransmits: int
+    lost: int
+    deadlock: Optional[str] = None  # watchdog diagnosis when deadlocked
+
+
+@dataclass
+class FaultSweepResult:
+    """Full sweep output (machine grid + sync-protocol rows)."""
+
+    dims: Tuple[int, int, int]
+    fpga_dims: Tuple[int, int, int]
+    n_steps: int
+    seed: int
+    cells: List[FaultSweepCell] = field(default_factory=list)
+    sync_baseline_makespan: float = 0.0
+    sync_rows: List[SyncFaultRow] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        """Serialize for the CI artifact (stable key order)."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+
+def _run_machine(
+    cfg: MachineConfig,
+    system,
+    n_steps: int,
+    injector: Optional[FaultInjector] = None,
+    transport: Optional[TransportConfig] = None,
+) -> DistributedMachine:
+    machine = DistributedMachine(
+        cfg, system=system.copy(), injector=injector, transport=transport
+    )
+    for _ in range(n_steps):
+        machine.step()
+    return machine
+
+
+def _cell(
+    cfg: MachineConfig,
+    system,
+    baseline: np.ndarray,
+    n_steps: int,
+    seed: int,
+    loss: float,
+    budget: Optional[int],
+) -> FaultSweepCell:
+    bare = budget is None
+    plan = FaultPlan(
+        seed=seed,
+        drop_rate=loss,
+        # Bare UDP degrades onto stale snapshots, which requires one
+        # clean exchange to populate the cache; the reliable transport
+        # needs no warm-up.
+        onset_iteration=1 if bare else 0,
+    )
+    injector = FaultInjector(plan)
+    transport = None if bare else TransportConfig(retry_budget=budget)
+    mode = "bare" if bare else "reliable"
+    try:
+        machine = _run_machine(cfg, system, n_steps, injector, transport)
+    except TransportError as exc:
+        return FaultSweepCell(
+            loss_rate=loss,
+            mode=mode,
+            retry_budget=budget,
+            survived=False,
+            bitwise_identical=False,
+            max_position_error=float("nan"),
+            degraded_records=0,
+            packets_sent=0,
+            retransmits=0,
+            lost_packets=0,
+            overhead_cycles=0.0,
+            failure=str(exc),
+        )
+    err = float(np.abs(machine.system.positions - baseline).max())
+    ts = machine.transport_stats
+    return FaultSweepCell(
+        loss_rate=loss,
+        mode=mode,
+        retry_budget=budget,
+        survived=True,
+        bitwise_identical=bool(
+            np.array_equal(machine.system.positions, baseline)
+        ),
+        max_position_error=err,
+        degraded_records=machine.degraded_records_total,
+        packets_sent=ts.packets_sent,
+        retransmits=ts.retransmits,
+        lost_packets=ts.lost,
+        overhead_cycles=ts.overhead_cycles,
+    )
+
+
+def _sync_row(
+    topology: TorusTopology,
+    n_iterations: int,
+    baseline_makespan: float,
+    seed: int,
+    loss: float,
+    reliable: bool,
+) -> SyncFaultRow:
+    injector = FaultInjector(FaultPlan(seed=seed, drop_rate=loss))
+    transport = TransportConfig(retry_budget=3) if reliable else None
+    mode = "reliable" if reliable else "bare"
+    try:
+        res = run_chained_sync(
+            topology,
+            lambda node, it: 10_000.0,
+            n_iterations,
+            injector=injector,
+            transport=transport,
+        )
+    except DeadlockError as exc:
+        return SyncFaultRow(
+            loss_rate=loss,
+            mode=mode,
+            completed=False,
+            makespan=float("nan"),
+            overhead_percent=float("nan"),
+            retransmits=0,
+            lost=0,
+            deadlock=str(exc),
+        )
+    counts = res.fault_counts or {}
+    return SyncFaultRow(
+        loss_rate=loss,
+        mode=mode,
+        completed=True,
+        makespan=res.makespan,
+        overhead_percent=100.0 * (res.makespan / baseline_makespan - 1.0),
+        retransmits=counts.get("retransmits", 0),
+        lost=counts.get("lost", 0),
+    )
+
+
+def run_fault_sweep(
+    loss_rates: Tuple[float, ...] = DEFAULT_LOSS_RATES,
+    retry_budgets: Tuple[int, ...] = DEFAULT_RETRY_BUDGETS,
+    n_steps: int = 3,
+    sync_iterations: int = 12,
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    fpga_dims: Tuple[int, int, int] = (2, 2, 2),
+    seed: int = 2023,
+) -> FaultSweepResult:
+    """Sweep loss rate x retry budget on the distributed machine + sync.
+
+    Every run reuses the same dataset and fault seed, so cells differ
+    only in the declared loss rate and transport policy.  Each loss rate
+    gets one bare-UDP cell (retry_budget None) alongside the reliable
+    cells; the sync sweep runs the chained-synchronization protocol once
+    per (loss, mode) and captures the deadlock diagnosis when bare UDP
+    loses a handshake signal.
+    """
+    cfg = MachineConfig(dims, fpga_dims)
+    system, _ = build_dataset(dims, particles_per_cell=16, seed=seed)
+    baseline = _run_machine(cfg, system, n_steps).system.positions
+
+    result = FaultSweepResult(
+        dims=tuple(dims), fpga_dims=tuple(fpga_dims), n_steps=n_steps, seed=seed
+    )
+    for loss in loss_rates:
+        for budget in retry_budgets:
+            result.cells.append(
+                _cell(cfg, system, baseline, n_steps, seed, loss, budget)
+            )
+        result.cells.append(
+            _cell(cfg, system, baseline, n_steps, seed, loss, None)
+        )
+
+    topology = TorusTopology(fpga_dims)
+    result.sync_baseline_makespan = run_chained_sync(
+        topology, lambda node, it: 10_000.0, sync_iterations
+    ).makespan
+    for loss in loss_rates:
+        for reliable in (True, False):
+            result.sync_rows.append(
+                _sync_row(
+                    topology,
+                    sync_iterations,
+                    result.sync_baseline_makespan,
+                    seed,
+                    loss,
+                    reliable,
+                )
+            )
+    return result
+
+
+def format_fault_sweep(result: FaultSweepResult) -> str:
+    """Render the sweep as the survival/overhead tables."""
+    rows = []
+    for c in result.cells:
+        rows.append(
+            [
+                f"{100 * c.loss_rate:.0f}%",
+                c.mode if c.retry_budget is None else f"{c.mode} b={c.retry_budget}",
+                "yes" if c.survived else "DEAD",
+                (
+                    "bitwise"
+                    if c.bitwise_identical
+                    else (f"{c.max_position_error:.2e}" if c.survived else "-")
+                ),
+                c.degraded_records,
+                c.retransmits,
+                c.lost_packets,
+                c.overhead_cycles,
+            ]
+        )
+    machine_table = format_table(
+        [
+            "loss",
+            "transport",
+            "survived",
+            "traj err (A)",
+            "degraded",
+            "retx",
+            "lost",
+            "overhead (cyc)",
+        ],
+        rows,
+        precision=0,
+        title=(
+            f"Fault sweep — {result.n_steps} steps on "
+            f"{'x'.join(map(str, result.dims))} cells / "
+            f"{'x'.join(map(str, result.fpga_dims))} nodes (seed {result.seed})"
+        ),
+    )
+
+    sync_rows = []
+    for r in result.sync_rows:
+        sync_rows.append(
+            [
+                f"{100 * r.loss_rate:.0f}%",
+                r.mode,
+                "yes" if r.completed else "DEADLOCK",
+                r.makespan if r.completed else None,
+                f"{r.overhead_percent:+.2f}%" if r.completed else "-",
+                r.retransmits,
+                r.lost,
+            ]
+        )
+    sync_table = format_table(
+        ["loss", "transport", "completed", "makespan", "overhead", "retx", "lost"],
+        sync_rows,
+        precision=0,
+        title=(
+            "Chained sync under loss — baseline makespan "
+            f"{result.sync_baseline_makespan:.0f} cycles"
+        ),
+    )
+
+    notes = []
+    for r in result.sync_rows:
+        if r.deadlock:
+            notes.append(
+                f"  loss {100 * r.loss_rate:.0f}% {r.mode}: {r.deadlock}"
+            )
+    diagnosis = (
+        "\nwatchdog diagnoses:\n" + "\n".join(notes) if notes else ""
+    )
+    return machine_table + "\n\n" + sync_table + diagnosis

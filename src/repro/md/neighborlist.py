@@ -140,6 +140,32 @@ class VerletNeighborList:
         return self._pairs_i, self._pairs_j
 
 
+def minimum_pair_distance(system: ParticleSystem, grid) -> float:
+    """Smallest interparticle distance (angstrom) under minimum image.
+
+    Uses a skinless Verlet build at the grid's cell edge (= the cutoff),
+    so only the bucketed candidate pairs are examined — O(N*m), not
+    O(N^2).  When no two particles are within one cell edge of each
+    other, the cell edge itself is returned as a lower bound: every
+    unlisted pair is at least that far apart.
+
+    The distributed machine's degradation accounting uses this to start
+    its force-Lipschitz scan at the occupied range instead of at the
+    divergent LJ core (see ``DistributedMachine._force_lipschitz``).
+    """
+    nlist = VerletNeighborList(
+        cutoff=float(grid.cell_edge), skin=0.0, box=system.box
+    )
+    nlist.build(system.positions)
+    ii, jj = nlist.pairs()
+    if len(ii) == 0:
+        return float(grid.cell_edge)
+    dr = system.positions[ii] - system.positions[jj]
+    dr -= system.box * np.rint(dr / system.box)
+    r2 = np.sum(dr * dr, axis=1)
+    return float(np.sqrt(r2.min()))
+
+
 def compute_forces_verlet(
     system: ParticleSystem,
     nlist: VerletNeighborList,

@@ -33,6 +33,21 @@ class LinkStats:
         """Total bits, at ``packet_bits`` per packet."""
         return self.packets * packet_bits
 
+    def __add__(self, other: "LinkStats") -> "LinkStats":
+        """Merge two accumulation intervals (multi-step fault sweeps)."""
+        if not isinstance(other, LinkStats):
+            return NotImplemented
+        return LinkStats(
+            packets=self.packets + other.packets,
+            records=self.records + other.records,
+        )
+
+    def __radd__(self, other):
+        # Support sum(stats_list) starting from 0.
+        if other == 0:
+            return self
+        return self.__add__(other)
+
 
 class Fabric:
     """Per-flow packet accounting plus bandwidth/cooldown math.

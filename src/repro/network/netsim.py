@@ -18,12 +18,15 @@ point, catastrophic without pacing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.md.kernels import scatter_add
 from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -60,16 +63,46 @@ class Burst:
 
 @dataclass
 class SwitchStats:
-    """Outcome of a switch simulation."""
+    """Outcome of a switch simulation.
+
+    ``dropped`` counts tail drops at a full output buffer; ``injected``
+    counts packets a fault injector lost (or corrupted beyond the CRC)
+    on the wire before they reached a port queue.
+    """
 
     delivered: int
     dropped: int
     max_occupancy: Dict[int, int] = field(default_factory=dict)
+    injected: int = 0
 
     @property
     def loss_rate(self) -> float:
-        total = self.delivered + self.dropped
-        return self.dropped / total if total else 0.0
+        total = self.delivered + self.dropped + self.injected
+        return (self.dropped + self.injected) / total if total else 0.0
+
+    def __add__(self, other: "SwitchStats") -> "SwitchStats":
+        """Merge two simulations' stats (multi-burst / multi-step sweeps).
+
+        Counters add; per-port peak occupancies take the maximum (the
+        merged figure answers "how deep did this buffer ever get").
+        """
+        if not isinstance(other, SwitchStats):
+            return NotImplemented
+        occ = dict(self.max_occupancy)
+        for port, peak in other.max_occupancy.items():
+            occ[port] = max(occ.get(port, 0), peak)
+        return SwitchStats(
+            delivered=self.delivered + other.delivered,
+            dropped=self.dropped + other.dropped,
+            max_occupancy=occ,
+            injected=self.injected + other.injected,
+        )
+
+    def __radd__(self, other):
+        # Support sum(stats_list) starting from 0.
+        if other == 0:
+            return self
+        return self.__add__(other)
 
 
 class OutputQueuedSwitch:
@@ -102,12 +135,29 @@ class OutputQueuedSwitch:
         self.drain_per_cycle = float(drain_per_cycle)
         self.buffer_packets = int(buffer_packets)
 
-    def run(self, bursts: List[Burst]) -> SwitchStats:
-        """Simulate until every emitted packet is delivered or dropped."""
+    def run(
+        self,
+        bursts: List[Burst],
+        injector: Optional["FaultInjector"] = None,
+        channel: str = "position",
+        iteration: int = 0,
+    ) -> SwitchStats:
+        """Simulate until every emitted packet is delivered or dropped.
+
+        With a fault ``injector``, each packet is additionally exposed
+        to the plan's wire-loss processes (drop, and corruption — which
+        the receiving NIC's CRC turns into loss) *before* it reaches its
+        output queue; such packets are counted as
+        :attr:`SwitchStats.injected`.  Decisions are keyed by
+        (src, dst, channel, iteration) plus a per-flow burst sequence,
+        so repeated runs are bitwise reproducible.
+        """
         for b in bursts:
             for node in (b.src, b.dst):
                 if not 0 <= node < self.n_nodes:
                     raise ValidationError(f"node {node} out of range")
+        injected = 0
+        flow_seq: Dict[Tuple[int, int], int] = {}
         # Per-port arrival counts per cycle.
         arrivals: Dict[int, np.ndarray] = {}
         horizon = 0
@@ -115,6 +165,17 @@ class OutputQueuedSwitch:
             if b.n_packets == 0:
                 continue
             cycles = b.emission_cycles()
+            if injector is not None:
+                seq = flow_seq.get((b.src, b.dst), 0)
+                flow_seq[(b.src, b.dst)] = seq + 1
+                drop, corrupt = injector.drop_corrupt_arrays(
+                    b.src, b.dst, channel, iteration, b.n_packets, attempt=seq
+                )
+                lost = drop | corrupt
+                injected += int(np.count_nonzero(lost))
+                cycles = cycles[~lost]
+                if len(cycles) == 0:
+                    continue
             horizon = max(horizon, int(cycles[-1]) + 1)
             per_port = arrivals.setdefault(b.dst, np.zeros(0, dtype=np.int64))
             if len(per_port) < horizon:
@@ -147,7 +208,12 @@ class OutputQueuedSwitch:
             # Drain the remainder after arrivals stop (no further loss).
             delivered += int(occupancy)
             max_occ[port] = peak
-        return SwitchStats(delivered=delivered, dropped=dropped, max_occupancy=max_occ)
+        return SwitchStats(
+            delivered=delivered,
+            dropped=dropped,
+            max_occupancy=max_occ,
+            injected=injected,
+        )
 
 
 def incast_loss_rate(

@@ -24,3 +24,21 @@ class SimulationError(FasdaError):
     Examples: particle overlap below the exclusion radius, non-finite
     forces, or a synchronization deadlock in the event simulator.
     """
+
+
+class TransportError(SimulationError):
+    """The communication layer lost data it could not recover.
+
+    Raised when a packet stays undelivered after the reliable
+    transport's retry budget is exhausted (or immediately in bare-UDP
+    mode) and the receiver has no stale fallback to degrade onto.
+    """
+
+
+class DeadlockError(SimulationError):
+    """A synchronization protocol stopped making progress.
+
+    Carries a diagnosis naming the first stalled node, the iteration it
+    is stuck in, and the missing handshake edges — produced by the event
+    kernel's progress watchdog instead of a silent drained queue.
+    """

@@ -1,0 +1,105 @@
+"""The fault-sweep harness experiment and its CLI subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.faultsweep import (
+    FaultSweepResult,
+    format_fault_sweep,
+    run_fault_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_fault_sweep(
+        loss_rates=(0.0, 0.02),
+        retry_budgets=(0, 2),
+        n_steps=2,
+        sync_iterations=6,
+    )
+
+
+class TestRunFaultSweep:
+    def test_grid_shape(self, sweep):
+        # 2 loss rates x (2 budgets + 1 bare) machine cells, 2x2 sync rows.
+        assert len(sweep.cells) == 6
+        assert len(sweep.sync_rows) == 4
+
+    def test_zero_loss_is_bitwise_everywhere(self, sweep):
+        for cell in sweep.cells:
+            if cell.loss_rate == 0.0:
+                assert cell.survived
+                assert cell.bitwise_identical
+                assert cell.overhead_cycles == 0.0
+                assert cell.degraded_records == 0
+
+    def test_reliable_transport_recovers_loss(self, sweep):
+        cell = next(
+            c
+            for c in sweep.cells
+            if c.loss_rate > 0 and c.retry_budget == 2
+        )
+        assert cell.survived
+        assert cell.bitwise_identical
+        assert cell.retransmits > 0
+        assert cell.overhead_cycles > 0
+
+    def test_bare_udp_degrades_but_survives(self, sweep):
+        cell = next(
+            c for c in sweep.cells if c.loss_rate > 0 and c.retry_budget is None
+        )
+        assert cell.survived
+        assert not cell.bitwise_identical
+        assert cell.degraded_records > 0
+        assert np.isfinite(cell.max_position_error)
+
+    def test_bare_sync_deadlock_is_diagnosed(self, sweep):
+        row = next(
+            r for r in sweep.sync_rows if r.loss_rate > 0 and r.mode == "bare"
+        )
+        assert not row.completed
+        assert "stuck at iteration" in row.deadlock
+
+    def test_reliable_sync_completes_with_overhead(self, sweep):
+        row = next(
+            r
+            for r in sweep.sync_rows
+            if r.loss_rate > 0 and r.mode == "reliable"
+        )
+        assert row.completed
+        assert row.retransmits > 0
+        assert row.overhead_percent > 0
+
+    def test_json_round_trip(self, sweep):
+        data = json.loads(sweep.to_json())
+        assert len(data["cells"]) == len(sweep.cells)
+        assert data["sync_baseline_makespan"] == sweep.sync_baseline_makespan
+        assert {c["mode"] for c in data["cells"]} == {"reliable", "bare"}
+
+    def test_format_mentions_diagnosis(self, sweep):
+        text = format_fault_sweep(sweep)
+        assert "Fault sweep" in text
+        assert "Chained sync under loss" in text
+        assert "stuck at iteration" in text
+
+
+class TestCli:
+    def test_parser_accepts_faults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["faults", "--json", "out.json"])
+        assert args.command == "faults"
+        assert args.json == "out.json"
+
+    def test_cli_writes_json_artifact(self, tmp_path, monkeypatch, sweep):
+        import repro.harness.faultsweep as fs
+        from repro.cli import main
+
+        monkeypatch.setattr(fs, "run_fault_sweep", lambda seed: sweep)
+        out = tmp_path / "artifacts" / "FAULTS_sweep.json"
+        assert main(["faults", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["cells"]) == len(sweep.cells)
