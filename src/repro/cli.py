@@ -18,6 +18,7 @@ saves under ``benchmarks/results/`` and exits 0 on success.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -123,6 +124,45 @@ def _cmd_faults(args) -> str:
     return format_fault_sweep(result)
 
 
+def _cmd_campaign(args):
+    from repro.harness.campaign import (
+        check_regression,
+        format_campaign,
+        load_campaign_json,
+        run_default_campaign,
+        write_campaign_json,
+    )
+
+    # Load the baseline before --json can overwrite it (the two paths
+    # may legitimately be the same file for local baseline refreshes).
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_campaign_json(args.baseline)
+    doc = run_default_campaign(seed=args.seed, steps=args.campaign_steps)
+    if args.json:
+        write_campaign_json(doc, args.json)
+    text = format_campaign(doc)
+    if args.baseline:
+        if baseline is not None:
+            failures = check_regression(
+                baseline, doc, threshold=args.threshold,
+            )
+            if failures:
+                text += "\nPERF REGRESSION vs " + args.baseline + ":\n"
+                text += "\n".join("  " + f for f in failures)
+                return text, 1
+            text += (
+                f"\nperf gate vs {args.baseline}: OK "
+                f"(threshold {100 * args.threshold:.0f}%)"
+            )
+        else:
+            text += (
+                f"\nperf gate: no baseline at {args.baseline}; skipped "
+                "(commit the fresh JSON to arm it)"
+            )
+    return text
+
+
 def _cmd_scaling(args) -> str:
     return format_fpga_scaling(run_fpga_scaling(seed=args.seed))
 
@@ -161,6 +201,7 @@ _COMMANDS = {
     "fig19": _cmd_fig19,
     "table1": _cmd_table1,
     "ablations": _cmd_ablations,
+    "campaign": _cmd_campaign,
     "faults": _cmd_faults,
     "acceptance": _cmd_acceptance,
     "scaling": _cmd_scaling,
@@ -187,20 +228,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         type=str,
         default=None,
-        help="for `faults`: also write the sweep result as JSON to this path",
+        help="for `faults`/`campaign`: also write the result as JSON here",
+    )
+    parser.add_argument(
+        "--campaign-steps",
+        type=int,
+        default=30,
+        help="for `campaign`: MD steps per rate measurement point",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help=(
+            "for `campaign`: BENCH_campaign.json to gate against; exits 1 "
+            "when a rate metric regresses beyond --threshold"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="for `campaign`: fractional rate regression that fails the gate",
     )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Commands normally return the table text; a command may instead
+    return ``(text, exit_code)`` — the campaign perf gate uses this to
+    fail the process while still printing its findings.
+    """
     args = build_parser().parse_args(argv)
-    text = _COMMANDS[args.command](args)
+    out = _COMMANDS[args.command](args)
+    text, code = out if isinstance(out, tuple) else (out, 0)
     print(text)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

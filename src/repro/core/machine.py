@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.arith.fixedpoint import FixedPointFormat
-from repro.arith.interp import ForceTableSet
+from repro.arith.interp import ForceTableSet, section_bin_indices
 from repro.core.cellids import node_of_cell
 from repro.core.config import MachineConfig
 from repro.core.datapath import (
@@ -49,6 +49,7 @@ from repro.md.pairplan import (
     iter_pair_chunks,
     plan_for_grid,
 )
+from repro.md.cellstate import CellState, machine_pack_fn
 from repro.md.reference import _decode_tables, _padded_viable
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
@@ -95,6 +96,11 @@ class StepStats:
     fr_load: Dict[int, RingLoadSummary] = field(default_factory=dict)
     #: Neighbor-force records produced per evaluating cell (nonzero only).
     neighbor_force_records_per_cell: Optional[np.ndarray] = None
+    #: Cumulative :class:`~repro.md.cellstate.CellState` builds at the end
+    #: of this pass, and whether this pass reused persistent state (None
+    #: when ``reuse_state`` is off).
+    state_builds: Optional[int] = None
+    state_reused: Optional[bool] = None
 
     @property
     def total_candidates(self) -> int:
@@ -117,6 +123,99 @@ class StepStats:
             fabric.add_records(src, dst, "position", records)
         for (src, dst), records in self.force_records.items():
             fabric.add_records(src, dst, "force", records)
+
+
+#: Home offset + 13 half-shell offsets, f64 — row k of every padded pass.
+_OFFS14 = np.concatenate(
+    [np.zeros((1, 3)), np.asarray(HALF_SHELL_OFFSETS, dtype=np.float64)]
+)
+
+
+def _scatter_cols(bank, idx, wx, wy, wz, n):
+    """Column-wise bincount scatter, bitwise-equal to
+    :func:`~repro.md.kernels.scatter_add` over the stacked (M, 3) array
+    (bincount accumulates float64 and casts back per column either way)."""
+    bank[:, 0] += np.bincount(idx, weights=wx, minlength=n).astype(
+        np.float32, copy=False
+    )
+    bank[:, 1] += np.bincount(idx, weights=wy, minlength=n).astype(
+        np.float32, copy=False
+    )
+    bank[:, 2] += np.bincount(idx, weights=wz, minlength=n).astype(
+        np.float32, copy=False
+    )
+
+
+class _MachineArtifacts:
+    """Per-build reuse artifacts over one CellState's band lists.
+
+    Everything here is a pure function of the band pair list, the bucket
+    order and the (fixed) species/charges — valid until the next
+    rebuild.  Pre-gathering the global particle ids, per-pair LJ
+    coefficients and Coulomb charge products turns the per-step work
+    into sequential passes over flat arrays; the preallocated scratch
+    buffers make the displacement/r2 phase allocation-free.
+    """
+
+    __slots__ = (
+        "segs",
+        "A",
+        "B",
+        "CC",
+        "CJ",
+        "II",
+        "JJ",
+        "scalar_coeffs",
+        "c14p",
+        "c8p",
+        "c12p",
+        "c6p",
+        "qqp",
+        "dx",
+        "dy",
+        "dz",
+        "tf",
+        "r2f",
+    )
+
+    def __init__(self, machine: "FasdaMachine", state: CellState):
+        pairs = state.pairs
+        order = state.clist.order
+        self.segs = pairs.segs
+        self.A = pairs.a
+        self.B = pairs.b
+        self.CC = pairs.c
+        self.CJ = pairs.c * state.cap + pairs.js
+        self.II = order[pairs.a]
+        self.JJ = order[pairs.b]
+        pipe = machine.pipeline
+        # Single-species boxes (the paper's workload) have constant
+        # coefficient ROMs: multiplying by the float32 scalar is
+        # bitwise-equal to multiplying by the gathered constant array,
+        # and skips four L-sized gathers per rebuild.
+        self.scalar_coeffs = pipe._c14.size == 1
+        if self.scalar_coeffs:
+            self.c14p = pipe._c14.reshape(())[()]
+            self.c8p = pipe._c8.reshape(())[()]
+            self.c12p = pipe._c12.reshape(())[()]
+            self.c6p = pipe._c6.reshape(())[()]
+        else:
+            spc = machine.system.species
+            si = spc[self.II]
+            sj = spc[self.JJ]
+            self.c14p = pipe._c14[si, sj]
+            self.c8p = pipe._c8[si, sj]
+            self.c12p = pipe._c12[si, sj]
+            self.c6p = pipe._c6[si, sj]
+        self.qqp = None
+        if machine.coulomb_pipeline is not None:
+            self.qqp = machine._charges32[self.II] * machine._charges32[self.JJ]
+        L = pairs.n_pairs
+        self.dx = np.empty(L, dtype=np.float32)
+        self.dy = np.empty(L, dtype=np.float32)
+        self.dz = np.empty(L, dtype=np.float32)
+        self.tf = np.empty(L, dtype=np.float32)
+        self.r2f = np.empty(L, dtype=np.float32)
 
 
 class FasdaMachine:
@@ -217,6 +316,19 @@ class FasdaMachine:
         #: Traffic accounting implementation: "vectorized" (group-by
         #: passes) or "loop" (the retained per-row oracle).
         self.traffic_impl = "vectorized"
+        #: Step-persistent cell state (PR 4): when True, binning and the
+        #: padded candidate search are amortized across steps through a
+        #: skin-banded :class:`~repro.md.cellstate.CellState`, rebuilt on
+        #: the skin/2 displacement criterion or any cell reassignment.
+        #: Forces, energies and all workload statistics stay bitwise
+        #: identical to the rebuild-every-step path (the retained
+        #: oracle).  Honored only where the fresh path would take the
+        #: padded broadcast; ``pair_path="chunked"`` disables it.
+        self.reuse_state = False
+        #: Skin margin (angstrom) for the persistent state's band lists.
+        self.reuse_skin = 0.15 * config.cutoff
+        self._cell_state = None
+        self._rom32_cache = None
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -274,8 +386,13 @@ class FasdaMachine:
         pos = self.system.positions
         n = self.system.n
         n_cells = grid.n_cells
-        clist = CellList(grid, pos)
-        coords = grid.coords_of_positions(pos)
+        state = self._ensure_cell_state(pos) if self.reuse_state else None
+        if state is not None:
+            clist = state.clist
+            coords = state.coords
+        else:
+            clist = CellList(grid, pos)
+            coords = grid.coords_of_positions(pos)
         frac = quantize_cell_fractions(pos, coords, cfg.cutoff, self.fmt)
 
         home_bank = np.zeros((n, 3), dtype=np.float32)
@@ -287,17 +404,22 @@ class FasdaMachine:
         # duplicate touches within a block are coalesced).
         uniq_per_row = np.zeros(plan.n_rows, dtype=np.int64)
 
-        use_padded = self.pair_path != "chunked" and (
-            self.pair_path == "padded" or _padded_viable(plan, clist)
-        )
-        if use_padded:
-            potential = self._eval_padded(
-                clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+        if state is not None:
+            potential = self._eval_reuse(
+                state, frac, home_bank, nbr_bank, accepted, uniq_per_row
             )
         else:
-            potential = self._eval_chunked(
-                clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+            use_padded = self.pair_path != "chunked" and (
+                self.pair_path == "padded" or _padded_viable(plan, clist)
             )
+            if use_padded:
+                potential = self._eval_padded(
+                    clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+                )
+            else:
+                potential = self._eval_chunked(
+                    clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+                )
 
         nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
         scatter_add(nbr_frc_records, plan.home, uniq_per_row)
@@ -338,8 +460,289 @@ class FasdaMachine:
             fr_load={n: RingLoadSummary.from_model(m) for n, m in fr_models.items()},
             neighbor_force_records_per_cell=nbr_frc_records,
         )
+        if self.reuse_state:
+            cs = self._cell_state
+            stats.state_builds = cs.builds if cs is not None else 0
+            stats.state_reused = state is not None and not state.last_rebuilt
         self.last_stats = stats
         return stats
+
+    # -- step-persistent state (PR 4) ------------------------------------------
+
+    def _ensure_cell_state(self, pos: np.ndarray) -> Optional[CellState]:
+        """Bring the persistent :class:`CellState` up to date, or decline.
+
+        Returns the state when the reuse path applies this step, else
+        None (``pair_path="chunked"``, or the fresh auto path would not
+        take the padded broadcast for this box — the band lists are the
+        padded search's, so reuse only ever replaces the padded path).
+        """
+        if self.pair_path == "chunked":
+            return None
+        state = self._cell_state
+        if state is None:
+            state = CellState(
+                self.grid,
+                self._plan,
+                self.reuse_skin,
+                machine_pack_fn(
+                    self.fmt, self.config.cutoff, self.reuse_skin, self.grid
+                ),
+            )
+            self._cell_state = state
+        if state.ensure(pos):
+            state.artifacts["usable"] = self.pair_path == "padded" or _padded_viable(
+                self._plan, state.clist
+            )
+        return state if state.artifacts.get("usable") else None
+
+    def _rom32(self) -> Dict[object, Tuple[np.ndarray, np.ndarray]]:
+        """Flattened float32 coefficient ROM images, built once.
+
+        ``evaluate_f32_at`` casts the gathered float64 coefficients per
+        call; casting the whole table once and gathering from the f32
+        image yields bitwise-identical values (f64->f32 rounding commutes
+        with the gather) without the per-step cast passes.
+        """
+        if self._rom32_cache is None:
+
+            def flat(t):
+                return (
+                    t._a.astype(np.float32).ravel(),
+                    t._b.astype(np.float32).ravel(),
+                )
+
+            roms = {a: flat(t) for a, t in self.tables.tables.items()}
+            if self.coulomb_pipeline is not None:
+                roms["coulomb_f"] = flat(self.coulomb_pipeline.force_table)
+                roms["coulomb_e"] = flat(self.coulomb_pipeline.energy_table)
+            self._rom32_cache = roms
+        return self._rom32_cache
+
+    def _eval_reuse(
+        self,
+        state: CellState,
+        frac: np.ndarray,
+        home_bank: np.ndarray,
+        nbr_bank: np.ndarray,
+        accepted: np.ndarray,
+        uniq_per_row: np.ndarray,
+    ) -> np.float32:
+        """Datapath pass over the persistent skin-banded pair lists.
+
+        Bitwise-identical to :meth:`_eval_padded` on the same positions:
+        the band lists hold, per offset ``k`` and in the fresh path's
+        flat enumeration order, a superset of anything the fresh band
+        can pass, and the float32 cutoff test here is exactly the
+        :meth:`~repro.core.datapath.PairFilter.admit_r2` admission — so
+        the admitted pair *sequences*, every pipeline input, and the
+        per-offset accumulation grouping all coincide with a fresh
+        build's.  The pipeline math is restated over pre-gathered
+        per-pair coefficients and pre-cast ROM images (see
+        :class:`_MachineArtifacts`); every restatement is a bitwise
+        no-op: quantized fraction differences are exact in float32, the
+        exact float64 ``r2`` is formed with ``dtype=np.float64``
+        multiplies of those exact differences, the section/bin decode
+        reads the same indices straight from the float32 bit fields
+        (power-of-two ``n_b``), and the per-column bincount scatters are
+        :func:`~repro.md.kernels.scatter_add`'s own definition.
+        """
+        art = state.artifacts.get("machine")
+        if art is None:
+            art = _MachineArtifacts(self, state)
+            state.artifacts["machine"] = art
+        plan = self._plan
+        n = self.system.n
+        cap = state.cap
+        order = state.clist.order
+        segs = art.segs
+
+        # Bucket-sorted fractions in float32 — exact: fractions are
+        # k * 2**-23 in [0, 1), so differences (and minus the integer
+        # cell offsets) are exactly representable; float32 dr here is
+        # bit-equal to casting the fresh path's float64 dr.
+        frac_s = np.asarray(frac[order], dtype=np.float32)
+        fsx = np.ascontiguousarray(frac_s[:, 0])
+        fsy = np.ascontiguousarray(frac_s[:, 1])
+        fsz = np.ascontiguousarray(frac_s[:, 2])
+        dx, dy, dz, tf = art.dx, art.dy, art.dz, art.tf
+        np.take(fsx, art.A, out=dx)
+        np.take(fsx, art.B, out=tf)
+        dx -= tf
+        np.take(fsy, art.A, out=dy)
+        np.take(fsy, art.B, out=tf)
+        dy -= tf
+        np.take(fsz, art.A, out=dz)
+        np.take(fsz, art.B, out=tf)
+        dz -= tf
+        for k in range(1, ROWS_PER_CELL):
+            lo, hi = int(segs[k]), int(segs[k + 1])
+            if lo == hi:
+                continue
+            ox, oy, oz = _OFFS14[k]
+            if ox:
+                dx[lo:hi] -= np.float32(ox)
+            if oy:
+                dy[lo:hi] -= np.float32(oy)
+            if oz:
+                dz[lo:hi] -= np.float32(oz)
+        # Conservative float32 pre-screen before the exact recheck.  The
+        # all-f32 r2 differs from the exact value by < 3 products' worth
+        # of rounding (rel. error < 2e-7), so any pair with f32 r2 >=
+        # 1 + 1e-5 provably fails the exact f64 -> f32 cutoff test too;
+        # the exact recheck then only runs over the near-admitted shell
+        # instead of the whole widened band.
+        r2s = art.r2f
+        tf2 = art.tf
+        np.multiply(dx, dx, out=r2s)
+        np.multiply(dy, dy, out=tf2)
+        r2s += tf2
+        np.multiply(dz, dz, out=tf2)
+        r2s += tf2
+        cand = np.flatnonzero(r2s < np.float32(1.0 + 1e-5))
+        potential = np.float32(0.0)
+        if cand.size == 0:
+            return potential
+        dxc = dx.take(cand)
+        dyc = dy.take(cand)
+        dzc = dz.take(cand)
+        # Exact float64 squared distance of the exact float32 diffs,
+        # associating as (dx^2 + dy^2) + dz^2 — exactly the filter's
+        # einsum inner product (dtype= forces the float64 product loop;
+        # plain out= would multiply in float32).  Then the filter's
+        # f64 -> f32 rounding, i.e. the admitted r2 stream is
+        # bit-for-bit the fresh path's.
+        r2c = np.multiply(dxc, dxc, dtype=np.float64)
+        t64 = np.multiply(dyc, dyc, dtype=np.float64)
+        r2c += t64
+        np.multiply(dzc, dzc, out=t64, dtype=np.float64)
+        r2c += t64
+        r2fc = r2c.astype(np.float32)
+
+        # Global admission pass: admitted indices over the whole band, in
+        # stored order — which is exactly per-offset ascending flat
+        # (cell, slot_i, slot_j), the fresh path's enumeration order
+        # (``cand`` is ascending and ``keep`` preserves order).  All
+        # elementwise pipeline math then runs once over the admitted
+        # set; only the order-sensitive reductions (bank scatters, the
+        # per-offset float32 energy sums, the presence-bit statistics)
+        # walk the 14 offset groups, each a contiguous slice.
+        one = np.float32(1.0)
+        keep = r2fc < one
+        idx = cand[keep]
+        if idx.size == 0:
+            return potential
+        bounds = np.searchsorted(idx, segs)
+        r2a = r2fc[keep]
+        r2_min32 = np.float32(self.filter.r2_min)
+        if np.any(r2a < r2_min32):
+            # The real filter's small-r guard, verbatim.
+            below = int(np.count_nonzero(r2a < r2_min32))
+            raise ValidationError(
+                f"{below} pair(s) inside the excluded "
+                f"small-r region (r2 < {self.filter.r2_min}); the "
+                "simulation has collapsed or the dataset violates "
+                "the minimum distance"
+            )
+        ts = self.tables
+        n_s, n_b = ts.n_s, ts.n_b
+        # Section/bin decode straight from the float32 bit fields:
+        # s = biased_exponent - (127 - n_s), b = top log2(n_b) mantissa
+        # bits — exactly Eqs. 9-10 for admitted r2 in [2**-n_s, 1).
+        if n_b >= 1 and (n_b & (n_b - 1)) == 0:
+            shift_bits = 24 - int(n_b).bit_length()  # 23 - log2(n_b)
+            bits = r2a.view(np.int32)
+            lin = ((bits >> np.int32(23)) - np.int32(127 - n_s)) * np.int32(
+                n_b
+            ) + ((bits >> np.int32(shift_bits)) & np.int32(n_b - 1))
+        else:
+            s, b = section_bin_indices(
+                r2a.astype(np.float64), n_s, n_b, checked=False
+            )
+            lin = s * n_b + b
+        # numpy re-casts non-intp index arrays on every take(); one
+        # upfront int64 conversion serves all twelve ROM gathers.
+        lin = lin.astype(np.int64)
+        roms = self._rom32()
+        a14, b14 = roms[14]
+        a8, b8 = roms[8]
+        a12, b12 = roms[12]
+        a6, b6 = roms[6]
+        inv14 = a14.take(lin)
+        inv14 *= r2a
+        inv14 += b14.take(lin)
+        inv8 = a8.take(lin)
+        inv8 *= r2a
+        inv8 += b8.take(lin)
+        if art.scalar_coeffs:
+            scalar = inv14
+            scalar *= art.c14p
+            inv8 *= art.c8p
+        else:
+            scalar = art.c14p.take(idx)
+            scalar *= inv14
+            inv8 *= art.c8p.take(idx)
+        scalar -= inv8
+        dxa = dxc[keep]
+        dya = dyc[keep]
+        dza = dzc[keep]
+        fxa = scalar * dxa
+        fya = scalar * dya
+        fza = scalar * dza
+        inv12 = a12.take(lin)
+        inv12 *= r2a
+        inv12 += b12.take(lin)
+        inv6 = a6.take(lin)
+        inv6 *= r2a
+        inv6 += b6.take(lin)
+        if art.scalar_coeffs:
+            e = inv12
+            e *= art.c12p
+            inv6 *= art.c6p
+        else:
+            e = art.c12p.take(idx)
+            e *= inv12
+            inv6 *= art.c6p.take(idx)
+        e -= inv6
+        if self.coulomb_pipeline is not None:
+            af, bf = roms["coulomb_f"]
+            ae, be = roms["coulomb_e"]
+            qq = art.qqp.take(idx)
+            invf = af.take(lin)
+            invf *= r2a
+            invf += bf.take(lin)
+            sc = qq * invf
+            fxa += sc * dxa
+            fya += sc * dya
+            fza += sc * dza
+            inve = ae.take(lin)
+            inve *= r2a
+            inve += be.take(lin)
+            e += qq * inve
+        II = art.II.take(idx)
+        JJ = art.JJ.take(idx)
+        CC = art.CC.take(idx)
+        present = np.zeros(plan.n_cells * cap, dtype=bool)
+        for k in range(ROWS_PER_CELL):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            if lo == hi:
+                continue
+            sl = slice(lo, hi)
+            scatter_add(accepted, CC[sl])
+            _scatter_cols(home_bank, II[sl], fxa[sl], fya[sl], fza[sl], n)
+            np.negative(fxa[sl], out=fxa[sl])
+            np.negative(fya[sl], out=fya[sl])
+            np.negative(fza[sl], out=fza[sl])
+            if k == 0:
+                _scatter_cols(home_bank, JJ[sl], fxa[sl], fya[sl], fza[sl], n)
+            else:
+                _scatter_cols(nbr_bank, JJ[sl], fxa[sl], fya[sl], fza[sl], n)
+                present[:] = False
+                present[art.CJ.take(idx[sl])] = True
+                touched = np.flatnonzero(present)
+                scatter_add(uniq_per_row, (touched // cap) * ROWS_PER_CELL + k)
+            potential += e[sl].sum(dtype=np.float32)
+        return potential
 
     def _eval_chunked(
         self,

@@ -14,6 +14,11 @@ fig19      Energy relative error vs. the float64 reference
 """
 
 from repro.harness.acceptance import run_acceptance
+from repro.harness.campaign import (
+    check_regression,
+    run_campaign,
+    run_default_campaign,
+)
 from repro.harness.experiments import (
     run_fig16,
     run_fig17,
@@ -36,6 +41,9 @@ __all__ = [
     "run_fig19",
     "run_table1",
     "run_acceptance",
+    "run_campaign",
+    "run_default_campaign",
+    "check_regression",
     "run_fpga_scaling",
     "run_weak_scaling_extension",
     "run_imbalance_study",

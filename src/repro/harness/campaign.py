@@ -1,0 +1,613 @@
+"""Parallel campaign runner: process-pool fan-out over design points.
+
+Sweeps and ablations are embarrassingly parallel — each design point is
+an independent, seeded computation — yet until this module every harness
+loop ran them one after another.  :func:`run_campaign` takes an ordered
+list of :class:`CampaignPoint` descriptors, evaluates them either inline
+or on a :class:`~concurrent.futures.ProcessPoolExecutor`, and returns
+the per-point payloads **in submission order** regardless of completion
+order.
+
+Determinism contract
+--------------------
+A campaign's merged result is a pure function of its points:
+
+* every worker is a module-level function registered by name (pickle
+  travels by reference, so serial and parallel modes execute the exact
+  same code object);
+* every point carries its own seed, and the runner reseeds NumPy's
+  legacy global RNG before each evaluation, so a worker sees the same
+  random state whether it runs first in the parent or alone in a child;
+* payloads are collected by submission index, never by completion order.
+
+Consequently ``run_campaign(points, parallel=True).deterministic()``
+equals ``run_campaign(points, parallel=False).deterministic()`` bit for
+bit — the property ``tests/test_campaign.py`` locks down.  Wall-clock
+derived metrics (measured steps/s) live under each payload's reserved
+``result["timing"]`` key, which the deterministic view strips, so
+timing noise can never break the contract.
+
+:func:`check_regression` is the perf gate used by CI: it compares rate
+metrics (``*_per_s``, ``*_us_per_day``) between a committed baseline
+``BENCH_campaign.json`` and a fresh run and reports any that regressed
+beyond a threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+# ---------------------------------------------------------------------------
+# Worker registry and point descriptors
+# ---------------------------------------------------------------------------
+
+_WORKERS: Dict[str, Callable[..., Dict[str, Any]]] = {}
+
+
+def register_worker(name: str):
+    """Register a module-level campaign worker under ``name``.
+
+    Workers must be importable (module level) so child processes can
+    resolve them; they take ``seed`` plus keyword parameters and return
+    a JSON-able dict.
+    """
+
+    def deco(fn):
+        if name in _WORKERS:
+            raise ValidationError(f"duplicate campaign worker {name!r}")
+        _WORKERS[name] = fn
+        return fn
+
+    return deco
+
+
+def worker_names() -> List[str]:
+    """Registered worker names (sorted)."""
+    return sorted(_WORKERS)
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One design point: a worker name, its parameters, and a seed."""
+
+    worker: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 2023
+    label: str = ""
+
+
+def point(worker: str, seed: int = 2023, label: str = "", **params) -> CampaignPoint:
+    """Convenience constructor with params normalized to a sorted tuple."""
+    return CampaignPoint(
+        worker, tuple(sorted(params.items())), seed, label or worker
+    )
+
+
+def _execute(pt: CampaignPoint) -> Tuple[Dict[str, Any], float]:
+    """Evaluate one point; returns (deterministic payload, wall seconds)."""
+    fn = _WORKERS.get(pt.worker)
+    if fn is None:
+        raise ValidationError(
+            f"unknown campaign worker {pt.worker!r}; have {worker_names()}"
+        )
+    np.random.seed(pt.seed % (2 ** 32))
+    t0 = time.perf_counter()
+    out = fn(seed=pt.seed, **dict(pt.params))
+    wall = time.perf_counter() - t0
+    payload = {
+        "label": pt.label or pt.worker,
+        "worker": pt.worker,
+        "seed": pt.seed,
+        "params": {k: v for k, v in pt.params},
+        "result": out,
+    }
+    return payload, wall
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Per-point payloads in submission order plus timing metadata."""
+
+    points: List[CampaignPoint]
+    results: List[Dict[str, Any]]
+    point_wall_s: List[float]
+    wall_s: float
+    mode: str
+    n_workers: int
+
+    def merged(self) -> Dict[str, Dict[str, Any]]:
+        """Label -> payload, including measured-timing metrics."""
+        return {p["label"]: p for p in self.results}
+
+    def deterministic(self) -> Dict[str, Dict[str, Any]]:
+        """Label -> payload with wall-clock metrics stripped.
+
+        This is the view the serial==parallel identity holds over; the
+        reserved ``result["timing"]`` subdict is the only part of a
+        payload allowed to vary between runs.
+        """
+        out = {}
+        for p in self.results:
+            res = {k: v for k, v in p["result"].items() if k != "timing"}
+            out[p["label"]] = {**p, "result": res}
+        return out
+
+
+def run_campaign(
+    points: Sequence[CampaignPoint],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> CampaignResult:
+    """Evaluate every point, inline or fanned out over processes.
+
+    Results are returned in submission order in both modes, so the
+    merged payloads are identical; only the timing fields differ.
+    """
+    points = list(points)
+    labels = [p.label or p.worker for p in points]
+    if len(set(labels)) != len(labels):
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        raise ValidationError(f"campaign labels must be unique, duplicated: {dupes}")
+    for p in points:
+        if p.worker not in _WORKERS:
+            raise ValidationError(
+                f"unknown campaign worker {p.worker!r}; have {worker_names()}"
+            )
+
+    t0 = time.perf_counter()
+    if not parallel or len(points) <= 1:
+        pairs = [_execute(p) for p in points]
+        mode, n_workers = "serial", 1
+    else:
+        n_workers = max_workers or os.cpu_count() or 1
+        n_workers = max(1, min(n_workers, len(points)))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            # executor.map preserves submission order by construction.
+            pairs = list(pool.map(_execute, points))
+        mode = "parallel"
+    wall = time.perf_counter() - t0
+    return CampaignResult(
+        points=points,
+        results=[p for p, _ in pairs],
+        point_wall_s=[w for _, w in pairs],
+        wall_s=wall,
+        mode=mode,
+        n_workers=n_workers,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Perf-regression gate
+# ---------------------------------------------------------------------------
+
+#: Payload keys treated as higher-is-better rates by the gate.
+RATE_SUFFIXES: Tuple[str, ...] = ("_per_s", "_us_per_day")
+
+
+def _rate_metrics(result: Dict[str, Any]) -> Dict[str, float]:
+    out = {}
+    candidates = dict(result)
+    candidates.update(result.get("timing", {}))
+    for k, v in candidates.items():
+        if isinstance(v, (int, float)) and any(
+            k.endswith(suf) for suf in RATE_SUFFIXES
+        ):
+            out[k] = float(v)
+    return out
+
+
+def check_regression(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    threshold: float = 0.30,
+) -> List[str]:
+    """Compare rate metrics between two BENCH_campaign payload maps.
+
+    Both arguments are ``merged()``-style maps (or full BENCH_campaign
+    documents with a ``"points"`` key holding one).  Returns a list of
+    human-readable failure strings — empty means the gate passes.  A
+    fresh rate below ``(1 - threshold) * baseline`` is a regression;
+    points or metrics present on only one side are ignored (sweep
+    membership may legitimately evolve).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValidationError("threshold must be in (0, 1)")
+    base_pts = baseline.get("points", baseline)
+    fresh_pts = fresh.get("points", fresh)
+    failures = []
+    for label in sorted(set(base_pts) & set(fresh_pts)):
+        b = _rate_metrics(base_pts[label].get("result", {}))
+        f = _rate_metrics(fresh_pts[label].get("result", {}))
+        for metric in sorted(set(b) & set(f)):
+            if b[metric] <= 0:
+                continue
+            drop = 1.0 - f[metric] / b[metric]
+            if drop > threshold:
+                failures.append(
+                    f"{label}.{metric}: {f[metric]:.4g} is "
+                    f"{100 * drop:.1f}% below baseline {b[metric]:.4g} "
+                    f"(threshold {100 * threshold:.0f}%)"
+                )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Workers: reuse-amortization rate measurements
+# ---------------------------------------------------------------------------
+
+
+@register_worker("engine_rate")
+def engine_rate(
+    seed: int,
+    dims: Tuple[int, int, int] = (5, 5, 6),
+    particles_per_cell: int = 64,
+    steps: int = 30,
+    reuse: bool = False,
+) -> Dict[str, Any]:
+    """ReferenceEngine steps/s with or without the persistent CellState.
+
+    The final potential energy ships in the payload so the campaign
+    determinism test doubles as a trajectory-equivalence check.
+    """
+    from repro.md.dataset import build_dataset
+    from repro.md.engine import ReferenceEngine
+
+    system, grid = build_dataset(
+        dims, particles_per_cell=particles_per_cell, seed=seed
+    )
+    eng = ReferenceEngine(system=system, grid=grid, reuse_state=reuse)
+    eng.run(1)  # prime forces and warm the plan/state caches
+    t0 = time.perf_counter()
+    eng.run(steps)
+    wall = time.perf_counter() - t0
+    return {
+        "n_particles": int(system.n),
+        "steps": steps,
+        "reuse": reuse,
+        "state_builds": eng.state_builds,
+        "rebuild_rate": (eng.state_builds / (steps + 2)) if reuse else 1.0,
+        "final_potential": float(eng.history[-1].potential),
+        "timing": {"steps_per_s": steps / wall},
+    }
+
+
+@register_worker("machine_rate")
+def machine_rate(
+    seed: int,
+    dims: Tuple[int, int, int] = (5, 5, 6),
+    fpga_grid: Tuple[int, int, int] = (1, 1, 1),
+    particles_per_cell: int = 64,
+    steps: int = 30,
+    reuse: bool = False,
+    traffic: bool = True,
+    mode: str = "run",
+) -> Dict[str, Any]:
+    """FasdaMachine steps/s with or without step-persistent cell state.
+
+    ``mode="run"`` integrates (migrations can force rebuilds — the
+    honest end-to-end number); ``mode="eval"`` re-evaluates forces on a
+    frozen configuration (the steady-state amortization ceiling).
+    """
+    from repro.core.config import MachineConfig
+    from repro.core.machine import FasdaMachine
+    from repro.md.dataset import build_dataset
+
+    cfg = MachineConfig(dims, fpga_grid)
+    system, _ = build_dataset(
+        dims, particles_per_cell=particles_per_cell, seed=seed
+    )
+    machine = FasdaMachine(cfg, system=system)
+    machine.reuse_state = reuse
+    last = machine.compute_forces(collect_traffic=traffic)  # warm-up
+    t0 = time.perf_counter()
+    if mode == "eval":
+        for _ in range(steps):
+            last = machine.compute_forces(collect_traffic=traffic)
+    elif mode == "run":
+        for _ in range(steps):
+            machine.step(collect_traffic=traffic)
+        last = machine.last_stats
+    else:
+        raise ValidationError(f"machine_rate mode must be run/eval, got {mode!r}")
+    wall = time.perf_counter() - t0
+    builds = last.state_builds if last.state_builds is not None else steps
+    return {
+        "n_particles": int(system.n),
+        "steps": steps,
+        "reuse": reuse,
+        "mode": mode,
+        "traffic": traffic,
+        "state_builds": int(builds) if reuse else steps,
+        "rebuild_rate": (int(builds) / (steps + 1)) if reuse else 1.0,
+        "potential_energy": float(last.potential_energy),
+        "timing": {"steps_per_s": steps / wall},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workers: sweep / ablation design points
+# ---------------------------------------------------------------------------
+
+
+@register_worker("fpga_scaling")
+def fpga_scaling_point(
+    seed: int,
+    global_cells: Tuple[int, int, int] = (4, 4, 4),
+    n_fpgas: int = 1,
+    margin: float = 0.9,
+) -> Dict[str, Any]:
+    """One node count of the FPGA-scaling sweep (sweeps.run_fpga_scaling)."""
+    from repro.core.cycles import estimate_performance
+    from repro.core.machine import FasdaMachine
+    from repro.harness.sweeps import best_fitting_config
+
+    cfg = best_fitting_config(tuple(global_cells), n_fpgas, margin=margin)
+    if cfg is None:
+        return {"n_fpgas": n_fpgas, "fits": False}
+    machine = FasdaMachine(cfg, seed=seed)
+    perf = estimate_performance(cfg, machine.measure_workload())
+    return {
+        "n_fpgas": n_fpgas,
+        "fits": True,
+        "pes_per_spe": cfg.pes_per_spe,
+        "spes_per_cbb": cfg.spes_per_cbb,
+        "pes_per_cbb": cfg.pes_per_cbb,
+        "rate_us_per_day": perf.rate_us_per_day,
+    }
+
+
+@lru_cache(maxsize=4)
+def _sensitivity_inputs(seed: int):
+    """Workload stats shared by every sensitivity point at this seed.
+
+    Cached per process: the serial path measures once for all nine
+    perturbations (matching the historical loop), and each pool child
+    measures once for however many points it is handed.  The stats are
+    deterministic in the seed, so the cache never changes a result.
+    """
+    from repro.core.config import MachineConfig, strong_scaling_configs
+    from repro.core.machine import FasdaMachine
+
+    cfg_small = MachineConfig((3, 3, 3))
+    stats_small = FasdaMachine(cfg_small, seed=seed).measure_workload()
+    strong = strong_scaling_configs()
+    stats_strong = FasdaMachine(strong["4x4x4-A"], seed=seed).measure_workload()
+    return cfg_small, stats_small, strong, stats_strong
+
+
+@register_worker("sensitivity")
+def sensitivity_point(
+    seed: int, pf: float = 1.0, pb: float = 1.0
+) -> Dict[str, Any]:
+    """One perturbation pair of the model-constant sensitivity study."""
+    from repro.core.cycles import (
+        PE_BUSY_FRACTION,
+        PE_FILTER_EFFICIENCY,
+        estimate_performance,
+    )
+
+    cfg_small, stats_small, strong, stats_strong = _sensitivity_inputs(seed)
+    fe = min(1.0, PE_FILTER_EFFICIENCY * pf)
+    bf = min(1.0, PE_BUSY_FRACTION * pb)
+    rate_small = estimate_performance(
+        cfg_small, stats_small, filter_efficiency=fe, busy_fraction=bf
+    ).rate_us_per_day
+    rate_a = estimate_performance(
+        strong["4x4x4-A"], stats_strong, filter_efficiency=fe, busy_fraction=bf
+    ).rate_us_per_day
+    rate_c = estimate_performance(
+        strong["4x4x4-C"], stats_strong, filter_efficiency=fe, busy_fraction=bf
+    ).rate_us_per_day
+    return {
+        "filter_efficiency": fe,
+        "busy_fraction": bf,
+        "rate_3x3x3_us_per_day": rate_small,
+        "strong_gain_c_over_a": rate_c / rate_a,
+    }
+
+
+@lru_cache(maxsize=4)
+def _filter_sweep_stats(seed: int):
+    """The one workload measurement the whole filter sweep shares."""
+    from repro.core.config import MachineConfig
+    from repro.core.machine import FasdaMachine
+
+    return FasdaMachine(MachineConfig((3, 3, 3)), seed=seed).measure_workload()
+
+
+@register_worker("filter_ablation")
+def filter_ablation_point(seed: int, filters: int = 6) -> Dict[str, Any]:
+    """One filter count of the filters-per-pipeline ablation."""
+    from repro.core.config import MachineConfig
+    from repro.core.cycles import estimate_performance
+
+    cfg = MachineConfig((3, 3, 3), filters_per_pipeline=filters)
+    perf = estimate_performance(cfg, _filter_sweep_stats(seed))
+    return {
+        "filters": filters,
+        "rate_us_per_day": perf.rate_us_per_day,
+        "filter_hw_utilization": perf.utilization["filter"].hardware,
+        "pe_hw_utilization": perf.utilization["pe"].hardware,
+        "bound": perf.bound,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The standard campaign and its JSON document
+# ---------------------------------------------------------------------------
+
+
+def build_default_campaign(
+    seed: int = 2023,
+    steps: int = 30,
+    dims: Tuple[int, int, int] = (5, 5, 6),
+) -> List[CampaignPoint]:
+    """The BENCH_campaign design points.
+
+    Reuse-amortization rates for the reference engine and the simulated
+    machine (fresh vs. persistent state, end-to-end and steady-state),
+    plus the FPGA-scaling sweep and a slice of the sensitivity study so
+    the campaign exercises heterogeneous workers.
+    """
+    pts = [
+        point("engine_rate", seed=seed, label="engine/fresh",
+              dims=dims, steps=steps, reuse=False),
+        point("engine_rate", seed=seed, label="engine/reuse",
+              dims=dims, steps=steps, reuse=True),
+        point("machine_rate", seed=seed, label="machine/fresh",
+              dims=dims, steps=steps, reuse=False, mode="run"),
+        point("machine_rate", seed=seed, label="machine/reuse",
+              dims=dims, steps=steps, reuse=True, mode="run"),
+        point("machine_rate", seed=seed, label="machine/fresh-eval",
+              dims=dims, steps=steps, reuse=False, mode="eval"),
+        point("machine_rate", seed=seed, label="machine/reuse-eval",
+              dims=dims, steps=steps, reuse=True, mode="eval"),
+    ]
+    for n in (1, 2, 4, 8):
+        pts.append(
+            point("fpga_scaling", seed=seed, label=f"scaling/{n}-fpga",
+                  n_fpgas=n)
+        )
+    for pf, pb in ((0.9, 1.0), (1.0, 1.0), (1.1, 1.0)):
+        pts.append(
+            point("sensitivity", seed=seed, label=f"sensitivity/pf={pf}",
+                  pf=pf, pb=pb)
+        )
+    return pts
+
+
+def run_default_campaign(
+    seed: int = 2023,
+    steps: int = 30,
+    dims: Tuple[int, int, int] = (5, 5, 6),
+    compare_serial: bool = True,
+    max_workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the standard campaign and assemble the BENCH_campaign document.
+
+    Runs the campaign in parallel and (optionally) serially, verifies
+    the merged payloads agree exactly, and returns the JSON-able
+    document with both wall times and the headline amortization ratios.
+    """
+    pts = build_default_campaign(seed=seed, steps=steps, dims=dims)
+    par = run_campaign(pts, parallel=True, max_workers=max_workers)
+    doc: Dict[str, Any] = {
+        "seed": seed,
+        "steps": steps,
+        "dims": list(dims),
+        "cpu_count": os.cpu_count(),
+        "n_points": len(pts),
+        "parallel_wall_s": par.wall_s,
+        "parallel_workers": par.n_workers,
+        "points": par.merged(),
+    }
+    if compare_serial:
+        ser = run_campaign(pts, parallel=False)
+        if ser.deterministic() != par.deterministic():
+            raise ValidationError(
+                "campaign determinism violated: serial and parallel "
+                "merged payloads differ"
+            )
+        doc["serial_wall_s"] = ser.wall_s
+        doc["parallel_speedup"] = ser.wall_s / max(par.wall_s, 1e-12)
+    merged = doc["points"]
+
+    def rate(label):
+        return merged[label]["result"]["timing"]["steps_per_s"]
+
+    doc["summary"] = {
+        "engine_reuse_speedup": rate("engine/reuse") / rate("engine/fresh"),
+        "machine_run_reuse_speedup": (
+            rate("machine/reuse") / rate("machine/fresh")
+        ),
+        "machine_eval_reuse_speedup": (
+            rate("machine/reuse-eval") / rate("machine/fresh-eval")
+        ),
+        "engine_rebuild_rate": merged["engine/reuse"]["result"]["rebuild_rate"],
+        "machine_rebuild_rate": merged["machine/reuse"]["result"]["rebuild_rate"],
+    }
+    return doc
+
+
+def write_campaign_json(doc: Dict[str, Any], path: str) -> str:
+    """Write a BENCH_campaign document; returns the path."""
+    dirname = os.path.dirname(path)
+    if dirname:
+        os.makedirs(dirname, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_campaign_json(path: str) -> Dict[str, Any]:
+    """Load a BENCH_campaign document."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def format_campaign(doc: Dict[str, Any]) -> str:
+    """Human-readable summary table of a BENCH_campaign document."""
+    from repro.harness.report import format_table
+
+    rows = []
+    for label in sorted(doc["points"]):
+        res = doc["points"][label]["result"]
+        rates = _rate_metrics(res)
+        metric, value = (
+            next(iter(sorted(rates.items()))) if rates else ("-", float("nan"))
+        )
+        extra = ""
+        if "rebuild_rate" in res:
+            extra = f"rebuilds {100 * res['rebuild_rate']:.0f}%"
+        rows.append([label, metric, value, extra])
+    table = format_table(
+        ["point", "metric", "value", "notes"],
+        rows,
+        precision=3,
+        title=(
+            f"Campaign: {doc['n_points']} points, "
+            f"parallel {doc['parallel_wall_s']:.2f}s "
+            f"on {doc['parallel_workers']} workers (cpu_count="
+            f"{doc['cpu_count']})"
+        ),
+    )
+    s = doc.get("summary", {})
+    lines = [table]
+    if s:
+        lines.append(
+            "reuse speedups — engine {:.2f}x, machine run {:.2f}x, "
+            "machine eval {:.2f}x".format(
+                s["engine_reuse_speedup"],
+                s["machine_run_reuse_speedup"],
+                s["machine_eval_reuse_speedup"],
+            )
+        )
+        lines.append(
+            "rebuild rates — engine {:.0%}, machine {:.0%}".format(
+                s["engine_rebuild_rate"], s["machine_rebuild_rate"]
+            )
+        )
+    if "serial_wall_s" in doc:
+        lines.append(
+            "serial {:.2f}s vs parallel {:.2f}s ({:.2f}x)".format(
+                doc["serial_wall_s"], doc["parallel_wall_s"],
+                doc["parallel_speedup"],
+            )
+        )
+    return "\n".join(lines)

@@ -8,12 +8,14 @@ and velocity-Verlet into a timestep loop with energy bookkeeping — the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.md.cells import CellGrid
+from repro.md.cellstate import CellState, engine_pack_fn
 from repro.md.integrator import VelocityVerlet
+from repro.md.pairplan import plan_for_grid
 from repro.md.reference import compute_forces_cells
 from repro.md.system import ParticleSystem
 from repro.util.errors import ValidationError
@@ -50,16 +52,31 @@ class ReferenceEngine:
         Shift the LJ potential to zero at the cutoff (improves energy
         conservation of the truncated potential; off by default to match
         the paper's plain truncation).
+    reuse_state:
+        Keep a skin-banded :class:`~repro.md.cellstate.CellState` across
+        steps so force passes skip binning and candidate search until a
+        particle moves more than skin/2 or changes cell.  Forces (and
+        therefore trajectories) are bitwise identical to the default
+        rebuild-every-step path; recorded potentials agree to float64
+        round-off (the per-offset energy sums run over differently-sized
+        arrays).
+    reuse_skin:
+        Skin margin in angstrom for ``reuse_state``; defaults to
+        ``0.15 * cutoff``.
     """
 
     system: ParticleSystem
     grid: CellGrid
     dt_fs: float = 2.0
     shift: bool = False
+    reuse_state: bool = False
+    reuse_skin: Optional[float] = None
     history: List[EnergyRecord] = field(default_factory=list)
     _integrator: VelocityVerlet = field(init=False)
     _primed: bool = field(init=False, default=False)
+    _prime_recorded: bool = field(init=False, default=False)
     _last_potential: float = field(init=False, default=0.0)
+    _cell_state: Optional[CellState] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if not np.allclose(self.grid.box, self.system.box):
@@ -67,10 +84,43 @@ class ReferenceEngine:
         self._integrator = VelocityVerlet(self.dt_fs)
 
     def _force_fn(self, system: ParticleSystem):
-        return compute_forces_cells(system, self.grid, shift=self.shift)
+        state = None
+        if self.reuse_state:
+            if self._cell_state is None:
+                skin = self.reuse_skin
+                if skin is None:
+                    skin = 0.15 * float(self.grid.cell_edge)
+                plan = plan_for_grid(self.grid)
+                self._cell_state = CellState(
+                    self.grid, plan, skin, engine_pack_fn(self.grid, plan, skin)
+                )
+            state = self._cell_state
+        return compute_forces_cells(system, self.grid, shift=self.shift, state=state)
+
+    @property
+    def state_builds(self) -> int:
+        """Cumulative CellState rebuilds (0 when ``reuse_state`` is off)."""
+        return self._cell_state.builds if self._cell_state is not None else 0
+
+    def _prime(self) -> float:
+        """Evaluate initial forces once; later calls reuse the record."""
+        if not self._primed:
+            self._last_potential = self._integrator.prime(self.system, self._force_fn)
+            self._primed = True
+        return self._last_potential
 
     def potential_energy(self) -> float:
-        """Potential energy of the current configuration (no state change)."""
+        """Potential energy of the current configuration.
+
+        On a not-yet-primed engine this doubles as the priming force
+        pass — :meth:`run` then reuses the stored record instead of
+        re-evaluating the same configuration (historically this cost a
+        second identical ``_force_fn`` call).  On a primed engine it
+        evaluates fresh (the caller may have perturbed the system) and
+        leaves the integrator state untouched.
+        """
+        if not self._primed:
+            return self._prime()
         _, potential = self._force_fn(self.system)
         return potential
 
@@ -84,9 +134,9 @@ class ReferenceEngine:
         if n_steps < 0:
             raise ValidationError("n_steps must be >= 0")
         appended: List[EnergyRecord] = []
-        if not self._primed:
-            self._last_potential = self._integrator.prime(self.system, self._force_fn)
-            self._primed = True
+        if not self._prime_recorded:
+            self._last_potential = self._prime()
+            self._prime_recorded = True
             rec = EnergyRecord(start_step, self.system.kinetic_energy(), self._last_potential)
             self.history.append(rec)
             appended.append(rec)

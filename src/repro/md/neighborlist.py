@@ -117,16 +117,15 @@ class VerletNeighborList:
     def needs_rebuild(self, positions: np.ndarray) -> bool:
         """True when any particle moved more than skin/2 since the build.
 
-        The classic criterion: two particles each moving skin/2 toward
-        one another is the worst case that could bring an unlisted pair
-        inside the cutoff.
+        The shared :func:`~repro.md.cellstate.skin_exceeded` criterion —
+        two particles each moving skin/2 toward one another is the worst
+        case that could bring an unlisted pair inside the cutoff.
         """
-        if self._build_positions is None:
-            return True
-        delta = positions - self._build_positions
-        delta -= self.box * np.rint(delta / self.box)
-        max_disp2 = float(np.max(np.sum(delta * delta, axis=1)))
-        return max_disp2 > (0.5 * self.skin) ** 2
+        from repro.md.cellstate import skin_exceeded
+
+        return skin_exceeded(
+            positions, self._build_positions, self.box, self.skin
+        )
 
     def ensure(self, positions: np.ndarray) -> None:
         """Rebuild only if required."""

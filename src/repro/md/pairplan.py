@@ -143,6 +143,17 @@ class CellPairPlan:
         return np.stack([x, rem // dz, rem % dz], axis=-1)
 
 
+#: Edge-key quantum for the plan cache: keys are edge lengths rounded to
+#: the nearest multiple of 2^-40 angstrom (~1e-12, far below any
+#: physically meaningful box perturbation but coarse enough that the
+#: accumulated float noise of a perturbed-box sweep maps to one key).
+_EDGE_KEY_QUANTUM = 2.0 ** 40
+
+
+def _quantize_edge(e: float) -> float:
+    return round(float(e) * _EDGE_KEY_QUANTUM) / _EDGE_KEY_QUANTUM
+
+
 @lru_cache(maxsize=64)
 def _plan_cached(
     dims: Tuple[int, int, int], edges: Tuple[float, float, float]
@@ -150,14 +161,26 @@ def _plan_cached(
     return CellPairPlan(dims, edges)
 
 
+def plan_cache_info():
+    """Hit/miss statistics of the shared plan cache (for benchmarks).
+
+    A perturbed-box sweep that thrashes this cache shows up as one miss
+    per design point *per step* instead of one per design point; the
+    campaign benchmarks record these counters to catch that regression.
+    """
+    return _plan_cached.cache_info()
+
+
 def plan_for_grid(grid: CellGrid) -> CellPairPlan:
     """The (cached) pair plan of a :class:`~repro.md.cells.CellGrid`.
 
-    The cache key is the grid geometry ``(dims, cell_edge)``: every
-    grid-equivalent call returns the same plan object, so per-step code
-    pays nothing for topology after the first build.
+    The cache key is the grid geometry ``(dims, cell_edge)`` with the
+    edge *quantized* to 2^-40 angstrom: raw float keys made sweeps over
+    recomputed (bit-wobbling) box sizes miss on every call and churn the
+    64-entry LRU.  The plan is built from the quantized edges, so equal
+    keys return a plan that is exact for every caller mapping to them.
     """
-    e = float(grid.cell_edge)
+    e = _quantize_edge(grid.cell_edge)
     return _plan_cached(grid.dims, (e, e, e))
 
 
@@ -166,7 +189,7 @@ def plan_for_dims(
 ) -> CellPairPlan:
     """The (cached) pair plan for explicit dims and per-axis cell edges."""
     return _plan_cached(
-        tuple(int(d) for d in dims), tuple(float(e) for e in edges)
+        tuple(int(d) for d in dims), tuple(_quantize_edge(e) for e in edges)
     )
 
 

@@ -1,0 +1,165 @@
+"""Bitwise equivalence of the step-persistent cell state (PR: reuse).
+
+The amortization contract: with ``reuse_state`` on, every layer
+(ReferenceEngine, FasdaMachine, DistributedMachine) must produce the
+*same trajectory bit for bit* as the rebuild-every-step oracle — the
+persistent :class:`~repro.md.cellstate.CellState` is a pure evaluation
+shortcut, never an approximation.  These tests run the reuse path and
+the oracle side by side for 50+ steps and compare positions, velocities,
+and forces exactly, including under a forced mid-run rebuild (a kicked
+particle) and under fault injection on the distributed machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
+from repro.core.machine import FasdaMachine
+from repro.faults import FaultInjector, FaultPlan, TransportConfig
+from repro.md.dataset import build_dataset
+from repro.md.engine import ReferenceEngine
+
+
+def _machine_pair(dims=(4, 4, 4), ppc=16, seed=11):
+    system, _ = build_dataset(dims, particles_per_cell=ppc, seed=seed)
+    oracle = FasdaMachine(MachineConfig(dims), system=system.copy())
+    reuse = FasdaMachine(MachineConfig(dims), system=system.copy())
+    reuse.reuse_state = True
+    return oracle, reuse
+
+
+class TestMachineReuseBitwise:
+    def test_50_step_trajectory_bitwise(self):
+        oracle, reuse = _machine_pair()
+        for _ in range(50):
+            pa = oracle.step(collect_traffic=True)
+            pb = reuse.step(collect_traffic=True)
+            assert pa == pb
+        assert np.array_equal(oracle.system.positions, reuse.system.positions)
+        assert np.array_equal(oracle.system.velocities, reuse.system.velocities)
+        assert np.array_equal(oracle.forces, reuse.forces)
+        sa, sb = oracle.last_stats, reuse.last_stats
+        assert sa.potential_energy == sb.potential_energy
+        # The whole point: most steps must have reused the state.
+        assert sb.state_builds is not None
+        assert sb.state_builds < 50
+
+    def test_forced_midrun_rebuild_stays_bitwise(self):
+        """A particle kicked past skin/2 forces a rebuild; the reuse
+        trajectory must absorb it and stay bitwise equal."""
+        oracle, reuse = _machine_pair(seed=3)
+        for _ in range(5):
+            oracle.step(collect_traffic=True)
+            reuse.step(collect_traffic=True)
+        builds_before = reuse.last_stats.state_builds
+        kick = np.array([0.3 * oracle.grid.cell_edge, 0.0, 0.0])
+        for m in (oracle, reuse):
+            m.system.positions[0] += kick
+            m.system.wrap()
+        for _ in range(5):
+            pa = oracle.step(collect_traffic=True)
+            pb = reuse.step(collect_traffic=True)
+            assert pa == pb
+        assert np.array_equal(oracle.system.positions, reuse.system.positions)
+        assert np.array_equal(oracle.forces, reuse.forces)
+        assert reuse.last_stats.state_builds > builds_before
+
+    def test_stats_and_traffic_match(self):
+        oracle, reuse = _machine_pair(seed=19)
+        sa = oracle.compute_forces(collect_traffic=True)
+        sb = reuse.compute_forces(collect_traffic=True)
+        sb2 = reuse.compute_forces(collect_traffic=True)  # pure-reuse pass
+        for stats in (sb, sb2):
+            assert stats.potential_energy == sa.potential_energy
+            assert np.array_equal(
+                stats.accepted_per_cell, sa.accepted_per_cell
+            )
+            assert stats.position_records == sa.position_records
+        assert sb2.state_reused is True
+
+
+class TestEngineReuseBitwise:
+    def test_50_step_trajectory_bitwise(self):
+        system, grid = build_dataset((4, 4, 4), particles_per_cell=16, seed=7)
+        oracle = ReferenceEngine(system=system.copy(), grid=grid)
+        reuse = ReferenceEngine(
+            system=system.copy(), grid=grid, reuse_state=True
+        )
+        oracle.run(50)
+        reuse.run(50)
+        assert np.array_equal(oracle.system.positions, reuse.system.positions)
+        assert np.array_equal(
+            oracle.system.velocities, reuse.system.velocities
+        )
+        assert np.array_equal(oracle.system.forces, reuse.system.forces)
+        # Energies are round-off-equal only: the per-offset sums run
+        # over differently sized candidate arrays (see reference.py).
+        for ra, rb in zip(oracle.history, reuse.history):
+            assert rb.potential == pytest.approx(ra.potential, rel=1e-12)
+        assert 1 <= reuse.state_builds < 50
+        assert oracle.state_builds == 0
+
+    def test_run_primes_force_fn_once(self, monkeypatch):
+        """Regression: priming used to evaluate the same configuration
+        twice (potential_energy() then run()'s own prime)."""
+        import repro.md.engine as engine_mod
+
+        calls = {"n": 0}
+        real = engine_mod.compute_forces_cells
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "compute_forces_cells", counting)
+        system, grid = build_dataset((3, 3, 3), particles_per_cell=8, seed=3)
+        eng = ReferenceEngine(system=system, grid=grid)
+        eng.potential_energy()
+        eng.run(3)
+        # 1 priming pass + 3 step passes; historically this was 5.
+        assert calls["n"] == 4
+
+
+def _distributed_pair(seed=5, **kwargs):
+    cfg = MachineConfig((4, 4, 4), (2, 2, 2))
+    system, _ = build_dataset((4, 4, 4), particles_per_cell=16, seed=seed)
+    oracle = DistributedMachine(cfg, system=system.copy(), **kwargs)
+    reuse = DistributedMachine(cfg, system=system.copy(), **kwargs)
+    reuse.reuse_state = True
+    return oracle, reuse
+
+
+class TestDistributedReuseBitwise:
+    def test_50_step_trajectory_bitwise(self):
+        oracle, reuse = _distributed_pair()
+        recs_a = oracle.run(50, record_every=10)
+        recs_b = reuse.run(50, record_every=10)
+        for ra, rb in zip(recs_a, recs_b):
+            assert ra.potential == rb.potential
+            assert ra.kinetic == rb.kinetic
+        assert np.array_equal(oracle.system.positions, reuse.system.positions)
+        assert np.array_equal(oracle.forces, reuse.forces)
+        assert oracle.total_position_packets == reuse.total_position_packets
+        assert reuse.state_builds >= 1
+        assert reuse.state_reused_steps > reuse.state_builds
+
+    def test_fault_injection_composes_bitwise(self):
+        """Reuse must not change which packets exist, so the seeded
+        fault stream (drops, retransmissions, degradations) and the
+        degraded trajectory stay identical."""
+
+        def fault_kwargs():
+            return dict(
+                injector=FaultInjector(FaultPlan(seed=5, drop_rate=0.05)),
+                transport=TransportConfig(retry_budget=2),
+                degradation="stale",
+            )
+
+        oracle, reuse = _distributed_pair(seed=5, **fault_kwargs())
+        oracle.run(15)
+        reuse.run(15)
+        assert np.array_equal(oracle.system.positions, reuse.system.positions)
+        assert np.array_equal(oracle.forces, reuse.forces)
+        assert len(oracle.degradation_log) == len(reuse.degradation_log)
+        assert oracle.transport_stats == reuse.transport_stats

@@ -357,3 +357,34 @@ def test_cells_nonempty_returns_ndarray():
     assert isinstance(ids, np.ndarray)
     assert ids.dtype == np.int64
     np.testing.assert_array_equal(ids, np.nonzero(clist.counts)[0])
+
+
+class TestPlanCacheKeying:
+    """The plan cache keys on a quantized edge, not the raw float —
+    round-trip noise in a recomputed cell edge must not spawn duplicate
+    plans (satellite fix: raw-float cache keying)."""
+
+    def test_ulp_wobbled_edge_hits_the_same_plan(self):
+        from repro.md.pairplan import plan_cache_info
+
+        g1 = CellGrid((4, 4, 4), 1.2)
+        p1 = plan_for_grid(g1)
+        hits_before = plan_cache_info().hits
+        g2 = CellGrid((4, 4, 4), float(np.nextafter(1.2, 2.0)))
+        p2 = plan_for_grid(g2)
+        assert p2 is p1
+        assert plan_cache_info().hits == hits_before + 1
+        # The plan was built from the quantized edge, so equal cache
+        # keys imply exactly equal geometry.
+        np.testing.assert_array_equal(p1.edges, p2.edges)
+
+    def test_distinct_edges_stay_distinct(self):
+        p1 = plan_for_grid(CellGrid((4, 4, 4), 1.2))
+        p2 = plan_for_grid(CellGrid((4, 4, 4), 1.3))
+        assert p1 is not p2
+
+    def test_cache_info_exposed(self):
+        from repro.md.pairplan import plan_cache_info
+
+        info = plan_cache_info()
+        assert hasattr(info, "hits") and hasattr(info, "misses")
