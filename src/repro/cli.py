@@ -9,6 +9,9 @@ Usage::
     python -m repro table1           # resource utilization
     python -m repro ablations        # all five ablation studies
     python -m repro faults --json benchmarks/results/FAULTS_sweep.json
+    python -m repro recover --json benchmarks/results/FAULTS_nodes.json
+    python -m repro campaign --journal run.jsonl   # crash-resumable
+    python -m repro campaign --resume run.jsonl    # finish a killed run
     python -m repro info             # design-point summary table
 
 Each command prints the same text table the corresponding benchmark
@@ -138,7 +141,12 @@ def _cmd_campaign(args):
     baseline = None
     if args.baseline and os.path.exists(args.baseline):
         baseline = load_campaign_json(args.baseline)
-    doc = run_default_campaign(seed=args.seed, steps=args.campaign_steps)
+    doc = run_default_campaign(
+        seed=args.seed,
+        steps=args.campaign_steps,
+        journal=args.journal,
+        resume=args.resume,
+    )
     if args.json:
         write_campaign_json(doc, args.json)
     text = format_campaign(doc)
@@ -160,6 +168,37 @@ def _cmd_campaign(args):
                 f"\nperf gate: no baseline at {args.baseline}; skipped "
                 "(commit the fresh JSON to arm it)"
             )
+    return text
+
+
+def _cmd_recover(args):
+    from repro.harness.faultsweep import (
+        format_node_soak,
+        format_recovery_demo,
+        run_node_soak,
+        run_recovery_demo,
+    )
+
+    demo = run_recovery_demo(node=args.node, iteration=args.iteration,
+                             seed=args.seed)
+    soak = run_node_soak(n_steps=4, seeds=(args.seed, args.seed + 1))
+    if args.json:
+        dirname = os.path.dirname(args.json)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        import json as json_mod
+
+        with open(args.json, "w") as fh:
+            doc = json_mod.loads(soak.to_json())
+            doc["demo"] = demo
+            fh.write(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
+    text = format_recovery_demo(demo) + "\n\n" + format_node_soak(soak)
+    if not demo["bitwise_identical"] or soak.unrecovered:
+        text += (
+            f"\nRECOVERY FAILED: demo bitwise={demo['bitwise_identical']}, "
+            f"soak unrecovered={soak.unrecovered}"
+        )
+        return text, 1
     return text
 
 
@@ -203,6 +242,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "campaign": _cmd_campaign,
     "faults": _cmd_faults,
+    "recover": _cmd_recover,
     "acceptance": _cmd_acceptance,
     "scaling": _cmd_scaling,
     "sensitivity": _cmd_sensitivity,
@@ -250,6 +290,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.30,
         help="for `campaign`: fractional rate regression that fails the gate",
+    )
+    parser.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help=(
+            "for `campaign`: append each completed point to this JSONL "
+            "journal the moment it finishes (fsynced), so a killed run "
+            "can be resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        help=(
+            "for `campaign`: adopt completed points from this journal (a "
+            "--journal file left by a killed run) instead of re-executing "
+            "them; the resumed result is identical to an uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--node",
+        type=int,
+        default=1,
+        help="for `recover`: node to kill in the recovery demo",
+    )
+    parser.add_argument(
+        "--iteration",
+        type=int,
+        default=3,
+        help="for `recover`: iteration at which the node crashes",
     )
     return parser
 

@@ -19,7 +19,13 @@ Layers:
 """
 
 from repro.core.blocks import build_scbb, interleave_particles
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    CheckpointManager,
+    load_checkpoint,
+    load_checkpoint_v2,
+    save_checkpoint,
+    save_checkpoint_v2,
+)
 from repro.core.clustersim import ClusterTrace, simulate_cluster
 from repro.core.commsim import CommOverlapResult, simulate_comm_overlap
 from repro.core.config import (
@@ -60,6 +66,9 @@ __all__ = [
     "RingSimulator",
     "save_checkpoint",
     "load_checkpoint",
+    "save_checkpoint_v2",
+    "load_checkpoint_v2",
+    "CheckpointManager",
     "simulate_cluster",
     "ClusterTrace",
     "simulate_comm_overlap",

@@ -1,18 +1,53 @@
-"""Checkpoint / restore for machine and reference simulations.
+"""Crash-consistent checkpoint / restore for every simulation layer.
 
 Long-timescale campaigns (the drug-discovery workloads of the paper's
-introduction run for days) need restartable state.  A checkpoint holds
-the full dynamic state — positions, float32 velocity/force caches,
-species, charges, box, step count — as a compressed ``.npz`` plus the
-design configuration, and restores bit-identically: a restored machine
-continues the exact trajectory the original would have produced.
+introduction run for days) need restartable state.  Two formats live
+here:
+
+``fasda-checkpoint-v1``
+    The original flat ``.npz`` covering :class:`FasdaMachine` only.
+    Kept loadable forever; its writer is now atomic and its loader
+    validates format and config round-trip *before* constructing
+    anything, raising :class:`~repro.util.errors.CheckpointError` on
+    truncated / bit-flipped / wrong-format files instead of leaking
+    ``zipfile``/``KeyError`` internals.
+
+``fasda-checkpoint-v2``
+    A versioned container covering :class:`FasdaMachine`,
+    :class:`~repro.md.engine.ReferenceEngine` and
+    :class:`~repro.core.distributed.DistributedMachine` — including
+    CellState reuse metadata, transport retry counters, stale-halo
+    snapshots, fault plans and the recovery log.  The dynamic state is
+    an inner ``.npz`` byte blob carried inside an outer ``.npz``
+    alongside its CRC-32, so corruption anywhere in the payload is
+    detected at load time before any object is constructed.
+
+Both writers are crash-consistent: bytes go to a same-directory temp
+file, ``fsync``, then ``os.replace`` — a reader never observes a torn
+file, and a crash mid-write leaves the previous checkpoint intact.
+
+Fault-plan determinism note: the injectors
+(:class:`~repro.faults.FaultInjector`,
+:class:`~repro.faults.NodeFaultInjector`) are *stateless* keyed-RNG
+constructions — every decision is a pure function of (plan, event key).
+Persisting the plans plus the iteration counter therefore fully
+determines all post-restore fault decisions; there is no RNG stream
+position to serialize.
+
+:class:`CheckpointManager` adds interval policy on top: periodic saves,
+pruning, and a ``load_latest`` that quarantines corrupt files (renamed
+``*.corrupt``) and falls back to the previous interval checkpoint.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
-from typing import Tuple
+import os
+import re
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,18 +55,107 @@ from repro.core.config import MachineConfig
 from repro.core.machine import FasdaMachine
 from repro.md.params import LJTable
 from repro.md.system import ParticleSystem
-from repro.util.errors import ValidationError
+from repro.util.errors import CheckpointError, ValidationError
 
-#: Format identifier written into every checkpoint.
+#: Format identifier written into every v1 checkpoint.
 CHECKPOINT_FORMAT = "fasda-checkpoint-v1"
+#: Format identifier of the container format.
+CHECKPOINT_FORMAT_V2 = "fasda-checkpoint-v2"
+
+#: Object kinds a v2 checkpoint can hold.
+V2_KINDS = ("machine", "engine", "distributed")
 
 
-def save_checkpoint(machine: FasdaMachine, path: str) -> None:
-    """Write a machine's complete state to ``path`` (.npz)."""
+# ---------------------------------------------------------------------------
+# Atomic byte persistence
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` crash-consistently.
+
+    Temp file in the same directory (same filesystem, so the final
+    ``os.replace`` is atomic), ``fsync`` before the rename so the bytes
+    are durable when the name appears, then a directory ``fsync`` so the
+    rename itself survives a power cut.
+    """
+    dirname = os.path.dirname(os.path.abspath(path)) or "."
+    tmp = os.path.join(
+        dirname, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+    )
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"could not write checkpoint {path!r}: {exc}")
+    try:
+        dfd = os.open(dirname, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(dfd)
+    finally:
+        os.close(dfd)
+
+
+def _npz_bytes(**arrays: Any) -> bytes:
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    return buf.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# v1: the original FasdaMachine flat format
+# ---------------------------------------------------------------------------
+
+_V1_KEYS = (
+    "format", "config", "species_names", "positions", "velocities32",
+    "forces32", "species", "charges", "box", "step", "primed",
+)
+
+
+def _with_npz_suffix(path: str) -> str:
+    """Mimic ``np.savez``'s historical suffix behavior for v1 paths."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _config_from_dict(cfg_dict: Dict[str, Any], path: str) -> MachineConfig:
+    """Reconstruct and round-trip-validate a checkpointed MachineConfig."""
+    d = dict(cfg_dict)
+    try:
+        # Tuples arrive as lists from JSON.
+        d["global_cells"] = tuple(d["global_cells"])
+        d["fpga_grid"] = tuple(d["fpga_grid"])
+        config = MachineConfig(**d)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} carries a config that does not "
+            f"reconstruct: {exc}"
+        )
+    if dataclasses.asdict(config) != d:
+        raise CheckpointError(
+            f"checkpoint {path!r} carries a config that does not "
+            "round-trip (fields changed meaning between versions?)"
+        )
+    return config
+
+
+def save_checkpoint(machine: FasdaMachine, path: str) -> str:
+    """Write a machine's complete state to ``path`` (.npz), atomically.
+
+    Returns the path actually written (``.npz`` appended if missing,
+    matching the historical ``np.savez`` behavior).
+    """
     cfg_json = json.dumps(dataclasses.asdict(machine.config))
     step = machine.history[-1].step if machine.history else 0
-    np.savez_compressed(
-        path,
+    data = _npz_bytes(
         format=np.array(CHECKPOINT_FORMAT),
         config=np.array(cfg_json),
         species_names=np.array(machine.system.lj_table.species),
@@ -44,10 +168,18 @@ def save_checkpoint(machine: FasdaMachine, path: str) -> None:
         step=np.array(step, dtype=np.int64),
         primed=np.array(machine._primed),
     )
+    path = _with_npz_suffix(path)
+    _atomic_write_bytes(path, data)
+    return path
 
 
 def load_checkpoint(path: str) -> Tuple[FasdaMachine, int]:
-    """Restore a machine from a checkpoint.
+    """Restore a machine from a v1 checkpoint.
+
+    Every validation — format string, key inventory, config round-trip,
+    and full payload decompression (which exercises the zip CRCs, so a
+    bit-flipped file fails here) — happens *before* any machine is
+    constructed.
 
     Returns
     -------
@@ -55,32 +187,531 @@ def load_checkpoint(path: str) -> Tuple[FasdaMachine, int]:
         The restored machine (forces/velocities bit-identical to the
         saved float32 caches) and the step count at save time.
     """
-    with np.load(path, allow_pickle=False) as data:
-        if str(data["format"]) != CHECKPOINT_FORMAT:
-            raise ValidationError(
-                f"not a FASDA checkpoint (format {data['format']!r})"
-            )
-        cfg_dict = json.loads(str(data["config"]))
-        # Tuples arrive as lists from JSON.
-        cfg_dict["global_cells"] = tuple(cfg_dict["global_cells"])
-        cfg_dict["fpga_grid"] = tuple(cfg_dict["fpga_grid"])
-        config = MachineConfig(**cfg_dict)
-        lj = LJTable(tuple(str(s) for s in data["species_names"]))
-        system = ParticleSystem(
-            positions=data["positions"],
-            velocities=data["velocities32"].astype(np.float64),
-            species=data["species"],
-            lj_table=lj,
-            box=data["box"],
-            forces=data["forces32"].astype(np.float64),
-            charges=data["charges"],
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            missing = [k for k in _V1_KEYS if k not in data.files]
+            if missing:
+                raise CheckpointError(
+                    f"not a FASDA checkpoint: {path!r} lacks keys {missing}"
+                )
+            if str(data["format"]) != CHECKPOINT_FORMAT:
+                raise CheckpointError(
+                    f"not a FASDA checkpoint (format {data['format']!r} "
+                    f"in {path!r}, expected {CHECKPOINT_FORMAT!r})"
+                )
+            cfg_dict = json.loads(str(data["config"]))
+            config = _config_from_dict(cfg_dict, path)
+            # Materialize every array while still inside the error net:
+            # decompression verifies the member CRCs, so truncation or a
+            # bit flip surfaces as CheckpointError, not as garbage state.
+            arrays = {k: data[k] for k in _V1_KEYS if k not in ("format", "config")}
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path!r}: "
+            f"{type(exc).__name__}: {exc}"
         )
-        machine = FasdaMachine(config, system=system)
-        # Restore the exact float32 caches (construction re-casts from
-        # float64, which is lossless here since the values came from
-        # float32, but be explicit).
-        machine._velocities32 = data["velocities32"].copy()
-        machine._forces32 = data["forces32"].copy()
-        machine._primed = bool(data["primed"])
-        step = int(data["step"])
-        return machine, step
+    lj = LJTable(tuple(str(s) for s in arrays["species_names"]))
+    system = ParticleSystem(
+        positions=arrays["positions"],
+        velocities=arrays["velocities32"].astype(np.float64),
+        species=arrays["species"],
+        lj_table=lj,
+        box=arrays["box"],
+        forces=arrays["forces32"].astype(np.float64),
+        charges=arrays["charges"],
+    )
+    machine = FasdaMachine(config, system=system)
+    # Restore the exact float32 caches (construction re-casts from
+    # float64, which is lossless here since the values came from
+    # float32, but be explicit).
+    machine._velocities32 = arrays["velocities32"].copy()
+    machine._forces32 = arrays["forces32"].copy()
+    machine._primed = bool(arrays["primed"])
+    return machine, int(arrays["step"])
+
+
+# ---------------------------------------------------------------------------
+# v2: the container format
+# ---------------------------------------------------------------------------
+
+
+def _history_arrays(history) -> Dict[str, np.ndarray]:
+    return {
+        "hist_step": np.array([r.step for r in history], dtype=np.int64),
+        "hist_kin": np.array([r.kinetic for r in history], dtype=np.float64),
+        "hist_pot": np.array([r.potential for r in history], dtype=np.float64),
+    }
+
+
+def _history_from_arrays(inner) -> List[Any]:
+    from repro.md.engine import EnergyRecord
+
+    return [
+        EnergyRecord(int(s), float(k), float(p))
+        for s, k, p in zip(
+            inner["hist_step"], inner["hist_kin"], inner["hist_pot"]
+        )
+    ]
+
+
+def _system_arrays(system: ParticleSystem) -> Dict[str, np.ndarray]:
+    return {
+        "species_names": np.array(system.lj_table.species),
+        "positions": system.positions,
+        "velocities": system.velocities,
+        "forces": system.forces,
+        "species": system.species,
+        "charges": system.charges,
+        "box": system.box,
+    }
+
+
+def _system_from_arrays(inner) -> ParticleSystem:
+    return ParticleSystem(
+        positions=inner["positions"],
+        velocities=inner["velocities"],
+        species=inner["species"],
+        lj_table=LJTable(tuple(str(s) for s in inner["species_names"])),
+        box=inner["box"],
+        forces=inner["forces"],
+        charges=inner["charges"],
+    )
+
+
+def _opt_asdict(obj) -> Optional[Dict[str, Any]]:
+    return None if obj is None else dataclasses.asdict(obj)
+
+
+# -- per-kind payload builders ------------------------------------------------
+
+
+def _machine_payload(m: FasdaMachine) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    meta = {
+        "config": dataclasses.asdict(m.config),
+        "step": m.history[-1].step if m.history else 0,
+        "primed": bool(m._primed),
+        "last_potential": float(m._last_potential),
+        "pair_path": m.pair_path,
+        "traffic_impl": m.traffic_impl,
+        "reuse_state": bool(m.reuse_state),
+        "reuse_skin": float(m.reuse_skin),
+        "cellstate": m._cell_state.meta() if m._cell_state is not None else None,
+    }
+    arrays = _system_arrays(m.system)
+    arrays["velocities32"] = m._velocities32
+    arrays["forces32"] = m._forces32
+    arrays.update(_history_arrays(m.history))
+    return meta, arrays
+
+
+def _restore_machine(meta, inner) -> Tuple[FasdaMachine, int]:
+    config = _config_from_dict(meta["config"], "<v2 payload>")
+    machine = FasdaMachine(config, system=_system_from_arrays(inner))
+    machine._velocities32 = inner["velocities32"].copy()
+    machine._forces32 = inner["forces32"].copy()
+    machine._primed = bool(meta["primed"])
+    machine._last_potential = float(meta["last_potential"])
+    machine.pair_path = meta["pair_path"]
+    machine.traffic_impl = meta["traffic_impl"]
+    machine.reuse_state = bool(meta["reuse_state"])
+    machine.reuse_skin = float(meta["reuse_skin"])
+    machine.history = _history_from_arrays(inner)
+    if meta.get("cellstate") is not None:
+        machine.ensure_cell_state().restore_meta(meta["cellstate"])
+    return machine, int(meta["step"])
+
+
+def _engine_payload(e) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    meta = {
+        "grid_dims": list(e.grid.dims),
+        "cell_edge": float(e.grid.cell_edge),
+        "dt_fs": float(e.dt_fs),
+        "shift": bool(e.shift),
+        "reuse_state": bool(e.reuse_state),
+        "reuse_skin": None if e.reuse_skin is None else float(e.reuse_skin),
+        "step": e.history[-1].step if e.history else 0,
+        "primed": bool(e._primed),
+        "prime_recorded": bool(e._prime_recorded),
+        "last_potential": float(e._last_potential),
+        "cellstate": e._cell_state.meta() if e._cell_state is not None else None,
+    }
+    arrays = _system_arrays(e.system)
+    arrays.update(_history_arrays(e.history))
+    return meta, arrays
+
+
+def _restore_engine(meta, inner):
+    from repro.md.cells import CellGrid
+    from repro.md.engine import ReferenceEngine
+
+    engine = ReferenceEngine(
+        system=_system_from_arrays(inner),
+        grid=CellGrid(tuple(meta["grid_dims"]), meta["cell_edge"]),
+        dt_fs=float(meta["dt_fs"]),
+        shift=bool(meta["shift"]),
+        reuse_state=bool(meta["reuse_state"]),
+        reuse_skin=meta["reuse_skin"],
+    )
+    engine._primed = bool(meta["primed"])
+    engine._prime_recorded = bool(meta["prime_recorded"])
+    engine._last_potential = float(meta["last_potential"])
+    engine.history = _history_from_arrays(inner)
+    if meta.get("cellstate") is not None:
+        engine.ensure_cell_state().restore_meta(meta["cellstate"])
+    return engine, int(meta["step"])
+
+
+def _stale_halo_arrays(m) -> Dict[str, np.ndarray]:
+    """Pack the (dst, cid) -> (iteration, cell data) snapshot cache."""
+    keys, pids, fracs, specs = [], [], [], []
+    for (dst, cid), (it, data) in sorted(m._stale_halo.items()):
+        keys.append((dst, cid, it, len(data.particle_ids)))
+        pids.append(data.particle_ids)
+        fracs.append(data.fractions.reshape(-1, 3))
+        specs.append(data.species)
+    return {
+        "halo_keys": np.array(keys, dtype=np.int64).reshape(-1, 4),
+        "halo_pids": (
+            np.concatenate(pids) if pids else np.empty(0, dtype=np.int64)
+        ),
+        "halo_frac": (
+            np.concatenate(fracs) if fracs else np.empty((0, 3))
+        ),
+        "halo_species": (
+            np.concatenate(specs) if specs else np.empty(0, dtype=np.int32)
+        ),
+    }
+
+
+def _restore_stale_halo(m, inner) -> None:
+    from repro.core.distributed import _CellData
+
+    keys = inner["halo_keys"]
+    offset = 0
+    for dst, cid, it, count in keys:
+        lo, hi = offset, offset + int(count)
+        offset = hi
+        m._stale_halo[(int(dst), int(cid))] = (
+            int(it),
+            _CellData(
+                particle_ids=inner["halo_pids"][lo:hi].copy(),
+                fractions=inner["halo_frac"][lo:hi].copy(),
+                species=inner["halo_species"][lo:hi].copy(),
+            ),
+        )
+
+
+def _distributed_payload(m) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    node_plan = None
+    if m.node_injector is not None:
+        d = dataclasses.asdict(m.node_injector.plan)
+        d["events"] = [dataclasses.asdict(e) for e in m.node_injector.plan.events]
+        node_plan = d
+    meta = {
+        "config": dataclasses.asdict(m.config),
+        "step": m.history[-1].step if m.history else 0,
+        "primed": bool(m._primed),
+        "iteration": int(m._iteration),
+        "last_potential": float(m._last_potential),
+        "exchange_impl": m.exchange_impl,
+        "reuse_state": bool(m.reuse_state),
+        "state_builds": int(m.state_builds),
+        "state_reused_steps": int(m.state_reused_steps),
+        "degradation": m.degradation,
+        "total_position_packets": int(m.total_position_packets),
+        "total_force_packets": int(m.total_force_packets),
+        "last_degraded_records": int(m.last_degraded_records),
+        "lipschitz": m._lipschitz,
+        "fault_plan": _opt_asdict(m.injector.plan if m.injector else None),
+        "transport": _opt_asdict(m.transport),
+        "transport_stats": dataclasses.asdict(m.transport_stats),
+        "degradation_log": [dataclasses.asdict(r) for r in m.degradation_log],
+        "node_plan": node_plan,
+        "shadow_interval": int(m.shadow_interval),
+        "watchdog_timeout_cycles": float(m.watchdog_timeout_cycles),
+        "recovery_log": [dataclasses.asdict(r) for r in m.recovery_log],
+        "down_until": {str(k): int(v) for k, v in m._down_until.items()},
+        "shadow_iteration": m._shadow_iteration,
+        "shadow_records": {str(k): int(v) for k, v in m._shadow_records.items()},
+        "shadow_traffic_records": int(m.shadow_traffic_records),
+        "node_slowdown_log": [list(t) for t in m.node_slowdown_log],
+    }
+    arrays = _system_arrays(m.system)
+    arrays["velocities32"] = m._velocities32
+    arrays["forces32"] = m._forces32
+    arrays.update(_history_arrays(m.history))
+    arrays.update(_stale_halo_arrays(m))
+    return meta, arrays
+
+
+def _restore_distributed(meta, inner):
+    from repro.core.distributed import DistributedMachine
+    from repro.faults import (
+        DegradationRecord,
+        FaultInjector,
+        FaultPlan,
+        NodeFaultEvent,
+        NodeFaultPlan,
+        RecoveryRecord,
+        TransportConfig,
+        TransportStats,
+    )
+
+    config = _config_from_dict(meta["config"], "<v2 payload>")
+    injector = None
+    if meta["fault_plan"] is not None:
+        injector = FaultInjector(FaultPlan(**meta["fault_plan"]))
+    transport = None
+    if meta["transport"] is not None:
+        transport = TransportConfig(**meta["transport"])
+    node_faults = None
+    if meta["node_plan"] is not None:
+        d = dict(meta["node_plan"])
+        events = tuple(NodeFaultEvent(**e) for e in d.pop("events"))
+        node_faults = NodeFaultPlan(events=events, **d)
+    m = DistributedMachine(
+        config,
+        system=_system_from_arrays(inner),
+        injector=injector,
+        transport=transport,
+        degradation=meta["degradation"],
+        node_faults=node_faults,
+        shadow_interval=int(meta["shadow_interval"]),
+        watchdog_timeout_cycles=float(meta["watchdog_timeout_cycles"]),
+    )
+    m._velocities32 = inner["velocities32"].copy()
+    m._forces32 = inner["forces32"].copy()
+    m._primed = bool(meta["primed"])
+    m._iteration = int(meta["iteration"])
+    m._last_potential = float(meta["last_potential"])
+    m.exchange_impl = meta["exchange_impl"]
+    m.reuse_state = bool(meta["reuse_state"])
+    m.state_builds = int(meta["state_builds"])
+    m.state_reused_steps = int(meta["state_reused_steps"])
+    m.total_position_packets = int(meta["total_position_packets"])
+    m.total_force_packets = int(meta["total_force_packets"])
+    m.last_degraded_records = int(meta["last_degraded_records"])
+    m._lipschitz = meta["lipschitz"]
+    m.transport_stats = TransportStats(**meta["transport_stats"])
+    m.degradation_log = [
+        DegradationRecord(**r) for r in meta["degradation_log"]
+    ]
+    m.recovery_log = [RecoveryRecord(**r) for r in meta["recovery_log"]]
+    m._down_until = {int(k): int(v) for k, v in meta["down_until"].items()}
+    m._shadow_iteration = meta["shadow_iteration"]
+    m._shadow_records = {
+        int(k): int(v) for k, v in meta["shadow_records"].items()
+    }
+    m.shadow_traffic_records = int(meta["shadow_traffic_records"])
+    m.node_slowdown_log = [
+        (int(a), int(b), float(c)) for a, b, c in meta["node_slowdown_log"]
+    ]
+    m.history = _history_from_arrays(inner)
+    _restore_stale_halo(m, inner)
+    return m, int(meta["step"])
+
+
+_KIND_DISPATCH = {
+    "machine": (_machine_payload, _restore_machine),
+    "engine": (_engine_payload, _restore_engine),
+    "distributed": (_distributed_payload, _restore_distributed),
+}
+
+
+def _kind_of(obj) -> str:
+    from repro.core.distributed import DistributedMachine
+    from repro.md.engine import ReferenceEngine
+
+    if isinstance(obj, DistributedMachine):
+        return "distributed"
+    if isinstance(obj, FasdaMachine):
+        return "machine"
+    if isinstance(obj, ReferenceEngine):
+        return "engine"
+    raise ValidationError(
+        f"cannot checkpoint a {type(obj).__name__}; supported: "
+        "FasdaMachine, ReferenceEngine, DistributedMachine"
+    )
+
+
+def save_checkpoint_v2(obj, path: str) -> str:
+    """Write any supported simulation object to ``path``, atomically.
+
+    The dynamic state is serialized to an inner ``.npz`` whose bytes are
+    digested with CRC-32 and embedded in the outer container — so any
+    corruption of the payload (or of the container's own zip members) is
+    detected at load time before construction.  Returns ``path``.
+    """
+    kind = _kind_of(obj)
+    build, _ = _KIND_DISPATCH[kind]
+    meta, arrays = build(obj)
+    payload = _npz_bytes(meta=np.array(json.dumps(meta)), **arrays)
+    container = _npz_bytes(
+        format=np.array(CHECKPOINT_FORMAT_V2),
+        kind=np.array(kind),
+        crc32=np.array(zlib.crc32(payload), dtype=np.int64),
+        payload=np.frombuffer(payload, dtype=np.uint8),
+    )
+    _atomic_write_bytes(path, container)
+    return path
+
+
+def load_checkpoint_v2(path: str):
+    """Restore a v2 checkpoint.
+
+    Returns ``(obj, step)`` where ``obj`` is the restored machine /
+    engine / distributed machine.  Raises
+    :class:`~repro.util.errors.CheckpointError` on any unreadable,
+    wrong-format, or digest-mismatching file — before any simulation
+    object is constructed.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as outer:
+            for key in ("format", "kind", "crc32", "payload"):
+                if key not in outer.files:
+                    raise CheckpointError(
+                        f"not a FASDA checkpoint: {path!r} lacks {key!r}"
+                    )
+            if str(outer["format"]) != CHECKPOINT_FORMAT_V2:
+                raise CheckpointError(
+                    f"not a FASDA checkpoint (format {outer['format']!r} "
+                    f"in {path!r}, expected {CHECKPOINT_FORMAT_V2!r})"
+                )
+            kind = str(outer["kind"])
+            if kind not in V2_KINDS:
+                raise CheckpointError(
+                    f"checkpoint {path!r} holds unknown kind {kind!r}"
+                )
+            payload = outer["payload"].tobytes()
+            expect = int(outer["crc32"])
+        actual = zlib.crc32(payload)
+        if actual != expect:
+            raise CheckpointError(
+                f"checkpoint {path!r} failed its CRC-32 digest "
+                f"(stored {expect:#010x}, computed {actual:#010x}): "
+                "refusing to load corrupt state"
+            )
+        with np.load(io.BytesIO(payload), allow_pickle=False) as inner_npz:
+            meta = json.loads(str(inner_npz["meta"]))
+            inner = {
+                k: inner_npz[k] for k in inner_npz.files if k != "meta"
+            }
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path!r}: "
+            f"{type(exc).__name__}: {exc}"
+        )
+    _, restore = _KIND_DISPATCH[kind]
+    return restore(meta, inner)
+
+
+# ---------------------------------------------------------------------------
+# Interval checkpointing with quarantine + fallback
+# ---------------------------------------------------------------------------
+
+_CKPT_NAME = re.compile(r"^(?P<prefix>.+)-(?P<step>\d{10})\.npz$")
+
+
+class CheckpointManager:
+    """Interval checkpoints in a directory, newest-first recovery.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live (created if missing).
+    interval:
+        :meth:`maybe_save` writes when ``step % interval == 0``.
+    keep:
+        Checkpoints retained; older ones are pruned after each save (a
+        crash between write and prune only ever leaves *extra* files).
+    prefix:
+        Filename prefix (``{prefix}-{step:010d}.npz``).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        interval: int = 10,
+        keep: int = 3,
+        prefix: str = "ckpt",
+    ):
+        if interval < 1:
+            raise ValidationError(f"interval must be >= 1, got {interval}")
+        if keep < 1:
+            raise ValidationError(f"keep must be >= 1, got {keep}")
+        self.directory = directory
+        self.interval = int(interval)
+        self.keep = int(keep)
+        self.prefix = prefix
+        #: Paths quarantined (renamed ``*.corrupt``) by :meth:`load_latest`.
+        self.quarantined: List[str] = []
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, step: int) -> str:
+        return os.path.join(
+            self.directory, f"{self.prefix}-{int(step):010d}.npz"
+        )
+
+    def checkpoints(self) -> List[Tuple[int, str]]:
+        """(step, path) of every live checkpoint, ascending by step."""
+        out = []
+        for name in os.listdir(self.directory):
+            m = _CKPT_NAME.match(name)
+            if m and m.group("prefix") == self.prefix:
+                out.append(
+                    (int(m.group("step")), os.path.join(self.directory, name))
+                )
+        return sorted(out)
+
+    def maybe_save(self, obj, step: int) -> Optional[str]:
+        """Save when ``step`` lands on the interval; returns the path."""
+        if step % self.interval != 0:
+            return None
+        return self.save(obj, step)
+
+    def save(self, obj, step: int) -> str:
+        path = save_checkpoint_v2(obj, self.path_for(step))
+        live = self.checkpoints()
+        for _, old in live[: max(0, len(live) - self.keep)]:
+            try:
+                os.unlink(old)
+            except OSError:  # pragma: no cover - concurrent prune
+                pass
+        return path
+
+    def load_latest(self):
+        """Restore from the newest loadable checkpoint.
+
+        A corrupt file is quarantined (renamed ``*.corrupt`` so it never
+        shadows good state again, but stays on disk for forensics) and
+        the previous interval checkpoint is tried — the fallback the
+        crash-consistency contract promises.  Returns
+        ``(obj, step, path)``; raises
+        :class:`~repro.util.errors.CheckpointError` when no checkpoint
+        survives.
+        """
+        errors = []
+        for step, path in reversed(self.checkpoints()):
+            try:
+                obj, loaded_step = load_checkpoint_v2(path)
+                return obj, loaded_step, path
+            except CheckpointError as exc:
+                quarantine = path + ".corrupt"
+                try:
+                    os.replace(path, quarantine)
+                    self.quarantined.append(quarantine)
+                except OSError:  # pragma: no cover - rename race
+                    pass
+                errors.append(f"{path}: {exc}")
+        raise CheckpointError(
+            f"no loadable checkpoint under {self.directory!r}"
+            + (
+                "; quarantined: " + "; ".join(errors)
+                if errors
+                else " (none written yet)"
+            )
+        )

@@ -41,17 +41,26 @@ from repro.core.packets import P2REncapsulatorChain, Packet, Record, RecordBatch
 from repro.faults import (
     DegradationRecord,
     FaultInjector,
+    NodeFaultInjector,
+    NodeFaultPlan,
+    RecoveryRecord,
     TransportConfig,
     TransportStats,
     send_flow,
 )
+from repro.faults.nodes import REPLAY_CYCLES_PER_RECORD
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
 from repro.md.kernels import scatter_add
 from repro.md.pairplan import ROWS_PER_CELL, iter_pair_chunks, plan_for_grid
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
-from repro.util.errors import ConfigError, TransportError, ValidationError
+from repro.util.errors import (
+    ConfigError,
+    NodeFailureError,
+    TransportError,
+    ValidationError,
+)
 from repro.util.units import KCAL_MOL_TO_INTERNAL
 
 
@@ -107,6 +116,9 @@ class DistributedMachine:
         injector: Optional[FaultInjector] = None,
         transport: Optional[TransportConfig] = None,
         degradation: str = "stale",
+        node_faults=None,
+        shadow_interval: int = 5,
+        watchdog_timeout_cycles: float = 10_000.0,
     ):
         """See class docstring.
 
@@ -139,6 +151,24 @@ class DistributedMachine:
             force-error bound) while ``"raise"`` raises
             :class:`~repro.util.errors.TransportError`.  Loss with no
             stale snapshot to fall back on always raises.
+        node_faults:
+            A :class:`~repro.faults.NodeFaultPlan` (or prebuilt
+            :class:`~repro.faults.NodeFaultInjector`) of board-level
+            crash/slowdown faults.  Crashes engage the lossless recovery
+            protocol (see :meth:`_node_fault_preamble`): the trajectory
+            stays bitwise identical to a fault-free run; only
+            :attr:`recovery_log` and the traffic/cycle accounting
+            differ.  ``None`` disables the whole path.
+        shadow_interval:
+            Iterations between buddy shadow checkpoints — each node
+            periodically ships its cell contents to its ring buddy, the
+            state a crash replays from.  Smaller intervals mean less
+            replay but more steady-state shadow traffic (the chaos-soak
+            harness sweeps exactly this trade-off).
+        watchdog_timeout_cycles:
+            Detection cost charged per crash: the time the survivors'
+            chained-sync watchdog needs to flag the silent peer (see
+            :func:`~repro.core.sync.diagnose_dead_node`).
         """
         if not config.is_distributed:
             raise ConfigError("DistributedMachine needs more than one node")
@@ -146,6 +176,12 @@ class DistributedMachine:
             raise ConfigError(
                 f"degradation must be 'stale' or 'raise', got {degradation!r}"
             )
+        if shadow_interval < 1:
+            raise ConfigError(
+                f"shadow_interval must be >= 1, got {shadow_interval}"
+            )
+        if watchdog_timeout_cycles < 0:
+            raise ConfigError("watchdog_timeout_cycles must be >= 0")
         self.parallel = parallel
         self.max_workers = max_workers
         self.injector = injector
@@ -273,6 +309,24 @@ class DistributedMachine:
         #: Records lost this force pass that degradation papered over.
         self.last_degraded_records = 0
         self._lipschitz: Optional[float] = None
+        # -- node-failure recovery state (inert without node_faults) --------
+        if isinstance(node_faults, NodeFaultPlan):
+            node_faults = NodeFaultInjector(node_faults)
+        self.node_injector: Optional[NodeFaultInjector] = node_faults
+        self.shadow_interval = int(shadow_interval)
+        self.watchdog_timeout_cycles = float(watchdog_timeout_cycles)
+        #: Every completed crash recovery, in occurrence order.
+        self.recovery_log: List[RecoveryRecord] = []
+        #: node id -> iteration at which its restart completes.
+        self._down_until: Dict[int, int] = {}
+        #: Iteration of the last buddy shadow capture (None before any).
+        self._shadow_iteration: Optional[int] = None
+        #: node id -> records it held at the last shadow capture.
+        self._shadow_records: Dict[int, int] = {}
+        #: Records shipped to buddies by the periodic shadow captures.
+        self.shadow_traffic_records = 0
+        #: (iteration, node, factor) for every node-slowdown fault.
+        self.node_slowdown_log: List[Tuple[int, int, float]] = []
 
     # -- node construction per step --------------------------------------------
 
@@ -661,6 +715,149 @@ class DistributedMachine:
         """Position records ever replaced by stale fallbacks."""
         return sum(rec.lost_records for rec in self.degradation_log)
 
+    # -- node-failure recovery --------------------------------------------------
+
+    def _per_node_records(self) -> Tuple[np.ndarray, Dict[int, int]]:
+        """Per-cell occupancy and per-node record counts, current binning."""
+        cids = self.grid.cell_id(
+            self.grid.coords_of_positions(self.system.positions)
+        )
+        per_cell = np.bincount(cids, minlength=self.grid.n_cells)
+        per_node = {
+            k: int(per_cell[self._cell_node == k].sum())
+            for k in range(self.config.n_fpgas)
+        }
+        return per_cell, per_node
+
+    def _node_fault_preamble(self) -> None:
+        """Advance the node-failure model one force pass.
+
+        Runs *before* node construction, in a fixed order that keeps the
+        model deterministic: (1) capture the periodic buddy shadow,
+        (2) complete pending restarts, (3) draw/apply crashes at the
+        current iteration, (4) draw slowdowns.  Recovery completes
+        synchronously within the pass — surviving nodes adopt the dead
+        node's cells, restore them from the buddy shadow, and replay the
+        missed iterations through the **canonical** evaluation path
+        (deterministic replay of deterministic state), so by the time
+        :meth:`_build_nodes` runs the partition and every float32
+        accumulation are exactly those of a fault-free pass.  What a
+        crash *does* change: the cached reuse-state structures are
+        invalidated (an adopting node has no warm skeletons for foreign
+        cells) and the :class:`~repro.faults.RecoveryRecord` accounting.
+        """
+        it = self._iteration
+        n = self.config.n_fpgas
+        per_cell, per_node = self._per_node_records()
+        # (1) Periodic buddy shadow capture (iteration 0 always captures,
+        # so a replay source exists for any crash).
+        if (
+            self._shadow_iteration is None
+            or it - self._shadow_iteration >= self.shadow_interval
+        ):
+            self._shadow_iteration = it
+            self._shadow_records = per_node
+            self.shadow_traffic_records += int(per_cell.sum())
+        # (2) Restarts whose down-window has elapsed rejoin.
+        for node in [k for k, until in self._down_until.items() if until <= it]:
+            del self._down_until[node]
+        # (3) Crashes: already-down boards cannot crash again.
+        crashed = [
+            k
+            for k in self.node_injector.crashes_at(it, n)
+            if k not in self._down_until
+        ]
+        if crashed:
+            if len(self._down_until) + len(crashed) >= n:
+                raise NodeFailureError(
+                    f"all {n} nodes down at iteration {it} "
+                    f"({len(crashed)} new crash(es) on top of "
+                    f"{len(self._down_until)} restarting): no surviving "
+                    "buddy shadow to replay from; restore from an "
+                    "interval checkpoint"
+                )
+            for node in crashed:
+                self._recover_crashed_node(node, it, per_cell, per_node)
+        # (4) Slowdowns (straggler accounting only; work is modelled, not
+        # timed, so the trajectory is untouched).
+        for node in range(n):
+            factor = self.node_injector.work_multiplier(node, it)
+            if factor > 1.0:
+                self.node_slowdown_log.append((it, node, factor))
+
+    def _recover_crashed_node(
+        self,
+        node: int,
+        it: int,
+        per_cell: np.ndarray,
+        per_node: Dict[int, int],
+    ) -> None:
+        """Adopt, restore, and replay one crashed node's cells."""
+        from repro.core.migration import MigrationStats
+
+        n = self.config.n_fpgas
+        self._down_until[node] = it + self.node_injector.plan.restart_iterations
+        # Ring buddy: next node id upward that is still alive.
+        buddy = (node + 1) % n
+        while buddy in self._down_until:
+            buddy = (buddy + 1) % n
+        dead_cells = np.flatnonzero(self._cell_node == node)
+        records = per_node[node]
+        # Re-homing is cross-node by definition; express it through the
+        # MU-ring accounting so recovery traffic shares the migration
+        # machinery's units.
+        outflow = np.zeros(self.grid.n_cells, dtype=np.int64)
+        outflow[dead_cells] = per_cell[dead_cells]
+        migration = MigrationStats(
+            total=records, cross_node=records, per_cell_outflow=outflow
+        )
+        shadow_it = self._shadow_iteration if self._shadow_iteration is not None else it
+        replay = it - shadow_it
+        shadow_records = self._shadow_records.get(node, records)
+        self.recovery_log.append(
+            RecoveryRecord(
+                node=node,
+                crash_iteration=it,
+                detected_iteration=it,
+                buddy=buddy,
+                shadow_iteration=shadow_it,
+                replay_iterations=replay,
+                cells_moved=int(len(dead_cells)),
+                records_moved=records,
+                migration_cross_node=migration.cross_node,
+                # Buddy-shadow restore plus the return migration when the
+                # board rejoins.
+                recovery_traffic_records=shadow_records + records,
+                cycles_lost=self.watchdog_timeout_cycles
+                + replay * records * REPLAY_CYCLES_PER_RECORD,
+            )
+        )
+        # The adopting nodes have no warm packing skeletons for foreign
+        # cells: force a full rebuild of the reuse-state caches.  The
+        # rebuild path is the asserted-bitwise oracle, so this is safe.
+        self._nodes_cache = None
+        self._build_cids = None
+        self._flow_static = None
+
+    @property
+    def recovered_records_total(self) -> int:
+        """Position records ever re-homed by crash recoveries."""
+        return sum(rec.records_moved for rec in self.recovery_log)
+
+    def recovery_summary(self) -> Dict[str, float]:
+        """Aggregate recovery accounting (JSON-able)."""
+        return {
+            "n_recoveries": len(self.recovery_log),
+            "cells_moved": sum(r.cells_moved for r in self.recovery_log),
+            "records_moved": self.recovered_records_total,
+            "recovery_traffic_records": sum(
+                r.recovery_traffic_records for r in self.recovery_log
+            ),
+            "cycles_lost": sum(r.cycles_lost for r in self.recovery_log),
+            "shadow_traffic_records": self.shadow_traffic_records,
+            "slowdown_events": len(self.node_slowdown_log),
+        }
+
     # -- force evaluation -------------------------------------------------------
 
     def _cell_view(self, node: _Node, cid: int) -> Optional[_CellData]:
@@ -876,6 +1073,8 @@ class DistributedMachine:
     def compute_forces(self) -> float:
         """One distributed force pass; returns the potential energy."""
         self.last_degraded_records = 0
+        if self.node_injector is not None:
+            self._node_fault_preamble()
         nodes = self._build_nodes()
         self._exchange_positions(nodes)
         self._iteration += 1

@@ -101,6 +101,12 @@ class StepStats:
     #: when ``reuse_state`` is off).
     state_builds: Optional[int] = None
     state_reused: Optional[bool] = None
+    #: Node-crash recoveries folded into this pass and their cycle cost
+    #: (None when no node-fault plan is active; the distributed layer's
+    #: :attr:`~repro.core.distributed.DistributedMachine.recovery_log`
+    #: is the per-event source these aggregates come from).
+    recoveries: Optional[int] = None
+    recovery_cycles: Optional[float] = None
 
     @property
     def total_candidates(self) -> int:
@@ -469,6 +475,24 @@ class FasdaMachine:
 
     # -- step-persistent state (PR 4) ------------------------------------------
 
+    def ensure_cell_state(self) -> CellState:
+        """Create (once) and return the persistent :class:`CellState`.
+
+        Creation alone does not build the band lists (the next force
+        pass does); checkpoint restore uses this to reattach the reuse
+        counters without paying an immediate build.
+        """
+        if self._cell_state is None:
+            self._cell_state = CellState(
+                self.grid,
+                self._plan,
+                self.reuse_skin,
+                machine_pack_fn(
+                    self.fmt, self.config.cutoff, self.reuse_skin, self.grid
+                ),
+            )
+        return self._cell_state
+
     def _ensure_cell_state(self, pos: np.ndarray) -> Optional[CellState]:
         """Bring the persistent :class:`CellState` up to date, or decline.
 
@@ -479,17 +503,7 @@ class FasdaMachine:
         """
         if self.pair_path == "chunked":
             return None
-        state = self._cell_state
-        if state is None:
-            state = CellState(
-                self.grid,
-                self._plan,
-                self.reuse_skin,
-                machine_pack_fn(
-                    self.fmt, self.config.cutoff, self.reuse_skin, self.grid
-                ),
-            )
-            self._cell_state = state
+        state = self.ensure_cell_state()
         if state.ensure(pos):
             state.artifacts["usable"] = self.pair_path == "padded" or _padded_viable(
                 self._plan, state.clist

@@ -380,6 +380,42 @@ def run_chained_sync(
     )
 
 
+def diagnose_dead_node(
+    topology: Topology,
+    dead_node: int,
+    n_iterations: int = 2,
+    work_cycles: float = 1000.0,
+    link_latency: float = 200.0,
+) -> str:
+    """Run the chained handshake with ``dead_node`` silent; return the
+    watchdog's diagnosis.
+
+    This is how surviving boards *detect* a crashed peer: the dead node
+    sends no ``last_position``/``last_force`` signals, its neighbors'
+    four-way handshakes stall, and the progress watchdog names the first
+    stuck node and the missing edges — the trigger for the recovery
+    protocol in :class:`~repro.core.distributed.DistributedMachine`.
+    """
+    if not 0 <= dead_node < topology.n_nodes:
+        raise ConfigError(
+            f"dead_node must be in [0, {topology.n_nodes}), got {dead_node}"
+        )
+    silent = PredicateInjector(lambda msg: msg.src == dead_node)
+    try:
+        run_chained_sync(
+            topology,
+            lambda node, it: work_cycles,
+            n_iterations,
+            link_latency=link_latency,
+            injector=silent,
+        )
+    except DeadlockError as exc:
+        return str(exc)
+    raise SimulationError(  # pragma: no cover - watchdog always fires
+        f"silent node {dead_node} went undetected by the watchdog"
+    )
+
+
 # -- bulk-synchronous baseline -------------------------------------------------
 
 

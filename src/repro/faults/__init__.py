@@ -6,6 +6,12 @@ harness weighs against the paper's bare-UDP + cooldown operating point.
 """
 
 from repro.faults.degradation import DegradationRecord
+from repro.faults.nodes import (
+    NodeFaultEvent,
+    NodeFaultInjector,
+    NodeFaultPlan,
+    RecoveryRecord,
+)
 from repro.faults.plan import (
     CLEAN,
     FaultDecision,
@@ -27,7 +33,11 @@ __all__ = [
     "FaultDecision",
     "FaultInjector",
     "FaultPlan",
+    "NodeFaultEvent",
+    "NodeFaultInjector",
+    "NodeFaultPlan",
     "PredicateInjector",
+    "RecoveryRecord",
     "TransportConfig",
     "TransportStats",
     "send_flow",

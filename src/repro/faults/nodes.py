@@ -1,0 +1,248 @@
+"""Node-level failure domains: crashes, restarts, and slowdowns.
+
+PR 3 modelled *message*-level faults (a packet lost in the fabric); this
+module models the next failure domain up — a whole FPGA board dying mid
+run, the case the paper's day-long drug-discovery campaigns must survive.
+A :class:`NodeFaultPlan` declares the crash/slowdown processes (random
+with a per-(node, iteration) hazard derived from an MTBF, or explicit
+scripted :class:`NodeFaultEvent`\\ s), and a :class:`NodeFaultInjector`
+turns the plan into bitwise-reproducible decisions with the same keyed
+``SeedSequence`` construction as :class:`~repro.faults.plan.FaultInjector`
+— decisions never depend on call order or on how many draws preceded
+them.
+
+The recovery protocol itself lives in
+:class:`~repro.core.distributed.DistributedMachine`; each completed
+recovery is summarized here as a :class:`RecoveryRecord` (what moved,
+what was replayed, what it cost).  Recovery is **lossless by
+construction**: surviving nodes re-home the dead node's cells and replay
+them from the buddy shadow checkpoint through the canonical evaluation
+path, so positions/forces/energies stay bitwise identical to a
+fault-free run — only the cycle and traffic accounting differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+#: Domain-separation salts for the node-level fault streams (disjoint
+#: from the message/stall/corrupt salts in :mod:`repro.faults.plan`).
+_SALT_CRASH = 0x4E44_4352  # "NDCR"
+_SALT_SLOW = 0x4E44_534C   # "NDSL"
+
+#: Cost proxy for replaying one position record for one iteration on the
+#: adopting nodes (filter + pipeline + scatter, amortized) — the same
+#: order as one PE's per-record work in the cycle model.
+REPLAY_CYCLES_PER_RECORD = 64.0
+
+_EVENT_KINDS = ("crash", "slowdown")
+
+
+@dataclass(frozen=True)
+class NodeFaultEvent:
+    """One scripted node fault.
+
+    Attributes
+    ----------
+    node:
+        Node id the fault hits.
+    iteration:
+        Force-pass index at which it fires.
+    kind:
+        ``"crash"`` (board dies, recovery protocol engages) or
+        ``"slowdown"`` (board straggles; work multiplied by ``factor``).
+    factor:
+        Work multiplier for ``kind="slowdown"`` (ignored for crashes).
+    """
+
+    node: int
+    iteration: int
+    kind: str = "crash"
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValidationError(f"event node must be >= 0, got {self.node}")
+        if self.iteration < 0:
+            raise ValidationError(
+                f"event iteration must be >= 0, got {self.iteration}"
+            )
+        if self.kind not in _EVENT_KINDS:
+            raise ValidationError(
+                f"event kind must be one of {_EVENT_KINDS}, got {self.kind!r}"
+            )
+        if self.factor < 1.0:
+            raise ValidationError("slowdown factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """Declarative description of the node-failure processes.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; two injectors with equal plans make equal decisions.
+    crash_rate:
+        Per-(node, iteration) crash probability — the discrete hazard of
+        an exponential failure law, i.e. ``1 / MTBF`` in iterations (see
+        :meth:`from_mtbf`).
+    slowdown_rate / slowdown_factor:
+        Probability a node straggles on an iteration and the work
+        multiplier applied when it does (the node-fault analogue of the
+        message plan's stall process).
+    restart_iterations:
+        Iterations a crashed board stays down before it rejoins (its
+        cells live on the adopting survivors for the whole window).
+    onset_iteration:
+        Random faults only fire from this iteration on; scripted events
+        fire at their own iteration regardless.
+    events:
+        Explicit scripted faults, applied in addition to the random
+        processes (the CLI demo's "kill node k at iteration i").
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    slowdown_rate: float = 0.0
+    slowdown_factor: float = 4.0
+    restart_iterations: int = 2
+    onset_iteration: int = 0
+    events: Tuple[NodeFaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "slowdown_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {v}")
+        if self.slowdown_factor < 1.0:
+            raise ValidationError("slowdown_factor must be >= 1")
+        if self.restart_iterations < 1:
+            raise ValidationError("restart_iterations must be >= 1")
+        if self.onset_iteration < 0:
+            raise ValidationError("onset_iteration must be >= 0")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @classmethod
+    def from_mtbf(cls, mtbf_iterations: float, **kwargs) -> "NodeFaultPlan":
+        """Plan with the crash hazard of a given per-node MTBF.
+
+        ``mtbf_iterations`` is the mean iterations between failures of
+        one node; the per-iteration hazard is its reciprocal.
+        """
+        if not mtbf_iterations >= 1.0:
+            raise ValidationError(
+                f"mtbf_iterations must be >= 1, got {mtbf_iterations}"
+            )
+        return cls(crash_rate=1.0 / float(mtbf_iterations), **kwargs)
+
+    @property
+    def has_node_faults(self) -> bool:
+        """Any crash/slowdown process (random or scripted) active?"""
+        return (
+            self.crash_rate > 0
+            or self.slowdown_rate > 0
+            or len(self.events) > 0
+        )
+
+
+class NodeFaultInjector:
+    """Applies a :class:`NodeFaultPlan` with bitwise-reproducible draws."""
+
+    def __init__(self, plan: NodeFaultPlan):
+        self.plan = plan
+
+    def _rng(self, salt: int, *key: int) -> np.random.Generator:
+        entropy = (int(self.plan.seed) & 0xFFFF_FFFF, salt) + tuple(
+            int(k) & 0xFFFF_FFFF_FFFF_FFFF for k in key
+        )
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def crashes_at(self, iteration: int, n_nodes: int) -> List[int]:
+        """Node ids that crash at this iteration (sorted, deduplicated).
+
+        Scripted crash events and the random hazard combine; events
+        naming nodes outside ``[0, n_nodes)`` are ignored.
+        """
+        plan = self.plan
+        crashed = {
+            e.node
+            for e in plan.events
+            if e.kind == "crash"
+            and e.iteration == iteration
+            and 0 <= e.node < n_nodes
+        }
+        if plan.crash_rate > 0 and iteration >= plan.onset_iteration:
+            for node in range(n_nodes):
+                rng = self._rng(_SALT_CRASH, node, iteration)
+                if rng.random() < plan.crash_rate:
+                    crashed.add(node)
+        return sorted(crashed)
+
+    def work_multiplier(self, node: int, iteration: int) -> float:
+        """Slowdown factor for a node's work this iteration (>= 1)."""
+        plan = self.plan
+        factor = 1.0
+        for e in plan.events:
+            if (
+                e.kind == "slowdown"
+                and e.node == node
+                and e.iteration == iteration
+            ):
+                factor = max(factor, e.factor)
+        if plan.slowdown_rate > 0 and iteration >= plan.onset_iteration:
+            rng = self._rng(_SALT_SLOW, node, iteration)
+            if rng.random() < plan.slowdown_rate:
+                factor = max(factor, plan.slowdown_factor)
+        return factor
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed node-crash recovery.
+
+    Attributes
+    ----------
+    node:
+        The node that crashed.
+    crash_iteration / detected_iteration:
+        Force-pass index of the crash and of its detection by the
+        surviving peers' watchdogs (equal in the synchronous model: the
+        chained handshake stalls within the same iteration).
+    buddy:
+        Surviving node holding the crashed node's shadow checkpoint
+        (ring buddy, skipping other down nodes).
+    shadow_iteration:
+        Iteration of the shadow the replay started from.
+    replay_iterations:
+        Iterations replayed to catch the adopted cells up
+        (``detected_iteration - shadow_iteration``).
+    cells_moved / records_moved:
+        The dead node's cells re-homed onto survivors and the position
+        records they held at re-homing time.
+    migration_cross_node:
+        Cross-node migrations the re-homing cost per the MU-ring
+        accounting (every adopted record crosses a node boundary).
+    recovery_traffic_records:
+        Extra fabric records: shadow restore from the buddy plus the
+        return migration when the node rejoins.
+    cycles_lost:
+        Watchdog detection timeout plus the replay work, in cycles.
+    """
+
+    node: int
+    crash_iteration: int
+    detected_iteration: int
+    buddy: int
+    shadow_iteration: int
+    replay_iterations: int
+    cells_moved: int
+    records_moved: int
+    migration_cross_node: int
+    recovery_traffic_records: int
+    cycles_lost: float

@@ -27,6 +27,16 @@ derived metrics (measured steps/s) live under each payload's reserved
 ``result["timing"]`` key, which the deterministic view strips, so
 timing noise can never break the contract.
 
+Crash resumability
+------------------
+With ``journal=``, every completed point is appended (one fsynced JSONL
+line) the moment it lands; with ``resume=`` pointing at such a journal,
+a re-run adopts the recorded payloads instead of re-executing — matched
+by :func:`point_fingerprint`, so only identical computations replay.
+Combined with per-point ``retries`` (which survive even SIGKILLed pool
+children), a campaign killed at any instant resumes to the same
+deterministic result with no point executed twice.
+
 :func:`check_regression` is the perf gate used by CI: it compares rate
 metrics (``*_per_s``, ``*_us_per_day``) between a committed baseline
 ``BENCH_campaign.json`` and a fresh run and reports any that regressed
@@ -36,16 +46,18 @@ beyond a threshold.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.util.errors import ValidationError
+from repro.util.errors import CampaignError, ValidationError
 
 # ---------------------------------------------------------------------------
 # Worker registry and point descriptors
@@ -115,6 +127,81 @@ def _execute(pt: CampaignPoint) -> Tuple[Dict[str, Any], float]:
 
 
 # ---------------------------------------------------------------------------
+# The completion journal (crash-resumable campaigns)
+# ---------------------------------------------------------------------------
+
+
+def point_fingerprint(pt: CampaignPoint) -> str:
+    """Canonical identity of a design point for journal matching.
+
+    Sorted-keys JSON over everything that determines the payload (the
+    worker, its parameters, the seed, the label) — so a journal entry is
+    only ever replayed against the *same* computation, and editing a
+    sweep invalidates exactly the points that changed.
+    """
+    return json.dumps(
+        {
+            "worker": pt.worker,
+            "seed": pt.seed,
+            "label": pt.label or pt.worker,
+            "params": [[k, v] for k, v in pt.params],
+        },
+        sort_keys=True,
+    )
+
+
+def load_journal(path: str) -> Dict[str, Dict[str, Any]]:
+    """Parse a campaign journal into fingerprint -> entry.
+
+    Tolerates a torn final line (the writer may have been killed
+    mid-append); later entries for the same fingerprint win.
+    """
+    entries: Dict[str, Dict[str, Any]] = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer
+            if isinstance(entry, dict) and "key" in entry and "payload" in entry:
+                entries[entry["key"]] = entry
+    return entries
+
+
+class _Journal:
+    """Append-only JSONL of completed points, durable per line."""
+
+    def __init__(self, path: str):
+        dirname = os.path.dirname(path)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        self.path = path
+        self._fh = open(path, "a")
+
+    def append(self, key: str, payload: Dict[str, Any], wall: float) -> None:
+        self._fh.write(
+            json.dumps(
+                {"key": key, "label": payload["label"], "payload": payload,
+                 "wall_s": wall},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        # One completed point survives any subsequent crash: flush the
+        # line and push it to disk before reporting success.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+# ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
 
@@ -129,6 +216,8 @@ class CampaignResult:
     wall_s: float
     mode: str
     n_workers: int
+    #: Points satisfied from a resume journal instead of executed.
+    n_resumed: int = 0
 
     def merged(self) -> Dict[str, Dict[str, Any]]:
         """Label -> payload, including measured-timing metrics."""
@@ -148,15 +237,125 @@ class CampaignResult:
         return out
 
 
+def _execute_with_retry(
+    pt: CampaignPoint, retries: int, retry_backoff_s: float
+) -> Tuple[Dict[str, Any], float]:
+    """Serial-path execution with exponential-backoff retries."""
+    attempt = 0
+    while True:
+        try:
+            return _execute(pt)
+        except Exception as exc:
+            if attempt >= retries:
+                raise CampaignError(
+                    f"campaign point {pt.label or pt.worker!r} failed after "
+                    f"{attempt + 1} attempt(s): {type(exc).__name__}: {exc}"
+                )
+            time.sleep(retry_backoff_s * (2 ** attempt))
+            attempt += 1
+
+
+def _pool_context():
+    """Prefer fork so test-registered workers exist in children."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()  # pragma: no cover - non-POSIX
+
+
+def _run_parallel(
+    points: List[CampaignPoint],
+    pending: List[int],
+    pairs: List[Optional[Tuple[Dict[str, Any], float]]],
+    journal: Optional[_Journal],
+    keys: List[str],
+    n_workers: int,
+    retries: int,
+    retry_backoff_s: float,
+) -> None:
+    """Fan ``pending`` out over a process pool, surviving worker death.
+
+    A SIGKILLed child takes the whole :class:`ProcessPoolExecutor` down
+    (every in-flight future raises :class:`BrokenProcessPool`), so the
+    retry unit is the pool: unfinished points are resubmitted on a fresh
+    pool after a backoff, each point charged one attempt per broken
+    round it was in flight for, until its retry budget runs out.
+    Completions are journaled as they land, never re-executed.
+    """
+    attempts = {i: 0 for i in pending}
+    todo = list(pending)
+    while todo:
+        ctx = _pool_context()
+        broken = False
+        failures: Dict[int, str] = {}
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            futures = {pool.submit(_execute, points[i]): i for i in todo}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = futures[fut]
+                    try:
+                        payload, w = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except Exception as exc:  # worker raised, pool survives
+                        failures[i] = f"{type(exc).__name__}: {exc}"
+                        continue
+                    pairs[i] = (payload, w)
+                    if journal is not None:
+                        journal.append(keys[i], payload, w)
+                if broken:
+                    break
+        todo = [i for i in todo if pairs[i] is None]
+        for i in todo:
+            attempts[i] += 1
+            if attempts[i] > retries:
+                pt = points[i]
+                reason = failures.get(i, "worker process died")
+                raise CampaignError(
+                    f"campaign point {pt.label or pt.worker!r} failed after "
+                    f"{attempts[i]} attempt(s): {reason}"
+                )
+        if todo:
+            time.sleep(retry_backoff_s * (2 ** (min(attempts[i] for i in todo) - 1)))
+
+
 def run_campaign(
     points: Sequence[CampaignPoint],
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> CampaignResult:
     """Evaluate every point, inline or fanned out over processes.
 
     Results are returned in submission order in both modes, so the
     merged payloads are identical; only the timing fields differ.
+
+    Parameters
+    ----------
+    journal:
+        Path of an append-only JSONL journal; every completed point is
+        written (flushed and fsynced) the moment it finishes, so a
+        killed campaign leaves a durable record of exactly what is done.
+    resume:
+        Path of a journal from an earlier (killed) run of the *same*
+        campaign; journaled points are adopted verbatim instead of
+        re-executed (matched by :func:`point_fingerprint`, so edited
+        points re-run).  ``resume`` and ``journal`` may name the same
+        file — resumed entries are not re-appended.
+    retries:
+        Extra attempts per point after a failure (a raising worker, or
+        a killed child process in parallel mode).  ``0`` fails fast.
+    retry_backoff_s:
+        Base of the exponential backoff between attempts.
+
+    Serial, parallel, and killed-then-resumed runs of the same points
+    all yield identical :meth:`CampaignResult.deterministic` views.
     """
     points = list(points)
     labels = [p.label or p.worker for p in points]
@@ -168,18 +367,53 @@ def run_campaign(
             raise ValidationError(
                 f"unknown campaign worker {p.worker!r}; have {worker_names()}"
             )
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+
+    keys = [point_fingerprint(p) for p in points]
+    pairs: List[Optional[Tuple[Dict[str, Any], float]]] = [None] * len(points)
+    n_resumed = 0
+    if resume:
+        journaled = load_journal(resume)
+        for i, key in enumerate(keys):
+            entry = journaled.get(key)
+            if entry is not None:
+                pairs[i] = (entry["payload"], float(entry["wall_s"]))
+                n_resumed += 1
+    pending = [i for i, pr in enumerate(pairs) if pr is None]
+
+    jnl = None
+    if journal:
+        jnl = _Journal(journal)
+        if resume and os.path.abspath(resume) != os.path.abspath(journal):
+            # Carry adopted completions into the new journal so it is
+            # a self-contained record of the whole campaign.
+            for i in range(len(points)):
+                if pairs[i] is not None:
+                    jnl.append(keys[i], pairs[i][0], pairs[i][1])
 
     t0 = time.perf_counter()
-    if not parallel or len(points) <= 1:
-        pairs = [_execute(p) for p in points]
-        mode, n_workers = "serial", 1
-    else:
-        n_workers = max_workers or os.cpu_count() or 1
-        n_workers = max(1, min(n_workers, len(points)))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            # executor.map preserves submission order by construction.
-            pairs = list(pool.map(_execute, points))
-        mode = "parallel"
+    try:
+        if not parallel or len(pending) <= 1:
+            for i in pending:
+                payload, w = _execute_with_retry(
+                    points[i], retries, retry_backoff_s
+                )
+                pairs[i] = (payload, w)
+                if jnl is not None:
+                    jnl.append(keys[i], payload, w)
+            mode, n_workers = "serial", 1
+        else:
+            n_workers = max_workers or os.cpu_count() or 1
+            n_workers = max(1, min(n_workers, len(pending)))
+            _run_parallel(
+                points, pending, pairs, jnl, keys,
+                n_workers, retries, retry_backoff_s,
+            )
+            mode = "parallel"
+    finally:
+        if jnl is not None:
+            jnl.close()
     wall = time.perf_counter() - t0
     return CampaignResult(
         points=points,
@@ -188,6 +422,7 @@ def run_campaign(
         wall_s=wall,
         mode=mode,
         n_workers=n_workers,
+        n_resumed=n_resumed,
     )
 
 
@@ -497,21 +732,30 @@ def run_default_campaign(
     dims: Tuple[int, int, int] = (5, 5, 6),
     compare_serial: bool = True,
     max_workers: Optional[int] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the standard campaign and assemble the BENCH_campaign document.
 
     Runs the campaign in parallel and (optionally) serially, verifies
     the merged payloads agree exactly, and returns the JSON-able
     document with both wall times and the headline amortization ratios.
+    ``journal``/``resume`` are forwarded to :func:`run_campaign`: a
+    resumed campaign adopts the journaled completions and produces the
+    same points/summary content as an uninterrupted run.
     """
     pts = build_default_campaign(seed=seed, steps=steps, dims=dims)
-    par = run_campaign(pts, parallel=True, max_workers=max_workers)
+    par = run_campaign(
+        pts, parallel=True, max_workers=max_workers,
+        journal=journal, resume=resume,
+    )
     doc: Dict[str, Any] = {
         "seed": seed,
         "steps": steps,
         "dims": list(dims),
         "cpu_count": os.cpu_count(),
         "n_points": len(pts),
+        "n_resumed": par.n_resumed,
         "parallel_wall_s": par.wall_s,
         "parallel_workers": par.n_workers,
         "points": par.merged(),

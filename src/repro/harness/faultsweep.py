@@ -17,18 +17,24 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import MachineConfig
 from repro.core.distributed import DistributedMachine
-from repro.core.sync import run_chained_sync
-from repro.faults import FaultInjector, FaultPlan, TransportConfig
+from repro.core.sync import diagnose_dead_node, run_chained_sync
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    NodeFaultEvent,
+    NodeFaultPlan,
+    TransportConfig,
+)
 from repro.harness.report import format_table
 from repro.md import build_dataset
 from repro.network.topology import TorusTopology
-from repro.util.errors import DeadlockError, TransportError
+from repro.util.errors import DeadlockError, NodeFailureError, TransportError
 
 #: Loss rates swept by default; 0.01 is the acceptance operating point.
 DEFAULT_LOSS_RATES = (0.0, 0.01, 0.02)
@@ -325,3 +331,314 @@ def format_fault_sweep(result: FaultSweepResult) -> str:
         "\nwatchdog diagnoses:\n" + "\n".join(notes) if notes else ""
     )
     return machine_table + "\n\n" + sync_table + diagnosis
+
+
+# ---------------------------------------------------------------------------
+# Node-failure chaos soak (MTBF x shadow-checkpoint interval)
+# ---------------------------------------------------------------------------
+
+#: Node mean-time-between-failures values swept by default (iterations).
+DEFAULT_NODE_MTBFS = (3.0, 6.0)
+#: Shadow-checkpoint intervals swept by default (iterations).
+DEFAULT_SHADOW_INTERVALS = (1, 2, 4)
+#: Seeds the soak repeats every grid cell over.
+DEFAULT_SOAK_SEEDS = (2023, 2024, 2025)
+
+
+@dataclass(frozen=True)
+class NodeSoakCell:
+    """One (MTBF, shadow interval, seed) outcome of the chaos soak."""
+
+    mtbf_iterations: float
+    shadow_interval: int
+    seed: int
+    survived: bool
+    bitwise_identical: bool
+    n_recoveries: int
+    cells_moved: int
+    records_moved: int
+    recovery_traffic_records: int
+    shadow_traffic_records: int
+    cycles_lost: float
+    failure: Optional[str] = None
+
+    @property
+    def recovered(self) -> bool:
+        """Survived *and* landed bitwise on the fault-free trajectory."""
+        return self.survived and self.bitwise_identical
+
+
+@dataclass
+class NodeSoakResult:
+    """Full chaos-soak output: the MTBF x interval x seed grid."""
+
+    dims: Tuple[int, int, int]
+    fpga_dims: Tuple[int, int, int]
+    n_steps: int
+    mtbfs: Tuple[float, ...]
+    intervals: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+    cells: List[NodeSoakCell] = field(default_factory=list)
+
+    @property
+    def unrecovered(self) -> int:
+        """Runs that died or drifted — the CI soak gate requires zero."""
+        return sum(1 for c in self.cells if not c.recovered)
+
+    def to_json(self) -> str:
+        """Serialize for the CI artifact (stable key order)."""
+        doc = asdict(self)
+        doc["unrecovered"] = self.unrecovered
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def run_node_soak(
+    mtbfs: Tuple[float, ...] = DEFAULT_NODE_MTBFS,
+    intervals: Tuple[int, ...] = DEFAULT_SHADOW_INTERVALS,
+    n_steps: int = 6,
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    fpga_dims: Tuple[int, int, int] = (2, 2, 2),
+    seeds: Tuple[int, ...] = DEFAULT_SOAK_SEEDS,
+) -> NodeSoakResult:
+    """Chaos-soak the node-crash recovery protocol over an MTBF grid.
+
+    For every (MTBF, shadow interval, seed) the distributed machine runs
+    with random crash/restart faults and the final positions are
+    compared bitwise against that seed's fault-free baseline — the
+    recovery contract says only traffic/cycle accounting may differ.
+    The grid exposes the trade the ``shadow_interval`` knob buys:
+    shorter intervals shrink replay (``cycles_lost``) but grow
+    steady-state ``shadow_traffic_records``.
+    """
+    cfg = MachineConfig(dims, fpga_dims)
+    result = NodeSoakResult(
+        dims=tuple(dims), fpga_dims=tuple(fpga_dims), n_steps=n_steps,
+        mtbfs=tuple(mtbfs), intervals=tuple(intervals), seeds=tuple(seeds),
+    )
+    for seed in seeds:
+        system, _ = build_dataset(dims, particles_per_cell=16, seed=seed)
+        baseline = _run_machine(cfg, system, n_steps).system.positions
+        for mtbf in mtbfs:
+            for interval in intervals:
+                plan = NodeFaultPlan.from_mtbf(mtbf, seed=seed)
+                machine = DistributedMachine(
+                    cfg, system=system.copy(), node_faults=plan,
+                    shadow_interval=interval,
+                )
+                failure = None
+                try:
+                    for _ in range(n_steps):
+                        machine.step()
+                    survived = True
+                except NodeFailureError as exc:
+                    survived, failure = False, str(exc)
+                summary = machine.recovery_summary()
+                result.cells.append(
+                    NodeSoakCell(
+                        mtbf_iterations=mtbf,
+                        shadow_interval=interval,
+                        seed=seed,
+                        survived=survived,
+                        bitwise_identical=survived and bool(
+                            np.array_equal(machine.system.positions, baseline)
+                        ),
+                        n_recoveries=summary["n_recoveries"],
+                        cells_moved=summary["cells_moved"],
+                        records_moved=summary["records_moved"],
+                        recovery_traffic_records=summary[
+                            "recovery_traffic_records"
+                        ],
+                        shadow_traffic_records=summary[
+                            "shadow_traffic_records"
+                        ],
+                        cycles_lost=summary["cycles_lost"],
+                        failure=failure,
+                    )
+                )
+    return result
+
+
+def format_node_soak(result: NodeSoakResult) -> str:
+    """Render the chaos soak as a recovery-accounting table."""
+    rows = []
+    for c in result.cells:
+        rows.append(
+            [
+                f"{c.mtbf_iterations:g}",
+                c.shadow_interval,
+                c.seed,
+                "yes" if c.survived else "DEAD",
+                "bitwise" if c.bitwise_identical else "-",
+                c.n_recoveries,
+                c.records_moved,
+                c.shadow_traffic_records,
+                c.cycles_lost,
+            ]
+        )
+    table = format_table(
+        [
+            "mtbf",
+            "shadow",
+            "seed",
+            "survived",
+            "trajectory",
+            "recoveries",
+            "moved",
+            "shadow tfc",
+            "cycles lost",
+        ],
+        rows,
+        precision=0,
+        title=(
+            f"Node-failure soak — {result.n_steps} steps on "
+            f"{'x'.join(map(str, result.dims))} cells / "
+            f"{'x'.join(map(str, result.fpga_dims))} nodes; "
+            f"{result.unrecovered} unrecovered of {len(result.cells)}"
+        ),
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Single-crash recovery demo (the `repro recover` CLI walk-through)
+# ---------------------------------------------------------------------------
+
+
+def run_recovery_demo(
+    node: int = 1,
+    iteration: int = 3,
+    n_steps: int = 5,
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    fpga_dims: Tuple[int, int, int] = (2, 2, 2),
+    seed: int = 2023,
+    shadow_interval: int = 2,
+) -> Dict[str, Any]:
+    """Kill one node at a scripted iteration and narrate the recovery.
+
+    Runs the fault-free baseline, then the same seed with a scripted
+    crash of ``node`` at ``iteration``; verifies the recovered
+    trajectory is bitwise identical; captures the survivors' watchdog
+    diagnosis of the silent peer; pushes the restore/replay traffic
+    through the packet-level switch; and folds the recovery aggregates
+    into a measured :class:`~repro.core.machine.StepStats`.  Returns a
+    JSON-able document (the ``repro recover`` payload).
+    """
+    from repro.core.machine import FasdaMachine
+    from repro.network.netsim import Burst, OutputQueuedSwitch, SwitchStats
+
+    cfg = MachineConfig(dims, fpga_dims)
+    system, _ = build_dataset(dims, particles_per_cell=16, seed=seed)
+    baseline = _run_machine(cfg, system, n_steps)
+
+    plan = NodeFaultPlan(
+        events=(NodeFaultEvent(node=node, iteration=iteration),)
+    )
+    machine = DistributedMachine(
+        cfg, system=system.copy(), node_faults=plan,
+        shadow_interval=shadow_interval,
+    )
+    for _ in range(n_steps):
+        machine.step()
+    bitwise = bool(
+        np.array_equal(machine.system.positions, baseline.system.positions)
+    )
+
+    # The survivors' view: the chained-sync watchdog names the dead peer.
+    diagnosis = diagnose_dead_node(TorusTopology(tuple(fpga_dims)), node)
+
+    # Restore/replay traffic rides the same switch as halo exchange —
+    # account for it at packet granularity and tag the merged stats.
+    switch = OutputQueuedSwitch(machine.config.n_fpgas)
+    switch_stats = SwitchStats(delivered=0, dropped=0)
+    for rec in machine.recovery_log:
+        restore = switch.run(
+            [Burst(src=rec.buddy, dst=rec.node,
+                   n_packets=rec.records_moved, gap_cycles=4)],
+            channel="recovery",
+            iteration=rec.crash_iteration,
+        )
+        switch_stats = switch_stats + SwitchStats(
+            delivered=restore.delivered,
+            dropped=restore.dropped,
+            max_occupancy=restore.max_occupancy,
+            recoveries=1,
+        )
+
+    # Fold the aggregates into one measured force-evaluation pass so the
+    # per-step accounting surfaces next to the workload counters.
+    summary = machine.recovery_summary()
+    probe = FasdaMachine(cfg, system=system.copy())
+    stats = probe.compute_forces()
+    stats.recoveries = summary["n_recoveries"]
+    stats.recovery_cycles = summary["cycles_lost"]
+
+    return {
+        "dims": list(dims),
+        "fpga_dims": list(fpga_dims),
+        "seed": seed,
+        "n_steps": n_steps,
+        "crashed_node": node,
+        "crash_iteration": iteration,
+        "shadow_interval": shadow_interval,
+        "bitwise_identical": bitwise,
+        "watchdog_diagnosis": diagnosis,
+        "recovery_log": [asdict(r) for r in machine.recovery_log],
+        "summary": summary,
+        "switch": {
+            "delivered": switch_stats.delivered,
+            "dropped": switch_stats.dropped,
+            "recoveries": switch_stats.recoveries,
+            "loss_rate": switch_stats.loss_rate,
+        },
+        "step_stats": {
+            "recoveries": stats.recoveries,
+            "recovery_cycles": stats.recovery_cycles,
+            "potential_energy": stats.potential_energy,
+        },
+    }
+
+
+def format_recovery_demo(doc: Dict[str, Any]) -> str:
+    """Human-readable narration of a ``run_recovery_demo`` document."""
+    lines = [
+        "Node-failure recovery demo — node {crashed_node} killed at "
+        "iteration {crash_iteration} ({n} steps on {d} cells / {f} nodes, "
+        "seed {seed})".format(
+            crashed_node=doc["crashed_node"],
+            crash_iteration=doc["crash_iteration"],
+            n=doc["n_steps"],
+            d="x".join(map(str, doc["dims"])),
+            f="x".join(map(str, doc["fpga_dims"])),
+            seed=doc["seed"],
+        ),
+        "",
+    ]
+    for rec in doc["recovery_log"]:
+        lines.append(
+            "  crash @ it {it}: node {node} -> buddy {buddy}, replayed "
+            "{rp} iteration(s) from shadow @ it {sh}; {cells} cells / "
+            "{recs} records moved, {cyc:.0f} cycles lost".format(
+                it=rec["crash_iteration"], node=rec["node"],
+                buddy=rec["buddy"], rp=rec["replay_iterations"],
+                sh=rec["shadow_iteration"], cells=rec["cells_moved"],
+                recs=rec["records_moved"], cyc=rec["cycles_lost"],
+            )
+        )
+    s = doc["summary"]
+    lines += [
+        "",
+        "  trajectory: {}".format(
+            "bitwise identical to fault-free run"
+            if doc["bitwise_identical"]
+            else "DIVERGED from fault-free run"
+        ),
+        f"  watchdog: {doc['watchdog_diagnosis']}",
+        "  traffic: {rt} recovery + {st} shadow records; switch delivered "
+        "{dl} recovery packets ({nr} recoveries tagged)".format(
+            rt=s["recovery_traffic_records"],
+            st=s["shadow_traffic_records"],
+            dl=doc["switch"]["delivered"],
+            nr=doc["switch"]["recoveries"],
+        ),
+    ]
+    return "\n".join(lines)

@@ -224,6 +224,35 @@ class CellState:
         #: Consumer-attached per-build artifacts; cleared on rebuild.
         self.artifacts: Dict[str, object] = {}
 
+    # -- checkpoint metadata ---------------------------------------------------
+
+    def meta(self) -> Dict[str, float]:
+        """Reuse metadata for checkpoints — counters, not arrays.
+
+        The band lists themselves are never persisted: a restored
+        consumer rebuilds them from positions on its first force pass
+        (bitwise-equal to any fresh build), so only the cumulative
+        counters need to survive a restart.
+        """
+        return {
+            "skin": self.skin,
+            "builds": self.builds,
+            "reuse_steps": self.reuse_steps,
+            "version": self.version,
+        }
+
+    def restore_meta(self, meta: Dict[str, float]) -> None:
+        """Continue the cumulative counters of a checkpointed state.
+
+        Restoration costs one rebuild (``build_positions`` starts empty),
+        so a restored run's ``builds`` may exceed an uninterrupted run's
+        by the number of restarts — the documented, honest cost of a
+        restart.
+        """
+        self.builds = int(meta["builds"])
+        self.reuse_steps = int(meta["reuse_steps"])
+        self.version = int(meta["version"])
+
     # -- rebuild criterion -----------------------------------------------------
 
     def needs_rebuild(self, positions: np.ndarray) -> bool:

@@ -83,18 +83,25 @@ class ReferenceEngine:
             raise ValidationError("grid box must match system box")
         self._integrator = VelocityVerlet(self.dt_fs)
 
+    def ensure_cell_state(self) -> CellState:
+        """Create (once) and return the persistent :class:`CellState`.
+
+        Creation does not build the band lists — that happens on the
+        next force pass.  Exposed so checkpoint restore can reattach the
+        reuse counters before the engine runs again.
+        """
+        if self._cell_state is None:
+            skin = self.reuse_skin
+            if skin is None:
+                skin = 0.15 * float(self.grid.cell_edge)
+            plan = plan_for_grid(self.grid)
+            self._cell_state = CellState(
+                self.grid, plan, skin, engine_pack_fn(self.grid, plan, skin)
+            )
+        return self._cell_state
+
     def _force_fn(self, system: ParticleSystem):
-        state = None
-        if self.reuse_state:
-            if self._cell_state is None:
-                skin = self.reuse_skin
-                if skin is None:
-                    skin = 0.15 * float(self.grid.cell_edge)
-                plan = plan_for_grid(self.grid)
-                self._cell_state = CellState(
-                    self.grid, plan, skin, engine_pack_fn(self.grid, plan, skin)
-                )
-            state = self._cell_state
+        state = self.ensure_cell_state() if self.reuse_state else None
         return compute_forces_cells(system, self.grid, shift=self.shift, state=state)
 
     @property

@@ -74,6 +74,9 @@ class SwitchStats:
     dropped: int
     max_occupancy: Dict[int, int] = field(default_factory=dict)
     injected: int = 0
+    #: Node-crash recoveries whose restore/replay traffic rode this
+    #: fabric (merged additively, like the packet counters).
+    recoveries: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -96,6 +99,7 @@ class SwitchStats:
             dropped=self.dropped + other.dropped,
             max_occupancy=occ,
             injected=self.injected + other.injected,
+            recoveries=self.recoveries + other.recoveries,
         )
 
     def __radd__(self, other):

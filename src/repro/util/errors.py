@@ -42,3 +42,31 @@ class DeadlockError(SimulationError):
     is stuck in, and the missing handshake edges — produced by the event
     kernel's progress watchdog instead of a silent drained queue.
     """
+
+
+class CheckpointError(FasdaError):
+    """A checkpoint file could not be written, read, or trusted.
+
+    Raised for truncated / bit-flipped / wrong-format files, digest
+    mismatches, and configurations that fail to round-trip — instead of
+    letting ``zipfile``/``zlib``/``KeyError`` internals leak to callers.
+    The message always names the offending path.
+    """
+
+
+class NodeFailureError(SimulationError):
+    """Node crashes exceeded what the recovery protocol can absorb.
+
+    Raised when every node of a :class:`~repro.core.distributed.DistributedMachine`
+    is down in the same iteration: with no surviving peer holding a
+    shadow checkpoint there is nothing to replay from, so the run is
+    unrecoverable in-band (restore from an interval checkpoint instead).
+    """
+
+
+class CampaignError(SimulationError):
+    """A campaign point kept failing after its retry budget.
+
+    Carries the first failing point's label and the underlying worker
+    exception; points journaled before the failure remain resumable.
+    """

@@ -3,11 +3,13 @@
 import numpy as np
 import pytest
 
+import os
+
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.config import MachineConfig
 from repro.core.machine import FasdaMachine
 from repro.md import build_dataset
-from repro.util.errors import ValidationError
+from repro.util.errors import CheckpointError
 
 
 @pytest.fixture()
@@ -75,5 +77,59 @@ def test_unprimed_machine_roundtrip(tmp_path):
 def test_bad_file_rejected(tmp_path):
     path = str(tmp_path / "bogus.npz")
     np.savez(path, format=np.array("something-else"), x=np.zeros(3))
-    with pytest.raises(ValidationError, match="not a FASDA checkpoint"):
+    with pytest.raises(CheckpointError, match="not a FASDA checkpoint"):
         load_checkpoint(path)
+
+
+def test_truncated_file_rejected(short_run_machine, tmp_path):
+    path = save_checkpoint(short_run_machine, str(tmp_path / "trunc.npz"))
+    raw = open(path, "rb").read()
+    open(path, "wb").write(raw[: len(raw) // 2])
+    with pytest.raises(CheckpointError, match="corrupt or unreadable"):
+        load_checkpoint(path)
+
+
+def test_bit_flipped_file_rejected(short_run_machine, tmp_path):
+    """A single flipped payload bit fails the zip CRC with a clear error."""
+    path = save_checkpoint(short_run_machine, str(tmp_path / "flip.npz"))
+    raw = bytearray(open(path, "rb").read())
+    raw[len(raw) // 2] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+    with pytest.raises(CheckpointError, match=r"corrupt or unreadable.*flip"):
+        load_checkpoint(path)
+
+
+def test_non_roundtripping_config_rejected(short_run_machine, tmp_path):
+    import dataclasses
+    import json
+
+    path = save_checkpoint(short_run_machine, str(tmp_path / "cfg.npz"))
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    cfg = json.loads(str(arrays["config"]))
+    cfg["no_such_field"] = 1
+    arrays["config"] = np.array(json.dumps(cfg))
+    np.savez(path, **arrays)
+    with pytest.raises(CheckpointError, match="does not reconstruct"):
+        load_checkpoint(path)
+
+
+def test_save_is_atomic_no_tmp_leftovers(short_run_machine, tmp_path):
+    """Overwriting an existing checkpoint never leaves a torn/partial file."""
+    path = str(tmp_path / "atomic.npz")
+    first = save_checkpoint(short_run_machine, path)
+    short_run_machine.run(2)
+    second = save_checkpoint(short_run_machine, path)
+    assert first == second == path
+    assert [f for f in os.listdir(tmp_path) if ".tmp." in f] == []
+    restored, step = load_checkpoint(path)
+    assert step == 7
+    np.testing.assert_array_equal(
+        restored.system.positions, short_run_machine.system.positions
+    )
+
+
+def test_suffix_appended_like_np_savez(short_run_machine, tmp_path):
+    path = save_checkpoint(short_run_machine, str(tmp_path / "noext"))
+    assert path.endswith("noext.npz")
+    load_checkpoint(path)

@@ -1,0 +1,221 @@
+"""fasda-checkpoint-v2: three-layer round trips, corruption, manager."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointManager,
+    load_checkpoint_v2,
+    save_checkpoint_v2,
+)
+from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
+from repro.core.machine import FasdaMachine
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    NodeFaultEvent,
+    NodeFaultPlan,
+    TransportConfig,
+)
+from repro.md import build_dataset
+from repro.md.cells import CellGrid
+from repro.md.engine import ReferenceEngine
+from repro.util.errors import CheckpointError, ValidationError
+
+CFG = MachineConfig((4, 4, 4), (2, 2, 2))
+
+
+def _flip_middle_byte(path):
+    raw = bytearray(open(path, "rb").read())
+    raw[len(raw) // 2] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+
+
+class TestMachineRoundTrip:
+    def test_trajectory_continues_bitwise(self, tmp_path):
+        m = FasdaMachine(CFG)
+        m.reuse_state = True
+        m.run(4)
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+        m2, step = load_checkpoint_v2(path)
+        assert step == 4
+        m.run(3)
+        m2.run(3)
+        np.testing.assert_array_equal(m.system.positions, m2.system.positions)
+        np.testing.assert_array_equal(m._forces32, m2._forces32)
+        assert [(r.step, r.kinetic, r.potential) for r in m.history] == [
+            (r.step, r.kinetic, r.potential) for r in m2.history
+        ]
+
+    def test_knobs_and_cellstate_meta_restored(self, tmp_path):
+        m = FasdaMachine(CFG)
+        m.reuse_state = True
+        m.pair_path = "padded"
+        m.run(4)
+        builds_before = m._cell_state.builds
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+        m2, _ = load_checkpoint_v2(path)
+        assert m2.pair_path == "padded"
+        assert m2.reuse_state
+        assert m2._cell_state.builds == builds_before
+
+
+class TestEngineRoundTrip:
+    def test_trajectory_continues_bitwise(self, tmp_path):
+        system, _ = build_dataset((4, 4, 4), cutoff=8.0, seed=11)
+        grid = CellGrid((4, 4, 4), 8.0)
+        e = ReferenceEngine(system=system.copy(), grid=grid, reuse_state=True)
+        e.run(4)
+        path = save_checkpoint_v2(e, str(tmp_path / "e.npz"))
+        e2, step = load_checkpoint_v2(path)
+        assert step == 4
+        e.run(3, start_step=step)
+        e2.run(3, start_step=step)
+        np.testing.assert_array_equal(e.system.positions, e2.system.positions)
+        np.testing.assert_array_equal(
+            e.system.velocities, e2.system.velocities
+        )
+        assert e2.reuse_state and e2.state_builds >= 1
+
+
+class TestDistributedRoundTrip:
+    def _make(self):
+        return DistributedMachine(
+            CFG,
+            injector=FaultInjector(FaultPlan(seed=5, drop_rate=0.02)),
+            transport=TransportConfig(retry_budget=6),
+            node_faults=NodeFaultPlan(
+                seed=7, events=(NodeFaultEvent(node=1, iteration=2),)
+            ),
+            shadow_interval=2,
+        )
+
+    def test_trajectory_continues_bitwise_with_active_faults(self, tmp_path):
+        """The hardest case: every fault subsystem mid-flight at save time."""
+        d = self._make()
+        d.run(4)
+        path = save_checkpoint_v2(d, str(tmp_path / "d.npz"))
+        d2, step = load_checkpoint_v2(path)
+        assert step == 4
+        d.run(3)
+        d2.run(3)
+        np.testing.assert_array_equal(d.system.positions, d2.system.positions)
+        # Restored == uninterrupted run of the same plans.
+        ref = self._make()
+        ref.run(7)
+        np.testing.assert_array_equal(
+            ref.system.positions, d2.system.positions
+        )
+
+    def test_fault_state_restored(self, tmp_path):
+        d = self._make()
+        d.run(4)
+        path = save_checkpoint_v2(d, str(tmp_path / "d.npz"))
+        d2, _ = load_checkpoint_v2(path)
+        assert d2._iteration == d._iteration
+        assert d2.transport_stats == d.transport_stats
+        assert d2.recovery_log == d.recovery_log
+        assert d2.degradation_log == d.degradation_log
+        assert d2._down_until == d._down_until
+        assert d2._shadow_iteration == d._shadow_iteration
+        assert d2.shadow_traffic_records == d.shadow_traffic_records
+        assert set(d2._stale_halo) == set(d._stale_halo)
+        for key, (it, data) in d._stale_halo.items():
+            it2, data2 = d2._stale_halo[key]
+            assert it2 == it
+            np.testing.assert_array_equal(data2.particle_ids, data.particle_ids)
+            np.testing.assert_array_equal(data2.fractions, data.fractions)
+        assert d2.node_injector.plan == d.node_injector.plan
+        assert d2.injector.plan == d.injector.plan
+        assert d2.transport == d.transport
+
+
+class TestCorruptionDetection:
+    def test_bit_flip_rejected(self, tmp_path):
+        m = FasdaMachine(CFG)
+        m.run(2)
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+        _flip_middle_byte(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint_v2(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        m = FasdaMachine(CFG)
+        m.run(2)
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 3])
+        with pytest.raises(CheckpointError, match="corrupt or unreadable"):
+            load_checkpoint_v2(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = str(tmp_path / "v1like.npz")
+        np.savez(path, format=np.array("fasda-checkpoint-v1"), x=np.zeros(2))
+        with pytest.raises(CheckpointError, match="lacks"):
+            load_checkpoint_v2(path)
+
+    def test_unsupported_object_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot checkpoint"):
+            save_checkpoint_v2(object(), str(tmp_path / "x.npz"))
+
+
+class TestCheckpointManager:
+    def test_interval_saves_and_pruning(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=2, keep=3)
+        m = FasdaMachine(CFG)
+        for step in range(1, 9):
+            m.run(1)
+            mgr.maybe_save(m, step)
+        assert [s for s, _ in mgr.checkpoints()] == [4, 6, 8]
+
+    def test_quarantine_and_fallback(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=2, keep=3)
+        m = FasdaMachine(CFG)
+        for step in range(1, 9):
+            m.run(1)
+            mgr.maybe_save(m, step)
+        newest = mgr.checkpoints()[-1][1]
+        _flip_middle_byte(newest)
+        obj, step, path = mgr.load_latest()
+        assert step == 6
+        assert path.endswith("0000000006.npz")
+        assert len(mgr.quarantined) == 1
+        assert mgr.quarantined[0].endswith(".corrupt")
+        assert os.path.exists(mgr.quarantined[0])
+        # The corrupt file no longer shadows good state.
+        assert [s for s, _ in mgr.checkpoints()] == [4, 6]
+
+    def test_all_corrupt_raises(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=1, keep=2)
+        m = FasdaMachine(CFG)
+        m.run(1)
+        mgr.save(m, 1)
+        mgr.save(m, 2)
+        for _, p in mgr.checkpoints():
+            _flip_middle_byte(p)
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            mgr.load_latest()
+
+    def test_empty_directory_raises(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ck"))
+        with pytest.raises(CheckpointError, match="none written yet"):
+            mgr.load_latest()
+
+    def test_no_tmp_leftovers(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ck"), interval=1, keep=2)
+        m = FasdaMachine(CFG)
+        for step in range(1, 4):
+            m.run(1)
+            mgr.save(m, step)
+        assert [
+            f for f in os.listdir(tmp_path / "ck") if ".tmp." in f
+        ] == []
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            CheckpointManager(str(tmp_path), interval=0)
+        with pytest.raises(ValidationError):
+            CheckpointManager(str(tmp_path), keep=0)

@@ -24,6 +24,32 @@ class TestParser:
         assert args.seed == 2023
         assert args.steps == 200
         assert args.output is None
+        assert args.journal is None
+        assert args.resume is None
+        assert args.node == 1
+        assert args.iteration == 3
+
+    def test_recover_command_parses(self):
+        args = build_parser().parse_args(
+            ["recover", "--node", "3", "--iteration", "2", "--json", "x.json"]
+        )
+        assert args.command == "recover"
+        assert args.node == 3
+        assert args.iteration == 2
+
+    def test_campaign_resume_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--journal", "run.jsonl", "--resume", "run.jsonl"]
+        )
+        assert args.journal == "run.jsonl"
+        assert args.resume == "run.jsonl"
+
+    def test_resume_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "--resume" in out and "--journal" in out
+        assert "recover" in out
 
 
 class TestCommands:
@@ -58,3 +84,27 @@ class TestCommands:
         assert main(["sensitivity"]) == 0
         out = capsys.readouterr().out
         assert "C/A gain" in out
+
+    def test_recover_smoke(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        import repro.harness.faultsweep as fs
+
+        # Keep the CLI smoke cheap: stub the heavy soak, run the demo.
+        real_soak = fs.run_node_soak
+
+        def tiny_soak(n_steps=4, seeds=(2023,), **kwargs):
+            return real_soak(
+                mtbfs=(3.0,), intervals=(2,), n_steps=3, seeds=(seeds[0],)
+            )
+
+        monkeypatch.setattr(fs, "run_node_soak", tiny_soak)
+        path = str(tmp_path / "FAULTS_nodes.json")
+        assert main(["recover", "--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise identical" in out
+        assert "watchdog" in out
+        import json
+
+        doc = json.load(open(path))
+        assert doc["unrecovered"] == 0
+        assert doc["demo"]["bitwise_identical"]

@@ -277,6 +277,42 @@ class TestMachineFaults:
         with pytest.raises(TransportError):
             _run(cfg, system, injector=inj, degradation="raise")
 
+    def test_raise_mode_with_exhausted_transport_budget(self, dataset):
+        """The composition: reliable transport runs out of retries AND
+        degradation is forbidden — the run must die loudly, with the
+        exhausted-budget loss visible in the transport counters."""
+        cfg, system = dataset
+        inj = FaultInjector(
+            FaultPlan(seed=11, drop_rate=0.35, onset_iteration=1)
+        )
+        machine = DistributedMachine(
+            cfg, system=system.copy(), injector=inj,
+            transport=TransportConfig(retry_budget=1),
+            degradation="raise",
+        )
+        with pytest.raises(TransportError, match=r"degradation='raise'"):
+            for _ in range(3):
+                machine.step()
+        assert machine.transport_stats.lost > 0
+        assert machine.transport_stats.retransmits > 0
+
+    def test_raise_mode_with_sufficient_budget_is_bitwise(
+        self, dataset, baseline
+    ):
+        """raise-mode is free when the transport actually recovers."""
+        cfg, system = dataset
+        m = _run(
+            cfg, system,
+            injector=FaultInjector(FaultPlan(seed=7, drop_rate=0.01)),
+            transport=TransportConfig(retry_budget=4),
+            degradation="raise",
+        )
+        np.testing.assert_array_equal(
+            m.system.positions, baseline.system.positions
+        )
+        assert m.transport_stats.lost == 0
+        assert len(m.degradation_log) == 0
+
     def test_bad_degradation_mode_rejected(self, dataset):
         cfg, system = dataset
         with pytest.raises(ConfigError):
