@@ -18,6 +18,15 @@ Two further sections cover the simulated machine step (PR 2):
   thread-pooled node evaluation and batched vs per-record exchange,
   with a bitwise force comparison between the modes.
 
+A ``backends`` section (PR 6) times every *available* force backend
+(``numpy``/``soa`` always; ``numba``/``cext`` when importable or
+buildable — see `repro.md.backends`): engine reuse steps/s and one
+machine force pass per backend, each validated in-bench against the
+float64 loop oracle (forces/energy within the documented bounds) and
+against the numpy backend's `StepStats` (exact).  Every record carries
+a ``backend`` field and the payload records ``backend_status`` so the
+JSON says which backend produced each number and why any are missing.
+
 Run standalone (not under pytest):
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke]
@@ -39,9 +48,15 @@ import numpy as np
 from repro.core.config import MachineConfig
 from repro.core.distributed import DistributedMachine
 from repro.core.machine import FasdaMachine
-from repro.md.cells import CellGrid
+from repro.md.backends import (
+    ENERGY_RTOL,
+    FORCE_ATOL,
+    available_backends,
+    backend_status,
+)
+from repro.md.cells import CellGrid, CellList
 from repro.md.dataset import build_dataset
-from repro.md.pairplan import _plan_cached, plan_for_grid
+from repro.md.pairplan import clear_plan_cache, plan_for_grid
 from repro.md.reference import (
     compute_forces_bruteforce,
     compute_forces_cells,
@@ -72,10 +87,26 @@ def bench_size(label: str, dims, reps: int, check_brute: bool) -> dict:
 
     # Plan build, cold (cache cleared) — reported separately because the
     # steady state never pays it.
-    _plan_cached.cache_clear()
+    clear_plan_cache()
+    t0 = time.perf_counter()
+    plan = plan_for_grid(grid)
+    plan_build_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     plan_for_grid(grid)
-    plan_build_s = time.perf_counter() - t0
+    plan_warm_s = time.perf_counter() - t0
+
+    # The padded-shape decode tables now live on the cached plan (they
+    # used to be recomputed from the flat index on every padded force
+    # pass): cold pays the O(C*cap^2) arange/divmod once per occupancy
+    # cap, warm is a tuple return.
+    clist = CellList(grid, system.positions)
+    cap = int(clist.counts.max())
+    t0 = time.perf_counter()
+    plan.padded_decode(cap)
+    padded_decode_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    plan.padded_decode(cap)
+    padded_decode_warm_s = time.perf_counter() - t0
 
     # Correctness before speed: batched path vs the per-cell loop, and
     # (small sizes only) vs the O(N^2) brute-force golden model.
@@ -103,7 +134,11 @@ def bench_size(label: str, dims, reps: int, check_brute: bool) -> dict:
         "dims": list(dims),
         "n_particles": int(system.n),
         "reps": reps,
+        "backend": "numpy",
         "plan_build_s": plan_build_s,
+        "plan_warm_s": plan_warm_s,
+        "padded_decode_cold_s": padded_decode_cold_s,
+        "padded_decode_warm_s": padded_decode_warm_s,
         "forces_cells_batched_s": t_batched,
         "forces_cells_loop_s": t_loop,
         "speedup_vs_loop": t_loop / t_batched,
@@ -118,6 +153,71 @@ def bench_size(label: str, dims, reps: int, check_brute: bool) -> dict:
         f"plan build {plan_build_s * 1e3:.2f} ms"
     )
     return result
+
+
+def bench_backends(label: str, dims, reps: int, steps: int) -> list:
+    """Engine steps/s and machine force pass per available force backend.
+
+    Every backend is validated in-bench before it is timed: engine
+    forces/energy against the per-cell float64 loop oracle within the
+    documented ``FORCE_ATOL``/``ENERGY_RTOL`` bounds, machine
+    ``StepStats`` exactly against the numpy backend (the float64
+    recheck keeps admissions bitwise identical on every backend).
+    """
+    from repro.md.engine import ReferenceEngine
+
+    system, grid = build_dataset(dims, seed=2023)
+    f_ref, e_ref = compute_forces_cells_loop(system, grid)
+
+    machine0 = FasdaMachine(MachineConfig(dims), system=system.copy())
+    sig_ref = None
+
+    out = []
+    for name in available_backends():
+        f_b, e_b = compute_forces_cells(system, grid, force_impl=name)
+        err_f = float(np.abs(f_b - f_ref).max())
+        assert err_f < FORCE_ATOL, f"{name}: forces vs loop oracle: {err_f}"
+        assert abs(e_b - e_ref) <= ENERGY_RTOL * max(abs(e_ref), 1.0), (
+            f"{name}: energy vs loop oracle: {e_b} != {e_ref}"
+        )
+
+        machine0.force_impl = name
+        sig = _stats_signature(machine0.compute_forces(collect_traffic=True))
+        if sig_ref is None:
+            sig_ref = sig
+        assert sig == sig_ref, f"{name}: machine StepStats diverged from numpy"
+
+        eng = ReferenceEngine(
+            system=system.copy(), grid=grid, reuse_state=True, force_impl=name
+        )
+        eng.run(1)  # prime + warm caches / JIT / cext build
+        t0 = time.perf_counter()
+        eng.run(steps)
+        engine_steps_per_s = steps / (time.perf_counter() - t0)
+
+        t_machine = _median_time(
+            lambda: machine0.compute_forces(collect_traffic=True), reps
+        )
+
+        out.append({
+            "label": label,
+            "backend": name,
+            "dims": list(dims),
+            "n_particles": int(system.n),
+            "steps": steps,
+            "reps": reps,
+            "engine_reuse_steps_per_s": engine_steps_per_s,
+            "machine_force_pass_s": t_machine,
+            "max_force_err_vs_loop": err_f,
+            "stats_match_numpy": True,
+        })
+        print(
+            f"[{label}] backend {name}: engine reuse "
+            f"{engine_steps_per_s:.2f} steps/s, machine force pass "
+            f"{t_machine * 1e3:.1f} ms (force err {err_f:.1e})"
+        )
+    machine0.force_impl = None
+    return out
 
 
 def _stats_signature(stats) -> dict:
@@ -265,6 +365,13 @@ def main() -> None:
     machine_results = [
         bench_machine_step(label, dims, reps) for label, dims in sizes
     ]
+    # Per-backend engine/machine rates; the 50k box would triple wall
+    # time for the same ranking, so backends stop at the 10k box.
+    backend_sizes = sizes[:1] if args.smoke else sizes[:2]
+    backend_steps = 2 if args.smoke else 10
+    backend_results = []
+    for label, dims in backend_sizes:
+        backend_results.extend(bench_backends(label, dims, reps, backend_steps))
     # The distributed machine favors protocol fidelity over speed; the
     # largest size would dominate wall time for no extra signal.
     dist_sizes = sizes[:1] if args.smoke else sizes[:2]
@@ -277,7 +384,9 @@ def main() -> None:
     payload = {
         "benchmark": "hotpath",
         "smoke": args.smoke,
+        "backend_status": backend_status(),
         "sizes": results,
+        "backends": backend_results,
         "machine_step": machine_results,
         "distributed_step": distributed_results,
     }

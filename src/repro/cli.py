@@ -136,6 +136,12 @@ def _cmd_campaign(args):
         write_campaign_json,
     )
 
+    if args.force_impl:
+        from repro.md.backends import set_force_backend
+
+        # Process-wide default: every point without an explicit
+        # force_impl param runs (and records) this backend.
+        set_force_backend(args.force_impl)
     # Load the baseline before --json can overwrite it (the two paths
     # may legitimately be the same file for local baseline refreshes).
     baseline = None
@@ -309,6 +315,17 @@ def build_parser() -> argparse.ArgumentParser:
             "for `campaign`: adopt completed points from this journal (a "
             "--journal file left by a killed run) instead of re-executing "
             "them; the resumed result is identical to an uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--force-impl",
+        type=str,
+        default=None,
+        help=(
+            "for `campaign`: force backend for all points "
+            "(numpy/soa/numba/cext; default numpy; an unavailable "
+            "optional backend falls back to numpy). Per-backend extra "
+            "points run regardless and record their own backend."
         ),
     )
     parser.add_argument(

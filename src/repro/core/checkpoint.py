@@ -295,6 +295,7 @@ def _machine_payload(m: FasdaMachine) -> Tuple[Dict[str, Any], Dict[str, np.ndar
         "last_potential": float(m._last_potential),
         "pair_path": m.pair_path,
         "traffic_impl": m.traffic_impl,
+        "force_impl": m.force_impl,
         "reuse_state": bool(m.reuse_state),
         "reuse_skin": float(m.reuse_skin),
         "cellstate": m._cell_state.meta() if m._cell_state is not None else None,
@@ -315,6 +316,8 @@ def _restore_machine(meta, inner) -> Tuple[FasdaMachine, int]:
     machine._last_potential = float(meta["last_potential"])
     machine.pair_path = meta["pair_path"]
     machine.traffic_impl = meta["traffic_impl"]
+    # Absent on pre-backend checkpoints: None = process-wide default.
+    machine.force_impl = meta.get("force_impl")
     machine.reuse_state = bool(meta["reuse_state"])
     machine.reuse_skin = float(meta["reuse_skin"])
     machine.history = _history_from_arrays(inner)
@@ -331,6 +334,7 @@ def _engine_payload(e) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
         "shift": bool(e.shift),
         "reuse_state": bool(e.reuse_state),
         "reuse_skin": None if e.reuse_skin is None else float(e.reuse_skin),
+        "force_impl": e.force_impl,
         "step": e.history[-1].step if e.history else 0,
         "primed": bool(e._primed),
         "prime_recorded": bool(e._prime_recorded),
@@ -353,6 +357,7 @@ def _restore_engine(meta, inner):
         shift=bool(meta["shift"]),
         reuse_state=bool(meta["reuse_state"]),
         reuse_skin=meta["reuse_skin"],
+        force_impl=meta.get("force_impl"),
     )
     engine._primed = bool(meta["primed"])
     engine._prime_recorded = bool(meta["prime_recorded"])
@@ -416,6 +421,7 @@ def _distributed_payload(m) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
         "iteration": int(m._iteration),
         "last_potential": float(m._last_potential),
         "exchange_impl": m.exchange_impl,
+        "force_impl": m.force_impl,
         "reuse_state": bool(m.reuse_state),
         "state_builds": int(m.state_builds),
         "state_reused_steps": int(m.state_reused_steps),
@@ -487,6 +493,8 @@ def _restore_distributed(meta, inner):
     m._iteration = int(meta["iteration"])
     m._last_potential = float(meta["last_potential"])
     m.exchange_impl = meta["exchange_impl"]
+    # Absent on pre-backend checkpoints: None = process-wide default.
+    m.force_impl = meta.get("force_impl")
     m.reuse_state = bool(meta["reuse_state"])
     m.state_builds = int(meta["state_builds"])
     m.state_reused_steps = int(meta["state_reused_steps"])

@@ -49,6 +49,7 @@ from repro.faults import (
     send_flow,
 )
 from repro.faults.nodes import REPLAY_CYCLES_PER_RECORD
+from repro.md.backends import resolve_backend
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
 from repro.md.kernels import scatter_add
@@ -278,6 +279,13 @@ class DistributedMachine:
         #: per flow) or "loop" (per-particle Record objects through the
         #: P2R chain — the retained protocol oracle).
         self.exchange_impl = "batched"
+        #: Force backend (see :mod:`repro.md.backends`), inherited by
+        #: every node's evaluation: the fused gather/displacement
+        #: kernel feeds the unchanged
+        #: :meth:`~repro.core.datapath.PairFilter.admit_r2`, so per-node
+        #: admissions, forces, statistics and traffic are bitwise
+        #: identical across backends.  ``None`` = process-wide default.
+        self.force_impl: Optional[str] = None
         #: Reuse the node partition and the per-flow packing skeletons
         #: across steps while the cell assignment is unchanged (see
         #: :meth:`_build_nodes`).  Off by default: the per-step path is
@@ -965,13 +973,23 @@ class DistributedMachine:
         ).reshape(-1)
         n_slots = np.int64(start[-1])
 
+        backend = resolve_backend(self.force_impl)
         for chunk in iter_pair_chunks(plan, counts, start, rows=rows):
-            dr = (
-                frac_cat[chunk.ii]
-                - frac_cat[chunk.jj]
-                - plan.offset[chunk.row]
-            )
-            res = self.filter.check(dr)
+            if backend.screen_dr is not None:
+                # Fused gather/displacement kernel; r2 comes from the
+                # reference einsum over bitwise-identical dr, so the
+                # filter admits bit-for-bit the same pairs per node.
+                dr, r2 = backend.screen_dr(
+                    frac_cat, chunk.ii, chunk.jj, plan.offset, chunk.row
+                )
+                res = self.filter.admit_r2(r2)
+            else:
+                dr = (
+                    frac_cat[chunk.ii]
+                    - frac_cat[chunk.jj]
+                    - plan.offset[chunk.row]
+                )
+                res = self.filter.check(dr)
             if not res.n_accepted:
                 continue
             m = res.mask

@@ -50,7 +50,8 @@ from repro.md.pairplan import (
     plan_for_grid,
 )
 from repro.md.cellstate import CellState, machine_pack_fn
-from repro.md.reference import _decode_tables, _padded_viable
+from repro.md.backends import resolve_backend
+from repro.md.reference import _padded_viable
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
 from repro.network.fabric import Fabric
@@ -322,6 +323,15 @@ class FasdaMachine:
         #: Traffic accounting implementation: "vectorized" (group-by
         #: passes) or "loop" (the retained per-row oracle).
         self.traffic_impl = "vectorized"
+        #: Force backend (see :mod:`repro.md.backends`): ``None`` uses
+        #: the process-wide default, ``"numpy"`` the inline reference
+        #: code, ``"soa"``/``"numba"``/``"cext"`` a fused admission
+        #: kernel.  The float64 recheck through
+        #: :meth:`~repro.core.datapath.PairFilter.admit_r2` (and its
+        #: arithmetic restatements) stays authoritative on every
+        #: backend, so admissions, statistics, traffic and the
+        #: potential are **bitwise identical** across backends.
+        self.force_impl: Optional[str] = None
         #: Step-persistent cell state (PR 4): when True, binning and the
         #: padded candidate search are amortized across steps through a
         #: skin-banded :class:`~repro.md.cellstate.CellState`, rebuilt on
@@ -579,75 +589,91 @@ class FasdaMachine:
         fsx = np.ascontiguousarray(frac_s[:, 0])
         fsy = np.ascontiguousarray(frac_s[:, 1])
         fsz = np.ascontiguousarray(frac_s[:, 2])
-        dx, dy, dz, tf = art.dx, art.dy, art.dz, art.tf
-        np.take(fsx, art.A, out=dx)
-        np.take(fsx, art.B, out=tf)
-        dx -= tf
-        np.take(fsy, art.A, out=dy)
-        np.take(fsy, art.B, out=tf)
-        dy -= tf
-        np.take(fsz, art.A, out=dz)
-        np.take(fsz, art.B, out=tf)
-        dz -= tf
-        for k in range(1, ROWS_PER_CELL):
-            lo, hi = int(segs[k]), int(segs[k + 1])
-            if lo == hi:
-                continue
-            ox, oy, oz = _OFFS14[k]
-            if ox:
-                dx[lo:hi] -= np.float32(ox)
-            if oy:
-                dy[lo:hi] -= np.float32(oy)
-            if oz:
-                dz[lo:hi] -= np.float32(oz)
-        # Conservative float32 pre-screen before the exact recheck.  The
-        # all-f32 r2 differs from the exact value by < 3 products' worth
-        # of rounding (rel. error < 2e-7), so any pair with f32 r2 >=
-        # 1 + 1e-5 provably fails the exact f64 -> f32 cutoff test too;
-        # the exact recheck then only runs over the near-admitted shell
-        # instead of the whole widened band.
-        r2s = art.r2f
-        tf2 = art.tf
-        np.multiply(dx, dx, out=r2s)
-        np.multiply(dy, dy, out=tf2)
-        r2s += tf2
-        np.multiply(dz, dz, out=tf2)
-        r2s += tf2
-        cand = np.flatnonzero(r2s < np.float32(1.0 + 1e-5))
         potential = np.float32(0.0)
-        if cand.size == 0:
-            return potential
-        dxc = dx.take(cand)
-        dyc = dy.take(cand)
-        dzc = dz.take(cand)
-        # Exact float64 squared distance of the exact float32 diffs,
-        # associating as (dx^2 + dy^2) + dz^2 — exactly the filter's
-        # einsum inner product (dtype= forces the float64 product loop;
-        # plain out= would multiply in float32).  Then the filter's
-        # f64 -> f32 rounding, i.e. the admitted r2 stream is
-        # bit-for-bit the fresh path's.
-        r2c = np.multiply(dxc, dxc, dtype=np.float64)
-        t64 = np.multiply(dyc, dyc, dtype=np.float64)
-        r2c += t64
-        np.multiply(dzc, dzc, out=t64, dtype=np.float64)
-        r2c += t64
-        r2fc = r2c.astype(np.float32)
+        backend = resolve_backend(self.force_impl)
+        if backend.admit_flat is not None:
+            # Fused admission kernel: the exact per-pair arithmetic
+            # below restated in one loop (see repro.md.backends) —
+            # admitted indices, r2 and displacements bitwise identical.
+            idx, r2a, dxa, dya, dza = backend.admit_flat(
+                fsx, fsy, fsz, art.A, art.B, segs, _OFFS14
+            )
+            if idx.size == 0:
+                return potential
+        else:
+            dx, dy, dz, tf = art.dx, art.dy, art.dz, art.tf
+            np.take(fsx, art.A, out=dx)
+            np.take(fsx, art.B, out=tf)
+            dx -= tf
+            np.take(fsy, art.A, out=dy)
+            np.take(fsy, art.B, out=tf)
+            dy -= tf
+            np.take(fsz, art.A, out=dz)
+            np.take(fsz, art.B, out=tf)
+            dz -= tf
+            for k in range(1, ROWS_PER_CELL):
+                lo, hi = int(segs[k]), int(segs[k + 1])
+                if lo == hi:
+                    continue
+                ox, oy, oz = _OFFS14[k]
+                if ox:
+                    dx[lo:hi] -= np.float32(ox)
+                if oy:
+                    dy[lo:hi] -= np.float32(oy)
+                if oz:
+                    dz[lo:hi] -= np.float32(oz)
+            # Conservative float32 pre-screen before the exact recheck.
+            # The all-f32 r2 differs from the exact value by < 3
+            # products' worth of rounding (rel. error < 2e-7), so any
+            # pair with f32 r2 >= 1 + 1e-5 provably fails the exact
+            # f64 -> f32 cutoff test too; the exact recheck then only
+            # runs over the near-admitted shell instead of the whole
+            # widened band.
+            r2s = art.r2f
+            tf2 = art.tf
+            np.multiply(dx, dx, out=r2s)
+            np.multiply(dy, dy, out=tf2)
+            r2s += tf2
+            np.multiply(dz, dz, out=tf2)
+            r2s += tf2
+            cand = np.flatnonzero(r2s < np.float32(1.0 + 1e-5))
+            if cand.size == 0:
+                return potential
+            dxc = dx.take(cand)
+            dyc = dy.take(cand)
+            dzc = dz.take(cand)
+            # Exact float64 squared distance of the exact float32
+            # diffs, associating as (dx^2 + dy^2) + dz^2 — exactly the
+            # filter's einsum inner product (dtype= forces the float64
+            # product loop; plain out= would multiply in float32).
+            # Then the filter's f64 -> f32 rounding, i.e. the admitted
+            # r2 stream is bit-for-bit the fresh path's.
+            r2c = np.multiply(dxc, dxc, dtype=np.float64)
+            t64 = np.multiply(dyc, dyc, dtype=np.float64)
+            r2c += t64
+            np.multiply(dzc, dzc, out=t64, dtype=np.float64)
+            r2c += t64
+            r2fc = r2c.astype(np.float32)
 
-        # Global admission pass: admitted indices over the whole band, in
-        # stored order — which is exactly per-offset ascending flat
-        # (cell, slot_i, slot_j), the fresh path's enumeration order
-        # (``cand`` is ascending and ``keep`` preserves order).  All
-        # elementwise pipeline math then runs once over the admitted
-        # set; only the order-sensitive reductions (bank scatters, the
-        # per-offset float32 energy sums, the presence-bit statistics)
-        # walk the 14 offset groups, each a contiguous slice.
-        one = np.float32(1.0)
-        keep = r2fc < one
-        idx = cand[keep]
-        if idx.size == 0:
-            return potential
+            # Global admission pass: admitted indices over the whole
+            # band, in stored order — which is exactly per-offset
+            # ascending flat (cell, slot_i, slot_j), the fresh path's
+            # enumeration order (``cand`` is ascending and ``keep``
+            # preserves order).  All elementwise pipeline math then
+            # runs once over the admitted set; only the order-sensitive
+            # reductions (bank scatters, the per-offset float32 energy
+            # sums, the presence-bit statistics) walk the 14 offset
+            # groups, each a contiguous slice.
+            one = np.float32(1.0)
+            keep = r2fc < one
+            idx = cand[keep]
+            if idx.size == 0:
+                return potential
+            r2a = r2fc[keep]
+            dxa = dxc[keep]
+            dya = dyc[keep]
+            dza = dzc[keep]
         bounds = np.searchsorted(idx, segs)
-        r2a = r2fc[keep]
         r2_min32 = np.float32(self.filter.r2_min)
         if np.any(r2a < r2_min32):
             # The real filter's small-r guard, verbatim.
@@ -697,9 +723,6 @@ class FasdaMachine:
             scalar *= inv14
             inv8 *= art.c8p.take(idx)
         scalar -= inv8
-        dxa = dxc[keep]
-        dya = dyc[keep]
-        dza = dzc[keep]
         fxa = scalar * dxa
         fya = scalar * dya
         fza = scalar * dza
@@ -777,12 +800,22 @@ class FasdaMachine:
         plan = self._plan
         n = np.int64(self.system.n)
         potential = np.float32(0.0)
+        backend = resolve_backend(self.force_impl)
         for chunk in iter_pair_chunks(plan, clist.counts, clist.start, clist.order):
             # Displacement home - neighbor = frac_h - offset - frac_n
             # (offset zero on home-home rows), exact in float64 for
             # quantized fractions.
-            dr = frac[chunk.ii] - frac[chunk.jj] - plan.offset[chunk.row]
-            res = self.filter.check(dr)
+            if backend.screen_dr is not None:
+                # Fused gather/displacement kernel; r2 comes from the
+                # reference einsum reduction on bitwise-identical dr,
+                # so the filter sees bit-for-bit the same inputs.
+                dr, r2 = backend.screen_dr(
+                    frac, chunk.ii, chunk.jj, plan.offset, chunk.row
+                )
+                res = self.filter.admit_r2(r2)
+            else:
+                dr = frac[chunk.ii] - frac[chunk.jj] - plan.offset[chunk.row]
+                res = self.filter.check(dr)
             if not res.n_accepted:
                 continue
             m = res.mask
@@ -853,7 +886,7 @@ class FasdaMachine:
         # Cutoff in normalized units is 1; the band only ever admits
         # *extra* candidates to the exact filter recheck.
         band = np.float32(1.0 + 1e-3)
-        cell_of, i_of, j_of = _decode_tables(C, cap)
+        cell_of, i_of, j_of = plan.padded_decode(cap)
         a_of = start[cell_of] + i_of
         iu = np.arange(cap)
         tri = iu[:, None] < iu[None, :]

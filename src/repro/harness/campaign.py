@@ -493,19 +493,27 @@ def engine_rate(
     particles_per_cell: int = 64,
     steps: int = 30,
     reuse: bool = False,
+    force_impl: Optional[str] = None,
 ) -> Dict[str, Any]:
     """ReferenceEngine steps/s with or without the persistent CellState.
 
     The final potential energy ships in the payload so the campaign
     determinism test doubles as a trajectory-equivalence check.
+    ``force_impl`` selects the force backend (see
+    :mod:`repro.md.backends`); the payload records which backend
+    actually produced the number under ``"backend"`` (an unavailable
+    optional backend falls back to ``"numpy"``).
     """
+    from repro.md.backends import resolve_backend
     from repro.md.dataset import build_dataset
     from repro.md.engine import ReferenceEngine
 
     system, grid = build_dataset(
         dims, particles_per_cell=particles_per_cell, seed=seed
     )
-    eng = ReferenceEngine(system=system, grid=grid, reuse_state=reuse)
+    eng = ReferenceEngine(
+        system=system, grid=grid, reuse_state=reuse, force_impl=force_impl
+    )
     eng.run(1)  # prime forces and warm the plan/state caches
     t0 = time.perf_counter()
     eng.run(steps)
@@ -514,6 +522,7 @@ def engine_rate(
         "n_particles": int(system.n),
         "steps": steps,
         "reuse": reuse,
+        "backend": resolve_backend(force_impl).name,
         "state_builds": eng.state_builds,
         "rebuild_rate": (eng.state_builds / (steps + 2)) if reuse else 1.0,
         "final_potential": float(eng.history[-1].potential),
@@ -531,15 +540,21 @@ def machine_rate(
     reuse: bool = False,
     traffic: bool = True,
     mode: str = "run",
+    force_impl: Optional[str] = None,
 ) -> Dict[str, Any]:
     """FasdaMachine steps/s with or without step-persistent cell state.
 
     ``mode="run"`` integrates (migrations can force rebuilds — the
     honest end-to-end number); ``mode="eval"`` re-evaluates forces on a
     frozen configuration (the steady-state amortization ceiling).
+    ``force_impl`` selects the force backend; machine results are
+    bitwise identical across backends (the float64 recheck through
+    ``PairFilter.admit_r2`` stays authoritative), so only the timing
+    and the recorded ``"backend"`` differ.
     """
     from repro.core.config import MachineConfig
     from repro.core.machine import FasdaMachine
+    from repro.md.backends import resolve_backend
     from repro.md.dataset import build_dataset
 
     cfg = MachineConfig(dims, fpga_grid)
@@ -548,6 +563,7 @@ def machine_rate(
     )
     machine = FasdaMachine(cfg, system=system)
     machine.reuse_state = reuse
+    machine.force_impl = force_impl
     last = machine.compute_forces(collect_traffic=traffic)  # warm-up
     t0 = time.perf_counter()
     if mode == "eval":
@@ -567,6 +583,7 @@ def machine_rate(
         "reuse": reuse,
         "mode": mode,
         "traffic": traffic,
+        "backend": resolve_backend(force_impl).name,
         "state_builds": int(builds) if reuse else steps,
         "rebuild_rate": (int(builds) / (steps + 1)) if reuse else 1.0,
         "potential_energy": float(last.potential_energy),
@@ -698,7 +715,17 @@ def build_default_campaign(
     machine (fresh vs. persistent state, end-to-end and steady-state),
     plus the FPGA-scaling sweep and a slice of the sensitivity study so
     the campaign exercises heterogeneous workers.
+
+    Force-backend points: the six rate points above always run on the
+    reference ``"numpy"`` backend (so the committed baseline stays
+    comparable across hosts), and one extra engine/machine reuse pair is
+    added per *available* backend beyond it (``soa`` always; ``numba``/
+    ``cext`` when importable/buildable).  The extra labels are one-sided
+    additions, which :func:`check_regression` ignores against baselines
+    that predate them.
     """
+    from repro.md.backends import available_backends
+
     pts = [
         point("engine_rate", seed=seed, label="engine/fresh",
               dims=dims, steps=steps, reuse=False),
@@ -713,6 +740,18 @@ def build_default_campaign(
         point("machine_rate", seed=seed, label="machine/reuse-eval",
               dims=dims, steps=steps, reuse=True, mode="eval"),
     ]
+    for name in available_backends():
+        if name == "numpy":
+            continue
+        pts.append(
+            point("engine_rate", seed=seed, label=f"engine/reuse-{name}",
+                  dims=dims, steps=steps, reuse=True, force_impl=name)
+        )
+        pts.append(
+            point("machine_rate", seed=seed, label=f"machine/reuse-{name}",
+                  dims=dims, steps=steps, reuse=True, mode="run",
+                  force_impl=name)
+        )
     for n in (1, 2, 4, 8):
         pts.append(
             point("fpga_scaling", seed=seed, label=f"scaling/{n}-fpga",
@@ -785,6 +824,18 @@ def run_default_campaign(
         "engine_rebuild_rate": merged["engine/reuse"]["result"]["rebuild_rate"],
         "machine_rebuild_rate": merged["machine/reuse"]["result"]["rebuild_rate"],
     }
+    backend_speedups: Dict[str, Dict[str, float]] = {}
+    for label, payload in merged.items():
+        backend = payload["result"].get("backend")
+        if backend in (None, "numpy") or not label.endswith(f"-{backend}"):
+            continue
+        base_label = label[: -len(f"-{backend}")]
+        if base_label in merged:
+            backend_speedups.setdefault(backend, {})[
+                f"{base_label.split('/')[0]}_speedup"
+            ] = rate(label) / rate(base_label)
+    if backend_speedups:
+        doc["summary"]["backend_speedups"] = backend_speedups
     return doc
 
 

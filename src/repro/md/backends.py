@@ -1,0 +1,839 @@
+"""Selectable compiled force backends: ``numpy | soa | numba | cext``.
+
+PR 4's step-persistent cell state left the per-step force *kernel* as
+the wall: every hot path still walks the flat band lists with ~25
+full-length numpy passes (gathers, displacement, cutoff test, LJ,
+bincount scatters).  The FPGA designs this repo reproduces get their
+throughput from a single fused filter->force pipeline over SoA particle
+buckets; this module gives the software reproduction the same shape — a
+flat ``(i_idx, j_idx)`` pair stream driven through one fused
+distance-filter + LJ + scatter-accumulate loop — behind a small
+registry so the pure-numpy reference paths stay the default and the
+oracles.
+
+Backends
+--------
+``numpy``
+    The classic per-offset numpy paths in :mod:`repro.md.reference` and
+    :mod:`repro.core.machine` — bitwise-stable, dependency-free, the
+    default and the CI-green path.  Selecting it means "no flat kernel":
+    consumers keep their existing code.
+``soa``
+    The flat/SoA restructure in *pure numpy*: one pass over the flat
+    index arrays with a conservative float32 prescreen, survivor
+    compaction, exact float64 recheck and compacted LJ + scatters.
+    Always available; this is the "SoA restructure alone" measurement.
+``numba``
+    The fused loop JIT-compiled with numba (optional dependency; never
+    required).  Falls back to ``numpy`` when numba is not importable.
+``cext``
+    The fused loop as a tiny C extension built on demand with cffi and
+    the system compiler (both optional; never required).  Compiled with
+    ``-ffp-contract=off`` so the float32 machine-layer arithmetic is
+    bit-for-bit numpy's.  Falls back to ``numpy`` when unavailable.
+
+Kernel contracts (see DESIGN.md §10)
+------------------------------------
+* ``lj_flat`` (engine layer, float64): fused cutoff test + LJ +
+  Newton-pair scatter over a flat pair stream.  Admissions are exact
+  (the same float64 ``r2 < cutoff2`` test as the reference), but the
+  *accumulation order* differs from the bincount-grouped reference, so
+  forces and energy agree to the documented round-off bound
+  (:data:`FORCE_ATOL` / :data:`ENERGY_RTOL`) rather than bitwise.
+* ``admit_flat`` (machine layer, float32): the band-list admission
+  phase of ``FasdaMachine._eval_reuse`` — float32 displacement,
+  conservative float32 prescreen, exact float64 recheck of the float32
+  diffs, float32 cast, ``r2 < 1`` admission.  Every per-pair operation
+  is order-independent and restated with identical rounding, so the
+  admitted index stream, r2 values and displacements are **bitwise
+  identical** to numpy's; all downstream statistics, traffic and the
+  potential energy follow bitwise.
+* ``screen_dr`` (chunked/distributed layer, float64): fused gather +
+  displacement over one candidate chunk.  The kernel produces ``dr``
+  (bitwise identical to the numpy gather/subtract — elementwise, one
+  rounding per op); ``r2`` is then computed with the *same*
+  ``np.einsum`` as the reference for every backend (einsum's SIMD
+  accumulation order is not portably replicable in C), so the values
+  feeding :meth:`~repro.core.datapath.PairFilter.admit_r2` — and hence
+  every admission — are bitwise identical by construction.
+
+The active default is ``numpy``; override per consumer via their
+``force_impl`` knob, globally via :func:`set_force_backend`, or with the
+``REPRO_FORCE_IMPL`` environment variable (read at import).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import sysconfig
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.md.params import LJTable
+from repro.util.errors import ValidationError
+
+#: Documented engine-layer equivalence bounds vs the float64 oracles:
+#: compiled/SoA backends admit the exact same pairs but accumulate in a
+#: different order, so forces agree to FORCE_ATOL (absolute, kcal/mol/A)
+#: and energies to ENERGY_RTOL (relative).  Enforced by
+#: tests/test_backends.py and the in-bench asserts of bench_hotpath.
+FORCE_ATOL = 1e-8
+ENERGY_RTOL = 1e-9
+
+#: Environment variable that selects the process-wide default backend.
+ENV_VAR = "REPRO_FORCE_IMPL"
+
+
+@dataclass
+class ForceBackend:
+    """One registered force-kernel implementation.
+
+    ``lj_flat`` / ``admit_flat`` / ``screen_dr`` are the three kernel
+    entry points (see the module docstring); ``None`` means "use the
+    consumer's classic numpy code" (only the ``numpy`` backend does
+    this).  ``available`` is probed once at registration; ``why``
+    records the probe outcome for diagnostics.
+    """
+
+    name: str
+    available: bool
+    why: str = ""
+    lj_flat: Optional[Callable] = None
+    admit_flat: Optional[Callable] = None
+    screen_dr: Optional[Callable] = None
+    #: True when selecting this backend changes no code path at all.
+    is_reference: bool = field(default=False)
+
+
+_REGISTRY: Dict[str, ForceBackend] = {}
+_active: str = "numpy"
+
+
+def register_backend(backend: ForceBackend) -> ForceBackend:
+    """Add a backend to the registry (test hooks use this too)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names() -> List[str]:
+    """All registered backend names, available or not."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Names of the backends whose probe succeeded."""
+    return sorted(n for n, b in _REGISTRY.items() if b.available)
+
+
+def compiled_backends() -> List[str]:
+    """Available backends that actually compile the kernel (no numpy)."""
+    return [
+        n
+        for n in ("numba", "cext")
+        if n in _REGISTRY and _REGISTRY[n].available
+    ]
+
+
+def backend_status() -> Dict[str, str]:
+    """``name -> probe outcome`` for every registered backend."""
+    return {
+        n: ("available" if b.available else f"unavailable: {b.why}")
+        for n, b in sorted(_REGISTRY.items())
+    }
+
+
+def resolve_backend(name: Optional[str] = None) -> ForceBackend:
+    """The backend to use for ``force_impl=name``.
+
+    ``None`` resolves to the process-wide active default.  Requesting an
+    *unavailable* optional backend (numba not installed, no compiler)
+    falls back to the ``numpy`` reference backend rather than failing —
+    pure numpy must always work.  Unknown names raise.
+    """
+    if name is None:
+        name = _active
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown force backend {name!r}; registered: {backend_names()}"
+        ) from None
+    if not backend.available:
+        return _REGISTRY["numpy"]
+    return backend
+
+
+def set_force_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the *resolved* name.
+
+    Falls back to ``"numpy"`` when the requested optional backend is
+    unavailable (mirroring :func:`resolve_backend`), so callers can
+    request ``numba`` unconditionally and still run everywhere.
+    """
+    global _active
+    resolved = resolve_backend(name)
+    _active = resolved.name
+    return _active
+
+
+def get_force_backend() -> str:
+    """The process-wide default backend name."""
+    return _active
+
+
+# ---------------------------------------------------------------------------
+# Pure-numpy flat/SoA kernels — the always-available restructure, and the
+# reference implementation the compiled kernels mirror.
+# ---------------------------------------------------------------------------
+
+def _lj_tables(lj: LJTable) -> Tuple[np.ndarray, ...]:
+    return (
+        np.ascontiguousarray(lj.c14, dtype=np.float64),
+        np.ascontiguousarray(lj.c8, dtype=np.float64),
+        np.ascontiguousarray(lj.c12, dtype=np.float64),
+        np.ascontiguousarray(lj.c6, dtype=np.float64),
+    )
+
+
+def lj_flat_numpy(
+    psx: np.ndarray,
+    psy: np.ndarray,
+    psz: np.ndarray,
+    ia: np.ndarray,
+    ib: np.ndarray,
+    srow: np.ndarray,
+    stab: np.ndarray,
+    spc: np.ndarray,
+    lj: LJTable,
+    cutoff2: float,
+    shift_e: float,
+    fx: np.ndarray,
+    fy: np.ndarray,
+    fz: np.ndarray,
+) -> float:
+    """Flat SoA LJ pass in pure numpy (the ``soa`` backend's ``lj_flat``).
+
+    ``psx/psy/psz`` are contiguous float64 coordinate columns (bucket-
+    sorted for the band path, particle-indexed for the chunked path),
+    ``ia/ib`` the flat pair stream, ``srow`` a per-pair int32 row into
+    the ``(n_rows, 3)`` image-shift table ``stab`` (-1 = no shift).
+
+    One exact float64 cutoff test over the whole flat stream, then a
+    compaction so the expensive LJ passes and the six bincount scatters
+    only touch *admitted* pairs — on the skin-banded pair lists roughly
+    half the stream is beyond the cutoff, which is exactly the work the
+    reference path spends on exact-zero contributions to keep its
+    bitwise-reproducibility guarantee.  Admissions here are the same
+    ``r2 < cutoff2`` float64 test as the reference; only accumulation
+    order differs, so forces/energy agree to the documented bound.
+    Accumulates into ``fx/fy/fz`` and returns the energy.
+    """
+    n = len(psx)
+    dx = psx.take(ia)
+    dx -= psx.take(ib)
+    dy = psy.take(ia)
+    dy -= psy.take(ib)
+    dz = psz.take(ia)
+    dz -= psz.take(ib)
+    shifted = np.flatnonzero(srow >= 0)
+    if shifted.size:
+        rows = srow.take(shifted)
+        dx[shifted] -= stab[rows, 0]
+        dy[shifted] -= stab[rows, 1]
+        dz[shifted] -= stab[rows, 2]
+    r2 = dx * dx
+    tmp = dy * dy
+    r2 += tmp
+    np.multiply(dz, dz, out=tmp)
+    r2 += tmp
+    keep = np.flatnonzero(r2 < cutoff2)
+    if keep.size == 0:
+        return 0.0
+    a = ia.take(keep)
+    b = ib.take(keep)
+    dx = dx.take(keep)
+    dy = dy.take(keep)
+    dz = dz.take(keep)
+    r2 = r2.take(keep)
+    from repro.md.kernels import lj_scalar_energy
+
+    if lj.n_species == 1:
+        si = sj = None
+    else:
+        si = spc.take(a)
+        sj = spc.take(b)
+    scalar, evec = lj_scalar_energy(r2, si, sj, lj)
+    energy = float(np.sum(evec)) - shift_e * len(r2)
+    w = scalar * dx
+    fx += np.bincount(a, weights=w, minlength=n)
+    fx -= np.bincount(b, weights=w, minlength=n)
+    np.multiply(scalar, dy, out=w)
+    fy += np.bincount(a, weights=w, minlength=n)
+    fy -= np.bincount(b, weights=w, minlength=n)
+    np.multiply(scalar, dz, out=w)
+    fz += np.bincount(a, weights=w, minlength=n)
+    fz -= np.bincount(b, weights=w, minlength=n)
+    return energy
+
+
+def admit_flat_numpy(
+    fsx: np.ndarray,
+    fsy: np.ndarray,
+    fsz: np.ndarray,
+    ia: np.ndarray,
+    ib: np.ndarray,
+    segs: np.ndarray,
+    offs: np.ndarray,
+    scratch: Optional[Tuple[np.ndarray, ...]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Band-list admission phase in numpy (``soa``'s ``admit_flat``).
+
+    Exactly the arithmetic of ``FasdaMachine._eval_reuse``: float32
+    fraction differences, per-segment float32 offset subtraction, the
+    ``r2 < 1 + 1e-5`` float32 prescreen, the exact float64 recheck of
+    the float32 diffs associated ``(dx^2 + dy^2) + dz^2``, the float32
+    cast and the ``r2 < 1`` admission.  Returns ``(idx, r2, dx, dy,
+    dz)`` — admitted flat band indices (ascending) with their float32
+    r2 and displacements.  Bitwise identical to the inline machine code
+    and to the compiled kernels.
+    """
+    L = len(ia)
+    if scratch is not None:
+        dx, dy, dz, tf, r2s = scratch
+    else:
+        dx = np.empty(L, dtype=np.float32)
+        dy = np.empty(L, dtype=np.float32)
+        dz = np.empty(L, dtype=np.float32)
+        tf = np.empty(L, dtype=np.float32)
+        r2s = np.empty(L, dtype=np.float32)
+    np.take(fsx, ia, out=dx)
+    np.take(fsx, ib, out=tf)
+    dx -= tf
+    np.take(fsy, ia, out=dy)
+    np.take(fsy, ib, out=tf)
+    dy -= tf
+    np.take(fsz, ia, out=dz)
+    np.take(fsz, ib, out=tf)
+    dz -= tf
+    n_segs = len(segs) - 1
+    for k in range(1, n_segs):
+        lo, hi = int(segs[k]), int(segs[k + 1])
+        if lo == hi:
+            continue
+        ox, oy, oz = offs[k]
+        if ox:
+            dx[lo:hi] -= np.float32(ox)
+        if oy:
+            dy[lo:hi] -= np.float32(oy)
+        if oz:
+            dz[lo:hi] -= np.float32(oz)
+    np.multiply(dx, dx, out=r2s)
+    np.multiply(dy, dy, out=tf)
+    r2s += tf
+    np.multiply(dz, dz, out=tf)
+    r2s += tf
+    cand = np.flatnonzero(r2s < np.float32(1.0 + 1e-5))
+    empty32 = np.empty(0, dtype=np.float32)
+    if cand.size == 0:
+        return cand, empty32, empty32, empty32, empty32
+    dxc = dx.take(cand)
+    dyc = dy.take(cand)
+    dzc = dz.take(cand)
+    r2c = np.multiply(dxc, dxc, dtype=np.float64)
+    t64 = np.multiply(dyc, dyc, dtype=np.float64)
+    r2c += t64
+    np.multiply(dzc, dzc, out=t64, dtype=np.float64)
+    r2c += t64
+    r2fc = r2c.astype(np.float32)
+    keep = r2fc < np.float32(1.0)
+    idx = cand[keep]
+    return idx, r2fc[keep], dxc[keep], dyc[keep], dzc[keep]
+
+
+def screen_dr_numpy(
+    frac: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    offset: np.ndarray,
+    row: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chunk displacement + squared distance in numpy (``soa`` variant).
+
+    ``dr = frac[ii] - frac[jj] - offset[row]`` and its einsum inner
+    product, exactly as the chunked machine/distributed paths compute
+    them before :meth:`~repro.core.datapath.PairFilter.admit_r2`.
+    """
+    dr = frac[ii] - frac[jj] - offset[row]
+    return dr, _screen_r2(dr)
+
+
+def _screen_r2(dr: np.ndarray) -> np.ndarray:
+    """The reference r2 reduction — shared by *every* backend.
+
+    numpy's einsum accumulates with SIMD partial sums whose order is not
+    portably replicable in scalar C, so compiled ``screen_dr`` kernels
+    only fuse the gather/displacement (bitwise exact elementwise) and
+    delegate the reduction here.  One einsum over identical ``dr``
+    values gives identical ``r2`` values for all backends.
+    """
+    return np.einsum("ij,ij->i", dr, dr)
+
+
+# ---------------------------------------------------------------------------
+# cext backend: the fused kernels as a tiny cffi-built C extension
+# ---------------------------------------------------------------------------
+
+_CDEF = r"""
+double lj_flat_f64(const double *px, const double *py, const double *pz,
+                   const int64_t *ia, const int64_t *ib,
+                   const int32_t *srow, const double *stab,
+                   const int32_t *spc, int64_t ns,
+                   const double *c14t, const double *c8t,
+                   const double *c12t, const double *c6t,
+                   int64_t n_pairs, double cutoff2, double shift_e,
+                   double *fx, double *fy, double *fz);
+int64_t admit_flat_f32(const float *fsx, const float *fsy, const float *fsz,
+                       const int64_t *ia, const int64_t *ib,
+                       const int64_t *segs, int64_t n_segs,
+                       const double *offs, float pre,
+                       int64_t *idx_out, float *r2_out,
+                       float *dx_out, float *dy_out, float *dz_out);
+void screen_dr_f64(const double *frac, const int64_t *ii, const int64_t *jj,
+                   const double *offs, const int64_t *row, int64_t n,
+                   double *dr_out);
+"""
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Fused cutoff test + LJ + Newton-pair scatter over a flat pair
+ * stream (engine layer, float64).  Sequential accumulation: admitted
+ * pairs are exact, totals agree with the bincount-grouped reference to
+ * float64 round-off. */
+double lj_flat_f64(const double *px, const double *py, const double *pz,
+                   const int64_t *ia, const int64_t *ib,
+                   const int32_t *srow, const double *stab,
+                   const int32_t *spc, int64_t ns,
+                   const double *c14t, const double *c8t,
+                   const double *c12t, const double *c6t,
+                   int64_t n_pairs, double cutoff2, double shift_e,
+                   double *fx, double *fy, double *fz)
+{
+    double energy = 0.0;
+    for (int64_t p = 0; p < n_pairs; p++) {
+        int64_t i = ia[p], j = ib[p];
+        double dx = px[i] - px[j];
+        double dy = py[i] - py[j];
+        double dz = pz[i] - pz[j];
+        int32_t r = srow[p];
+        if (r >= 0) {
+            dx -= stab[3 * r];
+            dy -= stab[3 * r + 1];
+            dz -= stab[3 * r + 2];
+        }
+        double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 >= cutoff2)
+            continue;
+        int64_t sij = (int64_t)spc[i] * ns + spc[j];
+        double inv_r2 = 1.0 / r2;
+        double inv_r4 = inv_r2 * inv_r2;
+        double inv_r6 = inv_r4 * inv_r2;
+        double inv_r8 = inv_r4 * inv_r4;
+        double scalar = (c14t[sij] * inv_r6 - c8t[sij]) * inv_r8;
+        energy += (c12t[sij] * inv_r6 - c6t[sij]) * inv_r6 - shift_e;
+        double fxx = scalar * dx, fyy = scalar * dy, fzz = scalar * dz;
+        fx[i] += fxx; fy[i] += fyy; fz[i] += fzz;
+        fx[j] -= fxx; fy[j] -= fyy; fz[j] -= fzz;
+    }
+    return energy;
+}
+
+/* Band-list admission phase (machine layer).  Compiled with
+ * -ffp-contract=off this restates numpy's float32 arithmetic with
+ * identical rounding at every step: f32 differences, per-segment f32
+ * offset subtraction, the f32 prescreen, the exact f64 recheck of the
+ * f32 diffs associated (dx^2 + dy^2) + dz^2 (each product of two
+ * floats is exact in double), the f32 cast and the r2 < 1 admission —
+ * so the emitted (idx, r2, dx, dy, dz) stream is bitwise numpy's. */
+int64_t admit_flat_f32(const float *fsx, const float *fsy, const float *fsz,
+                       const int64_t *ia, const int64_t *ib,
+                       const int64_t *segs, int64_t n_segs,
+                       const double *offs, float pre,
+                       int64_t *idx_out, float *r2_out,
+                       float *dx_out, float *dy_out, float *dz_out)
+{
+    int64_t m = 0;
+    for (int64_t k = 0; k < n_segs; k++) {
+        float ox = (float)offs[3 * k];
+        float oy = (float)offs[3 * k + 1];
+        float oz = (float)offs[3 * k + 2];
+        for (int64_t p = segs[k]; p < segs[k + 1]; p++) {
+            float dx = fsx[ia[p]] - fsx[ib[p]];
+            float dy = fsy[ia[p]] - fsy[ib[p]];
+            float dz = fsz[ia[p]] - fsz[ib[p]];
+            if (ox != 0.0f) dx -= ox;
+            if (oy != 0.0f) dy -= oy;
+            if (oz != 0.0f) dz -= oz;
+            float r2s = dx * dx;
+            r2s += dy * dy;
+            r2s += dz * dz;
+            if (r2s < pre) {
+                double r2 = (double)dx * (double)dx;
+                r2 += (double)dy * (double)dy;
+                r2 += (double)dz * (double)dz;
+                float r2f = (float)r2;
+                if (r2f < 1.0f) {
+                    idx_out[m] = p;
+                    r2_out[m] = r2f;
+                    dx_out[m] = dx;
+                    dy_out[m] = dy;
+                    dz_out[m] = dz;
+                    m++;
+                }
+            }
+        }
+    }
+    return m;
+}
+
+/* Fused gather + displacement over one candidate chunk (chunked
+ * machine path, distributed per-node path).  Matches numpy's
+ * (frac[ii] - frac[jj]) - offset[row] bitwise — elementwise, one
+ * rounding per subtraction.  The r2 reduction is left to the caller's
+ * einsum so it is the reference reduction for every backend. */
+void screen_dr_f64(const double *frac, const int64_t *ii, const int64_t *jj,
+                   const double *offs, const int64_t *row, int64_t n,
+                   double *dr_out)
+{
+    for (int64_t p = 0; p < n; p++) {
+        const double *a = frac + 3 * ii[p];
+        const double *b = frac + 3 * jj[p];
+        const double *o = offs + 3 * row[p];
+        dr_out[3 * p] = a[0] - b[0] - o[0];
+        dr_out[3 * p + 1] = a[1] - b[1] - o[1];
+        dr_out[3 * p + 2] = a[2] - b[2] - o[2];
+    }
+}
+"""
+
+#: No-FMA, no-fast-math: the float32 machine kernel must round exactly
+#: like numpy's elementwise ops.
+_C_FLAGS = ["-O2", "-ffp-contract=off", "-fno-fast-math"]
+
+
+def _build_cext():
+    """Build (or load from the on-disk cache) the C kernel module.
+
+    The built extension is keyed by a hash of source + flags in a
+    directory under the system temp dir, so repeated processes (test
+    runs, campaign pool children) reuse one compilation.  Concurrent
+    builders compile into per-pid scratch dirs and install with an
+    atomic rename.
+    """
+    import cffi
+
+    tag = hashlib.sha1(
+        (_CDEF + _C_SOURCE + " ".join(_C_FLAGS)).encode()
+    ).hexdigest()[:12]
+    modname = f"_repro_force_cext_{tag}"
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    cache = os.path.join(tempfile.gettempdir(), "repro-cext-cache")
+    final = os.path.join(cache, modname + suffix)
+    if not os.path.exists(final):
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        ffi.set_source(modname, _C_SOURCE, extra_compile_args=_C_FLAGS)
+        scratch = os.path.join(cache, f"build-{os.getpid()}")
+        os.makedirs(scratch, exist_ok=True)
+        try:
+            so_path = ffi.compile(tmpdir=scratch)
+            os.replace(so_path, final)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+    spec = importlib.util.spec_from_file_location(modname, final)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.ffi, mod.lib
+
+
+def _make_cext_backend() -> ForceBackend:
+    try:
+        ffi, lib = _build_cext()
+    except Exception as exc:  # cffi missing, no compiler, sandboxed tmp...
+        return ForceBackend(
+            name="cext", available=False, why=f"{type(exc).__name__}: {exc}"
+        )
+
+    def ptr(ctype, arr):
+        return ffi.cast(ctype, arr.ctypes.data)
+
+    def lj_flat(psx, psy, psz, ia, ib, srow, stab, spc, lj, cutoff2,
+                shift_e, fx, fy, fz):
+        c14, c8, c12, c6 = _lj_tables(lj)
+        return lib.lj_flat_f64(
+            ptr("double *", psx), ptr("double *", psy), ptr("double *", psz),
+            ptr("int64_t *", ia), ptr("int64_t *", ib),
+            ptr("int32_t *", srow), ptr("double *", stab),
+            ptr("int32_t *", spc), int(lj.n_species),
+            ptr("double *", c14), ptr("double *", c8),
+            ptr("double *", c12), ptr("double *", c6),
+            int(len(ia)), float(cutoff2), float(shift_e),
+            ptr("double *", fx), ptr("double *", fy), ptr("double *", fz),
+        )
+
+    def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None):
+        L = len(ia)
+        if scratch is not None:
+            idx_out, r2_out, dx_out, dy_out, dz_out = scratch
+        else:
+            idx_out = np.empty(L, dtype=np.int64)
+            r2_out = np.empty(L, dtype=np.float32)
+            dx_out = np.empty(L, dtype=np.float32)
+            dy_out = np.empty(L, dtype=np.float32)
+            dz_out = np.empty(L, dtype=np.float32)
+        segs64 = np.ascontiguousarray(segs, dtype=np.int64)
+        offs64 = np.ascontiguousarray(offs, dtype=np.float64)
+        m = lib.admit_flat_f32(
+            ptr("float *", fsx), ptr("float *", fsy), ptr("float *", fsz),
+            ptr("int64_t *", ia), ptr("int64_t *", ib),
+            ptr("int64_t *", segs64), int(len(segs64) - 1),
+            ptr("double *", offs64), np.float32(1.0 + 1e-5),
+            ptr("int64_t *", idx_out), ptr("float *", r2_out),
+            ptr("float *", dx_out), ptr("float *", dy_out),
+            ptr("float *", dz_out),
+        )
+        m = int(m)
+        return (
+            idx_out[:m].copy(), r2_out[:m].copy(),
+            dx_out[:m].copy(), dy_out[:m].copy(), dz_out[:m].copy(),
+        )
+
+    def screen_dr(frac, ii, jj, offset, row):
+        n = len(ii)
+        frac = np.ascontiguousarray(frac, dtype=np.float64)
+        offset = np.ascontiguousarray(offset, dtype=np.float64)
+        ii = np.ascontiguousarray(ii, dtype=np.int64)
+        jj = np.ascontiguousarray(jj, dtype=np.int64)
+        row = np.ascontiguousarray(row, dtype=np.int64)
+        dr = np.empty((n, 3), dtype=np.float64)
+        lib.screen_dr_f64(
+            ptr("double *", frac),
+            ptr("int64_t *", ii), ptr("int64_t *", jj),
+            ptr("double *", offset), ptr("int64_t *", row),
+            int(n),
+            ptr("double *", dr),
+        )
+        return dr, _screen_r2(dr)
+
+    return ForceBackend(
+        name="cext",
+        available=True,
+        why="compiled with cffi",
+        lj_flat=lj_flat,
+        admit_flat=admit_flat,
+        screen_dr=screen_dr,
+    )
+
+
+# ---------------------------------------------------------------------------
+# numba backend: the same fused loops, JIT-compiled
+# ---------------------------------------------------------------------------
+
+
+def _make_numba_backend() -> ForceBackend:
+    try:
+        import numba  # noqa: F401
+        from numba import njit
+    except Exception as exc:
+        return ForceBackend(
+            name="numba", available=False, why=f"{type(exc).__name__}: {exc}"
+        )
+
+    # Mirrors lj_flat_f64 exactly; numba's default (strict IEEE, no
+    # fastmath) keeps the float64 arithmetic identical to C/-O2 with
+    # contraction off.
+    @njit(cache=True)
+    def _lj_flat_jit(px, py, pz, ia, ib, srow, stab, spc, ns,
+                     c14t, c8t, c12t, c6t, cutoff2, shift_e, fx, fy, fz):
+        energy = 0.0
+        for p in range(len(ia)):
+            i = ia[p]
+            j = ib[p]
+            dx = px[i] - px[j]
+            dy = py[i] - py[j]
+            dz = pz[i] - pz[j]
+            r = srow[p]
+            if r >= 0:
+                dx -= stab[r, 0]
+                dy -= stab[r, 1]
+                dz -= stab[r, 2]
+            r2 = dx * dx + dy * dy + dz * dz
+            if r2 >= cutoff2:
+                continue
+            sij = spc[i] * ns + spc[j]
+            inv_r2 = 1.0 / r2
+            inv_r4 = inv_r2 * inv_r2
+            inv_r6 = inv_r4 * inv_r2
+            inv_r8 = inv_r4 * inv_r4
+            scalar = (c14t[sij] * inv_r6 - c8t[sij]) * inv_r8
+            energy += (c12t[sij] * inv_r6 - c6t[sij]) * inv_r6 - shift_e
+            fxx = scalar * dx
+            fyy = scalar * dy
+            fzz = scalar * dz
+            fx[i] += fxx
+            fy[i] += fyy
+            fz[i] += fzz
+            fx[j] -= fxx
+            fy[j] -= fyy
+            fz[j] -= fzz
+        return energy
+
+    @njit(cache=True)
+    def _admit_flat_jit(fsx, fsy, fsz, ia, ib, segs, offs, pre,
+                        idx_out, r2_out, dx_out, dy_out, dz_out):
+        m = 0
+        one = np.float32(1.0)
+        for k in range(len(segs) - 1):
+            ox = np.float32(offs[k, 0])
+            oy = np.float32(offs[k, 1])
+            oz = np.float32(offs[k, 2])
+            for p in range(segs[k], segs[k + 1]):
+                dx = fsx[ia[p]] - fsx[ib[p]]
+                dy = fsy[ia[p]] - fsy[ib[p]]
+                dz = fsz[ia[p]] - fsz[ib[p]]
+                if ox != np.float32(0.0):
+                    dx -= ox
+                if oy != np.float32(0.0):
+                    dy -= oy
+                if oz != np.float32(0.0):
+                    dz -= oz
+                r2s = dx * dx
+                r2s += dy * dy
+                r2s += dz * dz
+                if r2s < pre:
+                    r2 = np.float64(dx) * np.float64(dx)
+                    r2 += np.float64(dy) * np.float64(dy)
+                    r2 += np.float64(dz) * np.float64(dz)
+                    r2f = np.float32(r2)
+                    if r2f < one:
+                        idx_out[m] = p
+                        r2_out[m] = r2f
+                        dx_out[m] = dx
+                        dy_out[m] = dy
+                        dz_out[m] = dz
+                        m += 1
+        return m
+
+    @njit(cache=True)
+    def _screen_dr_jit(frac, ii, jj, offs, row, dr_out):
+        for p in range(len(ii)):
+            i = ii[p]
+            j = jj[p]
+            r = row[p]
+            dr_out[p, 0] = frac[i, 0] - frac[j, 0] - offs[r, 0]
+            dr_out[p, 1] = frac[i, 1] - frac[j, 1] - offs[r, 1]
+            dr_out[p, 2] = frac[i, 2] - frac[j, 2] - offs[r, 2]
+
+    def lj_flat(psx, psy, psz, ia, ib, srow, stab, spc, lj, cutoff2,
+                shift_e, fx, fy, fz):
+        c14, c8, c12, c6 = _lj_tables(lj)
+        return float(
+            _lj_flat_jit(
+                psx, psy, psz, ia, ib, srow, stab,
+                spc, np.int64(lj.n_species),
+                c14.ravel(), c8.ravel(), c12.ravel(), c6.ravel(),
+                float(cutoff2), float(shift_e), fx, fy, fz,
+            )
+        )
+
+    def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None):
+        L = len(ia)
+        if scratch is not None:
+            idx_out, r2_out, dx_out, dy_out, dz_out = scratch
+        else:
+            idx_out = np.empty(L, dtype=np.int64)
+            r2_out = np.empty(L, dtype=np.float32)
+            dx_out = np.empty(L, dtype=np.float32)
+            dy_out = np.empty(L, dtype=np.float32)
+            dz_out = np.empty(L, dtype=np.float32)
+        m = int(
+            _admit_flat_jit(
+                fsx, fsy, fsz, ia, ib,
+                np.ascontiguousarray(segs, dtype=np.int64),
+                np.ascontiguousarray(offs, dtype=np.float64),
+                np.float32(1.0 + 1e-5),
+                idx_out, r2_out, dx_out, dy_out, dz_out,
+            )
+        )
+        return (
+            idx_out[:m].copy(), r2_out[:m].copy(),
+            dx_out[:m].copy(), dy_out[:m].copy(), dz_out[:m].copy(),
+        )
+
+    def screen_dr(frac, ii, jj, offset, row):
+        n = len(ii)
+        dr = np.empty((n, 3), dtype=np.float64)
+        _screen_dr_jit(
+            np.ascontiguousarray(frac, dtype=np.float64),
+            np.ascontiguousarray(ii, dtype=np.int64),
+            np.ascontiguousarray(jj, dtype=np.int64),
+            np.ascontiguousarray(offset, dtype=np.float64),
+            np.ascontiguousarray(row, dtype=np.int64),
+            dr,
+        )
+        return dr, _screen_r2(dr)
+
+    return ForceBackend(
+        name="numba",
+        available=True,
+        why="numba importable",
+        lj_flat=lj_flat,
+        admit_flat=admit_flat,
+        screen_dr=screen_dr,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registration and the environment default
+# ---------------------------------------------------------------------------
+
+register_backend(
+    ForceBackend(
+        name="numpy",
+        available=True,
+        why="reference paths",
+        is_reference=True,
+    )
+)
+register_backend(
+    ForceBackend(
+        name="soa",
+        available=True,
+        why="pure-numpy flat/SoA kernels",
+        lj_flat=lj_flat_numpy,
+        admit_flat=admit_flat_numpy,
+        screen_dr=screen_dr_numpy,
+    )
+)
+register_backend(_make_numba_backend())
+register_backend(_make_cext_backend())
+
+
+def _apply_env_default() -> str:
+    """Honor ``REPRO_FORCE_IMPL`` (called at import; test hook)."""
+    name = os.environ.get(ENV_VAR, "").strip()
+    if name:
+        try:
+            return set_force_backend(name)
+        except ValidationError:
+            pass  # unknown names in the environment are ignored
+    return get_force_backend()
+
+
+_apply_env_default()

@@ -119,8 +119,6 @@ def band_slot_pairs(
     ``r2`` passes — a superset of anything the fresh path can admit
     while no particle has moved more than skin/2.
     """
-    from repro.md.reference import _decode_tables
-
     order, start, counts = clist.order, clist.start, clist.counts
     C = plan.n_cells
     cap = int(counts.max())
@@ -135,7 +133,7 @@ def band_slot_pairs(
 
     nbr_mat = plan.nbr.reshape(C, ROWS_PER_CELL)
     band32 = np.float32(band)
-    cell_of, i_of, j_of = _decode_tables(C, cap)
+    cell_of, i_of, j_of = plan.padded_decode(cap)
     a_of = start[cell_of] + i_of
     iu = np.arange(cap)
     tri = iu[:, None] < iu[None, :]

@@ -63,6 +63,13 @@ class ReferenceEngine:
     reuse_skin:
         Skin margin in angstrom for ``reuse_state``; defaults to
         ``0.15 * cutoff``.
+    force_impl:
+        Force backend (see :mod:`repro.md.backends`): ``None`` uses the
+        process-wide default, ``"numpy"`` the reference numpy paths,
+        ``"soa"``/``"numba"``/``"cext"`` the fused flat kernels
+        (identical admitted pairs; forces/energy within the documented
+        round-off bound; unavailable optional backends fall back to
+        ``"numpy"``).
     """
 
     system: ParticleSystem
@@ -71,6 +78,7 @@ class ReferenceEngine:
     shift: bool = False
     reuse_state: bool = False
     reuse_skin: Optional[float] = None
+    force_impl: Optional[str] = None
     history: List[EnergyRecord] = field(default_factory=list)
     _integrator: VelocityVerlet = field(init=False)
     _primed: bool = field(init=False, default=False)
@@ -102,7 +110,13 @@ class ReferenceEngine:
 
     def _force_fn(self, system: ParticleSystem):
         state = self.ensure_cell_state() if self.reuse_state else None
-        return compute_forces_cells(system, self.grid, shift=self.shift, state=state)
+        return compute_forces_cells(
+            system,
+            self.grid,
+            shift=self.shift,
+            state=state,
+            force_impl=self.force_impl,
+        )
 
     @property
     def state_builds(self) -> int:

@@ -122,6 +122,35 @@ class CellPairPlan:
             np.arange(ROWS_PER_CELL) == 0, n_cells
         )
         self.has_shift = np.any(self.shift != 0.0, axis=1)
+        # One-entry decode-table cache (see :meth:`padded_decode`): the
+        # bucket cap changes rarely between steps of one box.
+        self._decode_cap = -1
+        self._decode_tables: Optional[Tuple[np.ndarray, ...]] = None
+
+    def padded_decode(
+        self, cap: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached flat-index -> (cell, home slot, neighbor slot) decode tables.
+
+        A flat survivor index into the padded ``(C, cap, cap)`` candidate
+        mask decodes as ``cell = f // cap^2``, ``i = (f // cap) % cap``,
+        ``j = f % cap``; precomputing the tables turns three per-survivor
+        integer divisions per offset into three cheap int32 gathers.
+        Hoisted onto the plan (historically each consumer re-derived it
+        per call) so the numpy padded paths, the band-list builder and
+        the compiled backends all share one copy per geometry.
+        """
+        cap = int(cap)
+        if cap != self._decode_cap:
+            cap2 = cap * cap
+            f = np.arange(self.n_cells * cap2, dtype=np.int64)
+            self._decode_tables = (
+                (f // cap2).astype(np.int32),
+                ((f // cap) % cap).astype(np.int32),
+                (f % cap).astype(np.int32),
+            )
+            self._decode_cap = cap
+        return self._decode_tables
 
     @property
     def neighbor_ids(self) -> np.ndarray:
@@ -169,6 +198,15 @@ def plan_cache_info():
     campaign benchmarks record these counters to catch that regression.
     """
     return _plan_cached.cache_info()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (and its hit/miss counters).
+
+    Benchmarks use this to measure cold plan construction against the
+    warm (cached) lookup; production code never needs it.
+    """
+    _plan_cached.cache_clear()
 
 
 def plan_for_grid(grid: CellGrid) -> CellPairPlan:
@@ -253,12 +291,19 @@ def iter_pair_chunks(
     counts = np.asarray(counts, dtype=np.int64)
     start = np.asarray(start, dtype=np.int64)
     if rows is None:
+        # All-rows fast path: the plan's own flat arrays *are* the row
+        # gathers, so the three n_rows-sized fancy-index passes below
+        # are skipped entirely (they are pure per-call overhead that the
+        # plan already holds hoisted).
         base = np.arange(plan.n_rows, dtype=np.int64)
+        home = plan.home
+        nbr = plan.nbr
+        is_self = plan.is_self
     else:
         base = np.asarray(rows, dtype=np.int64)
-    home = plan.home[base]
-    nbr = plan.nbr[base]
-    is_self = plan.is_self[base]
+        home = plan.home[base]
+        nbr = plan.nbr[base]
+        is_self = plan.is_self[base]
     na = counts[home]
     nb = counts[nbr]
     sizes = np.where(is_self, na * (na - 1) // 2, na * nb)

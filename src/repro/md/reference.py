@@ -29,6 +29,7 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.md.cellstate import CellState
 
+from repro.md.backends import ForceBackend, resolve_backend
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.kernels import lj_scalar_energy, pair_forces_energy, scatter_add
 from repro.md.params import LJTable
@@ -190,8 +191,9 @@ def _forces_cells_padded(
     band = np.float32(cutoff2 * (1.0 + 1e-3))
 
     # Flat-index decode tables: a single cached division pass over
-    # C*cap^2 instead of three per offset over every survivor.
-    cell_of, i_of, j_of = _decode_tables(C, cap)
+    # C*cap^2 instead of three per offset over every survivor.  Cached
+    # on the plan so every padded consumer shares one copy per geometry.
+    cell_of, i_of, j_of = plan.padded_decode(cap)
     a_of = start[cell_of] + i_of
 
     iu = np.arange(cap)
@@ -407,11 +409,130 @@ def _forces_cells_reuse(
     return forces, energy
 
 
+class _FlatArtifacts:
+    """Per-build flat pair stream for the backend kernels.
+
+    The SoA lowering of the band lists: the per-offset ``(a, b)`` slot
+    segments concatenated into one flat ``(i_idx, j_idx)`` stream, a
+    per-pair int32 shift-row index (``-1`` for the unshifted bulk) into
+    the plan's ``(n_rows, 3)`` shift table, and the bucket-sorted
+    species codes.  Everything depends only on the band lists and the
+    frozen binning, so it is computed once per rebuild and cached on
+    the :class:`~repro.md.cellstate.CellState` under ``"flat"``.
+    """
+
+    __slots__ = ("a", "b", "srow", "stab", "spc32")
+
+    def __init__(self, pairs, plan, spc, order):
+        segs = np.asarray(pairs.segs, dtype=np.int64)
+        k_of = np.repeat(
+            np.arange(ROWS_PER_CELL, dtype=np.int64), np.diff(segs)
+        )
+        rows = pairs.c * ROWS_PER_CELL + k_of
+        self.srow = np.where(plan.has_shift[rows], rows, -1).astype(
+            np.int32
+        )
+        self.a = np.ascontiguousarray(pairs.a, dtype=np.int64)
+        self.b = np.ascontiguousarray(pairs.b, dtype=np.int64)
+        self.stab = np.ascontiguousarray(plan.shift, dtype=np.float64)
+        self.spc32 = np.ascontiguousarray(spc[order], dtype=np.int32)
+
+
+def _forces_cells_flat(
+    pos: np.ndarray,
+    spc: np.ndarray,
+    lj: LJTable,
+    plan: CellPairPlan,
+    clist: CellList,
+    cutoff2: float,
+    shift_e: float,
+    state: "CellState",
+    backend: ForceBackend,
+) -> Tuple[np.ndarray, float]:
+    """Band-list evaluation through a backend's fused flat kernel.
+
+    The compiled/SoA analogue of :func:`_forces_cells_reuse`: same band
+    lists, same exact float64 ``r2 < cutoff2`` admission, but one fused
+    filter + LJ + scatter pass over the flat pair stream instead of 14
+    per-offset numpy passes.  Admitted pairs are identical to the
+    reference; forces and energy agree to the documented round-off
+    bound (:data:`~repro.md.backends.FORCE_ATOL` /
+    :data:`~repro.md.backends.ENERGY_RTOL`) because the accumulation
+    order differs.
+    """
+    order = clist.order
+    n = len(pos)
+    ps = pos[order]
+    psx, psy, psz = ps[:, 0].copy(), ps[:, 1].copy(), ps[:, 2].copy()
+    art = state.artifacts.get("flat")
+    if art is None:
+        art = _FlatArtifacts(state.pairs, plan, spc, order)
+        state.artifacts["flat"] = art
+    fx = np.zeros(n)
+    fy = np.zeros(n)
+    fz = np.zeros(n)
+    energy = backend.lj_flat(
+        psx, psy, psz, art.a, art.b, art.srow, art.stab, art.spc32,
+        lj, cutoff2, shift_e, fx, fy, fz,
+    )
+    forces = np.empty_like(pos)
+    forces[order, 0] = fx
+    forces[order, 1] = fy
+    forces[order, 2] = fz
+    return forces, float(energy)
+
+
+def _forces_cells_flat_chunks(
+    pos: np.ndarray,
+    spc: np.ndarray,
+    lj: LJTable,
+    plan: CellPairPlan,
+    clist: CellList,
+    cutoff2: float,
+    shift_e: float,
+    backend: ForceBackend,
+) -> Tuple[np.ndarray, float]:
+    """Stateless chunked evaluation through a backend's flat kernel.
+
+    Fresh-binning fallback for non-reference backends: the chunked
+    enumerator produces candidate ``(ii, jj)`` particle indices and the
+    fused kernel replaces the gather + einsum + LJ + scatter numpy
+    passes.  Same exact admission; same documented round-off bound as
+    :func:`_forces_cells_flat`.
+    """
+    n = len(pos)
+    psx = np.ascontiguousarray(pos[:, 0])
+    psy = np.ascontiguousarray(pos[:, 1])
+    psz = np.ascontiguousarray(pos[:, 2])
+    spc32 = np.ascontiguousarray(spc, dtype=np.int32)
+    stab = np.ascontiguousarray(plan.shift, dtype=np.float64)
+    fx = np.zeros(n)
+    fy = np.zeros(n)
+    fz = np.zeros(n)
+    energy = 0.0
+    for chunk in iter_pair_chunks(plan, clist.counts, clist.start, clist.order):
+        srow = np.where(plan.has_shift[chunk.row], chunk.row, -1).astype(
+            np.int32
+        )
+        energy += backend.lj_flat(
+            psx, psy, psz,
+            np.ascontiguousarray(chunk.ii, dtype=np.int64),
+            np.ascontiguousarray(chunk.jj, dtype=np.int64),
+            srow, stab, spc32, lj, cutoff2, shift_e, fx, fy, fz,
+        )
+    forces = np.empty_like(pos)
+    forces[:, 0] = fx
+    forces[:, 1] = fy
+    forces[:, 2] = fz
+    return forces, float(energy)
+
+
 def compute_forces_cells(
     system: ParticleSystem,
     grid: CellGrid,
     shift: bool = False,
     state: Optional["CellState"] = None,
+    force_impl: Optional[str] = None,
 ) -> Tuple[np.ndarray, float]:
     """Cell-list + half-shell LJ forces and potential energy (batched).
 
@@ -431,6 +552,13 @@ def compute_forces_cells(
     to the stateless call, energy equal to float64 round-off.  Sparse
     boxes where the padded path would not be viable mark the state
     unusable and keep taking the fresh path below.
+
+    ``force_impl`` selects the force backend (see
+    :mod:`repro.md.backends`): ``None`` uses the process-wide default
+    (``"numpy"`` unless overridden), ``"numpy"`` forces the reference
+    paths above, and ``"soa"``/``"numba"``/``"cext"`` route the same
+    admission through a fused flat kernel — identical admitted pairs,
+    forces/energy within the documented round-off bound.
     """
     if not np.allclose(grid.box, system.box):
         raise ValidationError(
@@ -442,6 +570,7 @@ def compute_forces_cells(
     spc = system.species
     lj = system.lj_table
     plan = plan_for_grid(grid)
+    backend = resolve_backend(force_impl)
 
     if state is not None and state.artifacts.get("usable", True):
         try:
@@ -452,6 +581,11 @@ def compute_forces_cells(
             if rebuilt:
                 state.artifacts["usable"] = _padded_viable(plan, state.clist)
             if state.artifacts["usable"]:
+                if backend.lj_flat is not None:
+                    return _forces_cells_flat(
+                        pos, spc, lj, plan, state.clist, cutoff2,
+                        shift_e, state, backend,
+                    )
                 return _forces_cells_reuse(
                     pos, spc, lj, plan, state.clist, cutoff2, shift_e, state
                 )
@@ -459,6 +593,11 @@ def compute_forces_cells(
     forces = np.zeros_like(pos)
     energy = 0.0
     clist = CellList(grid, pos)
+
+    if backend.lj_flat is not None:
+        return _forces_cells_flat_chunks(
+            pos, spc, lj, plan, clist, cutoff2, shift_e, backend
+        )
 
     if _padded_viable(plan, clist):
         try:

@@ -1,0 +1,416 @@
+"""Tests for the selectable compiled force backends (PR 6 tentpole).
+
+The contract under test, per layer:
+
+* registry — numpy/soa always available; unknown names raise; an
+  unavailable *optional* backend (numba not installed, no compiler)
+  resolves to numpy instead of failing; ``REPRO_FORCE_IMPL`` selects
+  the process default and ignores unknown names.
+* engine — every available backend reproduces the per-cell float64
+  loop oracle and the O(N^2) brute-force golden model within the
+  documented ``FORCE_ATOL``/``ENERGY_RTOL`` bounds, on both the fresh
+  and the state-reuse paths, at small/medium/paper-density sizes.
+* machine — admissions run through the exact float64 recheck on every
+  backend, so ``StepStats`` and the float32 force banks are **bitwise
+  identical** across backends (padded and chunked paths, reuse on and
+  off); same for :class:`DistributedMachine` per node.
+* persistence — checkpoint v2 round-trips the ``force_impl`` knob for
+  engine, machine and distributed payloads, and pre-knob checkpoints
+  (no ``force_impl`` key) still restore.
+* campaign — the rate workers record which backend produced each
+  number, and per-backend design points ride the default campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint_v2, save_checkpoint_v2
+from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
+from repro.core.machine import FasdaMachine
+from repro.md.backends import (
+    ENERGY_RTOL,
+    ENV_VAR,
+    FORCE_ATOL,
+    ForceBackend,
+    _REGISTRY,
+    _apply_env_default,
+    available_backends,
+    backend_names,
+    backend_status,
+    compiled_backends,
+    get_force_backend,
+    register_backend,
+    resolve_backend,
+    set_force_backend,
+)
+from repro.md.dataset import build_dataset
+from repro.md.engine import ReferenceEngine
+from repro.md.reference import (
+    compute_forces_bruteforce,
+    compute_forces_cells,
+    compute_forces_cells_loop,
+)
+from repro.util.errors import ValidationError
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_backend():
+    """Every test leaves the process default where it found it."""
+    before = get_force_backend()
+    yield
+    set_force_backend(before)
+
+
+# ---------------------------------------------------------------------------
+# Registry, probing, fallback
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_numpy_and_soa_always_available(self):
+        assert "numpy" in BACKENDS
+        assert "soa" in BACKENDS
+        assert resolve_backend("numpy").is_reference
+
+    def test_all_four_backends_registered(self):
+        # Registered regardless of availability — status says why.
+        assert set(backend_names()) >= {"numpy", "soa", "numba", "cext"}
+        status = backend_status()
+        for name in backend_names():
+            assert status[name] == "available" or status[name].startswith(
+                "unavailable: "
+            )
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValidationError, match="unknown force backend"):
+            resolve_backend("fortran77")
+        with pytest.raises(ValidationError):
+            set_force_backend("fortran77")
+
+    def test_unavailable_optional_falls_back_to_numpy(self):
+        fake = register_backend(
+            ForceBackend("fake-jit", available=False, why="not installed")
+        )
+        try:
+            assert resolve_backend("fake-jit").name == "numpy"
+            assert set_force_backend("fake-jit") == "numpy"
+            assert get_force_backend() == "numpy"
+        finally:
+            del _REGISTRY[fake.name]
+
+    def test_numba_resolution_matches_probe(self):
+        resolved = resolve_backend("numba")
+        if "numba" in BACKENDS:
+            assert resolved.name == "numba"
+        else:
+            assert resolved.name == "numpy"  # gated, never an error
+
+    def test_set_get_roundtrip(self):
+        assert set_force_backend("soa") == "soa"
+        assert get_force_backend() == "soa"
+        assert resolve_backend(None).name == "soa"
+        assert resolve_backend().name == "soa"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "soa")
+        assert _apply_env_default() == "soa"
+        assert get_force_backend() == "soa"
+
+    def test_env_unknown_name_ignored(self, monkeypatch):
+        set_force_backend("numpy")
+        monkeypatch.setenv(ENV_VAR, "no-such-backend")
+        assert _apply_env_default() == "numpy"
+
+    def test_compiled_backends_subset(self):
+        assert set(compiled_backends()) <= {"numba", "cext"}
+        assert set(compiled_backends()) <= set(BACKENDS)
+
+
+# ---------------------------------------------------------------------------
+# Engine layer: bounded equivalence vs the float64 oracles
+# ---------------------------------------------------------------------------
+
+#: (dims, particles_per_cell) -> ~54 / ~1k / ~9.6k particles.
+SIZES = [((3, 3, 3), 2), ((4, 4, 4), 16), ((5, 5, 6), 64)]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("dims,per_cell", SIZES[:2])
+    def test_forces_match_loop_and_bruteforce(self, name, dims, per_cell):
+        system, grid = build_dataset(
+            dims, particles_per_cell=per_cell, seed=2023
+        )
+        f_b, e_b = compute_forces_cells(system, grid, force_impl=name)
+        f_loop, e_loop = compute_forces_cells_loop(system, grid)
+        f_ref, e_ref = compute_forces_bruteforce(system, grid.cell_edge)
+        assert np.abs(f_b - f_loop).max() < FORCE_ATOL
+        assert np.abs(f_b - f_ref).max() < FORCE_ATOL
+        assert abs(e_b - e_loop) <= ENERGY_RTOL * max(abs(e_loop), 1.0)
+        assert abs(e_b - e_ref) <= ENERGY_RTOL * max(abs(e_ref), 1.0)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_paper_density_vs_loop_oracle(self, name):
+        system, grid = build_dataset(SIZES[2][0],
+                                     particles_per_cell=SIZES[2][1], seed=2023)
+        f_b, e_b = compute_forces_cells(system, grid, force_impl=name)
+        f_loop, e_loop = compute_forces_cells_loop(system, grid)
+        assert np.abs(f_b - f_loop).max() < FORCE_ATOL
+        assert abs(e_b - e_loop) <= ENERGY_RTOL * max(abs(e_loop), 1.0)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_state_reuse_path(self, name):
+        system, grid = build_dataset((4, 4, 4), particles_per_cell=16,
+                                     seed=7)
+        eng = ReferenceEngine(
+            system=system.copy(), grid=grid, reuse_state=True,
+            force_impl=name,
+        )
+        eng.run(5)
+        ref = ReferenceEngine(system=system.copy(), grid=grid,
+                              reuse_state=False)
+        ref.run(5)
+        # Same admitted pairs, different accumulation order: the
+        # trajectories agree to round-off over a short run.
+        assert np.abs(
+            eng.system.positions - ref.system.positions
+        ).max() < 1e-8
+        assert abs(
+            eng.history[-1].potential - ref.history[-1].potential
+        ) <= 1e-7 * abs(ref.history[-1].potential)
+
+    def test_multi_species_bucket_gather(self):
+        from repro.md import CellGrid, LJTable, ParticleSystem
+
+        rng = np.random.default_rng(5)
+        grid = CellGrid((3, 3, 4), 4.0)
+        n = 150
+        pos = rng.uniform(0, grid.box, size=(n, 3))
+        keep = [0]
+        for i in range(1, n):
+            dr = pos[keep] - pos[i]
+            dr -= grid.box * np.rint(dr / grid.box)
+            if np.min(np.sum(dr * dr, axis=1)) > 1.8 ** 2:
+                keep.append(i)
+        pos = pos[keep]
+        lj = LJTable(("Na", "Cl", "Ar"))
+        system = ParticleSystem(
+            positions=pos,
+            velocities=np.zeros_like(pos),
+            species=(np.arange(len(pos)) % 3).astype(np.int32),
+            lj_table=lj,
+            box=grid.box,
+        )
+        f_loop, e_loop = compute_forces_cells_loop(system, grid)
+        for name in BACKENDS:
+            f_b, e_b = compute_forces_cells(system, grid, force_impl=name)
+            assert np.abs(f_b - f_loop).max() < FORCE_ATOL, name
+            assert abs(e_b - e_loop) <= ENERGY_RTOL * max(abs(e_loop), 1.0)
+
+    def test_default_backend_is_used_when_knob_is_none(self):
+        system, grid = build_dataset((3, 3, 3), particles_per_cell=4,
+                                     seed=3)
+        f_soa, _ = compute_forces_cells(system, grid, force_impl="soa")
+        set_force_backend("soa")
+        f_def, _ = compute_forces_cells(system, grid, force_impl=None)
+        np.testing.assert_array_equal(f_def, f_soa)
+
+
+# ---------------------------------------------------------------------------
+# Machine layer: bitwise identity across backends
+# ---------------------------------------------------------------------------
+
+
+def _stats_signature(stats):
+    return (
+        stats.position_records,
+        stats.force_records,
+        stats.candidates_per_cell.tobytes(),
+        stats.accepted_per_cell.tobytes(),
+        stats.neighbor_force_records_per_cell.tobytes(),
+        float(stats.potential_energy),
+    )
+
+
+class TestMachineBitwise:
+    @pytest.mark.parametrize("pair_path", ["auto", "chunked"])
+    @pytest.mark.parametrize("reuse", [False, True])
+    def test_stats_and_forces_identical_across_backends(
+        self, pair_path, reuse
+    ):
+        ref_sig = ref_forces = None
+        for name in BACKENDS:
+            machine = FasdaMachine(MachineConfig((4, 4, 4)), seed=11)
+            machine.pair_path = pair_path
+            machine.reuse_state = reuse
+            machine.force_impl = name
+            stats = machine.compute_forces(collect_traffic=True)
+            stats = machine.compute_forces(collect_traffic=True)  # reuse hit
+            sig = _stats_signature(stats)
+            forces = machine.forces.copy()
+            if ref_sig is None:
+                ref_sig, ref_forces = sig, forces
+            else:
+                assert sig == ref_sig, (name, pair_path, reuse)
+                np.testing.assert_array_equal(forces, ref_forces)
+
+    def test_step_trajectory_bitwise(self):
+        ref = None
+        for name in BACKENDS:
+            machine = FasdaMachine(MachineConfig((3, 3, 3)), seed=4)
+            machine.reuse_state = True
+            machine.force_impl = name
+            for _ in range(3):
+                machine.step()
+            pos = machine.system.positions.copy()
+            if ref is None:
+                ref = pos
+            else:
+                np.testing.assert_array_equal(pos, ref)
+
+    def test_distributed_bitwise_across_backends(self):
+        ref_forces = ref_pot = None
+        for name in BACKENDS:
+            m = DistributedMachine(MachineConfig((4, 4, 4), (1, 1, 2)),
+                                   seed=9)
+            m.force_impl = name
+            potential = m.compute_forces()
+            if ref_forces is None:
+                ref_forces = m.forces.copy()
+                ref_pot = potential
+            else:
+                np.testing.assert_array_equal(m.forces, ref_forces)
+                assert potential == ref_pot
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint v2 round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointKnob:
+    def test_engine_roundtrip(self, tmp_path):
+        system, grid = build_dataset((3, 3, 3), particles_per_cell=4,
+                                     seed=1)
+        eng = ReferenceEngine(system=system, grid=grid, force_impl="soa")
+        eng.run(2)
+        path = save_checkpoint_v2(eng, str(tmp_path / "e.npz"))
+        eng2, _ = load_checkpoint_v2(path)
+        assert eng2.force_impl == "soa"
+        # And the restored engine keeps integrating identically.
+        eng.run(2)
+        eng2.run(2)
+        np.testing.assert_array_equal(
+            eng.system.positions, eng2.system.positions
+        )
+
+    def test_machine_roundtrip(self, tmp_path):
+        m = FasdaMachine(MachineConfig((3, 3, 3)), seed=2)
+        m.force_impl = "soa"
+        m.step()
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+        m2, _ = load_checkpoint_v2(path)
+        assert m2.force_impl == "soa"
+
+    def test_distributed_roundtrip(self, tmp_path):
+        d = DistributedMachine(MachineConfig((4, 4, 4), (1, 1, 2)), seed=3)
+        d.force_impl = "soa"
+        d.step()
+        path = save_checkpoint_v2(d, str(tmp_path / "d.npz"))
+        d2, _ = load_checkpoint_v2(path)
+        assert d2.force_impl == "soa"
+
+    def test_missing_key_restores_as_default(self):
+        # Old checkpoints predate the knob: restore must not require it.
+        import json
+
+        from repro.core.checkpoint import _machine_payload, _restore_machine
+
+        m = FasdaMachine(MachineConfig((3, 3, 3)), seed=2)
+        m.force_impl = "soa"
+        m.step()
+        meta, arrays = _machine_payload(m)
+        meta = json.loads(json.dumps(meta))  # same round-trip as the file
+        meta.pop("force_impl")
+        m2, _ = _restore_machine(meta, arrays)
+        assert m2.force_impl is None
+
+
+# ---------------------------------------------------------------------------
+# Campaign integration
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignBackends:
+    def test_engine_rate_records_backend(self):
+        from repro.harness.campaign import engine_rate
+
+        res = engine_rate(seed=2023, dims=(3, 3, 3), steps=2,
+                          force_impl="soa")
+        assert res["backend"] == "soa"
+        res_default = engine_rate(seed=2023, dims=(3, 3, 3), steps=2)
+        assert res_default["backend"] == get_force_backend()
+        # Deterministic payload (timing aside) is backend-independent
+        # at engine tolerance.
+        assert abs(
+            res["final_potential"] - res_default["final_potential"]
+        ) <= 1e-7 * abs(res_default["final_potential"])
+
+    def test_machine_rate_identical_across_backends(self):
+        from repro.harness.campaign import machine_rate
+
+        base = machine_rate(seed=2023, dims=(3, 3, 3), steps=2,
+                            reuse=True)
+        for name in BACKENDS:
+            res = machine_rate(seed=2023, dims=(3, 3, 3), steps=2,
+                               reuse=True, force_impl=name)
+            assert res["backend"] == name
+            assert res["potential_energy"] == base["potential_energy"]
+
+    def test_default_campaign_has_backend_points(self):
+        from repro.harness.campaign import build_default_campaign
+
+        labels = {p.label for p in build_default_campaign()}
+        for name in BACKENDS:
+            if name == "numpy":
+                continue
+            assert f"engine/reuse-{name}" in labels
+            assert f"machine/reuse-{name}" in labels
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level cross-checks (compiled vs soa, when compiled available)
+# ---------------------------------------------------------------------------
+
+
+class TestKernelContracts:
+    @pytest.mark.parametrize("name", compiled_backends() or ["soa"])
+    def test_screen_dr_bitwise_vs_numpy(self, name):
+        from repro.md.cells import CellList
+        from repro.md.pairplan import iter_pair_chunks, plan_for_grid
+
+        machine = FasdaMachine(MachineConfig((3, 3, 3)), seed=6)
+        pos = machine.system.positions
+        grid = machine.grid
+        from repro.core.datapath import quantize_cell_fractions
+
+        coords = grid.coords_of_positions(pos)
+        frac = quantize_cell_fractions(
+            pos, coords, machine.config.cutoff, machine.fmt
+        )
+        clist = CellList(grid, pos)
+        plan = plan_for_grid(grid)
+        b = resolve_backend(name)
+        ref = resolve_backend("soa")
+        for chunk in iter_pair_chunks(
+            plan, clist.counts, clist.start, clist.order
+        ):
+            dr_b, r2_b = b.screen_dr(frac, chunk.ii, chunk.jj,
+                                     plan.offset, chunk.row)
+            dr_r, r2_r = ref.screen_dr(frac, chunk.ii, chunk.jj,
+                                       plan.offset, chunk.row)
+            np.testing.assert_array_equal(dr_b, dr_r)
+            np.testing.assert_array_equal(r2_b, r2_r)

@@ -388,3 +388,38 @@ class TestPlanCacheKeying:
 
         info = plan_cache_info()
         assert hasattr(info, "hits") and hasattr(info, "misses")
+
+    def test_clear_plan_cache(self):
+        from repro.md.pairplan import clear_plan_cache, plan_cache_info
+
+        grid = CellGrid((4, 4, 4), 1.2)
+        p1 = plan_for_grid(grid)
+        clear_plan_cache()
+        info = plan_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.currsize == 0
+        p2 = plan_for_grid(grid)
+        assert p2 is not p1  # genuinely rebuilt, not a stale entry
+        assert plan_cache_info().misses == 1
+
+
+class TestPaddedDecode:
+    """The flat-index decode tables are hoisted onto the cached plan."""
+
+    def test_tables_match_divmod(self):
+        plan = plan_for_dims((3, 3, 3), (4.0, 4.0, 4.0))
+        cap = 5
+        cell_of, i_of, j_of = plan.padded_decode(cap)
+        f = np.arange(plan.n_cells * cap * cap, dtype=np.int64)
+        np.testing.assert_array_equal(cell_of, f // (cap * cap))
+        np.testing.assert_array_equal(i_of, (f // cap) % cap)
+        np.testing.assert_array_equal(j_of, f % cap)
+        for arr in (cell_of, i_of, j_of):
+            assert arr.dtype == np.int32
+
+    def test_one_entry_cache(self):
+        plan = plan_for_dims((3, 3, 4), (4.0, 4.0, 4.0))
+        t1 = plan.padded_decode(6)
+        assert plan.padded_decode(6) is t1  # warm: same tuple back
+        t2 = plan.padded_decode(7)  # cap change evicts
+        assert t2 is not t1
+        assert len(t2[0]) == plan.n_cells * 49
