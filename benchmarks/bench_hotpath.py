@@ -27,6 +27,12 @@ against the numpy backend's `StepStats` (exact).  Every record carries
 a ``backend`` field and the payload records ``backend_status`` so the
 JSON says which backend produced each number and why any are missing.
 
+A ``batched`` section (PR 7) times the fused K-system ``BatchedEngine``
+per available backend — cold formation (empty plan cache + priming)
+separate from warm steady-state aggregate steps/s, with in-bench
+*bitwise* trajectory asserts against solo oracle runs and
+``plan_cache_info`` recorded for cold and warm phases.
+
 Run standalone (not under pytest):
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke]
@@ -220,6 +226,79 @@ def bench_backends(label: str, dims, reps: int, steps: int) -> list:
     return out
 
 
+def bench_batched(reps: int, smoke: bool) -> list:
+    """Fused K-system stepping vs K solo engines, per available backend.
+
+    Validated in-bench before timing: two of the K systems are stepped
+    solo on the batched run's oracle backend (see
+    ``repro.md.batch.solo_oracle_impl``) and their trajectories must be
+    *bitwise* identical to the batched segments.  Cold batch formation
+    (empty plan cache, priming) is reported separately from warm
+    steady-state stepping, with ``plan_cache_info`` recorded for both.
+    """
+    from repro.md.batch import BatchedEngine, solo_oracle_impl
+    from repro.md.engine import ReferenceEngine
+    from repro.md.pairplan import plan_cache_info
+
+    k_systems = 16 if smoke else 64
+    steps = 10 if smoke else 30
+    out = []
+    for name in available_backends():
+        cases = [
+            build_dataset((3, 3, 3), particles_per_cell=4, seed=3000 + i)
+            for i in range(k_systems)
+        ]
+        clear_plan_cache()
+        engine = BatchedEngine(force_impl=name)
+        t0 = time.perf_counter()
+        for sysv, grid in cases:
+            engine.add(sysv.copy(), grid)
+        engine.prime()
+        formation_s = time.perf_counter() - t0
+        cold_cache = plan_cache_info()._asdict()
+        engine.step(5)  # past the post-build honeymoon
+        t0 = time.perf_counter()
+        engine.step(steps)
+        wall = time.perf_counter() - t0
+        warm_cache = plan_cache_info()._asdict()
+        agg = k_systems * steps / wall
+
+        # Bitwise oracle: two sample systems stepped solo.
+        oracle = solo_oracle_impl(name)
+        for i in (0, k_systems - 1):
+            sysv, grid = cases[i]
+            solo = ReferenceEngine(
+                sysv.copy(), grid, reuse_state=True, force_impl=oracle
+            )
+            solo.run(5 + steps, record_every=0)
+            got = engine.extract(engine.handles()[i])
+            assert np.array_equal(got.positions, solo.system.positions), (
+                f"{name}: batched segment {i} diverged from solo {oracle}"
+            )
+            assert np.array_equal(got.velocities, solo.system.velocities), (
+                f"{name}: batched segment {i} velocities diverged"
+            )
+
+        out.append({
+            "backend": name,
+            "solo_oracle": oracle,
+            "k_systems": k_systems,
+            "n_per_system": int(cases[0][0].n),
+            "steps": steps,
+            "formation_s": formation_s,
+            "aggregate_steps_per_s": agg,
+            "plan_cache_cold": cold_cache,
+            "plan_cache_warm": warm_cache,
+            "bitwise_vs_solo": True,
+        })
+        print(
+            f"[batched] backend {name}: K={k_systems} aggregate "
+            f"{agg:.0f} steps/s (formation {formation_s * 1e3:.0f} ms, "
+            f"bitwise vs solo {oracle}: ok)"
+        )
+    return out
+
+
 def _stats_signature(stats) -> dict:
     from dataclasses import asdict
 
@@ -372,6 +451,7 @@ def main() -> None:
     backend_results = []
     for label, dims in backend_sizes:
         backend_results.extend(bench_backends(label, dims, reps, backend_steps))
+    batched_results = bench_batched(reps, args.smoke)
     # The distributed machine favors protocol fidelity over speed; the
     # largest size would dominate wall time for no extra signal.
     dist_sizes = sizes[:1] if args.smoke else sizes[:2]
@@ -387,6 +467,7 @@ def main() -> None:
         "backend_status": backend_status(),
         "sizes": results,
         "backends": backend_results,
+        "batched": batched_results,
         "machine_step": machine_results,
         "distributed_step": distributed_results,
     }

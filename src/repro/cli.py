@@ -177,6 +177,52 @@ def _cmd_campaign(args):
     return text
 
 
+def _cmd_batch(args):
+    from repro.harness.campaign import check_regression, load_campaign_json
+    from repro.harness.jobs import format_batch, run_batch_bench
+
+    # Load the baseline before --json can overwrite it (same file is
+    # fine for local baseline refreshes; mirrors `campaign`).
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_campaign_json(args.baseline)
+    doc = run_batch_bench(
+        force_impl=args.force_impl,
+        k_systems=args.batch_k,
+        steps=args.batch_steps,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        import json as json_mod
+
+        dirname = os.path.dirname(args.json)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        with open(args.json, "w") as fh:
+            fh.write(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
+    text = format_batch(doc)
+    if args.baseline:
+        if baseline is not None:
+            failures = check_regression(
+                baseline, doc, threshold=args.threshold,
+            )
+            if failures:
+                text += "\nPERF REGRESSION vs " + args.baseline + ":\n"
+                text += "\n".join("  " + f for f in failures)
+                return text, 1
+            text += (
+                f"\nperf gate vs {args.baseline}: OK "
+                f"(threshold {100 * args.threshold:.0f}%)"
+            )
+        else:
+            text += (
+                f"\nperf gate: no baseline at {args.baseline}; skipped "
+                "(commit the fresh JSON to arm it)"
+            )
+    return text
+
+
 def _cmd_recover(args):
     from repro.harness.faultsweep import (
         format_node_soak,
@@ -247,6 +293,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "ablations": _cmd_ablations,
     "campaign": _cmd_campaign,
+    "batch": _cmd_batch,
     "faults": _cmd_faults,
     "recover": _cmd_recover,
     "acceptance": _cmd_acceptance,
@@ -327,6 +374,26 @@ def build_parser() -> argparse.ArgumentParser:
             "optional backend falls back to numpy). Per-backend extra "
             "points run regardless and record their own backend."
         ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "for `batch`: CI-sized run (K=64, smallest system size only, "
+            "20 steps)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-k",
+        type=int,
+        default=256,
+        help="for `batch`: systems per batch (smoke caps this at 64)",
+    )
+    parser.add_argument(
+        "--batch-steps",
+        type=int,
+        default=30,
+        help="for `batch`: timed MD steps per measurement point",
     )
     parser.add_argument(
         "--node",

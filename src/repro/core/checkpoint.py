@@ -63,7 +63,7 @@ CHECKPOINT_FORMAT = "fasda-checkpoint-v1"
 CHECKPOINT_FORMAT_V2 = "fasda-checkpoint-v2"
 
 #: Object kinds a v2 checkpoint can hold.
-V2_KINDS = ("machine", "engine", "distributed")
+V2_KINDS = ("machine", "engine", "distributed", "batch")
 
 
 # ---------------------------------------------------------------------------
@@ -521,15 +521,90 @@ def _restore_distributed(meta, inner):
     return m, int(meta["step"])
 
 
+def _batch_payload(be) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    from repro.md.thermostat import thermostat_meta
+
+    be._ensure_ready()
+    be._sync_segment_stats()
+    seg_meta = []
+    arrays: Dict[str, np.ndarray] = {}
+    for i, seg in enumerate(be._segments):
+        seg_meta.append({
+            "handle": int(seg.handle),
+            "grid_dims": list(seg.grid.dims),
+            "steps": int(be.segment_steps(seg.handle)),
+            "last_potential": float(seg.last_potential),
+            "thermostat": thermostat_meta(seg.thermostat),
+            "aux": seg.aux,
+            "cellstate": seg.state.meta(),
+        })
+        for key, value in _system_arrays(be.extract(seg.handle)).items():
+            arrays[f"seg{i}_{key}"] = value
+    meta = {
+        "dt_fs": float(be.dt_fs),
+        "shift": bool(be.shift),
+        "force_impl": be.force_impl,
+        "reuse_skin": None if be.reuse_skin is None else float(be.reuse_skin),
+        "cell_edge": be._cell_edge,
+        "step_count": int(be.step_count),
+        "segments": seg_meta,
+    }
+    return meta, arrays
+
+
+def _restore_batch(meta, inner):
+    """Rebuild a :class:`~repro.md.batch.BatchedEngine` from its payload.
+
+    Segments are re-admitted with their saved handles, thermostats and
+    auxiliary payloads; cell-state counters are restored before the
+    first force pass re-primes each segment (one extra build per
+    segment — the same restart cost a restored solo engine pays, and
+    bitwise-safe for the continued trajectory).
+    """
+    from repro.md.batch import BatchedEngine
+    from repro.md.cells import CellGrid
+    from repro.md.thermostat import thermostat_from_meta
+
+    be = BatchedEngine(
+        dt_fs=float(meta["dt_fs"]),
+        shift=bool(meta["shift"]),
+        force_impl=meta.get("force_impl"),
+        reuse_skin=meta["reuse_skin"],
+    )
+    be.step_count = int(meta["step_count"])
+    edge = meta["cell_edge"]
+    for i, sm in enumerate(meta["segments"]):
+        seg_inner = {
+            key[len(f"seg{i}_"):]: value
+            for key, value in inner.items()
+            if key.startswith(f"seg{i}_")
+        }
+        system = _system_from_arrays(seg_inner)
+        handle = be.add(
+            system,
+            CellGrid(tuple(sm["grid_dims"]), edge),
+            thermostat=thermostat_from_meta(sm["thermostat"]),
+            aux=sm["aux"],
+            handle=int(sm["handle"]),
+        )
+        seg = be._by_handle[handle]
+        seg.steps_base = int(sm["steps"])
+        seg.last_potential = float(sm["last_potential"])
+        seg.state.restore_meta(sm["cellstate"])
+    return be, int(meta["step_count"])
+
+
 _KIND_DISPATCH = {
     "machine": (_machine_payload, _restore_machine),
     "engine": (_engine_payload, _restore_engine),
     "distributed": (_distributed_payload, _restore_distributed),
+    "batch": (_batch_payload, _restore_batch),
 }
 
 
 def _kind_of(obj) -> str:
     from repro.core.distributed import DistributedMachine
+    from repro.md.batch import BatchedEngine
     from repro.md.engine import ReferenceEngine
 
     if isinstance(obj, DistributedMachine):
@@ -538,9 +613,11 @@ def _kind_of(obj) -> str:
         return "machine"
     if isinstance(obj, ReferenceEngine):
         return "engine"
+    if isinstance(obj, BatchedEngine):
+        return "batch"
     raise ValidationError(
         f"cannot checkpoint a {type(obj).__name__}; supported: "
-        "FasdaMachine, ReferenceEngine, DistributedMachine"
+        "FasdaMachine, ReferenceEngine, DistributedMachine, BatchedEngine"
     )
 
 

@@ -591,6 +591,50 @@ def machine_rate(
     }
 
 
+@register_worker("batch_rate")
+def batch_rate(
+    seed: int,
+    k_systems: int = 8,
+    particles_per_cell: int = 4,
+    steps: int = 30,
+    force_impl: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Aggregate steps/s of the fused K-system BatchedEngine.
+
+    A small K keeps the default campaign quick; ``repro batch`` runs
+    the full K=256 sweep with its serial baseline (see
+    :func:`repro.harness.jobs.run_batch_bench`).  The summed final
+    potential makes the determinism check double as a per-segment
+    trajectory-equivalence check.
+    """
+    from repro.md.batch import BatchedEngine
+    from repro.md.dataset import build_dataset
+
+    engine = BatchedEngine(force_impl=force_impl)
+    for i in range(k_systems):
+        sysv, grid = build_dataset(
+            (3, 3, 3), particles_per_cell=particles_per_cell, seed=seed + i
+        )
+        engine.add(sysv, grid)
+    engine.prime()
+    engine.step(2)  # warm past formation
+    t0 = time.perf_counter()
+    engine.step(steps)
+    wall = time.perf_counter() - t0
+    pots = engine.potentials()
+    return {
+        "k_systems": k_systems,
+        "n_particles": int(engine.n_particles),
+        "steps": steps,
+        "backend": engine.backend_name,
+        "state_builds": sum(
+            engine.state_builds(h) for h in engine.handles()
+        ),
+        "final_potential_sum": float(sum(pots.values())),
+        "timing": {"aggregate_steps_per_s": k_systems * steps / wall},
+    }
+
+
 # ---------------------------------------------------------------------------
 # Workers: sweep / ablation design points
 # ---------------------------------------------------------------------------
@@ -752,6 +796,11 @@ def build_default_campaign(
                   dims=dims, steps=steps, reuse=True, mode="run",
                   force_impl=name)
         )
+    # Fused many-system stepping (one-sided addition: baselines that
+    # predate it are simply not gated on it).
+    pts.append(
+        point("batch_rate", seed=seed, label="batch/k8", steps=steps)
+    )
     for n in (1, 2, 4, 8):
         pts.append(
             point("fpga_scaling", seed=seed, label=f"scaling/{n}-fpga",

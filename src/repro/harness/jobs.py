@@ -1,0 +1,372 @@
+"""Job queue and batch former for many-system throughput campaigns.
+
+The screening workload the paper motivates (hundreds of small
+replicas, each with its own step budget) maps onto
+:class:`~repro.md.batch.BatchedEngine` through two pieces:
+
+* :class:`JobQueue` — a minimal submit/status/result queue with
+  priorities and per-job step budgets.
+* :func:`run_jobs` — the batch former: bin-packs queued jobs into an
+  active batch (bounded by ``max_systems`` and optionally
+  ``max_particles``), steps the fused engine, and swaps finished
+  segments out / queued jobs in mid-campaign.  Because a swap never
+  perturbs the other segments (see ``md/batch.py``), every job's
+  trajectory is bitwise the one it would get running alone.
+
+:func:`run_batch_bench` is the measurement harness behind
+``repro batch`` and the committed ``BENCH_batch.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.md.batch import BatchedEngine
+from repro.md.cells import CellGrid
+from repro.md.system import ParticleSystem
+from repro.util.errors import ValidationError
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+
+
+@dataclass
+class Job:
+    """One queued system with a step budget."""
+
+    job_id: int
+    system: ParticleSystem
+    grid: CellGrid
+    steps: int
+    priority: int = 0
+    thermostat: object = None
+    aux: dict = field(default_factory=dict)
+    status: str = QUEUED
+    steps_done: int = 0
+    handle: Optional[int] = None
+    result: Optional[ParticleSystem] = None
+    final_potential: float = 0.0
+
+
+class JobQueue:
+    """Submit/status/result queue feeding the batch former.
+
+    Higher ``priority`` is admitted first; ties run in submission
+    order.  Jobs carry their own thermostat and opaque ``aux`` payload
+    (carried through checkpoints by the batch engine).
+    """
+
+    def __init__(self):
+        self._jobs: Dict[int, Job] = {}
+        self._next_id = 0
+
+    def submit(
+        self,
+        system: ParticleSystem,
+        grid: CellGrid,
+        steps: int,
+        priority: int = 0,
+        thermostat=None,
+        aux: Optional[dict] = None,
+    ) -> int:
+        if steps <= 0:
+            raise ValidationError("job step budget must be positive")
+        job = Job(
+            self._next_id, system, grid, int(steps), int(priority),
+            thermostat, dict(aux) if aux else {},
+        )
+        self._jobs[job.job_id] = job
+        self._next_id += 1
+        return job.job_id
+
+    def status(self, job_id: int) -> str:
+        return self._job(job_id).status
+
+    def result(self, job_id: int) -> ParticleSystem:
+        job = self._job(job_id)
+        if job.status != DONE:
+            raise ValidationError(
+                f"job {job_id} is {job.status}, not {DONE}"
+            )
+        return job.result
+
+    def final_potential(self, job_id: int) -> float:
+        job = self._job(job_id)
+        if job.status != DONE:
+            raise ValidationError(f"job {job_id} is not {DONE}")
+        return job.final_potential
+
+    def pending(self) -> List[Job]:
+        """Queued jobs in admission order: priority desc, then FIFO."""
+        out = [j for j in self._jobs.values() if j.status == QUEUED]
+        out.sort(key=lambda j: (-j.priority, j.job_id))
+        return out
+
+    def running(self) -> List[Job]:
+        return [j for j in self._jobs.values() if j.status == RUNNING]
+
+    def unfinished(self) -> int:
+        return sum(1 for j in self._jobs.values() if j.status != DONE)
+
+    def _job(self, job_id: int) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ValidationError(f"unknown job id {job_id}")
+
+
+def _admit(queue: JobQueue, engine: BatchedEngine, active: Dict[int, Job],
+           max_systems: int, max_particles: Optional[int]) -> int:
+    """Bin-pack pending jobs into the engine's free capacity."""
+    admitted = 0
+    for job in queue.pending():
+        if len(active) >= max_systems:
+            break
+        if (
+            max_particles is not None
+            and engine.n_particles + job.system.n > max_particles
+        ):
+            # First-fit: a big job does not block smaller ones behind it.
+            continue
+        handle = engine.add(
+            job.system, job.grid, thermostat=job.thermostat, aux=job.aux
+        )
+        job.handle = handle
+        job.status = RUNNING
+        active[handle] = job
+        admitted += 1
+    return admitted
+
+
+def run_jobs(
+    queue: JobQueue,
+    force_impl: Optional[str] = None,
+    max_systems: int = 64,
+    max_particles: Optional[int] = None,
+    dt_fs: float = 2.0,
+    shift: bool = False,
+    chunk_steps: int = 50,
+    engine: Optional[BatchedEngine] = None,
+) -> dict:
+    """Drain a job queue through one batched engine.
+
+    Steps the active batch in chunks of
+    ``min(chunk_steps, smallest remaining budget)`` so every job stops
+    exactly on its budget; finished segments are swapped out and the
+    freed capacity immediately refilled from the queue.  Returns a
+    summary dict (jobs completed, total steps, batches formed, wall
+    time).
+
+    Pass ``engine`` to resume a checkpointed batch: its live segments
+    are matched to RUNNING jobs by handle.
+    """
+    if max_systems < 1:
+        raise ValidationError("max_systems must be >= 1")
+    if chunk_steps < 1:
+        raise ValidationError("chunk_steps must be >= 1")
+    if engine is None:
+        engine = BatchedEngine(
+            dt_fs=dt_fs, shift=shift, force_impl=force_impl
+        )
+    active: Dict[int, Job] = {}
+    for job in queue.running():
+        if job.handle is None or job.handle not in engine._by_handle:
+            raise ValidationError(
+                f"running job {job.job_id} has no live segment in the engine"
+            )
+        active[job.handle] = job
+    t0 = time.perf_counter()
+    total_steps = 0
+    swaps = 0
+    batches = 0
+    while True:
+        admitted = _admit(queue, engine, active, max_systems, max_particles)
+        if admitted:
+            batches += 1
+        if not active:
+            break
+        chunk = min(
+            chunk_steps,
+            min(j.steps - j.steps_done for j in active.values()),
+        )
+        engine.step(chunk)
+        total_steps += chunk * len(active)
+        finished = []
+        for handle, job in active.items():
+            job.steps_done += chunk
+            if job.steps_done >= job.steps:
+                finished.append(handle)
+        if finished:
+            pots = engine.potentials()
+            for handle in finished:
+                job = active.pop(handle)
+                job.final_potential = pots[handle]
+                job.result = engine.remove(handle)
+                job.status = DONE
+                swaps += 1
+    wall = time.perf_counter() - t0
+    done = sum(1 for j in queue._jobs.values() if j.status == DONE)
+    return {
+        "jobs_done": done,
+        "total_steps": total_steps,
+        "batches_formed": batches,
+        "swaps": swaps,
+        "wall_s": wall,
+        "aggregate_steps_per_s": total_steps / wall if wall > 0 else 0.0,
+        "backend": engine.backend_name,
+    }
+
+
+# ---------------------------------------------------------------------------
+# benchmark harness (``repro batch`` / BENCH_batch.json)
+# ---------------------------------------------------------------------------
+
+#: Per-system sizes of the default sweep: particles-per-cell at a
+#: (3, 3, 3) grid, spanning the amortization-friendly small end up to
+#: the kernel-bound saturation region (N = 54 .. 432).
+BENCH_PPC = (2, 4, 16)
+
+
+def _bench_point(
+    force_impl: Optional[str],
+    k_systems: int,
+    ppc: int,
+    steps: int,
+    warm_steps: int,
+    serial_sample: int,
+    seed: int,
+) -> dict:
+    from repro.md.dataset import build_dataset
+    from repro.md.engine import ReferenceEngine
+    from repro.md.pairplan import clear_plan_cache, plan_cache_info
+
+    systems = [
+        build_dataset((3, 3, 3), cutoff=8.5, particles_per_cell=ppc,
+                      seed=seed + i)
+        for i in range(k_systems)
+    ]
+    n_per = systems[0][0].n
+
+    # Cold: batch formation with an empty plan cache (priming included).
+    clear_plan_cache()
+    engine = BatchedEngine(force_impl=force_impl)
+    t0 = time.perf_counter()
+    for sysv, grid in systems:
+        engine.add(sysv.copy(), grid)
+    engine.prime()
+    cold_wall = time.perf_counter() - t0
+    cold_cache = plan_cache_info()._asdict()
+
+    # Warm: steady-state stepping past the post-build honeymoon.
+    engine.step(warm_steps)
+    t0 = time.perf_counter()
+    engine.step(steps)
+    wall = time.perf_counter() - t0
+    warm_cache = plan_cache_info()._asdict()
+    batched_rate = k_systems * steps / wall
+    builds = sum(engine.state_builds(h) for h in engine.handles())
+
+    # Serial baseline: solo ReferenceEngine on the same backend.  For
+    # large K a sample of systems is timed and the mean extrapolated;
+    # ``serial_sampled`` records how many actually ran.
+    sample = min(serial_sample, k_systems)
+    serial_wall = 0.0
+    for sysv, grid in systems[:sample]:
+        eng = ReferenceEngine(
+            sysv.copy(), grid, reuse_state=True, force_impl=force_impl
+        )
+        eng.run(warm_steps + 1, record_every=0)
+        t0 = time.perf_counter()
+        eng.run(steps, record_every=0)
+        serial_wall += time.perf_counter() - t0
+    serial_rate = steps / (serial_wall / sample)
+    return {
+        "k_systems": k_systems,
+        "n_per_system": n_per,
+        "particles_per_cell": ppc,
+        "steps": steps,
+        "backend": engine.backend_name,
+        "state_builds_total": builds,
+        "serial_sampled": sample,
+        "formation_wall_s": cold_wall,
+        "plan_cache_cold": cold_cache,
+        "plan_cache_warm": warm_cache,
+        # Speedup deliberately has no rate suffix: the regression gate
+        # watches the aggregate rates, not the machine-dependent ratio.
+        "speedup_vs_serial": batched_rate / serial_rate,
+        "timing": {
+            "aggregate_steps_per_s": batched_rate,
+            "serial_aggregate_steps_per_s": serial_rate,
+        },
+    }
+
+
+def run_batch_bench(
+    force_impl: Optional[str] = None,
+    k_systems: int = 256,
+    steps: int = 30,
+    warm_steps: int = 10,
+    serial_sample: int = 6,
+    seed: int = 2023,
+    ppc_list=BENCH_PPC,
+    smoke: bool = False,
+) -> dict:
+    """Measure batched vs serial aggregate throughput; returns the doc.
+
+    ``smoke`` shrinks to the CI configuration: K=64, the smallest
+    system size only, fewer steps.  The result layout mirrors
+    ``BENCH_campaign.json`` (``points[...]["result"]["timing"]``) so
+    :func:`repro.harness.campaign.check_regression` gates it unchanged.
+    """
+    if smoke:
+        k_systems = min(k_systems, 64)
+        steps = min(steps, 20)
+        ppc_list = ppc_list[:1]
+    points = {}
+    for ppc in ppc_list:
+        label = f"k{k_systems}_ppc{ppc}"
+        points[label] = {
+            "result": _bench_point(
+                force_impl, k_systems, ppc, steps, warm_steps,
+                serial_sample, seed,
+            )
+        }
+    best = max(p["result"]["speedup_vs_serial"] for p in points.values())
+    doc = {
+        "bench": "batch",
+        "smoke": bool(smoke),
+        "seed": seed,
+        "k_systems": k_systems,
+        "steps": steps,
+        "points": points,
+        "summary": {
+            "backend": next(iter(points.values()))["result"]["backend"],
+            "best_speedup_vs_serial": best,
+        },
+    }
+    return doc
+
+
+def format_batch(doc: dict) -> str:
+    lines = [
+        "batched stepping bench "
+        f"(K={doc['k_systems']}, {doc['steps']} steps, "
+        f"backend={doc['summary']['backend']}"
+        + (", smoke)" if doc.get("smoke") else ")"),
+    ]
+    for label, point in doc["points"].items():
+        r = point["result"]
+        t = r["timing"]
+        lines.append(
+            f"  {label:>12s}  N={r['n_per_system']:<5d} "
+            f"batched {t['aggregate_steps_per_s']:10.0f} steps/s   "
+            f"serial {t['serial_aggregate_steps_per_s']:8.0f} steps/s   "
+            f"speedup {r['speedup_vs_serial']:5.2f}x"
+        )
+    lines.append(
+        f"  best speedup {doc['summary']['best_speedup_vs_serial']:.2f}x"
+    )
+    return "\n".join(lines)

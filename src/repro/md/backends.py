@@ -107,6 +107,13 @@ class ForceBackend:
     lj_flat: Optional[Callable] = None
     admit_flat: Optional[Callable] = None
     screen_dr: Optional[Callable] = None
+    #: Segmented variant of ``lj_flat`` for the batched engine: one call
+    #: serves K independent systems packed into one global pair stream,
+    #: returning a ``(K,)`` per-segment energy vector (see
+    #: :mod:`repro.md.batch`).  Present on every available backend —
+    #: including ``numpy``, which shares the pure-numpy segmented kernel
+    #: with ``soa`` since batching has no "classic per-offset" shape.
+    lj_flat_seg: Optional[Callable] = None
     #: True when selecting this backend changes no code path at all.
     is_reference: bool = field(default=False)
 
@@ -282,6 +289,122 @@ def lj_flat_numpy(
     return energy
 
 
+#: Super-chunk budget of the pure-numpy segmented kernel: segments are
+#: grouped into spans of at most this many stream rows so the scratch
+#: arrays stay ~250 MB even when the whole batch holds 100M+ pairs.
+#: Segments are never split across spans, so each particle's bincount
+#: accumulation subsequence — and hence its force — is bitwise the same
+#: as a single-pass (or solo) evaluation.
+DEFAULT_SEG_CHUNK_PAIRS = 4_000_000
+
+
+def lj_flat_seg_numpy(
+    psx: np.ndarray,
+    psy: np.ndarray,
+    psz: np.ndarray,
+    ia: np.ndarray,
+    ib: np.ndarray,
+    srow: np.ndarray,
+    stab: np.ndarray,
+    spc: np.ndarray,
+    lj: LJTable,
+    cutoff2: float,
+    shift_e: float,
+    fx: np.ndarray,
+    fy: np.ndarray,
+    fz: np.ndarray,
+    seg_lo: np.ndarray,
+    seg_hi: np.ndarray,
+    target_pairs: int = DEFAULT_SEG_CHUNK_PAIRS,
+) -> np.ndarray:
+    """Segmented flat LJ pass in pure numpy (``numpy``/``soa`` batched).
+
+    Same arithmetic as :func:`lj_flat_numpy` over the *global* pair
+    stream of a :class:`~repro.md.batch.BatchedEngine`, with per-segment
+    energies: ``seg_lo[k]:seg_hi[k]`` delimits system ``k``'s live pairs
+    in the stream.  The numpy path slices whole contiguous spans — pad
+    rows between segments reference the two ghost slots (placed farther
+    than the cutoff apart) so the exact float64 cutoff test rejects them
+    for free; no pad ever reaches the LJ evaluation or the scatters.
+
+    Per-particle forces are bitwise identical to evaluating each
+    segment alone with :func:`lj_flat_numpy`: every elementwise op sees
+    the same operands, and a particle's bincount accumulation
+    subsequence is exactly its solo stream (its index never appears in
+    another segment's pairs).  Per-segment *energies* are reduced with a
+    segmented bincount rather than one ``np.sum``, so they agree with
+    the solo energy to float64 round-off (:data:`ENERGY_RTOL`), not
+    bitwise — the engine-layer bound that already applies across
+    backends.  Returns the ``(K,)`` energy vector.
+    """
+    from repro.md.kernels import lj_scalar_energy
+
+    n = len(psx)
+    n_seg = len(seg_lo)
+    energies = np.zeros(n_seg, dtype=np.float64)
+    s = 0
+    while s < n_seg:
+        e = s + 1
+        lo = int(seg_lo[s])
+        while e < n_seg and int(seg_hi[e]) - lo <= target_pairs:
+            e += 1
+        hi = int(seg_hi[e - 1])
+        s_next = e
+        if hi == lo:
+            s = s_next
+            continue
+        span = slice(lo, hi)
+        ia_c = ia[span]
+        ib_c = ib[span]
+        srow_c = srow[span]
+        dx = psx.take(ia_c)
+        dx -= psx.take(ib_c)
+        dy = psy.take(ia_c)
+        dy -= psy.take(ib_c)
+        dz = psz.take(ia_c)
+        dz -= psz.take(ib_c)
+        shifted = np.flatnonzero(srow_c >= 0)
+        if shifted.size:
+            rows = srow_c.take(shifted)
+            dx[shifted] -= stab[rows, 0]
+            dy[shifted] -= stab[rows, 1]
+            dz[shifted] -= stab[rows, 2]
+        r2 = dx * dx
+        tmp = dy * dy
+        r2 += tmp
+        np.multiply(dz, dz, out=tmp)
+        r2 += tmp
+        keep = np.flatnonzero(r2 < cutoff2)
+        s = s_next
+        if keep.size == 0:
+            continue
+        a = ia_c.take(keep)
+        b = ib_c.take(keep)
+        dx = dx.take(keep)
+        dy = dy.take(keep)
+        dz = dz.take(keep)
+        r2 = r2.take(keep)
+        if lj.n_species == 1:
+            si = sj = None
+        else:
+            si = spc.take(a)
+            sj = spc.take(b)
+        scalar, evec = lj_scalar_energy(r2, si, sj, lj)
+        seg_ids = np.searchsorted(seg_hi, lo + keep, side="right")
+        energies += np.bincount(seg_ids, weights=evec, minlength=n_seg)
+        energies -= shift_e * np.bincount(seg_ids, minlength=n_seg)
+        w = scalar * dx
+        fx += np.bincount(a, weights=w, minlength=n)
+        fx -= np.bincount(b, weights=w, minlength=n)
+        np.multiply(scalar, dy, out=w)
+        fy += np.bincount(a, weights=w, minlength=n)
+        fy -= np.bincount(b, weights=w, minlength=n)
+        np.multiply(scalar, dz, out=w)
+        fz += np.bincount(a, weights=w, minlength=n)
+        fz -= np.bincount(b, weights=w, minlength=n)
+    return energies
+
+
 def admit_flat_numpy(
     fsx: np.ndarray,
     fsy: np.ndarray,
@@ -398,6 +521,15 @@ double lj_flat_f64(const double *px, const double *py, const double *pz,
                    const double *c12t, const double *c6t,
                    int64_t n_pairs, double cutoff2, double shift_e,
                    double *fx, double *fy, double *fz);
+void lj_flat_seg_f64(const double *px, const double *py, const double *pz,
+                     const int64_t *ia, const int64_t *ib,
+                     const int32_t *srow, const double *stab,
+                     const int32_t *spc, int64_t ns,
+                     const double *c14t, const double *c8t,
+                     const double *c12t, const double *c6t,
+                     const int64_t *seg_lo, const int64_t *seg_hi,
+                     int64_t n_seg, double cutoff2, double shift_e,
+                     double *fx, double *fy, double *fz, double *energies);
 int64_t admit_flat_f32(const float *fsx, const float *fsy, const float *fsz,
                        const int64_t *ia, const int64_t *ib,
                        const int64_t *segs, int64_t n_segs,
@@ -452,6 +584,55 @@ double lj_flat_f64(const double *px, const double *py, const double *pz,
         fx[j] -= fxx; fy[j] -= fyy; fz[j] -= fzz;
     }
     return energy;
+}
+
+/* Segmented variant of lj_flat_f64 for the batched engine: one call
+ * walks K per-system pair ranges of one global stream, accumulating
+ * into the shared force columns (particle indices are disjoint across
+ * segments) with a per-segment energy accumulator.  Each segment sees
+ * exactly the pair order, operands and accumulator start (0.0) of a
+ * solo lj_flat_f64 call, so per-system forces AND energies are bitwise
+ * the solo run's.  Pad rows between seg_hi[k] and seg_lo[k+1] are
+ * never touched. */
+void lj_flat_seg_f64(const double *px, const double *py, const double *pz,
+                     const int64_t *ia, const int64_t *ib,
+                     const int32_t *srow, const double *stab,
+                     const int32_t *spc, int64_t ns,
+                     const double *c14t, const double *c8t,
+                     const double *c12t, const double *c6t,
+                     const int64_t *seg_lo, const int64_t *seg_hi,
+                     int64_t n_seg, double cutoff2, double shift_e,
+                     double *fx, double *fy, double *fz, double *energies)
+{
+    for (int64_t k = 0; k < n_seg; k++) {
+        double energy = 0.0;
+        for (int64_t p = seg_lo[k]; p < seg_hi[k]; p++) {
+            int64_t i = ia[p], j = ib[p];
+            double dx = px[i] - px[j];
+            double dy = py[i] - py[j];
+            double dz = pz[i] - pz[j];
+            int32_t r = srow[p];
+            if (r >= 0) {
+                dx -= stab[3 * r];
+                dy -= stab[3 * r + 1];
+                dz -= stab[3 * r + 2];
+            }
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 >= cutoff2)
+                continue;
+            int64_t sij = (int64_t)spc[i] * ns + spc[j];
+            double inv_r2 = 1.0 / r2;
+            double inv_r4 = inv_r2 * inv_r2;
+            double inv_r6 = inv_r4 * inv_r2;
+            double inv_r8 = inv_r4 * inv_r4;
+            double scalar = (c14t[sij] * inv_r6 - c8t[sij]) * inv_r8;
+            energy += (c12t[sij] * inv_r6 - c6t[sij]) * inv_r6 - shift_e;
+            double fxx = scalar * dx, fyy = scalar * dy, fzz = scalar * dz;
+            fx[i] += fxx; fy[i] += fyy; fz[i] += fzz;
+            fx[j] -= fxx; fy[j] -= fyy; fz[j] -= fzz;
+        }
+        energies[k] = energy;
+    }
 }
 
 /* Band-list admission phase (machine layer).  Compiled with
@@ -587,6 +768,26 @@ def _make_cext_backend() -> ForceBackend:
             ptr("double *", fx), ptr("double *", fy), ptr("double *", fz),
         )
 
+    def lj_flat_seg(psx, psy, psz, ia, ib, srow, stab, spc, lj, cutoff2,
+                    shift_e, fx, fy, fz, seg_lo, seg_hi):
+        c14, c8, c12, c6 = _lj_tables(lj)
+        lo64 = np.ascontiguousarray(seg_lo, dtype=np.int64)
+        hi64 = np.ascontiguousarray(seg_hi, dtype=np.int64)
+        energies = np.zeros(len(lo64), dtype=np.float64)
+        lib.lj_flat_seg_f64(
+            ptr("double *", psx), ptr("double *", psy), ptr("double *", psz),
+            ptr("int64_t *", ia), ptr("int64_t *", ib),
+            ptr("int32_t *", srow), ptr("double *", stab),
+            ptr("int32_t *", spc), int(lj.n_species),
+            ptr("double *", c14), ptr("double *", c8),
+            ptr("double *", c12), ptr("double *", c6),
+            ptr("int64_t *", lo64), ptr("int64_t *", hi64),
+            int(len(lo64)), float(cutoff2), float(shift_e),
+            ptr("double *", fx), ptr("double *", fy), ptr("double *", fz),
+            ptr("double *", energies),
+        )
+        return energies
+
     def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None):
         L = len(ia)
         if scratch is not None:
@@ -638,6 +839,7 @@ def _make_cext_backend() -> ForceBackend:
         lj_flat=lj_flat,
         admit_flat=admit_flat,
         screen_dr=screen_dr,
+        lj_flat_seg=lj_flat_seg,
     )
 
 
@@ -693,6 +895,46 @@ def _make_numba_backend() -> ForceBackend:
             fy[j] -= fyy
             fz[j] -= fzz
         return energy
+
+    # Mirrors lj_flat_seg_f64: per-segment pair ranges, per-segment
+    # energy accumulators, shared force columns.
+    @njit(cache=True)
+    def _lj_flat_seg_jit(px, py, pz, ia, ib, srow, stab, spc, ns,
+                         c14t, c8t, c12t, c6t, seg_lo, seg_hi,
+                         cutoff2, shift_e, fx, fy, fz, energies):
+        for k in range(len(seg_lo)):
+            energy = 0.0
+            for p in range(seg_lo[k], seg_hi[k]):
+                i = ia[p]
+                j = ib[p]
+                dx = px[i] - px[j]
+                dy = py[i] - py[j]
+                dz = pz[i] - pz[j]
+                r = srow[p]
+                if r >= 0:
+                    dx -= stab[r, 0]
+                    dy -= stab[r, 1]
+                    dz -= stab[r, 2]
+                r2 = dx * dx + dy * dy + dz * dz
+                if r2 >= cutoff2:
+                    continue
+                sij = spc[i] * ns + spc[j]
+                inv_r2 = 1.0 / r2
+                inv_r4 = inv_r2 * inv_r2
+                inv_r6 = inv_r4 * inv_r2
+                inv_r8 = inv_r4 * inv_r4
+                scalar = (c14t[sij] * inv_r6 - c8t[sij]) * inv_r8
+                energy += (c12t[sij] * inv_r6 - c6t[sij]) * inv_r6 - shift_e
+                fxx = scalar * dx
+                fyy = scalar * dy
+                fzz = scalar * dz
+                fx[i] += fxx
+                fy[i] += fyy
+                fz[i] += fzz
+                fx[j] -= fxx
+                fy[j] -= fyy
+                fz[j] -= fzz
+            energies[k] = energy
 
     @njit(cache=True)
     def _admit_flat_jit(fsx, fsy, fsz, ia, ib, segs, offs, pre,
@@ -752,6 +994,21 @@ def _make_numba_backend() -> ForceBackend:
             )
         )
 
+    def lj_flat_seg(psx, psy, psz, ia, ib, srow, stab, spc, lj, cutoff2,
+                    shift_e, fx, fy, fz, seg_lo, seg_hi):
+        c14, c8, c12, c6 = _lj_tables(lj)
+        lo64 = np.ascontiguousarray(seg_lo, dtype=np.int64)
+        hi64 = np.ascontiguousarray(seg_hi, dtype=np.int64)
+        energies = np.zeros(len(lo64), dtype=np.float64)
+        _lj_flat_seg_jit(
+            psx, psy, psz, ia, ib, srow, stab,
+            spc, np.int64(lj.n_species),
+            c14.ravel(), c8.ravel(), c12.ravel(), c6.ravel(),
+            lo64, hi64, float(cutoff2), float(shift_e),
+            fx, fy, fz, energies,
+        )
+        return energies
+
     def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None):
         L = len(ia)
         if scratch is not None:
@@ -796,6 +1053,7 @@ def _make_numba_backend() -> ForceBackend:
         lj_flat=lj_flat,
         admit_flat=admit_flat,
         screen_dr=screen_dr,
+        lj_flat_seg=lj_flat_seg,
     )
 
 
@@ -809,6 +1067,12 @@ register_backend(
         available=True,
         why="reference paths",
         is_reference=True,
+        # Batched stepping has no classic per-offset shape, so even the
+        # reference backend carries the shared pure-numpy segmented
+        # kernel: batched force_impl="numpy" is defined as running it
+        # (its per-system solo oracle is force_impl="soa" — see
+        # repro.md.batch.solo_oracle_impl).
+        lj_flat_seg=lj_flat_seg_numpy,
     )
 )
 register_backend(
@@ -819,6 +1083,7 @@ register_backend(
         lj_flat=lj_flat_numpy,
         admit_flat=admit_flat_numpy,
         screen_dr=screen_dr_numpy,
+        lj_flat_seg=lj_flat_seg_numpy,
     )
 )
 register_backend(_make_numba_backend())

@@ -52,14 +52,104 @@ class VelocityVerlet:
         system.forces[:] = forces
         return potential
 
+    def drift(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        forces: np.ndarray,
+        masses: np.ndarray,
+        box: np.ndarray,
+    ) -> np.ndarray:
+        """Position half-step over raw arrays; returns a(t).
+
+        ``box`` may be the usual ``(3,)`` edge vector or a per-row
+        ``(N, 3)`` array — the batched engine passes per-particle box
+        rows so one call serves K concatenated systems.  Every
+        operation is elementwise, so the result is bitwise identical to
+        a per-system call either way.
+        """
+        dt = self.dt
+        accel = acceleration_from_force(forces, masses)
+        positions += velocities * dt + 0.5 * accel * dt * dt
+        np.mod(positions, box, out=positions)
+        return accel
+
+    def kick(
+        self,
+        velocities: np.ndarray,
+        forces_store: np.ndarray,
+        forces_new: np.ndarray,
+        accel: np.ndarray,
+        masses: np.ndarray,
+    ) -> None:
+        """Velocity half-step over raw arrays.
+
+        ``accel`` is the a(t) returned by :meth:`drift`;
+        ``forces_store`` receives F(t+dt) so the next step reuses it.
+        Elementwise like :meth:`drift` — one call serves a whole batch.
+        """
+        accel_new = acceleration_from_force(forces_new, masses)
+        velocities += 0.5 * (accel + accel_new) * self.dt
+        forces_store[:] = forces_new
+
+    def drift_buffered(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        forces: np.ndarray,
+        minv_col: np.ndarray,
+        box: np.ndarray,
+        accel: np.ndarray,
+        b1: np.ndarray,
+        b2: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`drift` with caller-provided buffers (no temporaries).
+
+        ``minv_col`` must equal ``(KCAL_MOL_TO_INTERNAL / masses)[:, None]``
+        (constant per system, so callers cache it).  Every ufunc below is
+        the op-for-op sequence Python evaluates in :meth:`drift` — same
+        operands, same order, same roundings — so results are bitwise
+        identical; only the temporaries are recycled.  The batched
+        engine uses this to keep K-system steps allocation-free.
+        """
+        dt = self.dt
+        np.multiply(forces, minv_col, out=accel)  # acceleration_from_force
+        np.multiply(velocities, dt, out=b1)
+        np.multiply(accel, 0.5, out=b2)
+        np.multiply(b2, dt, out=b2)
+        np.multiply(b2, dt, out=b2)
+        np.add(b1, b2, out=b1)
+        np.add(positions, b1, out=positions)
+        np.mod(positions, box, out=positions)
+        return accel
+
+    def kick_buffered(
+        self,
+        velocities: np.ndarray,
+        forces_store: np.ndarray,
+        forces_new: np.ndarray,
+        accel: np.ndarray,
+        minv_col: np.ndarray,
+        b1: np.ndarray,
+    ) -> None:
+        """:meth:`kick` with caller-provided buffers; bitwise identical
+        for the same reason as :meth:`drift_buffered`."""
+        np.multiply(forces_new, minv_col, out=b1)  # accel_new
+        np.add(accel, b1, out=b1)
+        np.multiply(b1, 0.5, out=b1)
+        np.multiply(b1, self.dt, out=b1)
+        np.add(velocities, b1, out=velocities)
+        forces_store[:] = forces_new
+
     def step(self, system: ParticleSystem, force_fn: ForceFn) -> float:
         """Advance one timestep in place; returns the new potential energy."""
-        dt = self.dt
-        accel = acceleration_from_force(system.forces, system.masses)
-        system.positions += system.velocities * dt + 0.5 * accel * dt * dt
-        system.wrap()
+        accel = self.drift(
+            system.positions,
+            system.velocities,
+            system.forces,
+            system.masses,
+            system.box,
+        )
         forces, potential = force_fn(system)
-        accel_new = acceleration_from_force(forces, system.masses)
-        system.velocities += 0.5 * (accel + accel_new) * dt
-        system.forces[:] = forces
+        self.kick(system.velocities, system.forces, forces, accel, system.masses)
         return potential

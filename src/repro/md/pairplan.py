@@ -290,6 +290,24 @@ def iter_pair_chunks(
     """
     counts = np.asarray(counts, dtype=np.int64)
     start = np.asarray(start, dtype=np.int64)
+    if len(counts) < plan.n_cells:
+        # A sparse or empty system can hand us bincount arrays shorter
+        # than the cell count (trailing cells unoccupied, or a fully
+        # empty box where ``counts`` has zero length).  Pad with empty
+        # cells so the ``counts[home]`` gathers below stay in bounds —
+        # zero-occupancy cells contribute zero candidates either way.
+        tail = start[-1] if len(start) else 0
+        counts = np.concatenate(
+            [counts, np.zeros(plan.n_cells - len(counts), dtype=np.int64)]
+        )
+        start = np.concatenate(
+            [
+                start,
+                np.full(
+                    plan.n_cells + 1 - len(start), tail, dtype=np.int64
+                ),
+            ]
+        )
     if rows is None:
         # All-rows fast path: the plan's own flat arrays *are* the row
         # gathers, so the three n_rows-sized fancy-index passes below

@@ -14,6 +14,23 @@ import numpy as np
 
 from repro.md.system import ParticleSystem
 from repro.util.errors import ValidationError
+from repro.util.units import BOLTZMANN_KCAL_MOL_K, KCAL_MOL_TO_INTERNAL
+
+
+def _temperature_arrays(velocities: np.ndarray, masses: np.ndarray) -> float:
+    """Kinetic temperature from raw arrays.
+
+    Restates :meth:`~repro.md.system.ParticleSystem.temperature` op for
+    op (same ``np.sum`` shapes, so numpy's pairwise summation tree is
+    identical): applying a thermostat to a contiguous *segment* of a
+    batched state produces bitwise the scale factor of the solo system.
+    """
+    ke_internal = 0.5 * float(
+        np.sum(masses * np.sum(velocities ** 2, axis=1))
+    )
+    kinetic = ke_internal / KCAL_MOL_TO_INTERNAL
+    dof = 3 * len(masses)
+    return 2.0 * kinetic / (dof * BOLTZMANN_KCAL_MOL_K)
 
 
 class VelocityRescaleThermostat:
@@ -27,14 +44,22 @@ class VelocityRescaleThermostat:
             raise ValidationError("target temperature must be positive")
         self.target_k = float(target_k)
 
-    def apply(self, system: ParticleSystem) -> float:
-        """Rescale velocities in place; returns the scale factor used."""
-        current = system.temperature()
+    def apply_arrays(self, velocities: np.ndarray, masses: np.ndarray) -> float:
+        """Rescale a raw velocity array in place; returns the factor.
+
+        The segmented entry point: the batched engine calls this on
+        per-system slices of its concatenated state.
+        """
+        current = _temperature_arrays(velocities, masses)
         if current <= 0:
             return 1.0
         scale = float(np.sqrt(self.target_k / current))
-        system.velocities *= scale
+        velocities *= scale
         return scale
+
+    def apply(self, system: ParticleSystem) -> float:
+        """Rescale velocities in place; returns the scale factor used."""
+        return self.apply_arrays(system.velocities, system.masses)
 
 
 class BerendsenThermostat:
@@ -53,15 +78,59 @@ class BerendsenThermostat:
         self.target_k = float(target_k)
         self.ratio = float(dt_fs / tau_fs)
 
-    def apply(self, system: ParticleSystem) -> float:
-        """Scale velocities one weak-coupling step; returns the factor."""
-        current = system.temperature()
+    def apply_arrays(self, velocities: np.ndarray, masses: np.ndarray) -> float:
+        """Weak-coupling step on a raw velocity array; returns the factor."""
+        current = _temperature_arrays(velocities, masses)
         if current <= 0:
             return 1.0
         lam2 = 1.0 + self.ratio * (self.target_k / current - 1.0)
         scale = float(np.sqrt(max(lam2, 0.0)))
-        system.velocities *= scale
+        velocities *= scale
         return scale
+
+    def apply(self, system: ParticleSystem) -> float:
+        """Scale velocities one weak-coupling step; returns the factor."""
+        return self.apply_arrays(system.velocities, system.masses)
+
+
+def thermostat_meta(thermostat) -> "dict | None":
+    """JSON-able description of a thermostat (checkpoint payloads).
+
+    ``None`` passes through (no thermostat on that segment).
+    """
+    if thermostat is None:
+        return None
+    if isinstance(thermostat, VelocityRescaleThermostat):
+        return {"kind": "rescale", "target_k": thermostat.target_k}
+    if isinstance(thermostat, BerendsenThermostat):
+        return {
+            "kind": "berendsen",
+            "target_k": thermostat.target_k,
+            "ratio": thermostat.ratio,
+        }
+    raise ValidationError(
+        f"cannot serialize thermostat of type {type(thermostat).__name__}"
+    )
+
+
+def thermostat_from_meta(meta) -> "object | None":
+    """Reconstruct a thermostat from :func:`thermostat_meta` exactly.
+
+    Fields are restored verbatim (the Berendsen ``ratio`` is set
+    directly rather than re-derived from ``dt/tau``), so a restored
+    thermostat produces bitwise the scale factors of the original.
+    """
+    if meta is None:
+        return None
+    kind = meta["kind"]
+    if kind == "rescale":
+        return VelocityRescaleThermostat(float(meta["target_k"]))
+    if kind == "berendsen":
+        t = BerendsenThermostat.__new__(BerendsenThermostat)
+        t.target_k = float(meta["target_k"])
+        t.ratio = float(meta["ratio"])
+        return t
+    raise ValidationError(f"unknown thermostat kind {kind!r}")
 
 
 def equilibrate(
