@@ -263,6 +263,48 @@ def bench_batched(reps: int, smoke: bool) -> list:
         warm_cache = plan_cache_info()._asdict()
         agg = k_systems * steps / wall
 
+        # Guarded twin: same campaign with the health guards armed.
+        # Guards are read-only, so the trajectories must stay bitwise
+        # identical.  The healthy-path overhead (DESIGN.md §12 budgets
+        # < 2%) is measured by timing the guard pass itself against the
+        # per-step wall — a twin-run wall delta at this workload size is
+        # dominated by run-to-run noise, not by the guards.
+        from repro.faults.health import GuardConfig
+
+        guarded = BatchedEngine(force_impl=name, guard=GuardConfig())
+        for sysv, grid in cases:
+            guarded.add(sysv.copy(), grid)
+        guarded.prime()
+        guarded.step(5)
+        t0 = time.perf_counter()
+        guarded.step(steps)
+        guard_wall = time.perf_counter() - t0
+        reps = 30 if smoke else 100
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            guarded._guard_displacement()
+            guarded._guard_forces(guarded._energies)
+            guarded._step_tripped.clear()
+        guard_pass_s = (time.perf_counter() - t0) / reps
+        guard_overhead = guard_pass_s / (wall / steps)
+        # The <2% budget is stated for the default K=64 workload; the
+        # K=16 smoke batch steps so fast that the guard pass's fixed
+        # numpy-call overhead (~15 us) alone exceeds 2% of a cext step,
+        # so smoke gates at a looser bound.
+        budget = 0.06 if smoke else 0.02
+        assert guard_overhead < budget, (
+            f"{name}: guard pass {guard_pass_s * 1e6:.0f} us/step is "
+            f"{100 * guard_overhead:.2f}% of the step — over the "
+            f"<{100 * budget:.0f}% budget"
+        )
+        for h_plain, h_guard in zip(engine.handles(), guarded.handles()):
+            a = engine.extract(h_plain)
+            b = guarded.extract(h_guard)
+            assert np.array_equal(a.positions, b.positions) and np.array_equal(
+                a.velocities, b.velocities
+            ), f"{name}: guarded run diverged from unguarded (handle {h_plain})"
+        assert not guarded.poison_log, f"{name}: healthy run tripped a guard"
+
         # Bitwise oracle: two sample systems stepped solo.
         oracle = solo_oracle_impl(name)
         for i in (0, k_systems - 1):
@@ -290,11 +332,16 @@ def bench_batched(reps: int, smoke: bool) -> list:
             "plan_cache_cold": cold_cache,
             "plan_cache_warm": warm_cache,
             "bitwise_vs_solo": True,
+            "guarded_aggregate_steps_per_s": k_systems * steps / guard_wall,
+            "guard_pass_s_per_step": guard_pass_s,
+            "guard_overhead_frac": guard_overhead,
+            "guarded_bitwise_vs_unguarded": True,
         })
         print(
             f"[batched] backend {name}: K={k_systems} aggregate "
             f"{agg:.0f} steps/s (formation {formation_s * 1e3:.0f} ms, "
-            f"bitwise vs solo {oracle}: ok)"
+            f"bitwise vs solo {oracle}: ok, guard overhead "
+            f"{100 * guard_overhead:+.1f}%)"
         )
     return out
 

@@ -254,6 +254,57 @@ def _cmd_recover(args):
     return text
 
 
+def _cmd_jobs(args):
+    from repro.harness.faultsweep import format_job_soak, run_job_soak
+
+    if args.chaos:
+        soak = run_job_soak(
+            k_jobs=args.batch_k if args.batch_k != 256 else 64,
+            steps=args.batch_steps if args.batch_steps != 30 else 12,
+            seed=args.seed,
+            force_impl=args.force_impl,
+        )
+        if args.json:
+            dirname = os.path.dirname(args.json)
+            if dirname:
+                os.makedirs(dirname, exist_ok=True)
+            with open(args.json, "w") as fh:
+                fh.write(soak.to_json() + "\n")
+        text = format_job_soak(soak)
+        if soak.unrecovered:
+            text += (
+                f"\nJOB SOAK FAILED: {soak.unrecovered} job(s) leaked "
+                "their blast radius (contamination or unrecovered resume)"
+            )
+            return text, 1
+        return text
+
+    # Plain demo: a small guarded campaign, no chaos.
+    from repro.faults.health import GuardConfig
+    from repro.harness.jobs import JobQueue, run_jobs
+    from repro.md.dataset import build_dataset
+
+    queue = JobQueue()
+    k = min(args.batch_k, 16)
+    for i in range(k):
+        system, grid = build_dataset(
+            (3, 3, 3), cutoff=8.5, particles_per_cell=2, seed=args.seed + i
+        )
+        queue.submit(system, grid, steps=args.batch_steps)
+    summary = run_jobs(
+        queue, force_impl=args.force_impl, max_systems=8,
+        guard=GuardConfig(), chunk_steps=10,
+    )
+    return (
+        f"job service: {summary['jobs_done']}/{k} jobs done in "
+        f"{summary['chunks']} chunks on backend {summary['backend']} "
+        f"({summary['aggregate_steps_per_s']:.0f} steps/s aggregate); "
+        f"quarantined {summary['quarantined']}, retried "
+        f"{summary['retries']}.  Run with --chaos for the containment "
+        "soak (seeded poisoned jobs + SIGKILL/resume)."
+    )
+
+
 def _cmd_scaling(args) -> str:
     return format_fpga_scaling(run_fpga_scaling(seed=args.seed))
 
@@ -294,6 +345,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "campaign": _cmd_campaign,
     "batch": _cmd_batch,
+    "jobs": _cmd_jobs,
     "faults": _cmd_faults,
     "recover": _cmd_recover,
     "acceptance": _cmd_acceptance,
@@ -394,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=30,
         help="for `batch`: timed MD steps per measurement point",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "for `jobs`: run the containment soak instead of the demo — "
+            "seeded poisoned jobs, quarantine/retry accounting, a "
+            "SIGKILL mid-campaign and a journal resume; exits 1 if any "
+            "job's blast radius leaked (--batch-k/--batch-steps resize "
+            "it, --json writes the FAULTS_jobs.json artifact)"
+        ),
     )
     parser.add_argument(
         "--node",

@@ -62,8 +62,10 @@ CHECKPOINT_FORMAT = "fasda-checkpoint-v1"
 #: Format identifier of the container format.
 CHECKPOINT_FORMAT_V2 = "fasda-checkpoint-v2"
 
-#: Object kinds a v2 checkpoint can hold.
-V2_KINDS = ("machine", "engine", "distributed", "batch")
+#: Object kinds a v2 checkpoint can hold.  ``system`` is a bare
+#: :class:`~repro.md.system.ParticleSystem` — the job service uses it
+#: for per-job result and preemption checkpoints.
+V2_KINDS = ("machine", "engine", "distributed", "batch", "system")
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +214,14 @@ def load_checkpoint(path: str) -> Tuple[FasdaMachine, int]:
             f"corrupt or unreadable checkpoint {path!r}: "
             f"{type(exc).__name__}: {exc}"
         )
+    _validate_finite_state(
+        {
+            "positions": arrays["positions"],
+            "velocities": arrays["velocities32"],
+            "forces": arrays["forces32"],
+        },
+        repr(path),
+    )
     lj = LJTable(tuple(str(s) for s in arrays["species_names"]))
     system = ParticleSystem(
         positions=arrays["positions"],
@@ -268,7 +278,33 @@ def _system_arrays(system: ParticleSystem) -> Dict[str, np.ndarray]:
     }
 
 
-def _system_from_arrays(inner) -> ParticleSystem:
+def _validate_finite_state(arrays: Dict[str, Any], context: str) -> None:
+    """Refuse to resume NaN/Inf-poisoned dynamic state.
+
+    The CRC catches bit rot, but a checkpoint *written* from an already
+    poisoned run is internally consistent — this is the semantic check
+    on top.  Shared by the v1 loader and every v2 kind (each batch
+    segment passes through here too).
+    """
+    for name, arr in arrays.items():
+        arr = np.asarray(arr)
+        if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+            bad = int(np.count_nonzero(~np.isfinite(arr)))
+            raise CheckpointError(
+                f"checkpoint {context} carries {bad} non-finite {name} "
+                "component(s); refusing to resume poisoned state"
+            )
+
+
+def _system_from_arrays(inner, context: str = "<v2 payload>") -> ParticleSystem:
+    _validate_finite_state(
+        {
+            "positions": inner["positions"],
+            "velocities": inner["velocities"],
+            "forces": inner["forces"],
+        },
+        context,
+    )
     return ParticleSystem(
         positions=inner["positions"],
         velocities=inner["velocities"],
@@ -579,7 +615,9 @@ def _restore_batch(meta, inner):
             for key, value in inner.items()
             if key.startswith(f"seg{i}_")
         }
-        system = _system_from_arrays(seg_inner)
+        system = _system_from_arrays(
+            seg_inner, context=f"<batch segment handle={sm['handle']}>"
+        )
         handle = be.add(
             system,
             CellGrid(tuple(sm["grid_dims"]), edge),
@@ -594,11 +632,27 @@ def _restore_batch(meta, inner):
     return be, int(meta["step_count"])
 
 
+def _system_payload(s: ParticleSystem) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Bare-system payload: the job service's result/preemption unit.
+
+    Scheduling metadata (steps done, attempt number) lives in the job
+    journal lines that reference the file, not in the checkpoint — the
+    checkpoint is exactly the arrays whose bitwise round-trip the
+    resume contract needs.
+    """
+    return {"n": int(s.n)}, _system_arrays(s)
+
+
+def _restore_system(meta, inner) -> Tuple[ParticleSystem, int]:
+    return _system_from_arrays(inner, context="<system payload>"), 0
+
+
 _KIND_DISPATCH = {
     "machine": (_machine_payload, _restore_machine),
     "engine": (_engine_payload, _restore_engine),
     "distributed": (_distributed_payload, _restore_distributed),
     "batch": (_batch_payload, _restore_batch),
+    "system": (_system_payload, _restore_system),
 }
 
 
@@ -615,9 +669,12 @@ def _kind_of(obj) -> str:
         return "engine"
     if isinstance(obj, BatchedEngine):
         return "batch"
+    if isinstance(obj, ParticleSystem):
+        return "system"
     raise ValidationError(
         f"cannot checkpoint a {type(obj).__name__}; supported: "
-        "FasdaMachine, ReferenceEngine, DistributedMachine, BatchedEngine"
+        "FasdaMachine, ReferenceEngine, DistributedMachine, BatchedEngine, "
+        "ParticleSystem"
     )
 
 

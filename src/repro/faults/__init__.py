@@ -6,6 +6,12 @@ harness weighs against the paper's bare-UDP + cooldown operating point.
 """
 
 from repro.faults.degradation import DegradationRecord
+from repro.faults.health import (
+    GuardConfig,
+    JobChaosPlan,
+    PoisonRecord,
+    check_system_finite,
+)
 from repro.faults.nodes import (
     NodeFaultEvent,
     NodeFaultInjector,
@@ -33,6 +39,10 @@ __all__ = [
     "FaultDecision",
     "FaultInjector",
     "FaultPlan",
+    "GuardConfig",
+    "JobChaosPlan",
+    "PoisonRecord",
+    "check_system_finite",
     "NodeFaultEvent",
     "NodeFaultInjector",
     "NodeFaultPlan",

@@ -500,6 +500,299 @@ def format_node_soak(result: NodeSoakResult) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Batched job-service chaos soak (`repro jobs --chaos` / FAULTS_jobs.json)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSoakCell:
+    """One job's outcome under the chaos campaign."""
+
+    job_index: int
+    job_id: int
+    poison_mode: Optional[str]  # None for healthy jobs
+    status: str                 # terminal JobQueue state
+    attempts: int
+    reason: Optional[str]       # guard trip reason, when quarantined
+    #: Healthy jobs only: final state bitwise equal to a run that never
+    #: contained any poisoned job (the contamination gate).  None for
+    #: poisoned jobs.
+    survivor_bitwise: Optional[bool]
+    #: SIGKILL leg: this job's outcome after journal resume bitwise
+    #: equals the uninterrupted chaos run.  None when the leg was
+    #: skipped (no fork on this platform).
+    resume_bitwise: Optional[bool]
+
+    @property
+    def contained(self) -> bool:
+        """The blast radius held for this job.
+
+        Healthy jobs must finish, match the poison-free baseline
+        bitwise, and survive the SIGKILL/resume leg bitwise; poisoned
+        jobs must reach a terminal state (done after retry, or
+        quarantined) without contaminating anyone — their own resume
+        outcome must also be bitwise stable.
+        """
+        if self.poison_mode is None:
+            return (
+                self.status == "done"
+                and bool(self.survivor_bitwise)
+                and self.resume_bitwise is not False
+            )
+        return (
+            self.status in ("done", "quarantined")
+            and self.resume_bitwise is not False
+        )
+
+
+@dataclass
+class JobSoakResult:
+    """Full chaos-soak output for the batched job service."""
+
+    k_jobs: int
+    steps: int
+    chunk_steps: int
+    seed: int
+    poison_rate: float
+    retry_attempts: int
+    backend: str
+    kill_at_chunk: Optional[int]
+    killed: bool = False
+    n_poisoned: int = 0
+    n_quarantined: int = 0
+    n_retried: int = 0
+    n_done: int = 0
+    n_adopted: int = 0
+    cells: List["JobSoakCell"] = field(default_factory=list)
+
+    @property
+    def unrecovered(self) -> int:
+        """Jobs whose blast radius leaked — the CI gate requires zero."""
+        return sum(1 for c in self.cells if not c.contained)
+
+    def to_json(self) -> str:
+        """Serialize for the CI artifact (stable key order)."""
+        doc = asdict(self)
+        doc["unrecovered"] = self.unrecovered
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _build_job_queue(k_jobs, steps, seed, plan, poisoned_only=None):
+    """Deterministic K-job queue; ``plan`` corrupts its chosen subset.
+
+    ``poisoned_only=False`` builds the poison-free baseline queue (the
+    healthy jobs, unmodified, in the same order).  Returns
+    ``(queue, job_ids_by_index, poison_mode_by_index)``.
+    """
+    from repro.harness.jobs import JobQueue
+
+    queue = JobQueue()
+    ids: Dict[int, int] = {}
+    modes: Dict[int, Optional[str]] = {}
+    for i in range(k_jobs):
+        system, grid = build_dataset(
+            (3, 3, 3), cutoff=8.5, particles_per_cell=2, seed=seed + i
+        )
+        mode = plan.decide(i)
+        modes[i] = mode
+        if mode is not None:
+            if poisoned_only is False:
+                continue
+            system = plan.poison(system, i)
+        # Varied budgets so swap-out/in happens mid-campaign.
+        ids[i] = queue.submit(system, grid, steps=steps + 3 * (i % 3))
+    return queue, ids, modes
+
+
+def run_job_soak(
+    k_jobs: int = 64,
+    steps: int = 12,
+    chunk_steps: int = 5,
+    seed: int = 2023,
+    poison_rate: float = 0.08,
+    force_impl: Optional[str] = None,
+    retry_attempts: int = 1,
+    max_systems: int = 16,
+    kill_at_chunk: Optional[int] = 3,
+    workdir: Optional[str] = None,
+) -> JobSoakResult:
+    """Chaos-soak the crash-safe job service (DESIGN.md §12).
+
+    Three deterministic campaigns over the same K jobs, a seeded subset
+    of which is corrupted by :class:`~repro.faults.health.JobChaosPlan`:
+
+    1. the guarded chaos run — poisoned jobs must quarantine (or finish
+       after retry), healthy jobs must finish;
+    2. a poison-free baseline containing only the healthy jobs — every
+       healthy job's final state must be bitwise identical across the
+       two runs (quarantine never contaminates a survivor);
+    3. a SIGKILL leg — a forked child runs the same campaign and kills
+       itself (uncatchably) at ``kill_at_chunk``; the parent resumes
+       from the journal and every job's terminal outcome must be
+       bitwise identical to run 1.
+
+    ``unrecovered`` counts jobs for which any of that failed.
+    """
+    import os
+    import shutil
+    import signal
+    import tempfile
+
+    from repro.faults.health import GuardConfig, JobChaosPlan
+    from repro.harness.jobs import DONE, run_jobs
+
+    plan = JobChaosPlan(seed=seed, poison_rate=poison_rate)
+    guard = GuardConfig()
+    common = dict(
+        force_impl=force_impl, max_systems=max_systems,
+        chunk_steps=chunk_steps, guard=guard,
+        retry_attempts=retry_attempts,
+    )
+    root = workdir or tempfile.mkdtemp(prefix="jobsoak-")
+    made_root = workdir is None
+    try:
+        # Leg 1: the uninterrupted chaos campaign.
+        wd_chaos = os.path.join(root, "chaos")
+        queue, ids, modes = _build_job_queue(k_jobs, steps, seed, plan)
+        summary = run_jobs(queue, workdir=wd_chaos, **common)
+
+        # Leg 2: poison-free baseline (plain service, no guard needed).
+        base_q, base_ids, _ = _build_job_queue(
+            k_jobs, steps, seed, plan, poisoned_only=False
+        )
+        run_jobs(base_q, force_impl=force_impl, max_systems=max_systems,
+                 chunk_steps=chunk_steps)
+
+        # Leg 3: SIGKILL the service mid-campaign, resume from journal.
+        resume_ok: Dict[int, bool] = {}
+        killed = False
+        if kill_at_chunk is not None and hasattr(os, "fork"):
+            wd_kill = os.path.join(root, "killed")
+            pid = os.fork()
+            if pid == 0:  # child: run until the bomb goes off
+                try:
+                    kq, _, _ = _build_job_queue(k_jobs, steps, seed, plan)
+
+                    def bomb(chunk, engine):
+                        if chunk == kill_at_chunk:
+                            os.kill(os.getpid(), signal.SIGKILL)
+
+                    run_jobs(kq, workdir=wd_kill, on_chunk=bomb, **common)
+                finally:
+                    os._exit(0)
+            _, status = os.waitpid(pid, 0)
+            killed = bool(
+                os.WIFSIGNALED(status)
+                and os.WTERMSIG(status) == signal.SIGKILL
+            )
+            rq, rids, _ = _build_job_queue(k_jobs, steps, seed, plan)
+            resumed = run_jobs(rq, workdir=wd_kill, resume=True, **common)
+            for i, jid in rids.items():
+                ja, jb = queue._job(ids[i]), rq._job(jid)
+                same = (
+                    ja.status == jb.status
+                    and ja.steps_done == jb.steps_done
+                )
+                if same and ja.status == DONE:
+                    same = bool(
+                        np.array_equal(ja.result.positions,
+                                       jb.result.positions)
+                        and np.array_equal(ja.result.velocities,
+                                           jb.result.velocities)
+                        and ja.final_potential == jb.final_potential
+                    )
+                resume_ok[i] = same
+        else:  # pragma: no cover - non-fork platforms
+            resumed = {"adopted_done": 0}
+
+        result = JobSoakResult(
+            k_jobs=k_jobs, steps=steps, chunk_steps=chunk_steps, seed=seed,
+            poison_rate=poison_rate, retry_attempts=retry_attempts,
+            backend=summary["backend"], kill_at_chunk=kill_at_chunk,
+            killed=killed,
+            n_poisoned=sum(1 for m in modes.values() if m is not None),
+            n_quarantined=summary["quarantined"],
+            n_retried=summary["retries"],
+            n_done=summary["jobs_done"],
+            n_adopted=resumed.get("adopted_done", 0),
+        )
+        for i in range(k_jobs):
+            job = queue._job(ids[i])
+            survivor = None
+            if modes[i] is None:
+                base = base_q._job(base_ids[i])
+                survivor = bool(
+                    job.status == DONE
+                    and base.status == DONE
+                    and np.array_equal(job.result.positions,
+                                       base.result.positions)
+                    and np.array_equal(job.result.velocities,
+                                       base.result.velocities)
+                )
+            result.cells.append(
+                JobSoakCell(
+                    job_index=i,
+                    job_id=ids[i],
+                    poison_mode=modes[i],
+                    status=job.status,
+                    attempts=job.attempts,
+                    reason=(job.poison or {}).get("reason"),
+                    survivor_bitwise=survivor,
+                    resume_bitwise=resume_ok.get(i),
+                )
+            )
+        return result
+    finally:
+        if made_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def format_job_soak(result: JobSoakResult) -> str:
+    """Render the job-service chaos soak: poisoned-job table + verdict."""
+    rows = []
+    for c in result.cells:
+        if c.poison_mode is None:
+            continue
+        rows.append(
+            [
+                c.job_index,
+                c.poison_mode,
+                c.status,
+                c.attempts,
+                c.reason or "-",
+                "bitwise" if c.resume_bitwise else
+                ("-" if c.resume_bitwise is None else "DIVERGED"),
+            ]
+        )
+    healthy = [c for c in result.cells if c.poison_mode is None]
+    n_survivor_ok = sum(1 for c in healthy if c.survivor_bitwise)
+    table = format_table(
+        ["job", "poison", "outcome", "attempts", "reason", "resume"],
+        rows,
+        precision=0,
+        title=(
+            f"Job-service chaos soak — K={result.k_jobs} "
+            f"({result.n_poisoned} poisoned, backend "
+            f"{result.backend})"
+        ),
+    )
+    lines = [
+        table,
+        f"  survivors bitwise vs poison-free baseline: "
+        f"{n_survivor_ok}/{len(healthy)}",
+        f"  quarantined {result.n_quarantined}, retried {result.n_retried}, "
+        f"done {result.n_done}"
+        + (
+            f"; SIGKILL@chunk{result.kill_at_chunk} resume adopted "
+            f"{result.n_adopted} done job(s)"
+            if result.killed else "; SIGKILL leg skipped"
+        ),
+        f"  unrecovered: {result.unrecovered} of {result.k_jobs}",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # Single-crash recovery demo (the `repro recover` CLI walk-through)
 # ---------------------------------------------------------------------------
 

@@ -67,6 +67,15 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults.health import (
+    GuardConfig,
+    PoisonRecord,
+    REASON_DISPLACEMENT,
+    REASON_DRIFT,
+    REASON_ENERGY,
+    REASON_FORCE,
+    check_system_finite,
+)
 from repro.md.cells import CellGrid
 from repro.md.cellstate import CellState, engine_pack_fn
 from repro.md.integrator import VelocityVerlet
@@ -75,6 +84,7 @@ from repro.md.backends import ForceBackend, resolve_backend
 from repro.md.reference import _cutoff_shift, _padded_viable, _FlatArtifacts
 from repro.md.system import ParticleSystem
 from repro.util.errors import ValidationError
+from repro.util.units import KCAL_MOL_TO_INTERNAL
 
 #: Capacity slack of a segment's pair-stream region: a rebuild whose
 #: band list grew less than this factor splices in place instead of
@@ -105,7 +115,7 @@ class _Segment:
     __slots__ = (
         "handle", "grid", "plan", "state", "thermostat", "aux", "n",
         "pending", "primed", "art", "live", "cap", "lo", "stab_base",
-        "base", "last_potential", "steps_base", "start_step",
+        "base", "last_potential", "steps_base", "start_step", "e_ref",
     )
 
     def __init__(self, handle, grid, plan, state, thermostat, aux, pending):
@@ -127,6 +137,7 @@ class _Segment:
         self.last_potential = 0.0
         self.steps_base = 0     # steps carried over a checkpoint restore
         self.start_step = 0     # engine step_count at priming
+        self.e_ref = None       # energy-drift watchdog reference (kcal/mol)
 
 
 class BatchedEngine:
@@ -149,6 +160,14 @@ class BatchedEngine:
         Skin margin for the per-segment persistent
         :class:`~repro.md.cellstate.CellState`; defaults to
         ``0.15 * cell_edge`` exactly like the solo engine.
+    guard:
+        Optional :class:`~repro.faults.health.GuardConfig` enabling the
+        per-segment numerical health guards (DESIGN.md §12).  Guards
+        only *read* arrays the step already produces, so a guarded
+        healthy run is bitwise identical to an unguarded one; a tripped
+        segment is quarantined through the :meth:`remove` swap-out at
+        the end of its step and recorded in :attr:`poison_log`, and the
+        survivors continue bitwise as if it had never been admitted.
     """
 
     def __init__(
@@ -157,11 +176,18 @@ class BatchedEngine:
         shift: bool = False,
         force_impl: Optional[str] = None,
         reuse_skin: Optional[float] = None,
+        guard: Optional[GuardConfig] = None,
     ):
         self.dt_fs = float(dt_fs)
         self.shift = bool(shift)
         self.force_impl = force_impl
         self.reuse_skin = reuse_skin
+        self.guard = guard
+        #: Quarantine history: one :class:`PoisonRecord` per guard trip,
+        #: in detection order.  Schedulers drain the tail after each
+        #: ``step`` call to learn which handles were swapped out.
+        self.poison_log: List[PoisonRecord] = []
+        self._step_tripped: Dict[int, tuple] = {}
         backend = resolve_backend(force_impl)
         if backend.lj_flat_seg is None:
             raise ValidationError(
@@ -211,9 +237,19 @@ class BatchedEngine:
         packed arrays; the caller's object is never mutated).  The
         segment is packed and primed lazily on the next :meth:`step` —
         adding mid-run never perturbs the other segments' trajectories.
+
+        With a :attr:`guard` whose ``check_input`` is set, non-finite
+        positions or velocities raise
+        :class:`~repro.util.errors.JobPoisonedError` here — a corrupt
+        upload is rejected before it ever touches the shared arrays.
         """
         if system.n == 0:
             raise ValidationError("cannot batch an empty system")
+        if self.guard is not None and self.guard.check_input:
+            check_system_finite(
+                system.positions, system.velocities,
+                handle=self._next_handle if handle is None else handle,
+            )
         if not np.allclose(grid.box, system.box):
             raise ValidationError("grid box must match system box")
         edge = float(grid.cell_edge)
@@ -321,10 +357,15 @@ class BatchedEngine:
         engine step plus one at priming; each pass is either a build or
         a reuse, matching the solo ``CellState.ensure`` accounting).
         """
+        # The packed energy vector indexes the segment list it was
+        # produced for; after a remove (and before the repack) the two
+        # are misaligned, and every segment's ``last_potential`` was
+        # already synced by ``remove`` itself — skip the mirror then.
+        aligned = len(self._energies) == len(self._segments)
         for k, seg in enumerate(self._segments):
             if not seg.primed:
                 continue
-            if k < len(self._energies):
+            if aligned:
                 seg.last_potential = float(self._energies[k])
             passes = (self.step_count - seg.start_step) + 1
             st = seg.state
@@ -426,6 +467,21 @@ class BatchedEngine:
         self._energies = np.array(
             [s.last_potential for s in segs], dtype=np.float64
         )
+        if self.guard is not None:
+            md = self.guard.resolved_max_disp(self._cell_edge)
+            self._guard_max_disp = md
+            self._guard_disp2 = md * md
+            self._guard_rowbuf = np.empty(n)
+            # Watchdog references / exemptions (thermostatted segments
+            # exchange energy by design, so only NVE segments are
+            # watched; references persist across repacks on the
+            # segment objects).
+            self._guard_eref = np.array(
+                [np.nan if s.e_ref is None else s.e_ref for s in segs]
+            )
+            self._guard_nve = np.array(
+                [s.thermostat is None for s in segs], dtype=bool
+            )
         # Slot space: coordinate columns + the two far-apart ghost slots.
         self._psx = np.empty(n + 2)
         self._psy = np.empty(n + 2)
@@ -539,7 +595,12 @@ class BatchedEngine:
         trip = seg_max > self._skin2
         np.divide(self._pos, self._cell_edge, out=t)
         np.floor(t, out=t)
-        coords = t.astype(np.int64)
+        # A quarantine-pending segment may hold NaN positions for the
+        # remainder of its final step; the cast verdict for such rows is
+        # irrelevant (the segment is excluded from rebuilds), so silence
+        # the invalid-cast warning.  Finite rows cast identically.
+        with np.errstate(invalid="ignore"):
+            coords = t.astype(np.int64)
         np.minimum(coords, self._dims_m1, out=coords)
         cids = self._sx * coords[:, 0] + self._sy * coords[:, 1] + coords[:, 2]
         moved = (cids != self._cids).astype(np.int64)
@@ -549,6 +610,13 @@ class BatchedEngine:
     def _force_pass(self) -> np.ndarray:
         """One fused force evaluation; returns per-segment energies."""
         rebuild = self._rebuild_mask()
+        if self._step_tripped:
+            # A tripped segment keeps its stale stream for its final
+            # step (its coordinates may no longer be safe to re-bin);
+            # any pair it still lists only references its own slots, and
+            # NaN/ghost distances fail the exact r2 < cutoff2 test, so
+            # the survivors' accumulations are untouched either way.
+            rebuild[list(self._step_tripped)] = False
         idxs = np.flatnonzero(rebuild)
         if idxs.size:
             overflow = False
@@ -626,6 +694,141 @@ class BatchedEngine:
             seg.primed = True
             seg.start_step = self.step_count
 
+    # -- health guards (DESIGN.md §12) -------------------------------------
+
+    def _trip(self, k: int, reason: str, value: float, threshold: float) -> None:
+        """Mark segment index ``k`` poisoned for end-of-step quarantine."""
+        if k not in self._step_tripped:
+            self._step_tripped[k] = (reason, float(value), float(threshold))
+
+    def _row_norm2(self, sq: np.ndarray) -> np.ndarray:
+        """Row sums of a pre-squared ``(N, 3)`` array into the guard buffer.
+
+        Two strided column adds instead of ``np.sum(axis=1, out=...)``,
+        which is an order of magnitude slower for this shape and would
+        alone blow the guards' <2% overhead budget.
+        """
+        buf = self._guard_rowbuf
+        np.add(sq[:, 0], sq[:, 1], out=buf)
+        np.add(buf, sq[:, 2], out=buf)
+        return buf
+
+    def _guard_displacement(self) -> None:
+        """Max-displacement-per-step tripwire (also catches NaN/Inf).
+
+        Reads the per-row displacement the drift just wrote into
+        ``_sb1`` (see :meth:`VelocityVerlet.drift_buffered`), squares it
+        into scratch, and reduces segment-wise — the exact
+        ``reduceat``-over-``bases`` shape of :meth:`_rebuild_mask`.  A
+        NaN or Inf displacement (non-finite velocity or force upstream)
+        fails the ``<=`` comparison just like an oversized one, so this
+        single check covers position finiteness inductively: admission
+        screened the initial state, and every later position is
+        ``previous + displacement``.
+        """
+        np.multiply(self._sb1, self._sb1, out=self._mb1)
+        disp2 = self._row_norm2(self._mb1)
+        seg_max = np.maximum.reduceat(disp2, self._bases[:-1])
+        ok = seg_max <= self._guard_disp2
+        if ok.all():
+            return
+        for k in np.flatnonzero(~ok):
+            self._trip(
+                int(k), REASON_DISPLACEMENT,
+                float(np.sqrt(seg_max[k])), self._guard_max_disp,
+            )
+
+    def _guard_forces(self, energies: np.ndarray) -> None:
+        """Segment-wise finite checks on fresh forces and energies.
+
+        Healthy path: one O(N) screen (three slot-column sums plus an
+        ``isfinite`` over the K energies).  Only a failing screen pays
+        the per-segment attribution pass.  Slot space is
+        segment-contiguous (``_g_order`` offsets each segment's bucket
+        order by its row base), so attribution is one ``reduceat`` over
+        the same ``bases``.
+        """
+        n = self._n
+        screen = (
+            float(self._fx[:n].sum())
+            + float(self._fy[:n].sum())
+            + float(self._fz[:n].sum())
+        )
+        bad_e = ~np.isfinite(energies)
+        if np.isfinite(screen) and not bad_e.any():
+            return
+        finite_rows = (
+            np.isfinite(self._fx[:n])
+            & np.isfinite(self._fy[:n])
+            & np.isfinite(self._fz[:n])
+        )
+        bad_rows = np.add.reduceat(
+            (~finite_rows).astype(np.int64), self._bases[:-1]
+        )
+        for k in np.flatnonzero(bad_rows > 0):
+            self._trip(int(k), REASON_FORCE, float(bad_rows[k]), 0.0)
+        for k in np.flatnonzero(bad_e):
+            self._trip(int(k), REASON_ENERGY, float(energies[k]), 0.0)
+        # A screen that failed by pure float64 overflow of the *sum* of
+        # huge-but-finite forces attributes to no segment; the resulting
+        # displacement trips the drift guard next step instead.
+
+    def _guard_energy_drift(self, energies: np.ndarray) -> None:
+        """Optional watchdog: total-energy drift of NVE segments.
+
+        Runs post-kick so kinetic and potential describe the same time
+        point; thermostatted segments are exempt (they exchange energy
+        by design).  References are captured on each segment's first
+        watched step and persist across repacks.
+        """
+        tol = self.guard.energy_drift_tol
+        np.multiply(self._vel, self._vel, out=self._mb1)
+        v2 = self._row_norm2(self._mb1)
+        np.multiply(v2, self._masses, out=v2)
+        ke = 0.5 * np.add.reduceat(v2, self._bases[:-1]) / KCAL_MOL_TO_INTERNAL
+        etot = ke + energies
+        fresh = np.isnan(self._guard_eref) & self._guard_nve
+        if fresh.any():
+            self._guard_eref[fresh] = etot[fresh]
+            for k in np.flatnonzero(fresh):
+                self._segments[k].e_ref = float(etot[k])
+        scale = np.maximum(np.abs(self._guard_eref), 1.0)
+        drifted = self._guard_nve & (
+            np.abs(etot - self._guard_eref) > tol * scale
+        )
+        for k in np.flatnonzero(drifted):
+            self._trip(
+                int(k), REASON_DRIFT,
+                float(abs(etot[k] - self._guard_eref[k])),
+                float(tol * scale[k]),
+            )
+
+    def _quarantine_tripped(self) -> None:
+        """Swap every tripped segment out through :meth:`remove`.
+
+        The survivors' packed values are copied verbatim at the next
+        repack, so their trajectories continue bitwise as if the
+        poisoned job had never been admitted — the same guarantee any
+        other mid-run :meth:`remove` gives.
+        """
+        tripped = self._step_tripped
+        self._step_tripped = {}
+        # Resolve indices to segments before any removal: remove()
+        # shrinks the segment list, so positional indices recorded at
+        # trip time go stale the moment the first segment leaves.
+        resolved = [(self._segments[k], tripped[k]) for k in sorted(tripped)]
+        for seg, (reason, value, threshold) in resolved:
+            record = PoisonRecord(
+                handle=seg.handle,
+                step=self.step_count,
+                reason=reason,
+                value=value,
+                threshold=threshold,
+                segment_steps=self.segment_steps(seg.handle),
+            )
+            record.system = self.remove(seg.handle)
+            self.poison_log.append(record)
+
     def step(self, n_steps: int = 1) -> None:
         """Advance every segment ``n_steps`` timesteps.
 
@@ -634,6 +837,12 @@ class BatchedEngine:
         per-segment thermostats.  No per-system Python loop touches the
         numerical arrays; the only per-segment step work is the
         constant-time reuse-counter bookkeeping.
+
+        With :attr:`guard` set, the health checks run inside the step —
+        read-only, so the healthy path stays bitwise identical — and
+        any tripped segment finishes the step on its own rows (pairs of
+        a poisoned segment never reference foreign slots) before being
+        quarantined into :attr:`poison_log` at the step boundary.
         """
         if n_steps < 0:
             raise ValidationError("n_steps must be >= 0")
@@ -641,22 +850,36 @@ class BatchedEngine:
         if self._n == 0:
             return
         integ = self._integrator
+        guard = self.guard
         for _ in range(n_steps):
+            if self._pack_dirty:
+                # Re-pack after a quarantine at the previous boundary.
+                self._ensure_ready()
+                if self._n == 0:
+                    return
             accel = integ.drift_buffered(
                 self._pos, self._vel, self._frc, self._minv_col,
                 self._box_rows, self._accel_buf, self._sb1, self._sb2,
             )
+            if guard is not None:
+                self._guard_displacement()
             self._energies = self._force_pass()
+            if guard is not None:
+                self._guard_forces(self._energies)
             integ.kick_buffered(
                 self._vel, self._frc, self._new_frc, accel,
                 self._minv_col, self._sb1,
             )
+            if guard is not None and guard.energy_drift_tol is not None:
+                self._guard_energy_drift(self._energies)
             for seg in self._thermo_segs:
                 lo, hi = seg.base, seg.base + seg.n
                 seg.thermostat.apply_arrays(
                     self._vel[lo:hi], self._masses[lo:hi]
                 )
             self.step_count += 1
+            if self._step_tripped:
+                self._quarantine_tripped()
 
     def run(self, n_steps: int, record_every: int = 0) -> None:
         """Alias of :meth:`step` (harness compatibility)."""

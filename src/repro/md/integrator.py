@@ -111,6 +111,13 @@ class VelocityVerlet:
         operands, same order, same roundings — so results are bitwise
         identical; only the temporaries are recycled.  The batched
         engine uses this to keep K-system steps allocation-free.
+
+        Contract: on return ``b1`` holds the applied per-row
+        displacement ``v dt + a dt^2 / 2`` (pre-wrap).  The batched
+        engine's health guard reads it for the max-displacement-per-step
+        tripwire, so it costs nothing the drift did not already compute;
+        ``b1`` stays valid until the next :meth:`kick_buffered` reuses
+        the buffer.
         """
         dt = self.dt
         np.multiply(forces, minv_col, out=accel)  # acceleration_from_force

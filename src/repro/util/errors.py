@@ -44,6 +44,35 @@ class DeadlockError(SimulationError):
     """
 
 
+class UnknownJobError(ValidationError):
+    """A job id that the queue has never issued (or no longer tracks).
+
+    Subclasses :class:`ValidationError` so existing ``except
+    ValidationError`` call sites keep working; exists so service callers
+    can distinguish "you typed the wrong id" from "your input was bad".
+    """
+
+
+class JobPoisonedError(SimulationError):
+    """A batched job tripped a numerical health guard and was quarantined.
+
+    Carries the machine-readable poison record (handle, step, reason,
+    offending magnitude) so schedulers can decide on retry policy
+    without parsing the message.  Raised by
+    :meth:`~repro.md.batch.BatchedEngine.add` when an input system fails
+    admission screening, and by ``JobQueue.result`` for quarantined
+    jobs; mid-run trips are *recorded* (``BatchedEngine.poison_log``)
+    rather than raised, so one poisoned tenant never aborts the healthy
+    remainder of the batch.
+    """
+
+    def __init__(self, message: str, record=None):
+        super().__init__(message)
+        #: The :class:`~repro.faults.health.PoisonRecord` behind this
+        #: error, when one exists (admission rejections carry one too).
+        self.record = record
+
+
 class CheckpointError(FasdaError):
     """A checkpoint file could not be written, read, or trusted.
 

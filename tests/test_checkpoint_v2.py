@@ -219,3 +219,62 @@ class TestCheckpointManager:
             CheckpointManager(str(tmp_path), interval=0)
         with pytest.raises(ValidationError):
             CheckpointManager(str(tmp_path), keep=0)
+
+
+class TestSystemKind:
+    def test_bare_system_round_trip(self, tmp_path):
+        system, _ = build_dataset((3, 3, 3), particles_per_cell=3, seed=9)
+        path = str(tmp_path / "sys.npz")
+        save_checkpoint_v2(system, path)
+        back, step = load_checkpoint_v2(path)
+        assert step == 0
+        assert np.array_equal(back.positions, system.positions)
+        assert np.array_equal(back.velocities, system.velocities)
+        assert np.array_equal(back.forces, system.forces)
+        assert np.array_equal(back.species, system.species)
+
+
+class TestPoisonedStateRejected:
+    """Finite-array validation on load: a poisoned checkpoint (however
+    it got poisoned) must never be resumed silently."""
+
+    def _poison_saved_system(self, tmp_path, field):
+        system, _ = build_dataset((3, 3, 3), particles_per_cell=3, seed=10)
+        getattr(system, field)[1, 2] = np.nan
+        path = str(tmp_path / "bad.npz")
+        # Bypass any in-memory screening: write the arrays as they are.
+        save_checkpoint_v2(system, path)
+        return path
+
+    @pytest.mark.parametrize("field", ["positions", "velocities", "forces"])
+    def test_system_kind_rejects_nonfinite(self, tmp_path, field):
+        path = self._poison_saved_system(tmp_path, field)
+        with pytest.raises(CheckpointError, match="non-finite"):
+            load_checkpoint_v2(path)
+
+    def test_engine_kind_rejects_nonfinite(self, tmp_path):
+        system, grid = build_dataset((3, 3, 3), particles_per_cell=3, seed=11)
+        eng = ReferenceEngine(system, grid, reuse_state=True)
+        eng.run(2, record_every=0)
+        eng.system.velocities[0, 0] = np.inf
+        path = str(tmp_path / "eng.npz")
+        save_checkpoint_v2(eng, path)
+        with pytest.raises(CheckpointError, match="non-finite"):
+            load_checkpoint_v2(path)
+
+    def test_batch_kind_rejects_nonfinite_naming_segment(self, tmp_path):
+        from repro.md.batch import BatchedEngine
+
+        be = BatchedEngine()
+        handles = []
+        for i in range(3):
+            s, g = build_dataset((3, 3, 3), particles_per_cell=2,
+                                 seed=12 + i)
+            handles.append(be.add(s, g))
+        be.step(2)
+        seg = be._by_handle[handles[1]]
+        be._vel[seg.base, 0] = np.nan
+        path = str(tmp_path / "batch.npz")
+        save_checkpoint_v2(be, path)
+        with pytest.raises(CheckpointError, match="handle=1"):
+            load_checkpoint_v2(path)
