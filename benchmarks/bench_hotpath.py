@@ -418,6 +418,37 @@ def bench_machine_step(label: str, dims, reps: int) -> dict:
     return result
 
 
+def bench_machine_phases(smoke: bool, machine_results: list) -> dict:
+    """Phase-timed, bitwise-gated optimized step (repro.harness.profiling).
+
+    Reports the per-phase breakdown of the fully optimized machine step
+    (persistent cell state + compiled admission/ROM-eval/scatter kernels
+    + group-by traffic) and its speedup over the *baseline
+    configuration* — the non-reuse vectorized path measured by
+    bench_machine_step in this same run, i.e. the configuration behind
+    the committed PR 6 machine_step baseline — so the comparison is
+    apples-to-apples on this host.
+    """
+    from repro.harness.profiling import format_profile, run_profile
+
+    doc = run_profile(smoke=smoke)
+    print(format_profile(doc))
+    m = doc["machine"]
+    for entry in machine_results:
+        if entry["dims"] == m["dims"]:
+            base = entry["machine_step_s"]
+            doc["baseline_config_step_s"] = base
+            doc["speedup_vs_baseline_config"] = base / m["machine_step_s"]
+            print(
+                f"[machine_phases] optimized "
+                f"{m['machine_step_s'] * 1e3:.1f} ms vs baseline-config "
+                f"vectorized {base * 1e3:.1f} ms -> "
+                f"{doc['speedup_vs_baseline_config']:.2f}x"
+            )
+            break
+    return doc
+
+
 def bench_distributed_step(label: str, dims, reps: int) -> dict:
     """One distributed force pass: serial vs thread-pooled nodes,
     batched vs per-record exchange."""
@@ -507,6 +538,7 @@ def main() -> None:
         bench_distributed_step(label, dims, dist_reps)
         for label, dims in dist_sizes
     ]
+    machine_phases = bench_machine_phases(args.smoke, machine_results)
 
     payload = {
         "benchmark": "hotpath",
@@ -516,6 +548,7 @@ def main() -> None:
         "backends": backend_results,
         "batched": batched_results,
         "machine_step": machine_results,
+        "machine_phases": machine_phases,
         "distributed_step": distributed_results,
     }
     os.makedirs(os.path.dirname(args.out), exist_ok=True)

@@ -12,6 +12,7 @@ Usage::
     python -m repro recover --json benchmarks/results/FAULTS_nodes.json
     python -m repro campaign --journal run.jsonl   # crash-resumable
     python -m repro campaign --resume run.jsonl    # finish a killed run
+    python -m repro profile --json BENCH_machine.json  # phase breakdown
     python -m repro info             # design-point summary table
 
 Each command prints the same text table the corresponding benchmark
@@ -223,6 +224,46 @@ def _cmd_batch(args):
     return text
 
 
+def _cmd_profile(args):
+    from repro.harness.campaign import check_regression, load_campaign_json
+    from repro.harness.profiling import format_profile, run_profile
+
+    # Load the baseline before --json can overwrite it (same file is
+    # fine for local baseline refreshes; mirrors `campaign`/`batch`).
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_campaign_json(args.baseline)
+    doc = run_profile(smoke=args.smoke, force_impl=args.force_impl)
+    if args.json:
+        import json as json_mod
+
+        dirname = os.path.dirname(args.json)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        with open(args.json, "w") as fh:
+            fh.write(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
+    text = format_profile(doc)
+    if args.baseline:
+        if baseline is not None:
+            failures = check_regression(
+                baseline, doc, threshold=args.threshold,
+            )
+            if failures:
+                text += "\nPERF REGRESSION vs " + args.baseline + ":\n"
+                text += "\n".join("  " + f for f in failures)
+                return text, 1
+            text += (
+                f"\nperf gate vs {args.baseline}: OK "
+                f"(threshold {100 * args.threshold:.0f}%)"
+            )
+        else:
+            text += (
+                f"\nperf gate: no baseline at {args.baseline}; skipped "
+                "(commit the fresh JSON to arm it)"
+            )
+    return text
+
+
 def _cmd_recover(args):
     from repro.harness.faultsweep import (
         format_node_soak,
@@ -345,6 +386,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "campaign": _cmd_campaign,
     "batch": _cmd_batch,
+    "profile": _cmd_profile,
     "jobs": _cmd_jobs,
     "faults": _cmd_faults,
     "recover": _cmd_recover,

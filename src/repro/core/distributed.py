@@ -22,6 +22,7 @@ real cluster.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,7 @@ from repro.core.cellids import (
 from repro.core.config import MachineConfig
 from repro.core.datapath import ForcePipeline, PairFilter, quantize_cell_fractions
 from repro.core.packets import P2REncapsulatorChain, Packet, Record, RecordBatch
+from repro.core.timing import StepTimings
 from repro.faults import (
     DegradationRecord,
     FaultInjector,
@@ -97,6 +99,18 @@ _FORK_MACHINE: Optional["DistributedMachine"] = None
 def _fork_eval_node(node: "_Node"):
     """Process-pool entry point: evaluate one node in a forked worker."""
     return _FORK_MACHINE._evaluate_node(node)
+
+
+def _fork_eval_node_shm(task: Tuple[int, int, int]):
+    """Zero-copy process-pool entry point.
+
+    ``task`` is only ``(node_id, pid_offset, pid_len)``; everything
+    bulky — current fractions, the per-node particle-id catalog, the
+    per-node force bank — lives in :mod:`multiprocessing.shared_memory`
+    segments the forked worker inherited by mapping, so nothing big is
+    pickled in either direction.
+    """
+    return _FORK_MACHINE._evaluate_node_shm(task)
 
 
 class DistributedMachine:
@@ -298,8 +312,32 @@ class DistributedMachine:
         self._build_cids: Optional[np.ndarray] = None
         self._flow_static: Optional[Dict[Tuple[int, int], Optional[dict]]] = None
         self._last_frac: Optional[np.ndarray] = None
+        self._last_cids: Optional[np.ndarray] = None
         self._executor = None
         self._executor_kind = None
+        #: Per-phase wall-clock counters (build/exchange/force/integrate);
+        #: off by default — see :class:`~repro.core.timing.StepTimings`.
+        self.timings = StepTimings()
+        #: Static node -> owned global cell ids (ascending), shared by the
+        #: pickled and shared-memory evaluation paths.
+        self._local_cells_static = {
+            k: np.flatnonzero(self._cell_node == k)
+            for k in range(config.n_fpgas)
+        }
+        # -- zero-copy process parallelism (multiprocessing.shared_memory) --
+        # Created lazily at the first injector-free "process" force pass,
+        # *before* the pool forks so workers inherit the mappings; the
+        # parent refreshes the fraction segment in place each step and
+        # rewrites the partition metadata only when the binning changes.
+        self._owner_pid = os.getpid()
+        self._shm_ok: Optional[bool] = None
+        self._shm_segs: List = []
+        self._shm_frac: Optional[np.ndarray] = None
+        self._shm_banks: Optional[np.ndarray] = None
+        self._shm_counts: Optional[np.ndarray] = None
+        self._shm_pids: Optional[np.ndarray] = None
+        self._shm_meta_cids: Optional[np.ndarray] = None
+        self._shm_tasks: Optional[List[Tuple[int, int, int]]] = None
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -358,8 +396,9 @@ class DistributedMachine:
             self.system.positions, coords, cfg.cutoff, self.fmt
         )
         self._last_frac = frac
+        cids = self.grid.cell_id(coords)
+        self._last_cids = cids
         if self.reuse_state:
-            cids = self.grid.cell_id(coords)
             if self._nodes_cache is not None and np.array_equal(
                 cids, self._build_cids
             ):
@@ -446,11 +485,18 @@ class DistributedMachine:
                 if int(occ.sum()) == 0:
                     self._flow_static[(src, dst)] = None
                     continue
+                # The payload buffer is part of the skeleton: the species
+                # column is frozen with the binning, so reused steps only
+                # gather the current fractions into columns 0..2 (halo
+                # cells copy out of the batch, so reuse cannot alias).
+                payload = np.empty((int(occ.sum()), 4))
+                payload[:, 3] = np.concatenate([p.species for p in parts])
                 self._flow_static[(src, dst)] = dict(
                     occ=occ,
                     starts=np.concatenate([[0], np.cumsum(occ)]),
                     pids=np.concatenate([p.particle_ids for p in parts]),
-                    species=np.concatenate([p.species for p in parts]),
+                    payload=payload,
+                    fracbuf=np.empty((int(occ.sum()), 3)),
                     cells=np.repeat(self._cell_coords[cids], occ, axis=0),
                 )
         for (src, dst), cids in self._node_flows.items():
@@ -460,9 +506,9 @@ class DistributedMachine:
                 if ent is None:
                     continue
                 occ = ent["occ"]
-                payload = np.empty((len(ent["pids"]), 4))
-                payload[:, :3] = self._last_frac[ent["pids"]]
-                payload[:, 3] = ent["species"]
+                payload = ent["payload"]
+                np.take(self._last_frac, ent["pids"], axis=0, out=ent["fracbuf"])
+                payload[:, :3] = ent["fracbuf"]
                 batch = RecordBatch(
                     kind="position",
                     dst=int(dst),
@@ -896,25 +942,27 @@ class DistributedMachine:
             e = e + ec
         return f, e
 
-    def _verify_id_conversion(self, node: _Node) -> None:
-        """Assert the Sec. 4.2 GCID -> LCID -> RCID machinery on this node.
+    def _verify_id_conversion(
+        self, local_cells, node_coords: np.ndarray
+    ) -> None:
+        """Assert the Sec. 4.2 GCID -> LCID -> RCID machinery on one node.
 
         For every (home cell, half-shell neighbor) pair of the node, the
         offset recovered through the homogeneous local ID space must
         equal the geometric half-shell offset — this is the check the
         per-cell loop performed inline before displacement evaluation.
         """
-        if not node.local_cells:
+        if not len(local_cells):
             return
         gd = self.config.global_cells
         ld = self.config.local_cells
-        local = np.asarray(node.local_cells, dtype=np.int64)
+        local = np.asarray(local_cells, dtype=np.int64)
         home_lcid = gcid_to_lcid(
-            self._cell_coords[local], node.node_coords, ld, gd
+            self._cell_coords[local], node_coords, ld, gd
         )
         nbr_lcid = gcid_to_lcid(
             self._cell_coords[self._neighbor_cids[local]],
-            node.node_coords,
+            node_coords,
             ld,
             gd,
         )
@@ -937,37 +985,63 @@ class DistributedMachine:
         attributes are read), so nodes evaluate concurrently in threads
         or forked processes.
 
-        The node's visible cells (local + halo) are concatenated into
-        flat position-cache arrays and all candidate pairs of the node's
-        plan rows flow through the filter and pipelines in batches, like
-        the global machine's hot path.
+        This is the pickled-``_Node`` entry point; the shared-memory
+        path reaches the same :meth:`_eval_core` through
+        :meth:`_evaluate_node_shm` with identical inputs, so both are
+        bitwise-identical by construction.
         """
-        plan = self._plan
-        n_cells = self.grid.n_cells
         bank = np.zeros((self.system.n, 3), dtype=np.float32)
-        potential = np.float32(0.0)
-        returns: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
-        self._verify_id_conversion(node)
+        self._verify_id_conversion(node.local_cells, node.node_coords)
 
         # Concatenate visible cells (ascending cid) into bucket arrays.
         visible = sorted(
             list(node.cells.items()) + list(node.halo.items())
         )
-        counts = np.zeros(n_cells, dtype=np.int64)
+        counts = np.zeros(self.grid.n_cells, dtype=np.int64)
         for cid, data in visible:
             counts[cid] = len(data.particle_ids)
         start = np.concatenate([[0], np.cumsum(counts)])
         if start[-1] == 0:
-            return bank, float(potential), returns
+            return bank, 0.0, {}
         frac_cat = np.concatenate(
             [d.fractions.reshape(-1, 3) for _, d in visible]
         )
         pid_cat = np.concatenate([d.particle_ids for _, d in visible])
         spc_cat = np.concatenate([d.species for _, d in visible])
-        owner_is_local = self._cell_node == node.node_id
+        potential, returns = self._eval_core(
+            node.node_id, sorted(node.local_cells), counts, start,
+            frac_cat, pid_cat, spc_cat, bank,
+        )
+        return bank, potential, returns
+
+    def _eval_core(
+        self,
+        node_id: int,
+        local_cells,
+        counts: np.ndarray,
+        start: np.ndarray,
+        frac_cat: np.ndarray,
+        pid_cat: np.ndarray,
+        spc_cat: np.ndarray,
+        bank: np.ndarray,
+    ) -> Tuple[float, Dict[int, List[Tuple[np.ndarray, np.ndarray]]]]:
+        """Shared evaluation core for one node's flattened inputs.
+
+        The node's visible cells (local + halo), already concatenated in
+        ascending-cid order into flat position-cache arrays, flow as all
+        candidate pairs of the node's plan rows through the filter and
+        pipelines in batches, like the global machine's hot path.
+        Accumulates into ``bank`` (a private array or this node's
+        shared-memory slice) and returns the partial potential plus the
+        per-owner neighbor-force segments.
+        """
+        plan = self._plan
+        potential = np.float32(0.0)
+        returns: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        owner_is_local = self._cell_node == node_id
 
         rows = (
-            np.asarray(sorted(node.local_cells), dtype=np.int64)[:, None]
+            np.asarray(local_cells, dtype=np.int64)[:, None]
             * ROWS_PER_CELL
             + np.arange(ROWS_PER_CELL, dtype=np.int64)[None, :]
         ).reshape(-1)
@@ -1035,7 +1109,145 @@ class DistributedMachine:
                     returns.setdefault(int(owners[seg[0]]), []).append(
                         (upid[seg], fr[seg])
                     )
-        return bank, float(potential), returns
+        return float(potential), returns
+
+    # -- zero-copy shared-memory evaluation -------------------------------------
+
+    def _ensure_shm(self) -> bool:
+        """Create the shared position/bank/metadata segments (once).
+
+        Segment sizes are static for the machine's life: fractions
+        ``(N, 3)`` float64, per-node force banks ``(n_fpgas, N, 3)``
+        float32, per-node visible-cell counts ``(n_fpgas, n_cells)``
+        int64, and a particle-id catalog sized by the provable bound
+        ``N * (1 + max destinations per cell)`` (each cell's particles
+        appear once locally plus at most once per destination node of
+        its send flows).  Creation shuts any existing pool down so the
+        next fork inherits the mappings; failure (no POSIX shared
+        memory) degrades permanently to the pickled-``_Node`` path.
+        """
+        if self._shm_ok is not None:
+            return self._shm_ok
+        try:
+            from multiprocessing import shared_memory
+
+            n = self.system.n
+            nf = self.config.n_fpgas
+            nc = self.grid.n_cells
+            max_targets = max(
+                (len(v) for v in self._send_targets.values()), default=0
+            )
+            cap = max(1, n * (1 + max_targets))
+
+            def seg(nbytes: int):
+                s = shared_memory.SharedMemory(
+                    create=True, size=max(1, nbytes)
+                )
+                self._shm_segs.append(s)
+                return s
+
+            self._shm_frac = np.ndarray(
+                (n, 3), dtype=np.float64, buffer=seg(n * 3 * 8).buf
+            )
+            self._shm_banks = np.ndarray(
+                (nf, n, 3), dtype=np.float32, buffer=seg(nf * n * 3 * 4).buf
+            )
+            self._shm_counts = np.ndarray(
+                (nf, nc), dtype=np.int64, buffer=seg(nf * nc * 8).buf
+            )
+            self._shm_pids = np.ndarray(
+                cap, dtype=np.int64, buffer=seg(cap * 8).buf
+            )
+            self._shm_meta_cids = None
+            self._shm_tasks = None
+            self._shutdown_pool()
+            self._shm_ok = True
+        except Exception:
+            self._release_shm()
+            self._shm_ok = False
+        return self._shm_ok
+
+    def _release_shm(self) -> None:
+        """Drop the numpy views, then close and unlink every segment."""
+        self._shm_frac = None
+        self._shm_banks = None
+        self._shm_counts = None
+        self._shm_pids = None
+        self._shm_meta_cids = None
+        self._shm_tasks = None
+        segs, self._shm_segs = self._shm_segs, []
+        for s in segs:
+            try:
+                s.close()
+                s.unlink()
+            except Exception:
+                pass
+        self._shm_ok = None
+
+    def _pack_shm(self, nodes: Dict[int, _Node]) -> List[Tuple[int, int, int]]:
+        """Refresh the shared segments for this force pass.
+
+        The fraction segment is copied in place every step; the
+        partition metadata (per-node visible-cell counts + concatenated
+        particle ids, ascending cid — exactly the flattening
+        :meth:`_evaluate_node` performs) is rewritten only when the cell
+        assignment changed since the last pack.  Returns the tiny
+        per-node ``(node_id, pid_offset, pid_len)`` task tuples.
+        """
+        np.copyto(self._shm_frac, self._last_frac)
+        if self._shm_tasks is not None and np.array_equal(
+            self._last_cids, self._shm_meta_cids
+        ):
+            return self._shm_tasks
+        tasks: List[Tuple[int, int, int]] = []
+        off = 0
+        for nid in sorted(nodes):
+            node = nodes[nid]
+            visible = sorted(
+                list(node.cells.items()) + list(node.halo.items())
+            )
+            cnt_row = self._shm_counts[nid]
+            cnt_row.fill(0)
+            lo = off
+            for cid, data in visible:
+                k = len(data.particle_ids)
+                cnt_row[cid] = k
+                self._shm_pids[off:off + k] = data.particle_ids
+                off += k
+            tasks.append((nid, lo, off - lo))
+        self._shm_meta_cids = self._last_cids.copy()
+        self._shm_tasks = tasks
+        return tasks
+
+    def _evaluate_node_shm(
+        self, task: Tuple[int, int, int]
+    ) -> Tuple[int, float, Dict[int, List[Tuple[np.ndarray, np.ndarray]]]]:
+        """Worker-side evaluation against the shared segments.
+
+        Reconstructs exactly the flattened inputs of
+        :meth:`_evaluate_node` — without an injector every halo fraction
+        equals ``frac[pid]`` of the sender and every halo species equals
+        ``system.species[pid]``, so the global gathers reproduce the
+        per-cell concatenation bit for bit — and accumulates into this
+        node's shared bank slice instead of returning a pickled array.
+        """
+        nid, off, ln = task
+        counts = self._shm_counts[nid]
+        bank = self._shm_banks[nid]
+        bank.fill(0)
+        local_cells = self._local_cells_static[nid]
+        self._verify_id_conversion(local_cells, self._node_coords[nid])
+        if ln == 0:
+            return nid, 0.0, {}
+        start = np.concatenate([[0], np.cumsum(counts)])
+        pid_cat = self._shm_pids[off:off + ln]
+        frac_cat = self._shm_frac[pid_cat]
+        spc_cat = self.system.species[pid_cat]
+        potential, returns = self._eval_core(
+            nid, local_cells, counts, start,
+            frac_cat, pid_cat, spc_cat, bank,
+        )
+        return nid, potential, returns
 
     def _get_executor(self):
         """Build (once) and return the evaluation pool for this machine.
@@ -1050,7 +1262,7 @@ class DistributedMachine:
         kind = "process" if self.parallel == "process" else "thread"
         if self._executor is not None and self._executor_kind == kind:
             return self._executor
-        self.close()
+        self._shutdown_pool()
         workers = self.max_workers or self.config.n_fpgas
         if kind == "process":
             import multiprocessing
@@ -1075,12 +1287,22 @@ class DistributedMachine:
         self._executor_kind = kind
         return self._executor
 
-    def close(self) -> None:
-        """Shut down the evaluation pool (idempotent)."""
+    def _shutdown_pool(self) -> None:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
             self._executor_kind = None
+
+    def close(self) -> None:
+        """Shut down the pool and release shared segments (idempotent).
+
+        A no-op in forked workers: their interpreter teardown must not
+        shut down the parent's pool or unlink segments it still maps.
+        """
+        if getattr(self, "_owner_pid", None) != os.getpid():
+            return
+        self._shutdown_pool()
+        self._release_shm()
 
     def __del__(self):
         try:
@@ -1093,19 +1315,48 @@ class DistributedMachine:
         self.last_degraded_records = 0
         if self.node_injector is not None:
             self._node_fault_preamble()
-        nodes = self._build_nodes()
-        self._exchange_positions(nodes)
+        with self.timings.phase("build"):
+            nodes = self._build_nodes()
+        with self.timings.phase("exchange"):
+            self._exchange_positions(nodes)
         self._iteration += 1
         node_list = [nodes[n] for n in sorted(nodes)]
-        if self.parallel:
-            pool = self._get_executor()
-            if self._executor_kind == "process":
-                results = list(pool.map(_fork_eval_node, node_list))
-            else:
-                results = list(pool.map(self._evaluate_node, node_list))
-        else:
-            results = [self._evaluate_node(node) for node in node_list]
+        with self.timings.phase("force"):
+            results = self._evaluate_all(nodes, node_list)
+            potential = self._merge_results(node_list, results)
+        self._last_potential = potential
+        return self._last_potential
 
+    def _evaluate_all(self, nodes: Dict[int, _Node], node_list: List[_Node]):
+        """Evaluate every node serially or on the configured pool.
+
+        ``parallel="process"`` without a fault injector takes the
+        zero-copy route: only ``(node_id, offset, length)`` tuples cross
+        the pipe; fractions travel through the shared position segment
+        and each node's bank comes back through its shared slice.  With
+        an injector the halo can degrade to stale snapshots (which the
+        shared gather cannot reproduce), so the pickled-``_Node`` oracle
+        path runs instead.
+        """
+        if not self.parallel:
+            return [self._evaluate_node(node) for node in node_list]
+        use_shm = (
+            self.parallel == "process"
+            and self.injector is None
+            and self._ensure_shm()
+        )
+        pool = self._get_executor()
+        if self._executor_kind != "process":
+            return list(pool.map(self._evaluate_node, node_list))
+        if use_shm:
+            tasks = self._pack_shm(nodes)
+            return [
+                (self._shm_banks[nid], pot, rets)
+                for nid, pot, rets in pool.map(_fork_eval_node_shm, tasks)
+            ]
+        return list(pool.map(_fork_eval_node, node_list))
+
+    def _merge_results(self, node_list: List[_Node], results) -> float:
         # Deterministic merge in node-id order (independent of worker
         # scheduling): sum banks, apply returned neighbor forces.
         home_bank = np.zeros((self.system.n, 3), dtype=np.float32)
@@ -1132,8 +1383,7 @@ class DistributedMachine:
                     np.ceil(n_records / self.config.records_per_packet)
                 )
         self._forces32 = home_bank
-        self._last_potential = float(potential)
-        return self._last_potential
+        return float(potential)
 
     # -- integration ------------------------------------------------------------
 
@@ -1160,17 +1410,19 @@ class DistributedMachine:
             self.compute_forces()
             self._primed = True
         dt = np.float32(self.config.dt_fs)
-        accel = self._accel32(self._forces32)
-        delta = (
-            self._velocities32 * dt + np.float32(0.5) * accel * dt * dt
-        ).astype(np.float64)
-        self.system.positions += delta
-        self.system.wrap()
+        with self.timings.phase("integrate"):
+            accel = self._accel32(self._forces32)
+            delta = (
+                self._velocities32 * dt + np.float32(0.5) * accel * dt * dt
+            ).astype(np.float64)
+            self.system.positions += delta
+            self.system.wrap()
         self.compute_forces()
-        accel_new = self._accel32(self._forces32)
-        self._velocities32 += np.float32(0.5) * (accel + accel_new) * dt
-        self.system.velocities[:] = self._velocities32
-        self.system.forces[:] = self._forces32
+        with self.timings.phase("integrate"):
+            accel_new = self._accel32(self._forces32)
+            self._velocities32 += np.float32(0.5) * (accel + accel_new) * dt
+            self.system.velocities[:] = self._velocities32
+            self.system.forces[:] = self._forces32
         return self._last_potential
 
     def run(self, n_steps: int, record_every: int = 1) -> List[EnergyRecord]:

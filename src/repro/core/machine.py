@@ -40,6 +40,7 @@ from repro.core.datapath import (
     quantize_cell_fractions,
 )
 from repro.core.rings import RingLoadModel, RingPath, cbb_ring_order
+from repro.core.timing import StepTimings
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
 from repro.md.dataset import build_dataset
 from repro.md.kernels import scatter_add
@@ -50,7 +51,7 @@ from repro.md.pairplan import (
     plan_for_grid,
 )
 from repro.md.cellstate import CellState, machine_pack_fn
-from repro.md.backends import resolve_backend
+from repro.md.backends import resolve_backend, traffic_flat_numpy
 from repro.md.reference import _padded_viable
 from repro.md.engine import EnergyRecord
 from repro.md.system import ParticleSystem
@@ -108,6 +109,12 @@ class StepStats:
     #: is the per-event source these aggregates come from).
     recoveries: Optional[int] = None
     recovery_cycles: Optional[float] = None
+    #: Cumulative per-phase wall-clock seconds (and ``*_calls`` counts)
+    #: from the machine's :class:`~repro.core.timing.StepTimings` —
+    #: ``None`` unless timing was enabled.  Counters are monotonic
+    #: across the machine's lifetime, not per step; ``ring`` time is a
+    #: subset of ``traffic`` time.
+    timings: Optional[Dict[str, float]] = None
 
     @property
     def total_candidates(self) -> int:
@@ -153,6 +160,30 @@ def _scatter_cols(bank, idx, wx, wy, wz, n):
     )
 
 
+class _StepArena:
+    """Lazily-grown named scratch buffers for per-step temporaries.
+
+    ``get(name, n, dtype)`` returns the first ``n`` elements of a named
+    persistent buffer, growing it by ~25% headroom when ``n`` exceeds
+    the current capacity — so fluctuating admitted-pair counts settle
+    into zero allocations after the first few steps.  Buffers are plain
+    scratch: contents are undefined between calls and views returned
+    here must not escape the step that requested them.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: Dict[str, np.ndarray] = {}
+
+    def get(self, name: str, n: int, dtype) -> np.ndarray:
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < n or buf.dtype != dtype:
+            buf = np.empty(n + (n >> 2), dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:n]
+
+
 class _MachineArtifacts:
     """Per-build reuse artifacts over one CellState's band lists.
 
@@ -183,6 +214,8 @@ class _MachineArtifacts:
         "dz",
         "tf",
         "r2f",
+        "idx64",
+        "present",
     )
 
     def __init__(self, machine: "FasdaMachine", state: CellState):
@@ -223,6 +256,13 @@ class _MachineArtifacts:
         self.dz = np.empty(L, dtype=np.float32)
         self.tf = np.empty(L, dtype=np.float32)
         self.r2f = np.empty(L, dtype=np.float32)
+        # Admitted-index output for compiled admit kernels (allocated on
+        # first use — the numpy paths never need it) and the bucket-slot
+        # presence bits of the unique-record statistics.
+        self.idx64 = None
+        self.present = np.zeros(
+            machine._plan.n_cells * state.cap, dtype=bool
+        )
 
 
 class FasdaMachine:
@@ -345,6 +385,17 @@ class FasdaMachine:
         self.reuse_skin = 0.15 * config.cutoff
         self._cell_state = None
         self._rom32_cache = None
+        #: Per-phase wall-clock counters (build/force/traffic/ring/
+        #: integrate), off by default; enable with
+        #: ``machine.timings.enabled = True``.  ``ring`` time is charged
+        #: inside the ``traffic`` phase.
+        self.timings = StepTimings()
+        # Persistent per-step force banks and the named scratch arena:
+        # a reuse-path step performs no large allocations (see
+        # DESIGN.md §13).
+        self._home_bank: Optional[np.ndarray] = None
+        self._nbr_bank: Optional[np.ndarray] = None
+        self._arena = _StepArena()
         self.history: List[EnergyRecord] = []
         self._primed = False
         self._last_potential = 0.0
@@ -402,17 +453,27 @@ class FasdaMachine:
         pos = self.system.positions
         n = self.system.n
         n_cells = grid.n_cells
-        state = self._ensure_cell_state(pos) if self.reuse_state else None
-        if state is not None:
-            clist = state.clist
-            coords = state.coords
-        else:
-            clist = CellList(grid, pos)
-            coords = grid.coords_of_positions(pos)
-        frac = quantize_cell_fractions(pos, coords, cfg.cutoff, self.fmt)
+        with self.timings.phase("build"):
+            state = self._ensure_cell_state(pos) if self.reuse_state else None
+            if state is not None:
+                clist = state.clist
+                coords = state.coords
+            else:
+                clist = CellList(grid, pos)
+                coords = grid.coords_of_positions(pos)
+            frac = quantize_cell_fractions(pos, coords, cfg.cutoff, self.fmt)
 
-        home_bank = np.zeros((n, 3), dtype=np.float32)
-        nbr_bank = np.zeros((n, 3), dtype=np.float32)
+        # Persistent force banks (zeroed in place each pass) — the two
+        # largest per-step arrays; their adder-tree sum below still
+        # produces a fresh array so returned force snapshots stay valid.
+        if self._home_bank is None or len(self._home_bank) != n:
+            self._home_bank = np.zeros((n, 3), dtype=np.float32)
+            self._nbr_bank = np.zeros((n, 3), dtype=np.float32)
+        else:
+            self._home_bank.fill(0)
+            self._nbr_bank.fill(0)
+        home_bank = self._home_bank
+        nbr_bank = self._nbr_bank
         candidates = candidates_per_cell(plan, clist.counts)
         accepted = np.zeros(n_cells, dtype=np.int64)
         # Unique neighbor particles touched per plan row — the per-block
@@ -420,22 +481,25 @@ class FasdaMachine:
         # duplicate touches within a block are coalesced).
         uniq_per_row = np.zeros(plan.n_rows, dtype=np.int64)
 
-        if state is not None:
-            potential = self._eval_reuse(
-                state, frac, home_bank, nbr_bank, accepted, uniq_per_row
-            )
-        else:
-            use_padded = self.pair_path != "chunked" and (
-                self.pair_path == "padded" or _padded_viable(plan, clist)
-            )
-            if use_padded:
-                potential = self._eval_padded(
-                    clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+        with self.timings.phase("force"):
+            if state is not None:
+                potential = self._eval_reuse(
+                    state, frac, home_bank, nbr_bank, accepted, uniq_per_row
                 )
             else:
-                potential = self._eval_chunked(
-                    clist, frac, home_bank, nbr_bank, accepted, uniq_per_row
+                use_padded = self.pair_path != "chunked" and (
+                    self.pair_path == "padded" or _padded_viable(plan, clist)
                 )
+                if use_padded:
+                    potential = self._eval_padded(
+                        clist, frac, home_bank, nbr_bank, accepted,
+                        uniq_per_row,
+                    )
+                else:
+                    potential = self._eval_chunked(
+                        clist, frac, home_bank, nbr_bank, accepted,
+                        uniq_per_row,
+                    )
 
         nbr_frc_records = np.zeros(n_cells, dtype=np.int64)
         scatter_add(nbr_frc_records, plan.home, uniq_per_row)
@@ -447,9 +511,10 @@ class FasdaMachine:
                 if self.traffic_impl == "loop"
                 else self._account_traffic
             )
-            position_records, force_records, pr_models, fr_models = account(
-                clist.counts, occupancy, uniq_per_row
-            )
+            with self.timings.phase("traffic"):
+                position_records, force_records, pr_models, fr_models = (
+                    account(clist.counts, occupancy, uniq_per_row)
+                )
         else:
             position_records = {}
             force_records = {}
@@ -475,6 +540,7 @@ class FasdaMachine:
             pr_load={n: RingLoadSummary.from_model(m) for n, m in pr_models.items()},
             fr_load={n: RingLoadSummary.from_model(m) for n, m in fr_models.items()},
             neighbor_force_records_per_cell=nbr_frc_records,
+            timings=self.timings.snapshot(),
         )
         if self.reuse_state:
             cs = self._cell_state
@@ -584,19 +650,40 @@ class FasdaMachine:
         # Bucket-sorted fractions in float32 — exact: fractions are
         # k * 2**-23 in [0, 1), so differences (and minus the integer
         # cell offsets) are exactly representable; float32 dr here is
-        # bit-equal to casting the fresh path's float64 dr.
-        frac_s = np.asarray(frac[order], dtype=np.float32)
-        fsx = np.ascontiguousarray(frac_s[:, 0])
-        fsy = np.ascontiguousarray(frac_s[:, 1])
-        fsz = np.ascontiguousarray(frac_s[:, 2])
+        # bit-equal to casting the fresh path's float64 dr.  Gathered
+        # through the arena: take into a float64 column, cast in place
+        # (the same per-element f64 -> f32 rounding as astype).
+        ar = self._arena
+        t64col = ar.get("fs_t64", n, np.float64)
+        fsx = ar.get("fsx", n, np.float32)
+        fsy = ar.get("fsy", n, np.float32)
+        fsz = ar.get("fsz", n, np.float32)
+        np.take(frac[:, 0], order, out=t64col)
+        fsx[:] = t64col
+        np.take(frac[:, 1], order, out=t64col)
+        fsy[:] = t64col
+        np.take(frac[:, 2], order, out=t64col)
+        fsz[:] = t64col
         potential = np.float32(0.0)
         backend = resolve_backend(self.force_impl)
         if backend.admit_flat is not None:
             # Fused admission kernel: the exact per-pair arithmetic
             # below restated in one loop (see repro.md.backends) —
             # admitted indices, r2 and displacements bitwise identical.
+            # Scratch comes from the build-persistent artifacts; the
+            # numpy/soa kernel wants whole-band work arrays, the
+            # compiled kernels compacted output arrays.
+            if backend.name == "soa":
+                scratch = (art.dx, art.dy, art.dz, art.tf, art.r2f)
+            elif backend.name in ("numba", "cext"):
+                if art.idx64 is None:
+                    art.idx64 = np.empty(len(art.A), dtype=np.int64)
+                scratch = (art.idx64, art.r2f, art.dx, art.dy, art.dz)
+            else:
+                scratch = None
             idx, r2a, dxa, dya, dza = backend.admit_flat(
-                fsx, fsy, fsz, art.A, art.B, segs, _OFFS14
+                fsx, fsy, fsz, art.A, art.B, segs, _OFFS14, scratch=scratch,
+                copy=False,
             )
             if idx.size == 0:
                 return potential
@@ -686,94 +773,209 @@ class FasdaMachine:
             )
         ts = self.tables
         n_s, n_b = ts.n_s, ts.n_b
+        m = idx.size
+        roms = self._rom32()
+        nb_pow2 = n_b >= 1 and (n_b & (n_b - 1)) == 0
+        if (
+            backend.rom_eval is not None
+            and nb_pow2
+            and idx.dtype == np.int64
+        ):
+            # Fused decode + ROM-gather + pipeline kernel: the numpy
+            # sequence of the else-branch restated in one compiled loop
+            # (see repro.md.backends.rom_eval) — per-pair force and
+            # energy streams bitwise identical, so the order-sensitive
+            # reductions below see the exact same operands.
+            fxa = ar.get("fxa", m, np.float32)
+            fya = ar.get("fya", m, np.float32)
+            fza = ar.get("fza", m, np.float32)
+            e = ar.get("ener", m, np.float32)
+            coul = None
+            if self.coulomb_pipeline is not None:
+                coul = roms["coulomb_f"] + roms["coulomb_e"] + (art.qqp,)
+            backend.rom_eval(
+                r2a, dxa, dya, dza, idx, n_s, n_b,
+                roms[14] + roms[8] + roms[12] + roms[6],
+                (art.c14p, art.c8p, art.c12p, art.c6p),
+                coul, fxa, fya, fza, e,
+            )
+            return self._eval_reduce(
+                state, art, idx, e, fxa, fya, fza, bounds,
+                home_bank, nbr_bank, accepted, uniq_per_row, potential,
+                backend,
+            )
         # Section/bin decode straight from the float32 bit fields:
         # s = biased_exponent - (127 - n_s), b = top log2(n_b) mantissa
         # bits — exactly Eqs. 9-10 for admitted r2 in [2**-n_s, 1).
-        if n_b >= 1 and (n_b & (n_b - 1)) == 0:
+        # Integer ops restated with out= into arena scratch.
+        if nb_pow2:
             shift_bits = 24 - int(n_b).bit_length()  # 23 - log2(n_b)
-            bits = r2a.view(np.int32)
-            lin = ((bits >> np.int32(23)) - np.int32(127 - n_s)) * np.int32(
-                n_b
-            ) + ((bits >> np.int32(shift_bits)) & np.int32(n_b - 1))
+            bits = np.ascontiguousarray(r2a).view(np.int32)
+            t1 = ar.get("dec1", m, np.int32)
+            t2 = ar.get("dec2", m, np.int32)
+            np.right_shift(bits, np.int32(23), out=t1)
+            t1 -= np.int32(127 - n_s)
+            t1 *= np.int32(n_b)
+            np.right_shift(bits, np.int32(shift_bits), out=t2)
+            t2 &= np.int32(n_b - 1)
+            t1 += t2
+            # numpy re-casts non-intp index arrays on every take(); one
+            # upfront int64 conversion serves all twelve ROM gathers.
+            lin = ar.get("lin", m, np.int64)
+            lin[:] = t1
         else:
             s, b = section_bin_indices(
                 r2a.astype(np.float64), n_s, n_b, checked=False
             )
-            lin = s * n_b + b
-        # numpy re-casts non-intp index arrays on every take(); one
-        # upfront int64 conversion serves all twelve ROM gathers.
-        lin = lin.astype(np.int64)
-        roms = self._rom32()
+            lin = (s * n_b + b).astype(np.int64)
         a14, b14 = roms[14]
         a8, b8 = roms[8]
         a12, b12 = roms[12]
         a6, b6 = roms[6]
-        inv14 = a14.take(lin)
+        tb = ar.get("romb", m, np.float32)
+        inv14 = ar.get("inv14", m, np.float32)
+        np.take(a14, lin, out=inv14)
         inv14 *= r2a
-        inv14 += b14.take(lin)
-        inv8 = a8.take(lin)
+        np.take(b14, lin, out=tb)
+        inv14 += tb
+        inv8 = ar.get("inv8", m, np.float32)
+        np.take(a8, lin, out=inv8)
         inv8 *= r2a
-        inv8 += b8.take(lin)
+        np.take(b8, lin, out=tb)
+        inv8 += tb
         if art.scalar_coeffs:
             scalar = inv14
             scalar *= art.c14p
             inv8 *= art.c8p
         else:
-            scalar = art.c14p.take(idx)
+            scalar = ar.get("scal", m, np.float32)
+            np.take(art.c14p, idx, out=scalar)
             scalar *= inv14
-            inv8 *= art.c8p.take(idx)
+            np.take(art.c8p, idx, out=tb)
+            inv8 *= tb
         scalar -= inv8
-        fxa = scalar * dxa
-        fya = scalar * dya
-        fza = scalar * dza
-        inv12 = a12.take(lin)
+        fxa = ar.get("fxa", m, np.float32)
+        fya = ar.get("fya", m, np.float32)
+        fza = ar.get("fza", m, np.float32)
+        np.multiply(scalar, dxa, out=fxa)
+        np.multiply(scalar, dya, out=fya)
+        np.multiply(scalar, dza, out=fza)
+        inv12 = ar.get("inv12", m, np.float32)
+        np.take(a12, lin, out=inv12)
         inv12 *= r2a
-        inv12 += b12.take(lin)
-        inv6 = a6.take(lin)
+        np.take(b12, lin, out=tb)
+        inv12 += tb
+        inv6 = ar.get("inv6", m, np.float32)
+        np.take(a6, lin, out=inv6)
         inv6 *= r2a
-        inv6 += b6.take(lin)
+        np.take(b6, lin, out=tb)
+        inv6 += tb
         if art.scalar_coeffs:
             e = inv12
             e *= art.c12p
             inv6 *= art.c6p
         else:
-            e = art.c12p.take(idx)
+            e = ar.get("ener", m, np.float32)
+            np.take(art.c12p, idx, out=e)
             e *= inv12
-            inv6 *= art.c6p.take(idx)
+            np.take(art.c6p, idx, out=tb)
+            inv6 *= tb
         e -= inv6
         if self.coulomb_pipeline is not None:
             af, bf = roms["coulomb_f"]
             ae, be = roms["coulomb_e"]
-            qq = art.qqp.take(idx)
-            invf = af.take(lin)
+            qq = ar.get("qq", m, np.float32)
+            np.take(art.qqp, idx, out=qq)
+            invf = ar.get("invf", m, np.float32)
+            np.take(af, lin, out=invf)
             invf *= r2a
-            invf += bf.take(lin)
-            sc = qq * invf
-            fxa += sc * dxa
-            fya += sc * dya
-            fza += sc * dza
-            inve = ae.take(lin)
+            np.take(bf, lin, out=tb)
+            invf += tb
+            sc = invf
+            sc *= qq
+            np.multiply(sc, dxa, out=tb)
+            fxa += tb
+            np.multiply(sc, dya, out=tb)
+            fya += tb
+            np.multiply(sc, dza, out=tb)
+            fza += tb
+            inve = ar.get("inve", m, np.float32)
+            np.take(ae, lin, out=inve)
             inve *= r2a
-            inve += be.take(lin)
-            e += qq * inve
-        II = art.II.take(idx)
-        JJ = art.JJ.take(idx)
-        CC = art.CC.take(idx)
-        present = np.zeros(plan.n_cells * cap, dtype=bool)
+            np.take(be, lin, out=tb)
+            inve += tb
+            inve *= qq
+            e += inve
+        return self._eval_reduce(
+            state, art, idx, e, fxa, fya, fza, bounds,
+            home_bank, nbr_bank, accepted, uniq_per_row, potential,
+            backend,
+        )
+
+    def _eval_reduce(
+        self,
+        state: CellState,
+        art: "_MachineArtifacts",
+        idx: np.ndarray,
+        e: np.ndarray,
+        fxa: np.ndarray,
+        fya: np.ndarray,
+        fza: np.ndarray,
+        bounds: np.ndarray,
+        home_bank: np.ndarray,
+        nbr_bank: np.ndarray,
+        accepted: np.ndarray,
+        uniq_per_row: np.ndarray,
+        potential: np.float32,
+        backend,
+    ) -> np.float32:
+        """Order-sensitive reductions over the evaluated pair stream:
+        per-offset bank scatters, acceptance counts, unique-record
+        statistics and the per-offset float32 energy sums.  Shared by
+        the numpy pipeline and the fused ``rom_eval`` kernel — both
+        hand over bitwise-identical ``e``/``f`` streams, so everything
+        here is invariant to which produced them."""
+        ar = self._arena
+        n = self.system.n
+        cap = state.cap
+        m = idx.size
+        II = ar.get("II", m, art.II.dtype)
+        JJ = ar.get("JJ", m, art.JJ.dtype)
+        CC = ar.get("CC", m, art.CC.dtype)
+        np.take(art.II, idx, out=II)
+        np.take(art.JJ, idx, out=JJ)
+        np.take(art.CC, idx, out=CC)
+        # Compiled column scatter: same f64-accumulate / f32-round /
+        # full-length f32 add sequence as _scatter_cols, one pass.
+        scat = backend.scatter_cols
+        if (
+            scat is not None
+            and II.dtype == np.int64
+            and home_bank.flags.c_contiguous
+            and nbr_bank.flags.c_contiguous
+        ):
+            acc = ar.get("scat_acc", 3 * n, np.float64)
+
+            def scat_cols(bank, ii, wx, wy, wz, nn):
+                scat(bank, ii, wx, wy, wz, nn, acc)
+
+        else:
+            scat_cols = _scatter_cols
+        present = art.present
         for k in range(ROWS_PER_CELL):
             lo, hi = int(bounds[k]), int(bounds[k + 1])
             if lo == hi:
                 continue
             sl = slice(lo, hi)
             scatter_add(accepted, CC[sl])
-            _scatter_cols(home_bank, II[sl], fxa[sl], fya[sl], fza[sl], n)
+            scat_cols(home_bank, II[sl], fxa[sl], fya[sl], fza[sl], n)
             np.negative(fxa[sl], out=fxa[sl])
             np.negative(fya[sl], out=fya[sl])
             np.negative(fza[sl], out=fza[sl])
             if k == 0:
-                _scatter_cols(home_bank, JJ[sl], fxa[sl], fya[sl], fza[sl], n)
+                scat_cols(home_bank, JJ[sl], fxa[sl], fya[sl], fza[sl], n)
             else:
-                _scatter_cols(nbr_bank, JJ[sl], fxa[sl], fya[sl], fza[sl], n)
+                scat_cols(nbr_bank, JJ[sl], fxa[sl], fya[sl], fza[sl], n)
                 present[:] = False
                 present[art.CJ.take(idx[sl])] = True
                 touched = np.flatnonzero(present)
@@ -957,11 +1159,15 @@ class FasdaMachine:
     ) -> Tuple[Dict[int, RingLoadModel], Dict[int, RingLoadModel]]:
         cfg = self.config
         pr_models = {
-            n_: RingLoadModel(RingPath(self._ring_slots, +1))
+            n_: RingLoadModel(
+                RingPath(self._ring_slots, +1), force_impl=self.force_impl
+            )
             for n_ in range(cfg.n_fpgas)
         }
         fr_models = {
-            n_: RingLoadModel(RingPath(self._ring_slots, -1))
+            n_: RingLoadModel(
+                RingPath(self._ring_slots, -1), force_impl=self.force_impl
+            )
             for n_ in range(cfg.n_fpgas)
         }
         return pr_models, fr_models
@@ -988,9 +1194,11 @@ class FasdaMachine:
         """Vectorized traffic accounting over the active neighbor rows.
 
         Replaces the per-row Python loop (retained as
-        :meth:`_account_traffic_loop`) with numpy group-by passes —
-        sort/:func:`numpy.unique` over composite (cell, node, slot) keys
-        and batched :class:`~repro.core.rings.RingLoadModel` charging —
+        :meth:`_account_traffic_loop`) with group-by passes over
+        composite (cell, node, slot) keys — through the backend
+        ``traffic_flat`` kernel when the active backend compiles one
+        (:func:`~repro.md.backends.traffic_flat_numpy` otherwise) — and
+        batched :class:`~repro.core.rings.RingLoadModel` charging,
         producing bitwise-identical records, link loads and summaries.
         """
         plan = self._plan
@@ -1002,6 +1210,10 @@ class FasdaMachine:
         act = self._active_neighbor_rows(counts)
         if act.size == 0:
             return position_records, force_records, pr_models, fr_models
+        tfl = (
+            resolve_backend(self.force_impl).traffic_flat
+            or traffic_flat_numpy
+        )
 
         cid = plan.home[act]
         ncid = plan.nbr[act]
@@ -1012,17 +1224,17 @@ class FasdaMachine:
 
         # Position stream dedup: unique (source cell, dest node) flows;
         # remote flows charge the source cell's occupancy per record.
-        pkeys = np.unique(ncid * nf + home_node)
+        pkeys = tfl(ncid * nf + home_node)[0]
         pcell = pkeys // nf
         pdst = pkeys % nf
         psrc = self._cell_node[pcell]
         remote = psrc != pdst
         if remote.any():
             rk = psrc[remote] * nf + pdst[remote]
-            uk, inv = np.unique(rk, return_inverse=True)
-            sums = np.bincount(
-                inv, weights=occupancy[pcell[remote]].astype(np.float64)
-            ).astype(np.int64)
+            uk, rsums, _, _ = tfl(
+                rk, weights=occupancy[pcell[remote]].astype(np.float64)
+            )
+            sums = rsums.astype(np.int64)
             position_records = {
                 (int(k // nf), int(k % nf)): int(s) for k, s in zip(uk, sums)
             }
@@ -1030,31 +1242,32 @@ class FasdaMachine:
         # Position-ring broadcasts: one ring traversal per (node, source
         # stream) key, up to the farthest destination CBB (Sec. 4.5).
         # Remote streams enter at EX; the key keeps them distinct per
-        # source cell exactly as the loop oracle does.
+        # source cell exactly as the loop oracle does.  Hops are formed
+        # per row before grouping; the per-key stream length and source
+        # slot are constant within a key, so the first row's values are
+        # exactly the loop oracle's.
         key_mod = np.int64(self._ex_slot + 10_000 + plan.n_cells + 1)
+        src_slot_row = np.where(
+            local, self._cell_ring_slot[ncid], self._ex_slot
+        )
         src_key = np.where(
             local,
             self._cell_ring_slot[ncid],
             self._ex_slot + 10_000 + ncid,
         )
         comp = home_node * key_mod + src_key
-        uc, cinv = np.unique(comp, return_inverse=True)
-        ksrc = uc % key_mod
-        src_slot = np.where(ksrc < S, ksrc, self._ex_slot)
-        # Per-key stream length (constant per key: one source cell) and
-        # farthest-destination hop count on the +1 ring.
-        key_count = np.zeros(len(uc), dtype=np.int64)
-        key_count[cinv] = counts[ncid]
-        hops = (home_slot - src_slot[cinv]) % S
-        far = np.zeros(len(uc), dtype=np.int64)
-        np.maximum.at(far, cinv, hops)
+        hops_row = (home_slot - src_slot_row) % S
+        uc, _, far, first = tfl(comp, aux=hops_row)
+        src_slot = src_slot_row[first]
+        key_count = counts[ncid[first]]
         key_node = uc // key_mod
-        for n_ in pr_models:
-            sel = key_node == n_
-            if sel.any():
-                pr_models[n_].broadcast_many(
-                    src_slot[sel], far[sel], key_count[sel]
-                )
+        with self.timings.phase("ring"):
+            for n_ in pr_models:
+                sel = key_node == n_
+                if sel.any():
+                    pr_models[n_].broadcast_many(
+                        src_slot[sel], far[sel], key_count[sel]
+                    )
 
         # Force-ring injections: evaluating CBB -> home CBB (or EX when
         # the neighbor particles live on another node).
@@ -1064,26 +1277,28 @@ class FasdaMachine:
             rem_f = has & ~local
             if rem_f.any():
                 fk = home_node[rem_f] * nf + src_node[rem_f]
-                uf, finv = np.unique(fk, return_inverse=True)
-                fsums = np.bincount(
-                    finv, weights=u[rem_f].astype(np.float64)
-                ).astype(np.int64)
+                uf, fsums_f, _, _ = tfl(
+                    fk, weights=u[rem_f].astype(np.float64)
+                )
+                fsums = fsums_f.astype(np.int64)
                 force_records = {
                     (int(k // nf), int(k % nf)): int(s)
                     for k, s in zip(uf, fsums)
                 }
             dst_slot = np.where(local, self._cell_ring_slot[ncid], self._ex_slot)
-            for n_ in fr_models:
-                sel = has & (home_node == n_)
-                if sel.any():
-                    fr_models[n_].inject_many(
-                        home_slot[sel], dst_slot[sel], u[sel]
-                    )
-            # Remote arriving forces also ride the destination node's FR
-            # from EX to the home CBB: home cells unknown at this
-            # granularity — charge the mean path (EX to mid-ring).
-            for (src, dst), recs in force_records.items():
-                fr_models[dst].inject(self._ex_slot, S // 2, recs)
+            with self.timings.phase("ring"):
+                for n_ in fr_models:
+                    sel = has & (home_node == n_)
+                    if sel.any():
+                        fr_models[n_].inject_many(
+                            home_slot[sel], dst_slot[sel], u[sel]
+                        )
+                # Remote arriving forces also ride the destination
+                # node's FR from EX to the home CBB: home cells unknown
+                # at this granularity — charge the mean path (EX to
+                # mid-ring).
+                for (src, dst), recs in force_records.items():
+                    fr_models[dst].inject(self._ex_slot, S // 2, recs)
 
         return position_records, force_records, pr_models, fr_models
 
@@ -1195,27 +1410,30 @@ class FasdaMachine:
         if not self._primed:
             self._last_potential = self.compute_forces(collect_traffic).potential_energy
             self._primed = True
-        dt = np.float32(self.config.dt_fs)
-        accel = self._accel32(self._forces32)
-        delta = (
-            self._velocities32 * dt + np.float32(0.5) * accel * dt * dt
-        ).astype(np.float64)
-        before = self.system.positions.copy()
-        self.system.positions += delta
-        self.system.wrap()
-        # MU-ring workload: particles that changed home cell (Sec. 3.2).
-        from repro.core.migration import count_migrations
+        with self.timings.phase("integrate"):
+            dt = np.float32(self.config.dt_fs)
+            accel = self._accel32(self._forces32)
+            delta = (
+                self._velocities32 * dt + np.float32(0.5) * accel * dt * dt
+            ).astype(np.float64)
+            before = self.system.positions.copy()
+            self.system.positions += delta
+            self.system.wrap()
+            # MU-ring workload: particles that changed home cell (Sec. 3.2).
+            from repro.core.migration import count_migrations
 
-        self.last_migrations = count_migrations(
-            self.grid, before, self.system.positions, self._cell_node
-        )
+            self.last_migrations = count_migrations(
+                self.grid, before, self.system.positions, self._cell_node
+            )
         stats = self.compute_forces(collect_traffic)
-        accel_new = self._accel32(self._forces32)
-        self._velocities32 += np.float32(0.5) * (accel + accel_new) * dt
-        # Keep the public system state consistent with the VC/FC caches so
-        # analysis code sees the machine's actual trajectory.
-        self.system.velocities[:] = self._velocities32
-        self.system.forces[:] = self._forces32
+        with self.timings.phase("integrate"):
+            accel_new = self._accel32(self._forces32)
+            self._velocities32 += np.float32(0.5) * (accel + accel_new) * dt
+            # Keep the public system state consistent with the VC/FC
+            # caches so analysis code sees the machine's actual
+            # trajectory.
+            self.system.velocities[:] = self._velocities32
+            self.system.forces[:] = self._forces32
         self._last_potential = stats.potential_energy
         return self._last_potential
 

@@ -15,7 +15,7 @@ cycle).  :class:`RingLoadModel` accounts both from an injection list.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,11 +69,19 @@ class RingLoadModel:
     ``min_cycles = max_link_load``; total work = total hop count.
     """
 
-    def __init__(self, ring: RingPath):
+    def __init__(self, ring: RingPath, force_impl: Optional[str] = None):
         self.ring = ring
         self.link_load = np.zeros(ring.n_slots, dtype=np.int64)
         self.total_records = 0
         self.total_hops = 0
+        # Optional compiled range-add (backend ``ring_charge`` contract);
+        # None keeps the numpy difference-array path below.  Resolved
+        # here once so the per-iteration charge calls pay no lookup.
+        self._ring_charge = None
+        if force_impl is not None:
+            from repro.md.backends import resolve_backend
+
+            self._ring_charge = resolve_backend(force_impl).ring_charge
 
     def inject(self, src: int, dst: int, count: int = 1) -> None:
         """Account ``count`` records travelling src -> dst."""
@@ -119,20 +127,29 @@ class RingLoadModel:
             s = src[live]
             h = hops[live]
             c = counts[live]
-            # Links crossed form a circular contiguous range: for +1 it
-            # starts at src, for -1 it ends at src.
-            first = s if self.ring.direction == +1 else (s - h + 1) % n
-            end = first + h
-            # Difference array over [0, n]; wrapped spans contribute a
-            # second [0, end - n) range.
-            diff = np.bincount(first, weights=c, minlength=n + 1)
-            diff -= np.bincount(np.minimum(end, n), weights=c, minlength=n + 1)
-            wrap = end > n
-            if np.any(wrap):
-                cw = c[wrap]
-                diff[0] += cw.sum()
-                diff -= np.bincount(end[wrap] - n, weights=cw, minlength=n + 1)
-            self.link_load += np.cumsum(diff[:n]).astype(np.int64)
+            if self._ring_charge is not None:
+                self._ring_charge(
+                    self.link_load, self.ring.direction, s, h, c
+                )
+            else:
+                # Links crossed form a circular contiguous range: for +1
+                # it starts at src, for -1 it ends at src.
+                first = s if self.ring.direction == +1 else (s - h + 1) % n
+                end = first + h
+                # Difference array over [0, n]; wrapped spans contribute
+                # a second [0, end - n) range.
+                diff = np.bincount(first, weights=c, minlength=n + 1)
+                diff -= np.bincount(
+                    np.minimum(end, n), weights=c, minlength=n + 1
+                )
+                wrap = end > n
+                if np.any(wrap):
+                    cw = c[wrap]
+                    diff[0] += cw.sum()
+                    diff -= np.bincount(
+                        end[wrap] - n, weights=cw, minlength=n + 1
+                    )
+                self.link_load += np.cumsum(diff[:n]).astype(np.int64)
         self.total_records += int(counts.sum())
         self.total_hops += int((counts * hops).sum())
 

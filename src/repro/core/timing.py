@@ -1,0 +1,104 @@
+"""Lightweight per-phase step timing.
+
+Both :class:`~repro.core.machine.FasdaMachine` and
+:class:`~repro.core.distributed.DistributedMachine` own a
+:class:`StepTimings` instance.  Timing is **off by default**: while
+disabled, ``phase(name)`` returns a shared no-op context manager whose
+``__enter__``/``__exit__`` are empty methods, so the instrumented hot
+path pays two attribute lookups and a falsy branch per phase — no
+``perf_counter`` calls, no dict writes.  Enabled, each phase records
+monotonic cumulative wall seconds plus a call count.
+
+The phases instrumented by this repo:
+
+==============  =========================================================
+``build``       cell-state / node-state (re)construction, quantization
+``force``       the LJ force pass (kernel + scatter)
+``traffic``     position/force flow accounting (group-bys, records)
+``ring``        ring-load charging (link range-adds)
+``exchange``    halo position exchange packing/unpacking (distributed)
+``integrate``   velocity-Verlet updates in ``step()``
+==============  =========================================================
+
+``snapshot()`` returns a plain ``{phase: seconds}`` dict (plus
+``{phase}_calls`` counters) suitable for JSON; the machines copy it
+into ``StepStats.timings`` when enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class _NullPhase:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Accumulating context manager for one named phase."""
+
+    __slots__ = ("seconds", "calls", "_t0")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.calls = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._t0
+        self.calls += 1
+        return None
+
+
+class StepTimings:
+    """Monotonic per-phase wall-clock counters; near-zero overhead off.
+
+    >>> t = StepTimings(enabled=True)
+    >>> with t.phase("force"):
+    ...     pass
+    >>> t.snapshot()["force_calls"]
+    1
+    """
+
+    __slots__ = ("enabled", "_phases")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._phases: Dict[str, _Phase] = {}
+
+    def phase(self, name: str):
+        if not self.enabled:
+            return _NULL_PHASE
+        ph = self._phases.get(name)
+        if ph is None:
+            ph = self._phases[name] = _Phase()
+        return ph
+
+    def reset(self) -> None:
+        self._phases.clear()
+
+    def snapshot(self) -> Optional[Dict[str, float]]:
+        """``{phase: cumulative_seconds, phase_calls: n}`` or ``None`` off."""
+        if not self.enabled:
+            return None
+        out: Dict[str, float] = {}
+        for name, ph in self._phases.items():
+            out[name] = ph.seconds
+            out[name + "_calls"] = ph.calls
+        return out

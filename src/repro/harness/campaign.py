@@ -392,9 +392,16 @@ def run_campaign(
                 if pairs[i] is not None:
                     jnl.append(keys[i], pairs[i][0], pairs[i][1])
 
+    # Resolve the worker count before choosing a mode: spinning up a
+    # process pool for one worker only adds pickling overhead (the
+    # committed BENCH_campaign.json records parallel_speedup 0.956 on a
+    # 1-core host), so workers == 1 takes the serial path — journal
+    # appends and resume fingerprints are identical either way.
+    n_workers = max_workers or os.cpu_count() or 1
+    n_workers = max(1, min(n_workers, max(1, len(pending))))
     t0 = time.perf_counter()
     try:
-        if not parallel or len(pending) <= 1:
+        if not parallel or len(pending) <= 1 or n_workers <= 1:
             for i in pending:
                 payload, w = _execute_with_retry(
                     points[i], retries, retry_backoff_s
@@ -404,8 +411,6 @@ def run_campaign(
                     jnl.append(keys[i], payload, w)
             mode, n_workers = "serial", 1
         else:
-            n_workers = max_workers or os.cpu_count() or 1
-            n_workers = max(1, min(n_workers, len(pending)))
             _run_parallel(
                 points, pending, pairs, jnl, keys,
                 n_workers, retries, retry_backoff_s,

@@ -62,6 +62,11 @@ DONE = "done"
 #: Every state a job can be journaled in.
 JOB_STATES = (QUEUED, RUNNING, QUARANTINED, PREEMPTED, DONE)
 
+#: Default ``batch_max_n`` solo-routing threshold.  The committed
+#: BENCH_batch.json crossover: co-batching wins 4.3x at N=108 but drops
+#: to 0.6x by N=432, so systems past ~256 particles step faster alone.
+BATCH_MAX_N_DEFAULT = 256
+
 
 @dataclass
 class Job:
@@ -340,6 +345,7 @@ class _JobService:
         job_step_timeout: Optional[int],
         now_fn: Optional[Callable[[], float]],
         on_chunk: Optional[Callable[[int, BatchedEngine], None]],
+        batch_max_n: Optional[int] = None,
     ):
         if max_systems < 1:
             raise ValidationError("max_systems must be >= 1")
@@ -353,6 +359,8 @@ class _JobService:
             raise ValidationError("checkpoint_every must be >= 1")
         if resume and workdir is None:
             raise ValidationError("resume=True requires a workdir")
+        if batch_max_n is not None and batch_max_n < 1:
+            raise ValidationError("batch_max_n must be >= 1 or None")
         self.queue = queue
         self.force_impl = force_impl
         self.max_systems = max_systems
@@ -370,6 +378,7 @@ class _JobService:
         self.job_step_timeout = job_step_timeout
         self.now_fn = now_fn or time.monotonic
         self.on_chunk = on_chunk
+        self.batch_max_n = batch_max_n
 
         self.level = 0
         self.active: Dict[int, Job] = {}
@@ -619,10 +628,24 @@ class _JobService:
 
     # -- the chunk loop ------------------------------------------------------
 
+    def _job_n(self, job: Job) -> int:
+        system = job.retry_system if job.retry_system is not None else job.system
+        return system.n
+
     def _admit(self) -> int:
-        """Bin-pack pending jobs of the current lane into free capacity."""
+        """Bin-pack pending jobs of the current lane into free capacity.
+
+        Systems above ``batch_max_n`` are routed solo: batching loses for
+        them (the committed BENCH_batch.json crossover — N=432 runs at
+        0.6x co-batched), so a big job only enters an empty engine and
+        owns it until it drains.
+        """
         admitted = 0
         engine = self.engine
+        if self.batch_max_n is not None and any(
+            self._job_n(j) > self.batch_max_n for j in self.active.values()
+        ):
+            return 0  # a solo big job owns the engine until it finishes
         for job in self.queue.pending():
             if job.attempts != self.level:
                 continue
@@ -632,6 +655,12 @@ class _JobService:
                 job.retry_system if job.retry_system is not None
                 else job.system
             )
+            solo = (
+                self.batch_max_n is not None and system.n > self.batch_max_n
+            )
+            if solo and (self.active or admitted):
+                # Revisited once the engine is empty again.
+                continue
             if (
                 self.max_particles is not None
                 and engine.n_particles + system.n > self.max_particles
@@ -664,6 +693,8 @@ class _JobService:
             self.active[handle] = job
             self._stash_healthy(job)
             admitted += 1
+            if solo:
+                break
         return admitted
 
     def _drain_lane(self) -> bool:
@@ -878,6 +909,7 @@ def run_jobs(
     job_step_timeout: Optional[int] = None,
     now_fn: Optional[Callable[[], float]] = None,
     on_chunk: Optional[Callable[[int, BatchedEngine], None]] = None,
+    batch_max_n: Optional[int] = BATCH_MAX_N_DEFAULT,
 ) -> dict:
     """Drain a job queue through one batched engine, crash-safely.
 
@@ -911,12 +943,17 @@ def run_jobs(
 
     Pass ``engine`` to resume a caller-restored batch checkpoint: its
     live segments are matched to RUNNING jobs by handle.
+
+    ``batch_max_n`` routes systems bigger than the threshold to solo
+    execution (they enter only an empty engine and block co-admission
+    while active) — co-batching loses above the measured crossover.
+    ``None`` disables the routing.
     """
     service = _JobService(
         queue, force_impl, max_systems, max_particles, dt_fs, shift,
         chunk_steps, engine, guard, workdir, resume, retry_attempts,
         retry_dt_factor, checkpoint_every, job_step_timeout, now_fn,
-        on_chunk,
+        on_chunk, batch_max_n=batch_max_n,
     )
     return service.run()
 

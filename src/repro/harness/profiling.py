@@ -1,0 +1,437 @@
+"""Phase-timed, bitwise-checked profiling of the machine/distributed step.
+
+One entry point, :func:`run_profile`, drives the whole "where does a
+step go" story used by ``repro profile``, the ``machine_phases``
+section of ``benchmarks/bench_hotpath.py`` and the CI ``perf-machine``
+leg:
+
+* **Machine phase breakdown** — a :class:`~repro.core.machine.FasdaMachine`
+  on the optimized configuration (persistent cell state + best
+  available compiled backend + vectorized traffic) with
+  :class:`~repro.core.timing.StepTimings` enabled, reporting per-phase
+  seconds (build / force / traffic / ring / integrate) over full
+  ``step()`` calls.
+* **Bitwise oracle checks first, speed second** — before any timing,
+  the optimized machine's full :class:`StepStats` and float32 force
+  bank are asserted bitwise against the chunked/loop oracle (this
+  transitively certifies the fused admission, ROM-eval and scatter
+  kernels plus the group-by traffic and ring range-add paths); the
+  accounting kernels (``traffic_flat`` / ``ring_charge``) are also
+  checked head-to-head against their numpy references, the batched
+  position exchange against the per-record loop, and the shared-memory
+  process pool against the serial distributed run.
+* **Rate metrics for the regression gate** — every throughput lands in
+  a ``*_per_s`` key inside a ``points`` map, the exact shape
+  :func:`repro.harness.campaign.check_regression` consumes, so CI can
+  gate on a committed baseline with the usual 30% rule.
+
+Everything here is measurement and assertion — no simulation state of
+its own — so it lives in the harness layer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
+from repro.core.machine import FasdaMachine
+from repro.core.rings import RingLoadModel, RingPath
+from repro.md.backends import (
+    backend_status,
+    resolve_backend,
+    ring_charge_numpy,
+    traffic_flat_numpy,
+)
+from repro.md.dataset import build_dataset
+
+#: ~10k-particle box (the acceptance size) and the 2k smoke box.
+DEFAULT_DIMS: Tuple[int, int, int] = (5, 5, 6)
+SMOKE_DIMS: Tuple[int, int, int] = (3, 3, 3)
+
+#: The machine phases StepTimings accounts, in report order.  ``ring``
+#: is charged inside ``traffic`` (nested counters, not additive).
+MACHINE_PHASES: Tuple[str, ...] = (
+    "build", "force", "traffic", "ring", "integrate",
+)
+DISTRIBUTED_PHASES: Tuple[str, ...] = (
+    "build", "exchange", "force", "integrate",
+)
+
+
+def _median_time(fn, reps: int) -> float:
+    samples = []
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return sorted(samples)[len(samples) // 2]
+
+
+def _fpga_grid_for(dims) -> tuple:
+    """A >1-node partition that divides the box evenly."""
+    for axis in (2, 1, 0):
+        if dims[axis] % 2 == 0:
+            grid = [1, 1, 1]
+            grid[axis] = 2
+            return tuple(grid)
+    return (dims[0], 1, 1)
+
+
+def _stats_signature(stats) -> dict:
+    """Everything a StepStats asserts bitwise (timings excluded — they
+    are wall-clock, not physics)."""
+    return {
+        "position_records": stats.position_records,
+        "force_records": stats.force_records,
+        "pr_load": {n: asdict(s) for n, s in stats.pr_load.items()},
+        "fr_load": {n: asdict(s) for n, s in stats.fr_load.items()},
+        "accepted": stats.accepted_per_cell.tolist(),
+        "nbr_frc": stats.neighbor_force_records_per_cell.tolist(),
+    }
+
+
+def best_backend() -> str:
+    """The fastest available force backend (compiled first)."""
+    for name in ("cext", "numba", "soa"):
+        if resolve_backend(name).name == name:
+            return name
+    return "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Accounting-kernel equivalence (traffic_flat / ring_charge)
+# ---------------------------------------------------------------------------
+
+
+def check_accounting_kernels(force_impl: str) -> Dict[str, object]:
+    """Assert the backend group-by and ring range-add against numpy.
+
+    Covers the ``traffic_flat`` and ``ring_charge`` backend contracts
+    head-to-head on adversarial synthetic inputs (duplicate keys,
+    zero-hop spans, wrapped spans, both ring directions).  Raises
+    AssertionError on any bitwise mismatch.
+    """
+    backend = resolve_backend(force_impl)
+    rng = np.random.default_rng(20230814)
+    n = 4096
+    keys = rng.integers(0, 97, n)
+    weights = rng.random(n)
+    aux = rng.integers(0, 10_000, n)
+    checked = {"traffic_flat": False, "ring_charge": False}
+
+    if backend.traffic_flat is not None:
+        for w, a in ((weights, aux), (None, aux), (weights, None), (None, None)):
+            ru, rs, rm, rf = traffic_flat_numpy(keys, w, a)
+            gu, gs, gm, gf = backend.traffic_flat(keys, w, a)
+            assert np.array_equal(ru, gu), "traffic_flat: unique keys diverged"
+            assert (rs is None) == (gs is None) and (
+                rs is None or np.array_equal(rs, gs)
+            ), "traffic_flat: weight sums diverged"
+            assert (rm is None) == (gm is None) and (
+                rm is None or np.array_equal(rm, gm)
+            ), "traffic_flat: aux maxima diverged"
+            assert np.array_equal(rf, gf), "traffic_flat: first rows diverged"
+        checked["traffic_flat"] = True
+
+    if backend.ring_charge is not None:
+        for direction in (+1, -1):
+            slots = 29
+            k = 512
+            src = rng.integers(0, slots, k)
+            hops = rng.integers(0, slots, k)
+            counts = rng.integers(0, 50, k)
+            ref = np.zeros(slots, dtype=np.int64)
+            live = (counts > 0) & (hops > 0)
+            ring_charge_numpy(ref, direction, src[live], hops[live], counts[live])
+            got = np.zeros(slots, dtype=np.int64)
+            backend.ring_charge(got, direction, src[live], hops[live], counts[live])
+            assert np.array_equal(ref, got), "ring_charge: link loads diverged"
+            # And both against the per-record inject loop.
+            model = RingLoadModel(RingPath(slots, direction))
+            for s, h, c in zip(src[live], hops[live], counts[live]):
+                d = (s + direction * h) % slots
+                model.inject(int(s), int(d), int(c))
+            assert np.array_equal(model.link_load, got), (
+                "ring_charge: diverged from the per-record inject loop"
+            )
+        checked["ring_charge"] = True
+
+    return checked
+
+
+# ---------------------------------------------------------------------------
+# Machine: oracle check, phase table, rates
+# ---------------------------------------------------------------------------
+
+
+def profile_machine(
+    dims: Tuple[int, int, int],
+    reps: int,
+    force_impl: Optional[str] = None,
+    phase_steps: int = 5,
+) -> Dict[str, object]:
+    """Phase-timed optimized machine step with loop-oracle bitwise gate.
+
+    The optimized configuration is the full stack this repo has grown:
+    persistent skin-banded cell state (``reuse_state``), the fused
+    compiled admission + ROM-eval + scatter kernels of ``force_impl``
+    (best available by default), group-by traffic accounting and the
+    batched ring charge.  Its StepStats and float32 forces must match
+    the chunked/loop oracle bitwise before anything is timed.
+    """
+    impl = force_impl or best_backend()
+    fpga_grid = _fpga_grid_for(dims)
+
+    mach = FasdaMachine(MachineConfig(dims, fpga_grid))
+    mach.pair_path, mach.traffic_impl = "auto", "vectorized"
+    mach.force_impl, mach.reuse_state = impl, True
+    # Two oracles, two invariants: the chunked/loop oracle certifies
+    # the full StepStats (admissions, traffic records, ring loads);
+    # accumulation *order* differs there by design, so the float32
+    # force bank — which certifies the fused admission/ROM-eval/scatter
+    # kernels — is asserted against the vectorized numpy sequence.
+    oracle = FasdaMachine(MachineConfig(dims, fpga_grid))
+    oracle.pair_path, oracle.traffic_impl = "chunked", "loop"
+    oracle.force_impl, oracle.reuse_state = "numpy", False
+    ref = FasdaMachine(MachineConfig(dims, fpga_grid))
+    ref.pair_path, ref.traffic_impl = "auto", "vectorized"
+    ref.force_impl, ref.reuse_state = "numpy", False
+
+    mach.compute_forces()  # warm: plan/table caches + band artifacts
+    mach.compute_forces()
+    s_opt = mach.compute_forces(collect_traffic=True)
+    s_loop = oracle.compute_forces(collect_traffic=True)
+    ref.compute_forces(collect_traffic=True)
+    assert _stats_signature(s_opt) == _stats_signature(s_loop), (
+        "optimized StepStats diverged from the chunked/loop oracle"
+    )
+    assert np.array_equal(mach.forces, ref.forces), (
+        "fused-kernel float32 forces diverged from the numpy sequence"
+    )
+
+    t_opt = _median_time(
+        lambda: mach.compute_forces(collect_traffic=True), reps
+    )
+    t_loop = _median_time(
+        lambda: oracle.compute_forces(collect_traffic=True), max(1, reps // 2)
+    )
+
+    # Phase table over full step() calls (integrate included) with the
+    # lightweight counters on; overhead is a perf_counter pair per
+    # phase, far below timer resolution at these sizes.
+    mach.timings.enabled = True
+    mach.timings.reset()
+    t0 = time.perf_counter()
+    for _ in range(max(1, phase_steps)):
+        mach.step(collect_traffic=True)
+    wall = time.perf_counter() - t0
+    snap = mach.timings.snapshot() or {}
+    mach.timings.enabled = False
+    phases = {
+        name: snap.get(name, 0.0) / max(1, phase_steps)
+        for name in MACHINE_PHASES
+    }
+
+    return {
+        "dims": list(dims),
+        "fpga_grid": list(fpga_grid),
+        "n_particles": int(mach.system.n),
+        "force_impl": impl,
+        "reps": reps,
+        "stats_match_loop_oracle": True,
+        "forces_match_numpy_sequence": True,
+        "machine_step_s": t_opt,
+        "machine_step_loop_s": t_loop,
+        "machine_step_per_s": 1.0 / t_opt,
+        "machine_loop_per_s": 1.0 / t_loop,
+        "speedup_vs_loop": t_loop / t_opt,
+        "phase_steps": phase_steps,
+        "phase_step_wall_s": wall / max(1, phase_steps),
+        "phases_s": phases,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Distributed: exchange + shared-memory pool checks and rates
+# ---------------------------------------------------------------------------
+
+
+def profile_distributed(
+    dims: Tuple[int, int, int],
+    reps: int,
+    traj_steps: int = 4,
+) -> Dict[str, object]:
+    """Serial vs shared-memory process pool, batched vs loop exchange.
+
+    Asserts, bitwise: the batched position exchange against the
+    per-record loop (same forces from the same positions), and a short
+    ``parallel="process"`` trajectory — evaluated through the
+    shared-memory segments when available — against the serial run
+    (positions, velocities, float32 forces).  The >=1.3x process
+    speedup claim only applies on multi-core hosts; ``cpu_count`` is
+    recorded so gates can condition on it.
+    """
+    fpga_grid = _fpga_grid_for(dims)
+    system, _ = build_dataset(dims, seed=2023)
+
+    serial = DistributedMachine(
+        MachineConfig(dims, fpga_grid), system=system.copy(), parallel=False
+    )
+    serial.compute_forces()
+    f_batched = serial.forces.copy()
+    serial.exchange_impl = "loop"
+    serial.compute_forces()
+    assert np.array_equal(f_batched, serial.forces), (
+        "batched position exchange diverged from the per-record loop"
+    )
+    serial.exchange_impl = "batched"
+    t_serial = _median_time(serial.compute_forces, reps)
+
+    # Short trajectories: serial vs process pool over shared memory.
+    s_traj = DistributedMachine(
+        MachineConfig(dims, fpga_grid), system=system.copy(), parallel=False
+    )
+    p_traj = DistributedMachine(
+        MachineConfig(dims, fpga_grid), system=system.copy(), parallel="process"
+    )
+    try:
+        for _ in range(traj_steps):
+            s_traj.step()
+            p_traj.step()
+        shm_active = bool(p_traj._shm_ok)
+        assert np.array_equal(
+            s_traj.system.positions, p_traj.system.positions
+        ), "process-parallel positions diverged from serial"
+        assert np.array_equal(s_traj.velocities, p_traj.velocities), (
+            "process-parallel velocities diverged from serial"
+        )
+        assert np.array_equal(s_traj.forces, p_traj.forces), (
+            "process-parallel float32 forces diverged from serial"
+        )
+        t_process = _median_time(p_traj.compute_forces, reps)
+    finally:
+        p_traj.close()
+
+    snap = {}
+    serial.timings.enabled = True
+    serial.timings.reset()
+    for _ in range(max(1, reps)):
+        serial.step()
+    snap = serial.timings.snapshot() or {}
+    serial.timings.enabled = False
+    phases = {
+        name: snap.get(name, 0.0) / max(1, reps)
+        for name in DISTRIBUTED_PHASES
+    }
+
+    return {
+        "dims": list(dims),
+        "fpga_grid": list(fpga_grid),
+        "n_particles": int(system.n),
+        "reps": reps,
+        "cpu_count": os.cpu_count() or 1,
+        "shm_active": shm_active,
+        "exchange_batched_bitwise": True,
+        "process_trajectory_bitwise": True,
+        "distributed_step_s": t_serial,
+        "distributed_step_process_s": t_process,
+        "distributed_serial_per_s": 1.0 / t_serial,
+        "distributed_process_per_s": 1.0 / t_process,
+        "process_speedup": t_serial / t_process,
+        "phases_s": phases,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Top-level document
+# ---------------------------------------------------------------------------
+
+
+def run_profile(
+    smoke: bool = False,
+    reps: Optional[int] = None,
+    force_impl: Optional[str] = None,
+    dims: Optional[Tuple[int, int, int]] = None,
+) -> Dict[str, object]:
+    """Assemble the full profile document (see the module docstring).
+
+    The ``points`` map is shaped for
+    :func:`repro.harness.campaign.check_regression`: each entry's
+    ``result`` carries the ``*_per_s`` rates the 30% gate compares.
+    """
+    dims = tuple(dims) if dims else (SMOKE_DIMS if smoke else DEFAULT_DIMS)
+    reps = reps if reps is not None else (1 if smoke else 5)
+    impl = force_impl or best_backend()
+
+    kernel_checks = check_accounting_kernels(impl)
+    machine = profile_machine(
+        dims, reps, force_impl=impl, phase_steps=2 if smoke else 5
+    )
+    distributed = profile_distributed(
+        dims, max(1, reps if smoke else reps // 2),
+        traj_steps=2 if smoke else 4,
+    )
+
+    label = f"{machine['n_particles']}p"
+    return {
+        "profile": "machine_phases",
+        "smoke": smoke,
+        "force_impl": impl,
+        "backend_status": backend_status(),
+        "kernel_checks": kernel_checks,
+        "machine": machine,
+        "distributed": distributed,
+        "points": {
+            f"machine_{label}": {
+                "result": {
+                    "machine_step_per_s": machine["machine_step_per_s"],
+                    "machine_loop_per_s": machine["machine_loop_per_s"],
+                }
+            },
+            f"distributed_{label}": {
+                "result": {
+                    "distributed_serial_per_s": distributed[
+                        "distributed_serial_per_s"
+                    ],
+                }
+            },
+        },
+    }
+
+
+def format_profile(doc: Dict[str, object]) -> str:
+    """Human-readable phase-breakdown table for a run_profile document."""
+    m = doc["machine"]
+    d = doc["distributed"]
+    lines = [
+        f"machine step ({m['n_particles']} particles, "
+        f"force_impl={m['force_impl']}): "
+        f"{m['machine_step_s'] * 1e3:.1f} ms "
+        f"({m['machine_step_per_s']:.1f}/s), loop oracle "
+        f"{m['machine_step_loop_s'] * 1e3:.1f} ms "
+        f"-> {m['speedup_vs_loop']:.2f}x, bitwise ok",
+        "  phase breakdown (per step, ring within traffic):",
+    ]
+    wall = m["phase_step_wall_s"]
+    for name in MACHINE_PHASES:
+        sec = m["phases_s"].get(name, 0.0)
+        pct = 100.0 * sec / wall if wall > 0 else 0.0
+        lines.append(f"    {name:<10s} {sec * 1e3:8.2f} ms  {pct:5.1f}%")
+    lines.append(
+        f"distributed step ({d['n_particles']} particles, "
+        f"{int(np.prod(d['fpga_grid']))} nodes): serial "
+        f"{d['distributed_step_s'] * 1e3:.1f} ms, process pool "
+        f"{d['distributed_step_process_s'] * 1e3:.1f} ms "
+        f"({d['process_speedup']:.2f}x, shm={d['shm_active']}, "
+        f"{d['cpu_count']} cpu), bitwise ok"
+    )
+    for name in DISTRIBUTED_PHASES:
+        sec = d["phases_s"].get(name, 0.0)
+        lines.append(f"    {name:<10s} {sec * 1e3:8.2f} ms")
+    return "\n".join(lines)

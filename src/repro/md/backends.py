@@ -56,6 +56,19 @@ Kernel contracts (see DESIGN.md §10)
   accumulation order is not portably replicable in C), so the values
   feeding :meth:`~repro.core.datapath.PairFilter.admit_r2` — and hence
   every admission — are bitwise identical by construction.
+* ``traffic_flat`` (accounting layer, int64 keys): one stable
+  group-reduce serving every group-by in
+  ``FasdaMachine._account_traffic`` — sorted unique keys with per-key
+  float64 weight sums, int64 aux maxima, and first-occurrence row
+  indices.  Sums accumulate rows of each key in input order (a stable
+  sort by ``key*n + row``), which is exactly ``np.bincount(inv,
+  weights)``'s order, so the results are **bitwise identical** to the
+  ``np.unique`` + ``bincount`` + ``np.maximum.at`` reference.
+* ``ring_charge`` (accounting layer, int64): in-place circular
+  range-add of ``counts[k]`` onto the ``hops[k]`` ring links leaving
+  ``src[k]`` — the hot loop of
+  :meth:`~repro.core.rings.RingLoadModel._charge_spans`.  Pure integer
+  adds, order-free, bitwise by construction.
 
 The active default is ``numpy``; override per consumer via their
 ``force_impl`` knob, globally via :func:`set_force_backend`, or with the
@@ -114,6 +127,31 @@ class ForceBackend:
     #: including ``numpy``, which shares the pure-numpy segmented kernel
     #: with ``soa`` since batching has no "classic per-offset" shape.
     lj_flat_seg: Optional[Callable] = None
+    #: Stable group-reduce over int64 keys (accounting layer): see
+    #: :func:`traffic_flat_numpy` for the contract.  ``None`` means the
+    #: consumer keeps its classic ``np.unique``/``bincount`` code.
+    traffic_flat: Optional[Callable] = None
+    #: In-place ring link range-add (accounting layer): see
+    #: :func:`ring_charge_numpy`.  ``None`` = keep the numpy
+    #: difference-array path in :class:`~repro.core.rings.RingLoadModel`.
+    ring_charge: Optional[Callable] = None
+    #: Fused ROM-pipeline evaluation over the admitted pair stream
+    #: (machine layer, float32): section/bin decode from the r2 bit
+    #: fields, the twelve coefficient-ROM gathers and the elementwise
+    #: force/energy polynomial restated in one loop with numpy's
+    #: rounding at every step (``-ffp-contract=off``); fills the
+    #: per-pair ``fx/fy/fz/e`` arrays bitwise identical to the numpy
+    #: op sequence in ``FasdaMachine._eval_reuse``.  ``None`` = keep
+    #: the numpy pipeline (which remains the oracle).
+    rom_eval: Optional[Callable] = None
+    #: Per-column bank scatter (machine layer): mirrors the
+    #: ``bank[:, k] += np.bincount(idx, weights=w_k,
+    #: minlength=n).astype(float32)`` sequence — float64 accumulation
+    #: in input row order, one float32 rounding per row, a float32 add
+    #: onto every bank row (including the +0.0 adds on untouched
+    #: rows).  Bitwise identical by construction.  ``None`` = keep the
+    #: three-bincount numpy helper.
+    scatter_cols: Optional[Callable] = None
     #: True when selecting this backend changes no code path at all.
     is_reference: bool = field(default=False)
 
@@ -414,6 +452,7 @@ def admit_flat_numpy(
     segs: np.ndarray,
     offs: np.ndarray,
     scratch: Optional[Tuple[np.ndarray, ...]] = None,
+    copy: bool = True,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Band-list admission phase in numpy (``soa``'s ``admit_flat``).
 
@@ -508,6 +547,73 @@ def _screen_r2(dr: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->i", dr, dr)
 
 
+def traffic_flat_numpy(
+    keys: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    aux: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray], np.ndarray]:
+    """Stable group-reduce over int64 ``keys`` (the traffic oracle).
+
+    Returns ``(uniq, sums, amax, first)``: sorted unique keys; per-key
+    float64 sums of ``weights`` accumulated in input-row order (exactly
+    ``np.bincount(inv, weights)``'s order — bitwise); per-key int64
+    maxima of ``aux``; and the input row index of each key's first
+    occurrence (for gathering values that are constant per key).
+    ``sums``/``amax`` are ``None`` when the corresponding input is.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    uniq, first, inv = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    sums = None
+    if weights is not None:
+        sums = np.bincount(inv, weights=weights, minlength=len(uniq))
+    amax = None
+    if aux is not None:
+        amax = np.full(len(uniq), np.iinfo(np.int64).min, dtype=np.int64)
+        np.maximum.at(amax, inv, np.asarray(aux, dtype=np.int64))
+    return uniq, sums, amax, first.astype(np.int64, copy=False)
+
+
+def ring_charge_numpy(
+    link_load: np.ndarray,
+    direction: int,
+    src: np.ndarray,
+    hops: np.ndarray,
+    counts: np.ndarray,
+) -> None:
+    """Circular range-add on ``link_load`` (the ring-charge oracle).
+
+    Adds ``counts[k]`` to every link on the ``hops[k]``-link span
+    leaving ``src[k]`` in ring ``direction`` — the difference-array +
+    cumsum formulation.  Callers pre-filter to ``counts > 0`` and
+    ``hops > 0`` rows.  Integer adds: any implementation ordering is
+    bitwise identical.
+    """
+    n = len(link_load)
+    first = src if direction == +1 else (src - hops + 1) % n
+    end = first + hops
+    diff = np.bincount(first, weights=counts, minlength=n + 1)
+    diff -= np.bincount(np.minimum(end, n), weights=counts, minlength=n + 1)
+    wrap = end > n
+    if np.any(wrap):
+        cw = counts[wrap]
+        diff[0] += cw.sum()
+        diff -= np.bincount(end[wrap] - n, weights=cw, minlength=n + 1)
+    link_load += np.cumsum(diff[:n]).astype(np.int64)
+
+
+def _traffic_flat_empty(
+    weights: Optional[np.ndarray], aux: Optional[np.ndarray]
+) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray], np.ndarray]:
+    return (
+        np.empty(0, dtype=np.int64),
+        None if weights is None else np.empty(0, dtype=np.float64),
+        None if aux is None else np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+
+
 # ---------------------------------------------------------------------------
 # cext backend: the fused kernels as a tiny cffi-built C extension
 # ---------------------------------------------------------------------------
@@ -539,10 +645,35 @@ int64_t admit_flat_f32(const float *fsx, const float *fsy, const float *fsz,
 void screen_dr_f64(const double *frac, const int64_t *ii, const int64_t *jj,
                    const double *offs, const int64_t *row, int64_t n,
                    double *dr_out);
+int64_t traffic_groupby_i64(int64_t *skey, int64_t n, int64_t div,
+                            const double *w, const int64_t *aux,
+                            int64_t *uniq_out, double *sum_out,
+                            int64_t *max_out, int64_t *first_out);
+void ring_charge_i64(int64_t *link_load, int64_t n, int64_t direction,
+                     const int64_t *src, const int64_t *hops,
+                     const int64_t *counts, int64_t k);
+void rom_eval_f32(const float *r2, const float *dx, const float *dy,
+                  const float *dz, const int64_t *idx, int64_t m,
+                  int64_t bias, int64_t nb, int64_t shift_bits,
+                  const float *a14, const float *b14,
+                  const float *a8, const float *b8,
+                  const float *a12, const float *b12,
+                  const float *a6, const float *b6,
+                  int scalar_coeffs,
+                  const float *c14, const float *c8,
+                  const float *c12, const float *c6,
+                  const float *af, const float *bf,
+                  const float *ae, const float *be, const float *qq,
+                  float *fx, float *fy, float *fz, float *e_out);
+void scatter_cols_f32(float *bank, const int64_t *idx,
+                      const float *wx, const float *wy, const float *wz,
+                      int64_t m, int64_t n, double *acc);
 """
 
 _C_SOURCE = r"""
 #include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
 
 /* Fused cutoff test + LJ + Newton-pair scatter over a flat pair
  * stream (engine layer, float64).  Sequential accumulation: admitted
@@ -701,6 +832,173 @@ void screen_dr_f64(const double *frac, const int64_t *ii, const int64_t *jj,
         dr_out[3 * p + 2] = a[2] - b[2] - o[2];
     }
 }
+
+static int cmp_i64(const void *a, const void *b)
+{
+    int64_t x = *(const int64_t *)a, y = *(const int64_t *)b;
+    return (x > y) - (x < y);
+}
+
+/* Stable group-reduce over int64 keys (accounting layer).  The caller
+ * precomputes skey[i] = key[i] * div + i with div = n, so one plain
+ * sort of skey is a stable (key, row) sort; a single walk then emits
+ * sorted unique keys, per-key float64 weight sums accumulated in input
+ * row order (bitwise np.bincount's accumulation sequence), per-key
+ * int64 aux maxima, and the first-occurrence row index.  w/aux may be
+ * NULL.  skey is clobbered.  Returns the unique-key count. */
+int64_t traffic_groupby_i64(int64_t *skey, int64_t n, int64_t div,
+                            const double *w, const int64_t *aux,
+                            int64_t *uniq_out, double *sum_out,
+                            int64_t *max_out, int64_t *first_out)
+{
+    if (n == 0)
+        return 0;
+    qsort(skey, (size_t)n, sizeof(int64_t), cmp_i64);
+    int64_t m = -1;
+    int64_t prev = -1;  /* keys are non-negative (wrapper-enforced) */
+    for (int64_t p = 0; p < n; p++) {
+        int64_t key = skey[p] / div;
+        int64_t idx = skey[p] % div;
+        if (m < 0 || key != prev) {
+            m++;
+            prev = key;
+            uniq_out[m] = key;
+            if (w)
+                sum_out[m] = 0.0;
+            if (aux)
+                max_out[m] = aux[idx];
+            first_out[m] = idx;
+        } else if (aux && aux[idx] > max_out[m]) {
+            max_out[m] = aux[idx];
+        }
+        if (w)
+            sum_out[m] += w[idx];
+    }
+    return m + 1;
+}
+
+/* In-place circular range-add (ring-load charging).  Adds counts[p] to
+ * the hops[p] links leaving src[p] in ring direction.  Callers
+ * pre-filter to counts > 0 && hops > 0; integer adds make any visit
+ * order bitwise identical to the numpy difference-array path. */
+void ring_charge_i64(int64_t *link_load, int64_t n, int64_t direction,
+                     const int64_t *src, const int64_t *hops,
+                     const int64_t *counts, int64_t k)
+{
+    for (int64_t p = 0; p < k; p++) {
+        int64_t h = hops[p], c = counts[p];
+        int64_t s = src[p];
+        if (direction != 1) {
+            s = (s - h + 1) % n;
+            if (s < 0)
+                s += n;
+        }
+        for (int64_t q = 0; q < h; q++) {
+            link_load[s] += c;
+            s++;
+            if (s == n)
+                s = 0;
+        }
+    }
+}
+
+/* Fused ROM-pipeline evaluation over the admitted pair stream (machine
+ * layer, float32).  Restates, with -ffp-contract=off so every multiply
+ * and add rounds exactly once like the numpy ufunc sequence:
+ * the section/bin decode straight from the float32 bit fields
+ * (power-of-two n_b only; bias = 127 - n_s, shift_bits =
+ * 23 - log2(n_b)), the per-term ROM interpolation a[lin]*r2 + b[lin],
+ * the coefficient products (scalar broadcast when scalar_coeffs, else
+ * gathered per band index idx[p]), scalar = c14-term - c8-term,
+ * f = scalar * d, e = c12-term - c6-term, and the optional Coulomb
+ * terms (af/ae NULL-able; qq is the per-band charge product gathered
+ * by idx[p]).  Output f/e streams are bitwise numpy's; the
+ * order-sensitive per-offset energy sums and bank scatters stay with
+ * the caller. */
+void rom_eval_f32(const float *r2, const float *dx, const float *dy,
+                  const float *dz, const int64_t *idx, int64_t m,
+                  int64_t bias, int64_t nb, int64_t shift_bits,
+                  const float *a14, const float *b14,
+                  const float *a8, const float *b8,
+                  const float *a12, const float *b12,
+                  const float *a6, const float *b6,
+                  int scalar_coeffs,
+                  const float *c14, const float *c8,
+                  const float *c12, const float *c6,
+                  const float *af, const float *bf,
+                  const float *ae, const float *be, const float *qq,
+                  float *fx, float *fy, float *fz, float *e_out)
+{
+    for (int64_t p = 0; p < m; p++) {
+        float r2a = r2[p];
+        int32_t bits;
+        memcpy(&bits, &r2a, sizeof bits);
+        int64_t lin = ((int64_t)(bits >> 23) - bias) * nb
+                      + (int64_t)((bits >> shift_bits) & (int32_t)(nb - 1));
+        float inv14 = a14[lin] * r2a + b14[lin];
+        float inv8 = a8[lin] * r2a + b8[lin];
+        float inv12 = a12[lin] * r2a + b12[lin];
+        float inv6 = a6[lin] * r2a + b6[lin];
+        float scalar, e;
+        if (scalar_coeffs) {
+            scalar = inv14 * c14[0];
+            inv8 = inv8 * c8[0];
+            e = inv12 * c12[0];
+            inv6 = inv6 * c6[0];
+        } else {
+            int64_t q = idx[p];
+            scalar = c14[q] * inv14;
+            inv8 = inv8 * c8[q];
+            e = c12[q] * inv12;
+            inv6 = inv6 * c6[q];
+        }
+        scalar = scalar - inv8;
+        e = e - inv6;
+        float fxp = scalar * dx[p];
+        float fyp = scalar * dy[p];
+        float fzp = scalar * dz[p];
+        if (qq) {
+            float q32 = qq[idx[p]];
+            float invf = af[lin] * r2a + bf[lin];
+            float sc = invf * q32;
+            fxp = fxp + sc * dx[p];
+            fyp = fyp + sc * dy[p];
+            fzp = fzp + sc * dz[p];
+            float inve = ae[lin] * r2a + be[lin];
+            inve = inve * q32;
+            e = e + inve;
+        }
+        fx[p] = fxp;
+        fy[p] = fyp;
+        fz[p] = fzp;
+        e_out[p] = e;
+    }
+}
+
+/* Per-column bank scatter (machine layer).  Mirrors, per column k:
+ * bank[:, k] += np.bincount(idx, weights=w_k, minlength=n)
+ *                  .astype(float32)
+ * i.e. float64 accumulation of the (exactly cast) float32 weights in
+ * input row order, one f64 -> f32 rounding per row, then a float32 add
+ * onto EVERY bank row — including +0.0 onto untouched rows, which
+ * (like numpy's full-length add) turns -0.0 entries into +0.0.  acc is
+ * caller-provided scratch of 3*n doubles; bank is C-contiguous
+ * (n, 3). */
+void scatter_cols_f32(float *bank, const int64_t *idx,
+                      const float *wx, const float *wy, const float *wz,
+                      int64_t m, int64_t n, double *acc)
+{
+    for (int64_t i = 0; i < 3 * n; i++)
+        acc[i] = 0.0;
+    for (int64_t p = 0; p < m; p++) {
+        int64_t i = idx[p] * 3;
+        acc[i] += (double)wx[p];
+        acc[i + 1] += (double)wy[p];
+        acc[i + 2] += (double)wz[p];
+    }
+    for (int64_t i = 0; i < 3 * n; i++)
+        bank[i] = bank[i] + (float)acc[i];
+}
 """
 
 #: No-FMA, no-fast-math: the float32 machine kernel must round exactly
@@ -788,7 +1086,8 @@ def _make_cext_backend() -> ForceBackend:
         )
         return energies
 
-    def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None):
+    def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None,
+                   copy=True):
         L = len(ia)
         if scratch is not None:
             idx_out, r2_out, dx_out, dy_out, dz_out = scratch
@@ -810,6 +1109,14 @@ def _make_cext_backend() -> ForceBackend:
             ptr("float *", dz_out),
         )
         m = int(m)
+        if not copy:
+            # Views into the caller's scratch: valid until the next
+            # admit over the same scratch, which the machine's one-pass
+            # consumption respects; spares five compacted-array copies.
+            return (
+                idx_out[:m], r2_out[:m],
+                dx_out[:m], dy_out[:m], dz_out[:m],
+            )
         return (
             idx_out[:m].copy(), r2_out[:m].copy(),
             dx_out[:m].copy(), dy_out[:m].copy(), dz_out[:m].copy(),
@@ -832,6 +1139,105 @@ def _make_cext_backend() -> ForceBackend:
         )
         return dr, _screen_r2(dr)
 
+    def traffic_flat(keys, weights=None, aux=None):
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        n = len(keys)
+        if n == 0:
+            return _traffic_flat_empty(weights, aux)
+        # The composite skey = key * n + row must fit in int64; the
+        # traffic keys are tiny (cell * fpga products), but fall back
+        # to the oracle rather than overflow on adversarial inputs.
+        if int(keys.min()) < 0 or int(keys.max()) > (2 ** 62) // n:
+            return traffic_flat_numpy(keys, weights, aux)
+        skey = keys * np.int64(n)
+        skey += np.arange(n, dtype=np.int64)
+        uniq = np.empty(n, dtype=np.int64)
+        first = np.empty(n, dtype=np.int64)
+        w64 = sums = a64 = amax = None
+        if weights is not None:
+            w64 = np.ascontiguousarray(weights, dtype=np.float64)
+            sums = np.empty(n, dtype=np.float64)
+        if aux is not None:
+            a64 = np.ascontiguousarray(aux, dtype=np.int64)
+            amax = np.empty(n, dtype=np.int64)
+        m = int(
+            lib.traffic_groupby_i64(
+                ptr("int64_t *", skey), n, n,
+                ffi.NULL if w64 is None else ptr("double *", w64),
+                ffi.NULL if a64 is None else ptr("int64_t *", a64),
+                ptr("int64_t *", uniq),
+                ffi.NULL if sums is None else ptr("double *", sums),
+                ffi.NULL if amax is None else ptr("int64_t *", amax),
+                ptr("int64_t *", first),
+            )
+        )
+        return (
+            uniq[:m].copy(),
+            None if sums is None else sums[:m].copy(),
+            None if amax is None else amax[:m].copy(),
+            first[:m].copy(),
+        )
+
+    def ring_charge(link_load, direction, src, hops, counts):
+        k = len(src)
+        if k == 0:
+            return
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        hops = np.ascontiguousarray(hops, dtype=np.int64)
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        lib.ring_charge_i64(
+            ptr("int64_t *", link_load), int(len(link_load)),
+            int(direction),
+            ptr("int64_t *", src), ptr("int64_t *", hops),
+            ptr("int64_t *", counts), int(k),
+        )
+
+    def rom_eval(r2, dx, dy, dz, idx, n_s, n_b, lj_roms, coeffs, coul,
+                 fx, fy, fz, e_out):
+        m = int(len(idx))
+        if m == 0:
+            return
+        a14, b14, a8, b8, a12, b12, a6, b6 = lj_roms
+        c14, c8, c12, c6 = coeffs
+        scalar = np.ndim(c14) == 0
+        if scalar:
+            c14 = np.asarray([c14], dtype=np.float32)
+            c8 = np.asarray([c8], dtype=np.float32)
+            c12 = np.asarray([c12], dtype=np.float32)
+            c6 = np.asarray([c6], dtype=np.float32)
+        if coul is None:
+            afp = bfp = aep = bep = qqp = ffi.NULL
+        else:
+            af, bf, ae, be, qq = coul
+            afp, bfp = ptr("float *", af), ptr("float *", bf)
+            aep, bep = ptr("float *", ae), ptr("float *", be)
+            qqp = ptr("float *", qq)
+        shift_bits = 24 - int(n_b).bit_length()
+        lib.rom_eval_f32(
+            ptr("float *", r2),
+            ptr("float *", dx), ptr("float *", dy), ptr("float *", dz),
+            ptr("int64_t *", idx), m,
+            int(127 - n_s), int(n_b), int(shift_bits),
+            ptr("float *", a14), ptr("float *", b14),
+            ptr("float *", a8), ptr("float *", b8),
+            ptr("float *", a12), ptr("float *", b12),
+            ptr("float *", a6), ptr("float *", b6),
+            int(scalar),
+            ptr("float *", c14), ptr("float *", c8),
+            ptr("float *", c12), ptr("float *", c6),
+            afp, bfp, aep, bep, qqp,
+            ptr("float *", fx), ptr("float *", fy), ptr("float *", fz),
+            ptr("float *", e_out),
+        )
+
+    def scatter_cols(bank, idx, wx, wy, wz, n, acc):
+        m = int(len(idx))
+        lib.scatter_cols_f32(
+            ptr("float *", bank), ptr("int64_t *", idx),
+            ptr("float *", wx), ptr("float *", wy), ptr("float *", wz),
+            m, int(n), ptr("double *", acc),
+        )
+
     return ForceBackend(
         name="cext",
         available=True,
@@ -840,6 +1246,10 @@ def _make_cext_backend() -> ForceBackend:
         admit_flat=admit_flat,
         screen_dr=screen_dr,
         lj_flat_seg=lj_flat_seg,
+        traffic_flat=traffic_flat,
+        ring_charge=ring_charge,
+        rom_eval=rom_eval,
+        scatter_cols=scatter_cols,
     )
 
 
@@ -982,6 +1392,119 @@ def _make_numba_backend() -> ForceBackend:
             dr_out[p, 1] = frac[i, 1] - frac[j, 1] - offs[r, 1]
             dr_out[p, 2] = frac[i, 2] - frac[j, 2] - offs[r, 2]
 
+    # Mirrors traffic_groupby_i64: walk rows in stable (key, row) order
+    # and emit per-key reductions.  Weight sums accumulate each key's
+    # rows in input order — np.bincount's sequence, hence bitwise.
+    @njit(cache=True)
+    def _groupby_jit(order, keys, w, aux, has_w, has_aux,
+                     uniq_out, sum_out, max_out, first_out):
+        m = -1
+        prev = np.int64(-1)
+        for p in range(len(order)):
+            idx = order[p]
+            key = keys[idx]
+            if m < 0 or key != prev:
+                m += 1
+                prev = key
+                uniq_out[m] = key
+                if has_w:
+                    sum_out[m] = 0.0
+                if has_aux:
+                    max_out[m] = aux[idx]
+                first_out[m] = idx
+            elif has_aux and aux[idx] > max_out[m]:
+                max_out[m] = aux[idx]
+            if has_w:
+                sum_out[m] += w[idx]
+        return m + 1
+
+    # Mirrors rom_eval_f32: decode straight from the precomputed int32
+    # bit view, float32 ops in numpy's exact sequence (numba's strict
+    # IEEE default emits no FMA contraction).
+    @njit(cache=True)
+    def _rom_eval_jit(r2, bits, dx, dy, dz, idx, bias, nb, shift_bits,
+                      a14, b14, a8, b8, a12, b12, a6, b6,
+                      scalar_coeffs, c14, c8, c12, c6,
+                      has_coul, af, bf, ae, be, qq,
+                      fx, fy, fz, e_out):
+        for p in range(len(idx)):
+            r2a = r2[p]
+            b = np.int64(bits[p])
+            lin = ((b >> np.int64(23)) - bias) * nb + (
+                (b >> shift_bits) & (nb - np.int64(1))
+            )
+            inv14 = a14[lin] * r2a + b14[lin]
+            inv8 = a8[lin] * r2a + b8[lin]
+            inv12 = a12[lin] * r2a + b12[lin]
+            inv6 = a6[lin] * r2a + b6[lin]
+            if scalar_coeffs:
+                scalar = inv14 * c14[0]
+                inv8 = inv8 * c8[0]
+                e = inv12 * c12[0]
+                inv6 = inv6 * c6[0]
+            else:
+                q = idx[p]
+                scalar = c14[q] * inv14
+                inv8 = inv8 * c8[q]
+                e = c12[q] * inv12
+                inv6 = inv6 * c6[q]
+            scalar = scalar - inv8
+            e = e - inv6
+            fxp = scalar * dx[p]
+            fyp = scalar * dy[p]
+            fzp = scalar * dz[p]
+            if has_coul:
+                q32 = qq[idx[p]]
+                invf = af[lin] * r2a + bf[lin]
+                sc = invf * q32
+                fxp = fxp + sc * dx[p]
+                fyp = fyp + sc * dy[p]
+                fzp = fzp + sc * dz[p]
+                inve = ae[lin] * r2a + be[lin]
+                inve = inve * q32
+                e = e + inve
+            fx[p] = fxp
+            fy[p] = fyp
+            fz[p] = fzp
+            e_out[p] = e
+
+    # Mirrors scatter_cols_f32: f64 accumulate in input row order, one
+    # f32 rounding per row, a full-length f32 add onto the bank.
+    @njit(cache=True)
+    def _scatter_cols_jit(bank, idx, wx, wy, wz, n, acc):
+        for i in range(n):
+            acc[i, 0] = 0.0
+            acc[i, 1] = 0.0
+            acc[i, 2] = 0.0
+        for p in range(len(idx)):
+            i = idx[p]
+            acc[i, 0] += np.float64(wx[p])
+            acc[i, 1] += np.float64(wy[p])
+            acc[i, 2] += np.float64(wz[p])
+        for i in range(n):
+            bank[i, 0] = bank[i, 0] + np.float32(acc[i, 0])
+            bank[i, 1] = bank[i, 1] + np.float32(acc[i, 1])
+            bank[i, 2] = bank[i, 2] + np.float32(acc[i, 2])
+
+    # Mirrors ring_charge_i64: per-record circular link walk; integer
+    # adds are order-free so this is bitwise the difference-array path.
+    @njit(cache=True)
+    def _ring_charge_jit(link_load, direction, src, hops, counts):
+        n = len(link_load)
+        for p in range(len(src)):
+            h = hops[p]
+            c = counts[p]
+            s = src[p]
+            if direction != 1:
+                s = (s - h + 1) % n
+                if s < 0:
+                    s += n
+            for _ in range(h):
+                link_load[s] += c
+                s += 1
+                if s == n:
+                    s = 0
+
     def lj_flat(psx, psy, psz, ia, ib, srow, stab, spc, lj, cutoff2,
                 shift_e, fx, fy, fz):
         c14, c8, c12, c6 = _lj_tables(lj)
@@ -1009,7 +1532,8 @@ def _make_numba_backend() -> ForceBackend:
         )
         return energies
 
-    def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None):
+    def admit_flat(fsx, fsy, fsz, ia, ib, segs, offs, scratch=None,
+                   copy=True):
         L = len(ia)
         if scratch is not None:
             idx_out, r2_out, dx_out, dy_out, dz_out = scratch
@@ -1028,6 +1552,11 @@ def _make_numba_backend() -> ForceBackend:
                 idx_out, r2_out, dx_out, dy_out, dz_out,
             )
         )
+        if not copy:
+            return (
+                idx_out[:m], r2_out[:m],
+                dx_out[:m], dy_out[:m], dz_out[:m],
+            )
         return (
             idx_out[:m].copy(), r2_out[:m].copy(),
             dx_out[:m].copy(), dy_out[:m].copy(), dz_out[:m].copy(),
@@ -1046,6 +1575,87 @@ def _make_numba_backend() -> ForceBackend:
         )
         return dr, _screen_r2(dr)
 
+    def traffic_flat(keys, weights=None, aux=None):
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        n = len(keys)
+        if n == 0:
+            return _traffic_flat_empty(weights, aux)
+        if int(keys.min()) < 0 or int(keys.max()) > (2 ** 62) // n:
+            return traffic_flat_numpy(keys, weights, aux)
+        skey = keys * np.int64(n)
+        skey += np.arange(n, dtype=np.int64)
+        order = np.argsort(skey)  # skey is unique: any sort is stable
+        has_w = weights is not None
+        has_aux = aux is not None
+        w64 = (
+            np.ascontiguousarray(weights, dtype=np.float64)
+            if has_w else np.empty(0, dtype=np.float64)
+        )
+        a64 = (
+            np.ascontiguousarray(aux, dtype=np.int64)
+            if has_aux else np.empty(0, dtype=np.int64)
+        )
+        uniq = np.empty(n, dtype=np.int64)
+        first = np.empty(n, dtype=np.int64)
+        sums = np.empty(n if has_w else 0, dtype=np.float64)
+        amax = np.empty(n if has_aux else 0, dtype=np.int64)
+        m = int(
+            _groupby_jit(
+                order, keys, w64, a64, has_w, has_aux,
+                uniq, sums, amax, first,
+            )
+        )
+        return (
+            uniq[:m].copy(),
+            sums[:m].copy() if has_w else None,
+            amax[:m].copy() if has_aux else None,
+            first[:m].copy(),
+        )
+
+    def ring_charge(link_load, direction, src, hops, counts):
+        if len(src) == 0:
+            return
+        _ring_charge_jit(
+            link_load, np.int64(direction),
+            np.ascontiguousarray(src, dtype=np.int64),
+            np.ascontiguousarray(hops, dtype=np.int64),
+            np.ascontiguousarray(counts, dtype=np.int64),
+        )
+
+    def rom_eval(r2, dx, dy, dz, idx, n_s, n_b, lj_roms, coeffs, coul,
+                 fx, fy, fz, e_out):
+        if len(idx) == 0:
+            return
+        a14, b14, a8, b8, a12, b12, a6, b6 = lj_roms
+        c14, c8, c12, c6 = coeffs
+        scalar = np.ndim(c14) == 0
+        if scalar:
+            c14 = np.asarray([c14], dtype=np.float32)
+            c8 = np.asarray([c8], dtype=np.float32)
+            c12 = np.asarray([c12], dtype=np.float32)
+            c6 = np.asarray([c6], dtype=np.float32)
+        has_coul = coul is not None
+        if has_coul:
+            af, bf, ae, be, qq = coul
+        else:
+            af = bf = ae = be = qq = np.empty(0, dtype=np.float32)
+        r2 = np.ascontiguousarray(r2, dtype=np.float32)
+        bits = r2.view(np.int32)
+        shift_bits = 24 - int(n_b).bit_length()
+        _rom_eval_jit(
+            r2, bits, dx, dy, dz, idx,
+            np.int64(127 - n_s), np.int64(n_b), np.int64(shift_bits),
+            a14, b14, a8, b8, a12, b12, a6, b6,
+            scalar, c14, c8, c12, c6,
+            has_coul, af, bf, ae, be, qq,
+            fx, fy, fz, e_out,
+        )
+
+    def scatter_cols(bank, idx, wx, wy, wz, n, acc):
+        _scatter_cols_jit(
+            bank, idx, wx, wy, wz, int(n), acc.reshape(int(n), 3)
+        )
+
     return ForceBackend(
         name="numba",
         available=True,
@@ -1054,6 +1664,10 @@ def _make_numba_backend() -> ForceBackend:
         admit_flat=admit_flat,
         screen_dr=screen_dr,
         lj_flat_seg=lj_flat_seg,
+        traffic_flat=traffic_flat,
+        ring_charge=ring_charge,
+        rom_eval=rom_eval,
+        scatter_cols=scatter_cols,
     )
 
 
@@ -1084,6 +1698,8 @@ register_backend(
         admit_flat=admit_flat_numpy,
         screen_dr=screen_dr_numpy,
         lj_flat_seg=lj_flat_seg_numpy,
+        traffic_flat=traffic_flat_numpy,
+        ring_charge=ring_charge_numpy,
     )
 )
 register_backend(_make_numba_backend())

@@ -33,8 +33,8 @@ Verlet neighbor-list builder can bucket an arbitrary box at
 
 from __future__ import annotations
 
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -183,30 +183,88 @@ def _quantize_edge(e: float) -> float:
     return round(float(e) * _EDGE_KEY_QUANTUM) / _EDGE_KEY_QUANTUM
 
 
-@lru_cache(maxsize=64)
+#: Default bound on cached plans.  Campaigns sweeping cell edges used
+#: to grow the cache without limit; 32 covers every concurrent geometry
+#: any in-repo sweep touches while a plan is ~1 MB at production dims.
+PLAN_CACHE_DEFAULT_MAXSIZE = 32
+
+#: Cache statistics — the ``lru_cache.cache_info()`` fields plus the
+#: eviction count the bounded LRU adds.
+PlanCacheInfo = namedtuple(
+    "PlanCacheInfo", ["hits", "misses", "maxsize", "currsize", "evictions"]
+)
+
+_plan_cache: "OrderedDict[Tuple, CellPairPlan]" = OrderedDict()
+_plan_cache_maxsize = PLAN_CACHE_DEFAULT_MAXSIZE
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+_plan_cache_evictions = 0
+
+
 def _plan_cached(
     dims: Tuple[int, int, int], edges: Tuple[float, float, float]
 ) -> CellPairPlan:
-    return CellPairPlan(dims, edges)
+    """Bounded-LRU plan lookup (move-to-end on hit, evict oldest)."""
+    global _plan_cache_hits, _plan_cache_misses, _plan_cache_evictions
+    key = (dims, edges)
+    plan = _plan_cache.get(key)
+    if plan is not None:
+        _plan_cache.move_to_end(key)
+        _plan_cache_hits += 1
+        return plan
+    _plan_cache_misses += 1
+    plan = CellPairPlan(dims, edges)
+    _plan_cache[key] = plan
+    while len(_plan_cache) > _plan_cache_maxsize:
+        _plan_cache.popitem(last=False)
+        _plan_cache_evictions += 1
+    return plan
 
 
-def plan_cache_info():
-    """Hit/miss statistics of the shared plan cache (for benchmarks).
+def set_plan_cache_maxsize(maxsize: int) -> None:
+    """Re-bound the shared plan cache, evicting oldest entries to fit."""
+    global _plan_cache_maxsize, _plan_cache_evictions
+    maxsize = int(maxsize)
+    if maxsize < 1:
+        raise ValidationError(
+            f"plan cache maxsize must be >= 1, got {maxsize}"
+        )
+    _plan_cache_maxsize = maxsize
+    while len(_plan_cache) > _plan_cache_maxsize:
+        _plan_cache.popitem(last=False)
+        _plan_cache_evictions += 1
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Hit/miss/eviction statistics of the shared plan cache.
 
     A perturbed-box sweep that thrashes this cache shows up as one miss
     per design point *per step* instead of one per design point; the
     campaign benchmarks record these counters to catch that regression.
+    A long-running edge sweep shows up in ``evictions`` instead of in
+    unbounded memory growth.
     """
-    return _plan_cached.cache_info()
+    return PlanCacheInfo(
+        hits=_plan_cache_hits,
+        misses=_plan_cache_misses,
+        maxsize=_plan_cache_maxsize,
+        currsize=len(_plan_cache),
+        evictions=_plan_cache_evictions,
+    )
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (and its hit/miss counters).
+    """Drop every cached plan (and its hit/miss/eviction counters).
 
     Benchmarks use this to measure cold plan construction against the
-    warm (cached) lookup; production code never needs it.
+    warm (cached) lookup; production code never needs it.  The
+    configured bound is kept.
     """
-    _plan_cached.cache_clear()
+    global _plan_cache_hits, _plan_cache_misses, _plan_cache_evictions
+    _plan_cache.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+    _plan_cache_evictions = 0
 
 
 def plan_for_grid(grid: CellGrid) -> CellPairPlan:
@@ -215,7 +273,7 @@ def plan_for_grid(grid: CellGrid) -> CellPairPlan:
     The cache key is the grid geometry ``(dims, cell_edge)`` with the
     edge *quantized* to 2^-40 angstrom: raw float keys made sweeps over
     recomputed (bit-wobbling) box sizes miss on every call and churn the
-    64-entry LRU.  The plan is built from the quantized edges, so equal
+    bounded LRU.  The plan is built from the quantized edges, so equal
     keys return a plan that is exact for every caller mapping to them.
     """
     e = _quantize_edge(grid.cell_edge)

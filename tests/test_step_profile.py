@@ -1,0 +1,410 @@
+"""Tests for the phase-timed, allocation-free step (PR 9 tentpole).
+
+The contract under test, per layer:
+
+* degenerate traffic — ``_account_traffic`` (vectorized + compiled
+  ``traffic_flat``) vs the ``"loop"`` per-row oracle on configurations
+  the group-by passes can get wrong: a single-node fpga grid, a system
+  with exactly one occupied cell, a mostly-empty lattice, and a system
+  whose pair filter admits zero pairs.
+* accounting kernels — every available backend's ``traffic_flat`` /
+  ``ring_charge`` is bitwise the numpy oracle, including empty inputs.
+* fused force kernels — ``rom_eval``/``scatter_cols`` backends drive a
+  multi-step state-reuse trajectory bitwise identical to the numpy
+  sequence (float32 positions/forces and potential), and the
+  ``scatter_cols`` kernel alone reproduces the three-bincount helper.
+* phase timings — ``StepTimings`` counts every machine phase and every
+  distributed phase once armed, and ``StepStats.timings`` carries them.
+* satellites — the pairplan LRU evicts and counts; oversized jobs are
+  routed solo by ``batch_max_n``; a 1-worker campaign takes the serial
+  path; ``run_profile`` assembles a gate-compatible document with its
+  in-run bitwise asserts green.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.distributed import DistributedMachine
+from repro.core.machine import FasdaMachine
+from repro.harness.campaign import check_regression, point, run_campaign
+from repro.harness.jobs import JobQueue, run_jobs
+from repro.harness.profiling import (
+    DISTRIBUTED_PHASES,
+    MACHINE_PHASES,
+    check_accounting_kernels,
+    run_profile,
+)
+from repro.md import CellGrid, LJTable, ParticleSystem
+from repro.md.backends import (
+    available_backends,
+    resolve_backend,
+    ring_charge_numpy,
+    traffic_flat_numpy,
+)
+from repro.md.dataset import build_dataset
+from repro.md.pairplan import (
+    clear_plan_cache,
+    plan_cache_info,
+    plan_for_grid,
+    set_plan_cache_maxsize,
+)
+
+DIMS = (3, 3, 3)
+
+
+def _stats_signature(stats):
+    """Everything StepStats carries, in comparable form."""
+    return dict(
+        position_records=stats.position_records,
+        force_records=stats.force_records,
+        pr_load={n: asdict(s) for n, s in stats.pr_load.items()},
+        fr_load={n: asdict(s) for n, s in stats.fr_load.items()},
+        candidates=stats.candidates_per_cell.tolist(),
+        accepted=stats.accepted_per_cell.tolist(),
+        occupancy=stats.occupancy_per_cell.tolist(),
+        nbr_frc=stats.neighbor_force_records_per_cell.tolist(),
+    )
+
+
+def _subset(system, keep):
+    """A ParticleSystem restricted to the ``keep`` particle mask."""
+    return ParticleSystem(
+        positions=system.positions[keep],
+        velocities=system.velocities[keep],
+        species=system.species[keep],
+        lj_table=system.lj_table,
+        box=system.box,
+        charges=None if system.charges is None else system.charges[keep],
+    )
+
+
+def _signatures_match(system, fpga_grid=(1, 1, 1)):
+    """Vectorized-vs-loop traffic equivalence on one system."""
+    cfg = MachineConfig(DIMS, fpga_grid)
+    vec = FasdaMachine(cfg, system=system)
+    vec.traffic_impl = "vectorized"
+    loop = FasdaMachine(cfg, system=system)
+    loop.pair_path = "chunked"
+    loop.traffic_impl = "loop"
+    sv = vec.compute_forces()
+    sl = loop.compute_forces()
+    assert _stats_signature(sv) == _stats_signature(sl)
+    return sv
+
+
+class TestDegenerateTrafficConfigs:
+    """_account_traffic vs the loop oracle where group-bys go wrong."""
+
+    @pytest.mark.parametrize("fpga_grid", [(1, 1, 1), (3, 1, 1), (3, 3, 3)])
+    def test_dense_lattice(self, fpga_grid):
+        system, _ = build_dataset(DIMS, particles_per_cell=4, seed=5)
+        _signatures_match(system, fpga_grid)
+
+    def test_single_occupied_cell(self):
+        system, grid = build_dataset(DIMS, particles_per_cell=6, seed=7)
+        keep = np.all(system.positions < grid.cell_edge, axis=1)
+        assert 2 <= keep.sum() < system.n
+        stats = _signatures_match(_subset(system, keep))
+        assert (stats.occupancy_per_cell > 0).sum() == 1
+
+    def test_mostly_empty_lattice(self):
+        system, _ = build_dataset(DIMS, particles_per_cell=4, seed=9)
+        keep = np.zeros(system.n, dtype=bool)
+        keep[::7] = True
+        _signatures_match(_subset(system, keep))
+
+    def test_zero_admitted_pairs(self):
+        # Two particles at maximum min-image separation: every candidate
+        # pair fails the cutoff filter, so the traffic passes see empty
+        # admission arrays on every offset.
+        _, grid = build_dataset(DIMS, particles_per_cell=1, seed=1)
+        e = grid.cell_edge
+        pos = np.array([[0.1, 0.1, 0.1], [1.5 * e, 1.5 * e, 1.5 * e]])
+        system = ParticleSystem(
+            positions=pos,
+            velocities=np.zeros_like(pos),
+            species=np.zeros(2, dtype=np.int32),
+            lj_table=LJTable(("Ar",)),
+            box=grid.box,
+        )
+        stats = _signatures_match(system)
+        assert int(stats.accepted_per_cell.sum()) == 0
+        assert sum(stats.force_records.values()) == 0
+
+
+class TestAccountingKernelContracts:
+    """Compiled traffic_flat / ring_charge vs the numpy oracles."""
+
+    def _compiled(self):
+        names = [
+            n for n in available_backends()
+            if resolve_backend(n).traffic_flat is not None
+        ]
+        if not names:
+            pytest.skip("no backend provides compiled accounting kernels")
+        return names
+
+    def test_traffic_flat_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 50, size=4096).astype(np.int64)
+        weights = rng.random(4096)
+        aux = rng.integers(-3, 900, size=4096).astype(np.int64)
+        cases = [
+            (keys, weights, aux),
+            (keys, weights, None),
+            (keys, None, aux),
+            (keys, None, None),
+            (np.empty(0, dtype=np.int64), np.empty(0), None),
+            (np.full(16, 7, dtype=np.int64), weights[:16], aux[:16]),
+        ]
+        for name in self._compiled():
+            kern = resolve_backend(name).traffic_flat
+            for k, w, a in cases:
+                got = kern(k, w, a)
+                ref = traffic_flat_numpy(k, w, a)
+                for g, r in zip(got, ref):
+                    if r is None:
+                        assert g is None
+                    else:
+                        assert np.array_equal(g, r), name
+
+    def test_ring_charge_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        n = 13
+        src = rng.integers(0, n, size=64).astype(np.int64)
+        hops = rng.integers(1, n, size=64).astype(np.int64)
+        counts = rng.integers(1, 40, size=64).astype(np.int64)
+        for name in self._compiled():
+            kern = resolve_backend(name).ring_charge
+            if kern is None:
+                continue
+            for direction in (+1, -1):
+                a = np.zeros(n, dtype=np.int64)
+                b = np.zeros(n, dtype=np.int64)
+                kern(a, direction, src, hops, counts)
+                ring_charge_numpy(b, direction, src, hops, counts)
+                assert np.array_equal(a, b), (name, direction)
+                # Conservation: every (src, hops) span lands in full.
+                assert a.sum() == int((hops * counts).sum())
+
+    def test_check_accounting_kernels_reports_coverage(self):
+        # The checker raises on any bitwise mismatch; its return value
+        # records which contracts the backend actually carries.
+        for name in available_backends():
+            backend = resolve_backend(name)
+            doc = check_accounting_kernels(name)
+            assert doc["traffic_flat"] == (backend.traffic_flat is not None)
+            assert doc["ring_charge"] == (backend.ring_charge is not None)
+
+
+class TestFusedKernelBitwise:
+    """rom_eval/scatter_cols drive trajectories bitwise with numpy."""
+
+    def _fused(self):
+        names = [
+            n for n in available_backends()
+            if resolve_backend(n).rom_eval is not None
+        ]
+        if not names:
+            pytest.skip("no backend provides fused ROM kernels")
+        return names
+
+    def _trajectory(self, force_impl, steps=5):
+        system, _ = build_dataset((3, 3, 4), particles_per_cell=6, seed=13)
+        m = FasdaMachine(MachineConfig((3, 3, 4), (1, 1, 2)), system=system)
+        m.force_impl = force_impl
+        m.reuse_state = True
+        last = None
+        for _ in range(steps):
+            last = m.step(collect_traffic=False)  # returns the potential
+        return m, last
+
+    def test_reuse_trajectory_matches_numpy_sequence(self):
+        ref, ref_e = self._trajectory("numpy")
+        for name in self._fused():
+            m, e = self._trajectory(name)
+            assert np.array_equal(
+                m.system.positions, ref.system.positions
+            ), name
+            assert np.array_equal(m.forces, ref.forces), name
+            assert e == ref_e, name
+
+    def test_scatter_cols_matches_bincount_helper(self):
+        rng = np.random.default_rng(3)
+        n, mrows = 37, 500
+        idx = rng.integers(0, n, size=mrows).astype(np.int64)
+        cols = rng.standard_normal((3, mrows)).astype(np.float32)
+        expected = rng.standard_normal((n, 3)).astype(np.float32)
+        base = expected.copy()
+        for k in range(3):
+            expected[:, k] += np.bincount(
+                idx, weights=cols[k].astype(np.float64), minlength=n
+            ).astype(np.float32)
+        for name in self._fused():
+            scat = resolve_backend(name).scatter_cols
+            if scat is None:
+                continue
+            bank = base.copy()
+            acc = np.empty(3 * n, dtype=np.float64)
+            scat(bank, idx, cols[0], cols[1], cols[2], n, acc)
+            assert np.array_equal(bank, expected), name
+
+    def test_admit_flat_copy_false_matches_copy_true(self):
+        # The no-copy admit views must hold the same admitted pairs as
+        # the compacted copies (the machine consumes them in one pass).
+        rng = np.random.default_rng(6)
+        for name in self._fused():
+            backend = resolve_backend(name)
+            if backend.admit_flat is None:
+                continue
+            m = 300
+            fsx, fsy, fsz = rng.standard_normal((3, m)).astype(np.float32)
+            a = rng.integers(0, m, size=m).astype(np.int64)
+            b = rng.integers(0, m, size=m).astype(np.int64)
+            segs = np.array([0, m // 2, m], dtype=np.int64)
+            offs = np.array([[0, 0, 0], [0.25, 0, 0]], dtype=np.float64)
+            cop = backend.admit_flat(fsx, fsy, fsz, a, b, segs, offs)
+            view = backend.admit_flat(
+                fsx, fsy, fsz, a, b, segs, offs, copy=False
+            )
+            for c, v in zip(cop, view):
+                assert np.array_equal(c, v), name
+
+
+class TestStepTimings:
+    """Phase counters on the machine and distributed steps."""
+
+    def test_machine_phase_counters(self):
+        system, _ = build_dataset(DIMS, particles_per_cell=2, seed=4)
+        m = FasdaMachine(MachineConfig(DIMS, (1, 1, 1)), system=system)
+        stats = m.compute_forces(collect_traffic=True)
+        assert stats.timings is None  # off by default: zero overhead
+        m.timings.enabled = True
+        m.step(collect_traffic=True)  # integrate only runs in step()
+        snap = m.timings.snapshot()
+        for name in MACHINE_PHASES:
+            assert snap[f"{name}_calls"] >= 1, name
+            assert snap[name] >= 0.0
+        # StepStats carries the counters, monotonic until reset.
+        stats = m.compute_forces(collect_traffic=True)
+        assert stats.timings["force_calls"] > snap["force_calls"]
+        m.timings.reset()
+        assert m.timings.snapshot() == {}
+
+    def test_distributed_phase_counters(self):
+        system, _ = build_dataset(DIMS, particles_per_cell=2, seed=4)
+        d = DistributedMachine(
+            MachineConfig(DIMS, (3, 1, 1)), system=system
+        )
+        d.timings.enabled = True
+        d.step()
+        snap = d.timings.snapshot()
+        for name in DISTRIBUTED_PHASES:
+            assert snap[f"{name}_calls"] >= 1, name
+
+
+class TestPlanCacheEviction:
+    """The bounded pairplan LRU evicts oldest and counts it."""
+
+    def test_evictions_counted_and_bounded(self):
+        info0 = plan_cache_info()
+        clear_plan_cache()
+        set_plan_cache_maxsize(2)
+        try:
+            g = [CellGrid(DIMS, 4.0 + 0.5 * i) for i in range(4)]
+            plans = [plan_for_grid(gr) for gr in g]
+            info = plan_cache_info()
+            assert info.maxsize == 2
+            assert info.currsize == 2
+            assert info.evictions == 2
+            # Newest two still cached; oldest was evicted and rebuilds.
+            assert plan_for_grid(g[3]) is plans[3]
+            assert plan_for_grid(g[0]) is not plans[0]
+        finally:
+            clear_plan_cache()
+            set_plan_cache_maxsize(info0.maxsize)
+
+    def test_shrinking_evicts_immediately(self):
+        info0 = plan_cache_info()
+        clear_plan_cache()
+        set_plan_cache_maxsize(8)
+        try:
+            for i in range(5):
+                plan_for_grid(CellGrid(DIMS, 4.0 + 0.5 * i))
+            set_plan_cache_maxsize(1)
+            info = plan_cache_info()
+            assert info.currsize == 1
+            assert info.evictions == 4
+            with pytest.raises(Exception):
+                set_plan_cache_maxsize(0)
+        finally:
+            clear_plan_cache()
+            set_plan_cache_maxsize(info0.maxsize)
+
+
+class TestJobsSoloRouting:
+    """batch_max_n sends oversized systems through a solo engine."""
+
+    def _queue(self):
+        q = JobQueue()
+        big, gb = build_dataset(DIMS, particles_per_cell=8, seed=30)
+        q.submit(big, gb, steps=4)  # 216 particles: over the threshold
+        for i in range(3):
+            s, g = build_dataset(DIMS, particles_per_cell=2, seed=31 + i)
+            q.submit(s, g, steps=4)
+        return q
+
+    def test_big_job_owns_the_engine(self):
+        summary = run_jobs(self._queue(), chunk_steps=2, batch_max_n=100)
+        assert summary["jobs_done"] == 4
+        assert summary["batches_formed"] == 2  # {big} then {3 small}
+
+    def test_threshold_none_cobatches_everything(self):
+        summary = run_jobs(self._queue(), chunk_steps=2, batch_max_n=None)
+        assert summary["jobs_done"] == 4
+        assert summary["batches_formed"] == 1
+
+
+class TestCampaignSerialFallback:
+    def test_one_worker_takes_serial_path(self):
+        pts = [
+            point("fpga_scaling", label="scaling/1", n_fpgas=1),
+            point("sensitivity", label="sens/lo", pf=0.9, pb=1.0),
+        ]
+        res = run_campaign(pts, parallel=True, max_workers=1)
+        assert res.mode == "serial"
+        assert res.n_workers == 1
+
+
+class TestRunProfileDocument:
+    """End-to-end smoke of the profile harness and its gate shape."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return run_profile(smoke=True, reps=1)
+
+    def test_bitwise_asserts_ran_green(self, doc):
+        assert doc["machine"]["forces_match_numpy_sequence"] is True
+        assert doc["machine"]["stats_match_loop_oracle"] is True
+        assert doc["distributed"]["process_trajectory_bitwise"] is True
+        assert doc["distributed"]["exchange_batched_bitwise"] is True
+        assert doc["kernel_checks"]["traffic_flat"] is True
+
+    def test_phase_tables_cover_every_phase(self, doc):
+        for name in MACHINE_PHASES:
+            assert name in doc["machine"]["phases_s"]
+        for name in DISTRIBUTED_PHASES:
+            assert name in doc["distributed"]["phases_s"]
+
+    def test_points_feed_the_regression_gate(self, doc):
+        assert check_regression(doc, doc) == []
+        worse = {
+            "points": {
+                k: {"result": {m: v * 2 for m, v in p["result"].items()}}
+                for k, p in doc["points"].items()
+            }
+        }
+        assert check_regression(worse, doc)
