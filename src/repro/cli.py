@@ -10,6 +10,7 @@ Usage::
     python -m repro ablations        # all five ablation studies
     python -m repro faults --json benchmarks/results/FAULTS_sweep.json
     python -m repro recover --json benchmarks/results/FAULTS_nodes.json
+    python -m repro rescale --json benchmarks/results/FAULTS_rescale.json
     python -m repro campaign --journal run.jsonl   # crash-resumable
     python -m repro campaign --resume run.jsonl    # finish a killed run
     python -m repro profile --json BENCH_machine.json  # phase breakdown
@@ -295,6 +296,44 @@ def _cmd_recover(args):
     return text
 
 
+def _cmd_rescale(args):
+    from repro.harness.faultsweep import (
+        format_rescale_demo,
+        format_rescale_soak,
+        run_rescale_demo,
+        run_rescale_soak,
+    )
+
+    demo = run_rescale_demo(seed=args.seed)
+    soak = run_rescale_soak(seeds=(args.seed, args.seed + 1, args.seed + 2))
+    if args.json:
+        dirname = os.path.dirname(args.json)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        import json as json_mod
+
+        with open(args.json, "w") as fh:
+            doc = json_mod.loads(soak.to_json())
+            doc["demo"] = demo
+            fh.write(json_mod.dumps(doc, indent=2, sort_keys=True) + "\n")
+    text = format_rescale_demo(demo) + "\n\n" + format_rescale_soak(soak)
+    failed = (
+        not demo["all_bitwise"]
+        or not demo["conservation_ok"]
+        or demo["aborted"]
+        or soak.unrecovered
+    )
+    if failed:
+        text += (
+            f"\nRESCALE FAILED: demo bitwise={demo['all_bitwise']}, "
+            f"conservation={demo['conservation_ok']}, "
+            f"demo aborts={len(demo['aborted'])}, "
+            f"soak unrecovered={soak.unrecovered}"
+        )
+        return text, 1
+    return text
+
+
 def _cmd_jobs(args):
     from repro.harness.faultsweep import format_job_soak, run_job_soak
 
@@ -390,6 +429,7 @@ _COMMANDS = {
     "jobs": _cmd_jobs,
     "faults": _cmd_faults,
     "recover": _cmd_recover,
+    "rescale": _cmd_rescale,
     "acceptance": _cmd_acceptance,
     "scaling": _cmd_scaling,
     "sensitivity": _cmd_sensitivity,

@@ -53,6 +53,23 @@ def node_of_cell(
     return cell_coords // np.asarray(local_dims, dtype=np.int64)
 
 
+def cell_node_ids(
+    cell_coords: np.ndarray,
+    local_dims: Sequence[int],
+    fpga_grid: Sequence[int],
+) -> np.ndarray:
+    """Flat FPGA-node id owning each cell (row-major over the node grid).
+
+    The single source of truth for the cell -> node map: the machine's
+    partition build, the rescale migration planner, and the checkpoint
+    restore validator all derive it from here, so a partition and its
+    serialized form can never disagree.
+    """
+    nc = node_of_cell(cell_coords, local_dims)
+    _, fy, fz = (int(d) for d in fpga_grid)
+    return nc[..., 0] * fy * fz + nc[..., 1] * fz + nc[..., 2]
+
+
 def node_origin(node_coords: np.ndarray, local_dims: Sequence[int]) -> np.ndarray:
     """Global cell coordinates of a node's (0,0,0) local cell."""
     return np.asarray(node_coords, dtype=np.int64) * np.asarray(

@@ -479,13 +479,67 @@ def _distributed_payload(m) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
         "shadow_records": {str(k): int(v) for k, v in m._shadow_records.items()},
         "shadow_traffic_records": int(m.shadow_traffic_records),
         "node_slowdown_log": [list(t) for t in m.node_slowdown_log],
+        "rescale_log": [dataclasses.asdict(r) for r in m.rescale_log],
+        "rescale_aborted_log": [
+            dataclasses.asdict(r) for r in m.rescale_aborted_log
+        ],
+        "migration_switch": dataclasses.asdict(m.migration_switch_stats),
+        "migration_transport_stats": dataclasses.asdict(
+            m.migration_transport_stats
+        ),
+        "balancer": m.balancer.meta() if m.balancer is not None else None,
     }
     arrays = _system_arrays(m.system)
     arrays["velocities32"] = m._velocities32
     arrays["forces32"] = m._forces32
+    # The partition map the machine was actually running — the restore
+    # validator replays the config-derived map against it, so a payload
+    # whose node count disagrees with its partition is rejected up front.
+    arrays["cell_node"] = m._cell_node
     arrays.update(_history_arrays(m.history))
     arrays.update(_stale_halo_arrays(m))
     return meta, arrays
+
+
+def _validate_distributed_partition(config, meta, inner) -> None:
+    """Reject payloads whose partition disagrees with their config.
+
+    Runs *before* the machine is constructed, raising a
+    :class:`~repro.util.errors.CheckpointError` that names the offending
+    field — the alternative is an index error deep inside the first
+    force pass after restore.  Pre-elasticity checkpoints carry no
+    ``cell_node`` array; only the fields present are checked.
+    """
+    n = config.n_fpgas
+    if "cell_node" in inner:
+        from repro.core.cellids import cell_node_ids
+        from repro.md.cells import CellGrid
+
+        grid = CellGrid(config.global_cells, config.cutoff)
+        coords = grid.cell_coords(np.arange(grid.n_cells, dtype=np.int64))
+        expected = cell_node_ids(coords, config.local_cells, config.fpga_grid)
+        stored = np.asarray(inner["cell_node"], dtype=np.int64)
+        if stored.shape != expected.shape or not np.array_equal(
+            stored, expected
+        ):
+            raise CheckpointError(
+                "checkpoint field 'cell_node' disagrees with the restored "
+                f"config's partition map ({n} node(s), fpga_grid "
+                f"{tuple(config.fpga_grid)}); the payload was written at a "
+                "different cluster size"
+            )
+    for field_name in ("down_until", "shadow_records"):
+        bad = [
+            k
+            for k in meta.get(field_name, {})
+            if not 0 <= int(k) < n
+        ]
+        if bad:
+            raise CheckpointError(
+                f"checkpoint field {field_name!r} references node(s) "
+                f"{sorted(int(k) for k in bad)} outside the restored "
+                f"config's {n}-node partition"
+            )
 
 
 def _restore_distributed(meta, inner):
@@ -502,6 +556,7 @@ def _restore_distributed(meta, inner):
     )
 
     config = _config_from_dict(meta["config"], "<v2 payload>")
+    _validate_distributed_partition(config, meta, inner)
     injector = None
     if meta["fault_plan"] is not None:
         injector = FaultInjector(FaultPlan(**meta["fault_plan"]))
@@ -552,6 +607,34 @@ def _restore_distributed(meta, inner):
     m.node_slowdown_log = [
         (int(a), int(b), float(c)) for a, b, c in meta["node_slowdown_log"]
     ]
+    # Elasticity state (absent on pre-elasticity checkpoints).  JSON
+    # round-trips turn tuples into lists and int dict keys into strings;
+    # rebuild the exact record types.
+    from repro.core.elasticity import LoadBalancer
+    from repro.faults import RescaleAbortedRecord, RescaleRecord
+    from repro.network.netsim import SwitchStats
+
+    for r in meta.get("rescale_log", []):
+        d = dict(r)
+        d["grid_old"] = tuple(d["grid_old"])
+        d["grid_new"] = tuple(d["grid_new"])
+        d["flows"] = tuple(tuple(f) for f in d["flows"])
+        m.rescale_log.append(RescaleRecord(**d))
+    m.rescale_aborted_log = [
+        RescaleAbortedRecord(**r) for r in meta.get("rescale_aborted_log", [])
+    ]
+    if meta.get("migration_switch") is not None:
+        d = dict(meta["migration_switch"])
+        d["max_occupancy"] = {
+            int(k): int(v) for k, v in d["max_occupancy"].items()
+        }
+        m.migration_switch_stats = SwitchStats(**d)
+    if meta.get("migration_transport_stats") is not None:
+        m.migration_transport_stats = TransportStats(
+            **meta["migration_transport_stats"]
+        )
+    if meta.get("balancer") is not None:
+        m.balancer = LoadBalancer.from_meta(meta["balancer"])
     m.history = _history_from_arrays(inner)
     _restore_stale_halo(m, inner)
     return m, int(meta["step"])

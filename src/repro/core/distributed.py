@@ -23,8 +23,8 @@ real cluster.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,12 +32,14 @@ from repro.arith.fixedpoint import FixedPointFormat
 from repro.arith.interp import ForceTableSet
 from repro.core.cellids import (
     RCID_HOME,
+    cell_node_ids,
     gcid_to_lcid,
     lcid_to_rcid,
-    node_of_cell,
 )
 from repro.core.config import MachineConfig
 from repro.core.datapath import ForcePipeline, PairFilter, quantize_cell_fractions
+from repro.core.elasticity import LoadBalancer, fpga_grid_for
+from repro.core.migration import plan_partition_migration
 from repro.core.packets import P2REncapsulatorChain, Packet, Record, RecordBatch
 from repro.core.timing import StepTimings
 from repro.faults import (
@@ -46,10 +48,13 @@ from repro.faults import (
     NodeFaultInjector,
     NodeFaultPlan,
     RecoveryRecord,
+    RescaleAbortedRecord,
+    RescaleRecord,
     TransportConfig,
     TransportStats,
     send_flow,
 )
+from repro.network.netsim import Burst, OutputQueuedSwitch, SwitchStats
 from repro.faults.nodes import REPLAY_CYCLES_PER_RECORD
 from repro.md.backends import resolve_backend
 from repro.md.cells import CellGrid, CellList, HALF_SHELL_OFFSETS
@@ -239,56 +244,15 @@ class DistributedMachine:
                 n_b=config.table_nb,
             )
             self._charges32 = self.system.charges.astype(np.float32)
-        # Static geometry.
+        # Static geometry (partition-independent: the cell grid and the
+        # half-shell pair plan never change, only cell *ownership* does).
         n_cells = self.grid.n_cells
         self._cell_coords = self.grid.cell_coords(np.arange(n_cells, dtype=np.int64))
-        node_coords = node_of_cell(self._cell_coords, config.local_cells)
-        fg = config.fpga_grid
-        self._cell_node = (
-            node_coords[:, 0] * fg[1] * fg[2]
-            + node_coords[:, 1] * fg[2]
-            + node_coords[:, 2]
-        )
-        self._node_coords = {
-            n: np.array(
-                [n // (fg[1] * fg[2]), (n // fg[2]) % fg[1], n % fg[2]],
-                dtype=np.int64,
-            )
-            for n in range(config.n_fpgas)
-        }
-        # Half-shell topology from the shared (cached) pair plan and, per
-        # cell, the destination nodes its particles must reach (the P2R
-        # chain's gate assignments).
         plan = plan_for_grid(self.grid)
         self._plan = plan
         self._neighbor_cids = plan.neighbor_ids
-        home_nodes = self._cell_node[plan.home]
-        nbr_nodes = self._cell_node[plan.nbr]
-        remote = ~plan.is_self & (home_nodes != nbr_nodes)
-        self._send_targets: Dict[int, List[int]] = {
-            c: [] for c in range(n_cells)
-        }
-        # ncid's particles are needed at the home cell's node.
-        flows = np.unique(
-            np.stack([plan.nbr[remote], home_nodes[remote]], axis=1), axis=0
-        )
-        for src_cell, dst_node in flows:
-            self._send_targets[int(src_cell)].append(int(dst_node))
-        # Per-(src node, dst node) flow: the ascending source cells whose
-        # particles ship src -> dst.  This is the batched view of the
-        # same gate assignments: one RecordBatch per flow replaces the
-        # per-particle chain walk, with identical packet counts (each
-        # gate fills from its cells in ascending-cid order and flushes
-        # once at end of iteration).
-        self._node_flows: Dict[Tuple[int, int], np.ndarray] = {}
-        if len(flows):
-            fsrc = self._cell_node[flows[:, 0]]
-            fkeys = fsrc * np.int64(config.n_fpgas) + flows[:, 1]
-            for key in np.unique(fkeys):
-                sel = fkeys == key
-                self._node_flows[
-                    (int(key) // config.n_fpgas, int(key) % config.n_fpgas)
-                ] = np.sort(flows[sel, 0])
+        # Partition-derived structures (rebuilt on every elastic rescale).
+        self._apply_partition(config)
         #: Exchange implementation: "batched" (array-packed RecordBatch
         #: per flow) or "loop" (per-particle Record objects through the
         #: P2R chain — the retained protocol oracle).
@@ -318,12 +282,6 @@ class DistributedMachine:
         #: Per-phase wall-clock counters (build/exchange/force/integrate);
         #: off by default — see :class:`~repro.core.timing.StepTimings`.
         self.timings = StepTimings()
-        #: Static node -> owned global cell ids (ascending), shared by the
-        #: pickled and shared-memory evaluation paths.
-        self._local_cells_static = {
-            k: np.flatnonzero(self._cell_node == k)
-            for k in range(config.n_fpgas)
-        }
         # -- zero-copy process parallelism (multiprocessing.shared_memory) --
         # Created lazily at the first injector-free "process" force pass,
         # *before* the pool forks so workers inherit the mappings; the
@@ -373,6 +331,100 @@ class DistributedMachine:
         self.shadow_traffic_records = 0
         #: (iteration, node, factor) for every node-slowdown fault.
         self.node_slowdown_log: List[Tuple[int, int, float]] = []
+        # -- elasticity state (inert until rescale()/balancer use) ----------
+        #: Every committed rescale, in occurrence order.
+        self.rescale_log: List[RescaleRecord] = []
+        #: Every rolled-back rescale attempt, in occurrence order.
+        self.rescale_aborted_log: List[RescaleAbortedRecord] = []
+        #: Switch-model accounting of all committed migration traffic.
+        self.migration_switch_stats = SwitchStats(delivered=0, dropped=0)
+        #: Transport accounting of all migration flows (committed *and*
+        #: aborted attempts — attempted traffic is real traffic).
+        self.migration_transport_stats = TransportStats()
+        #: Optional :class:`~repro.core.elasticity.LoadBalancer` driving
+        #: :meth:`maybe_rescale`; assign one to make the machine elastic.
+        self.balancer: Optional[LoadBalancer] = None
+
+    # -- partition ---------------------------------------------------------------
+
+    def _apply_partition(self, config: MachineConfig) -> None:
+        """(Re)derive every partition-dependent structure from ``config``.
+
+        Runs at construction and again at every rescale commit.  Physics
+        state (positions, velocities, force banks) is untouched: the
+        distributed evaluation always computes the canonical partition's
+        result, so changing cell ownership here never changes the
+        trajectory — only which node does which work and what crosses
+        the fabric.
+        """
+        self.config = config
+        n_cells = self.grid.n_cells
+        fg = config.fpga_grid
+        self._cell_node = cell_node_ids(
+            self._cell_coords, config.local_cells, fg
+        )
+        self._node_coords = {
+            n: np.array(
+                [n // (fg[1] * fg[2]), (n // fg[2]) % fg[1], n % fg[2]],
+                dtype=np.int64,
+            )
+            for n in range(config.n_fpgas)
+        }
+        # Half-shell topology from the shared (cached) pair plan and, per
+        # cell, the destination nodes its particles must reach (the P2R
+        # chain's gate assignments).
+        plan = self._plan
+        home_nodes = self._cell_node[plan.home]
+        nbr_nodes = self._cell_node[plan.nbr]
+        remote = ~plan.is_self & (home_nodes != nbr_nodes)
+        self._send_targets: Dict[int, List[int]] = {
+            c: [] for c in range(n_cells)
+        }
+        # ncid's particles are needed at the home cell's node.
+        flows = np.unique(
+            np.stack([plan.nbr[remote], home_nodes[remote]], axis=1), axis=0
+        )
+        for src_cell, dst_node in flows:
+            self._send_targets[int(src_cell)].append(int(dst_node))
+        # Per-(src node, dst node) flow: the ascending source cells whose
+        # particles ship src -> dst.  This is the batched view of the
+        # same gate assignments: one RecordBatch per flow replaces the
+        # per-particle chain walk, with identical packet counts (each
+        # gate fills from its cells in ascending-cid order and flushes
+        # once at end of iteration).
+        self._node_flows: Dict[Tuple[int, int], np.ndarray] = {}
+        if len(flows):
+            fsrc = self._cell_node[flows[:, 0]]
+            fkeys = fsrc * np.int64(config.n_fpgas) + flows[:, 1]
+            for key in np.unique(fkeys):
+                sel = fkeys == key
+                self._node_flows[
+                    (int(key) // config.n_fpgas, int(key) % config.n_fpgas)
+                ] = np.sort(flows[sel, 0])
+        #: Node -> owned global cell ids (ascending), shared by the
+        #: pickled and shared-memory evaluation paths.
+        self._local_cells_static = {
+            k: np.flatnonzero(self._cell_node == k)
+            for k in range(config.n_fpgas)
+        }
+
+    def _invalidate_partition_caches(self) -> None:
+        """Drop every structure keyed by the *old* partition.
+
+        Reuse skeletons, stale-halo snapshots, buddy-shadow bookkeeping,
+        the evaluation pool, and the shared-memory segments are all
+        shaped or keyed by node ids/counts; after a partition change
+        each is rebuilt lazily on the canonical (oracle) path, so
+        dropping them is always bitwise-safe.
+        """
+        self._nodes_cache = None
+        self._build_cids = None
+        self._flow_static = None
+        self._stale_halo.clear()
+        self._shadow_iteration = None
+        self._shadow_records = {}
+        self._shutdown_pool()
+        self._release_shm()
 
     # -- node construction per step --------------------------------------------
 
@@ -899,7 +951,13 @@ class DistributedMachine:
         return sum(rec.records_moved for rec in self.recovery_log)
 
     def recovery_summary(self) -> Dict[str, float]:
-        """Aggregate recovery accounting (JSON-able)."""
+        """Aggregate reconfiguration accounting (JSON-able).
+
+        One call covers both kinds of partition change: crash-driven
+        re-homing (``n_recoveries`` ...) and policy-driven elastic
+        rescales (``rescales_*`` — planned vs aborted attempts plus the
+        migration traffic the committed ones moved).
+        """
         return {
             "n_recoveries": len(self.recovery_log),
             "cells_moved": sum(r.cells_moved for r in self.recovery_log),
@@ -910,7 +968,284 @@ class DistributedMachine:
             "cycles_lost": sum(r.cycles_lost for r in self.recovery_log),
             "shadow_traffic_records": self.shadow_traffic_records,
             "slowdown_events": len(self.node_slowdown_log),
+            "rescales_planned": len(self.rescale_log),
+            "rescales_aborted": len(self.rescale_aborted_log),
+            "rescale_cells_moved": sum(
+                r.cells_moved for r in self.rescale_log
+            ),
+            "rescale_records_moved": sum(
+                r.records_moved for r in self.rescale_log
+            ),
+            "rescale_migration_packets": sum(
+                r.migration_packets for r in self.rescale_log
+            ),
+            "rescale_migration_cycles": sum(
+                r.migration_cycles for r in self.rescale_log
+            ),
         }
+
+    # -- elastic rescale --------------------------------------------------------
+
+    def _capture_rescale_shadow(self) -> Dict[str, Any]:
+        """Prepare-phase shadow checkpoint: everything a rollback restores."""
+        return {
+            "positions": self.system.positions.copy(),
+            "velocities": self.system.velocities.copy(),
+            "forces": self.system.forces.copy(),
+            "velocities32": self._velocities32.copy(),
+            "forces32": self._forces32.copy(),
+            "iteration": self._iteration,
+            "primed": self._primed,
+            "last_potential": self._last_potential,
+        }
+
+    def _restore_rescale_shadow(self, shadow: Dict[str, Any]) -> None:
+        """Roll the machine back to the prepare-phase shadow (bitwise)."""
+        self.system.positions[:] = shadow["positions"]
+        self.system.velocities[:] = shadow["velocities"]
+        self.system.forces[:] = shadow["forces"]
+        self._velocities32 = shadow["velocities32"].copy()
+        self._forces32 = shadow["forces32"].copy()
+        self._iteration = shadow["iteration"]
+        self._primed = shadow["primed"]
+        self._last_potential = shadow["last_potential"]
+
+    def _abort_rescale(
+        self,
+        shadow: Optional[Dict[str, Any]],
+        n_new: int,
+        reason: str,
+        phase: str,
+        flows_attempted: int,
+        packets_lost: int,
+    ) -> bool:
+        """Roll back a failed rescale attempt and record the abort."""
+        if shadow is not None:
+            self._restore_rescale_shadow(shadow)
+        self.rescale_aborted_log.append(
+            RescaleAbortedRecord(
+                iteration=self._iteration,
+                n_old=self.config.n_fpgas,
+                n_new=int(n_new),
+                reason=reason,
+                phase=phase,
+                flows_attempted=int(flows_attempted),
+                packets_lost=int(packets_lost),
+                rolled_back=True,
+            )
+        )
+        if self.balancer is not None:
+            self.balancer.notify_rescale(committed=False)
+        return False
+
+    def rescale(
+        self,
+        n_new: Optional[int] = None,
+        fpga_grid: Optional[Tuple[int, int, int]] = None,
+    ) -> bool:
+        """Transactionally re-partition the machine onto a new node count.
+
+        Must run at an iteration boundary (between :meth:`step` calls,
+        where no exchange is in flight).  Two phases:
+
+        **prepare** — refuse if any board is mid-restart; capture a
+        shadow checkpoint of the full physics state; derive the new
+        partition map from the canonical
+        :func:`~repro.core.elasticity.fpga_grid_for` grid and plan the
+        cell migration it implies
+        (:func:`~repro.core.migration.plan_partition_migration`).
+
+        **transfer + commit** — ship every migration flow through the
+        reliable transport (channel ``"rescale"``, exposed to this
+        machine's fault injector) and the output-queued switch model; if
+        a node crash is drawn mid-migration, any flow loses packets
+        beyond the retry budget, or the switch overflows, roll back to
+        the shadow and append a
+        :class:`~repro.faults.RescaleAbortedRecord` — the machine is
+        never left half-migrated.  On success, swap in the new partition
+        (:meth:`_apply_partition`), drop every old-partition cache, and
+        append a :class:`~repro.faults.RescaleRecord`.
+
+        Because physics always evaluates the canonical partition, a
+        committed rescale resumes bitwise-identical to a fresh machine
+        of the new size started from the boundary state — the property
+        the elasticity harness asserts.
+
+        Returns True on commit, False on a rolled-back abort.  Raises
+        :class:`~repro.util.errors.ConfigError` for targets that are
+        invalid outright (not distributed, grid does not divide the
+        cells, or equal to the current partition).
+        """
+        cfg = self.config
+        if fpga_grid is not None:
+            grid_new = tuple(int(d) for d in fpga_grid)
+            if n_new is not None and int(n_new) != int(np.prod(grid_new)):
+                raise ConfigError(
+                    f"n_new ({n_new}) contradicts fpga_grid {grid_new}"
+                )
+        elif n_new is not None:
+            grid_new = fpga_grid_for(cfg.global_cells, int(n_new))
+        else:
+            raise ConfigError("rescale needs n_new or fpga_grid")
+        new_cfg = replace(cfg, fpga_grid=grid_new)
+        n_old = cfg.n_fpgas
+        n_target = new_cfg.n_fpgas
+        if not new_cfg.is_distributed:
+            raise ConfigError(
+                f"rescale target must stay distributed, got {n_target} node(s)"
+            )
+        if grid_new == tuple(cfg.fpga_grid):
+            raise ConfigError(
+                f"rescale target equals the current partition "
+                f"{tuple(cfg.fpga_grid)}"
+            )
+        it = self._iteration
+        # ---- prepare ----
+        if self._down_until:
+            return self._abort_rescale(
+                None,
+                n_target,
+                reason=(
+                    f"node(s) {sorted(self._down_until)} still restarting "
+                    "at the rescale boundary"
+                ),
+                phase="prepare",
+                flows_attempted=0,
+                packets_lost=0,
+            )
+        shadow = self._capture_rescale_shadow()
+        per_cell, _ = self._per_node_records()
+        old_cell_node = self._cell_node
+        new_cell_node = cell_node_ids(
+            self._cell_coords, new_cfg.local_cells, grid_new
+        )
+        stats, flows = plan_partition_migration(
+            per_cell, old_cell_node, new_cell_node, cfg.records_per_packet
+        )
+        cells_moved = int(np.count_nonzero(old_cell_node != new_cell_node))
+        # ---- transfer ----
+        # A board crashing mid-migration kills the transfer.  The draw is
+        # the same keyed decision the next force pass's preamble makes, so
+        # after the rollback the crash is then recovered losslessly there.
+        if self.node_injector is not None:
+            crashed = [
+                k
+                for k in self.node_injector.crashes_at(it, n_old)
+                if k not in self._down_until
+            ]
+            if crashed:
+                return self._abort_rescale(
+                    shadow,
+                    n_target,
+                    reason=(
+                        f"node {crashed[0]} crashed during the migration "
+                        f"at iteration {it}"
+                    ),
+                    phase="transfer",
+                    flows_attempted=len(flows),
+                    packets_lost=0,
+                )
+        packets_lost = 0
+        for (src, dst), flow in flows.items():
+            if not flow["packets"]:
+                continue
+            _, tstats = send_flow(
+                self.injector, src, dst, "rescale", it,
+                flow["packets"], self.transport,
+            )
+            self.migration_transport_stats = (
+                self.migration_transport_stats + tstats
+            )
+            if tstats.lost:
+                packets_lost += int(tstats.lost)
+                return self._abort_rescale(
+                    shadow,
+                    n_target,
+                    reason=(
+                        f"migration flow node {src} -> node {dst} lost "
+                        f"{int(tstats.lost)} packet(s) beyond the retry "
+                        "budget"
+                    ),
+                    phase="transfer",
+                    flows_attempted=len(flows),
+                    packets_lost=packets_lost,
+                )
+        # Cooldown-paced trains through the switch model (loss was already
+        # resolved at the transport layer above, so no injector here —
+        # only incast/buffer behavior can still kill the transfer).
+        bursts = [
+            Burst(
+                src=src,
+                dst=dst,
+                n_packets=flow["packets"],
+                gap_cycles=cfg.cooldown_cycles,
+            )
+            for (src, dst), flow in flows.items()
+            if flow["packets"]
+        ]
+        switch = OutputQueuedSwitch(max(n_old, n_target, 2))
+        switch_stats = switch.run(bursts, channel="rescale", iteration=it)
+        if switch_stats.dropped:
+            return self._abort_rescale(
+                shadow,
+                n_target,
+                reason=(
+                    f"switch dropped {switch_stats.dropped} migration "
+                    "packet(s) (incast overflow)"
+                ),
+                phase="transfer",
+                flows_attempted=len(flows),
+                packets_lost=int(switch_stats.dropped),
+            )
+        # ---- commit ----
+        migration_packets = sum(f["packets"] for f in flows.values())
+        self._apply_partition(new_cfg)
+        self._invalidate_partition_caches()
+        switch_stats.rescales = 1
+        self.migration_switch_stats = (
+            self.migration_switch_stats + switch_stats
+        )
+        self.rescale_log.append(
+            RescaleRecord(
+                iteration=it,
+                n_old=n_old,
+                n_new=n_target,
+                grid_old=tuple(cfg.fpga_grid),
+                grid_new=grid_new,
+                cells_moved=cells_moved,
+                records_moved=stats.total,
+                flows=tuple(
+                    (src, dst, f["records"], f["packets"])
+                    for (src, dst), f in flows.items()
+                ),
+                migration_packets=int(migration_packets),
+                migration_bytes=int(migration_packets) * cfg.packet_bits // 8,
+                migration_cycles=float(
+                    max((f["packets"] for f in flows.values()), default=0)
+                    * cfg.cooldown_cycles
+                ),
+                shadow_records=int(per_cell.sum()),
+            )
+        )
+        if self.balancer is not None:
+            self.balancer.notify_rescale(committed=True)
+        return True
+
+    def maybe_rescale(self) -> Optional[bool]:
+        """Feed the balancer one boundary observation; rescale on proposal.
+
+        Returns ``None`` when no balancer is attached or it holds,
+        otherwise :meth:`rescale`'s verdict for the proposed size.
+        """
+        if self.balancer is None:
+            return None
+        _, per_node = self._per_node_records()
+        target = self.balancer.observe(
+            [per_node[k] for k in sorted(per_node)]
+        )
+        if target is None:
+            return None
+        return self.rescale(target)
 
     # -- force evaluation -------------------------------------------------------
 

@@ -1,0 +1,266 @@
+"""Elastic cluster sizing: valid partitions and the grow/shrink policy.
+
+The paper evaluates FASDA on a fixed 8-board testbed; a production fleet
+must treat the node count as a *runtime policy*.  This module provides
+the two host-side pieces of that policy:
+
+* :func:`fpga_grid_for` — the deterministic mapping from a target node
+  count to an FPGA grid that divides the global cell grid, so every
+  rescale (and every checkpoint restore after one) derives the same
+  canonical partition;
+* :class:`LoadBalancer` — watches the per-node record counts the
+  distributed machine already surfaces and proposes grow/shrink targets
+  on *sustained* load excursions, with hysteresis (separate high/low
+  water marks), a sustain count, and a post-rescale cooldown so one
+  noisy observation can never flap the cluster.
+
+The transactional rescale itself (two-phase prepare/commit with
+rollback) lives in
+:meth:`~repro.core.distributed.DistributedMachine.rescale`; the balancer
+only decides *when* and *to what size*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigError, ValidationError
+
+
+def fpga_grid_for(
+    global_cells: Sequence[int], n_nodes: int
+) -> Tuple[int, int, int]:
+    """Canonical FPGA grid with ``n_nodes`` boards for ``global_cells``.
+
+    Enumerates every factorization ``fx * fy * fz == n_nodes`` whose
+    axes divide the global cell grid and picks the one whose smallest
+    local-cell axis is largest (the squarest partition has the smallest
+    halo surface), tie-broken toward the lexicographically smallest
+    grid.  The choice is a pure function of its arguments — a rescale
+    and a later checkpoint restore always agree on the partition.
+    """
+    gc = tuple(int(d) for d in global_cells)
+    n = int(n_nodes)
+    if len(gc) != 3 or any(d < 1 for d in gc):
+        raise ConfigError(f"global_cells must be 3 positive dims, got {gc}")
+    if n < 1:
+        raise ConfigError(f"n_nodes must be >= 1, got {n}")
+    best: Optional[Tuple[int, Tuple[int, int, int]]] = None
+    for fx in range(1, n + 1):
+        if n % fx or gc[0] % fx:
+            continue
+        rem = n // fx
+        for fy in range(1, rem + 1):
+            if rem % fy or gc[1] % fy:
+                continue
+            fz = rem // fy
+            if gc[2] % fz:
+                continue
+            local_min = min(gc[0] // fx, gc[1] // fy, gc[2] // fz)
+            key = (-local_min, fx, fy, fz)
+            if best is None or key < best[0]:
+                best = (key, (fx, fy, fz))
+    if best is None:
+        raise ConfigError(
+            f"no FPGA grid with {n} node(s) divides global cells {gc}"
+        )
+    return best[1]
+
+
+def valid_node_counts(
+    global_cells: Sequence[int], max_nodes: Optional[int] = None
+) -> List[int]:
+    """Distributed-capable node counts for ``global_cells`` (ascending).
+
+    Counts start at 2 (:class:`~repro.core.distributed.DistributedMachine`
+    requires a distributed config) and stop at ``max_nodes`` (default:
+    one node per cell, the hard geometric ceiling).
+    """
+    gc = tuple(int(d) for d in global_cells)
+    ceiling = int(np.prod(gc))
+    limit = ceiling if max_nodes is None else min(int(max_nodes), ceiling)
+    counts = []
+    for n in range(2, limit + 1):
+        try:
+            fpga_grid_for(gc, n)
+        except ConfigError:
+            continue
+        counts.append(n)
+    return counts
+
+
+@dataclass(frozen=True)
+class ElasticityPolicy:
+    """Declarative grow/shrink policy with hysteresis and cooldown.
+
+    Attributes
+    ----------
+    high_water:
+        Records on the busiest node at or above which a grow arms.
+    low_water:
+        Records on the busiest node at or below which a shrink arms.
+        Must sit strictly below ``high_water`` — the gap between the two
+        marks is the hysteresis band where the balancer holds steady.
+    sustain:
+        Consecutive observations a mark must stay crossed before the
+        balancer proposes a rescale (one noisy sample never triggers).
+    cooldown:
+        Observations ignored after any rescale attempt (committed *or*
+        aborted), so the cluster settles before the next decision.
+    min_nodes / max_nodes:
+        Bounds on the proposed sizes; ``min_nodes`` must keep the
+        machine distributed (>= 2), ``max_nodes`` ``None`` means
+        geometry-limited only.
+    """
+
+    high_water: float = 48.0
+    low_water: float = 16.0
+    sustain: int = 3
+    cooldown: int = 5
+    min_nodes: int = 2
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.low_water < self.high_water:
+            raise ValidationError(
+                f"low_water ({self.low_water}) must be below high_water "
+                f"({self.high_water}): the gap is the hysteresis band"
+            )
+        if self.sustain < 1:
+            raise ValidationError(f"sustain must be >= 1, got {self.sustain}")
+        if self.cooldown < 0:
+            raise ValidationError(
+                f"cooldown must be >= 0, got {self.cooldown}"
+            )
+        if self.min_nodes < 2:
+            raise ValidationError(
+                f"min_nodes must be >= 2 (distributed), got {self.min_nodes}"
+            )
+        if self.max_nodes is not None and self.max_nodes < self.min_nodes:
+            raise ValidationError(
+                f"max_nodes ({self.max_nodes}) must be >= min_nodes "
+                f"({self.min_nodes})"
+            )
+
+
+class LoadBalancer:
+    """Turns per-node load observations into rescale proposals.
+
+    Feed :meth:`observe` the per-node record counts once per iteration
+    boundary (``DistributedMachine.maybe_rescale`` does this); it
+    returns a proposed node count, or ``None`` to hold.  Growth targets
+    the next larger valid size, shrink the next smaller one — one step
+    at a time, so every move stays reviewable in the rescale log.
+
+    A shrink additionally projects the post-shrink peak load
+    (``peak * n_now / n_smaller``, assuming load scales with owned
+    cells) and holds unless that projection stays under the high-water
+    mark — without the guard, a shrink could immediately re-arm a grow
+    and flap against the cooldown.
+    """
+
+    def __init__(
+        self, policy: ElasticityPolicy, global_cells: Sequence[int]
+    ):
+        self.policy = policy
+        self.global_cells = tuple(int(d) for d in global_cells)
+        #: Valid sizes within the policy bounds (ascending).
+        self.sizes = [
+            n
+            for n in valid_node_counts(self.global_cells, policy.max_nodes)
+            if n >= policy.min_nodes
+        ]
+        if not self.sizes:
+            raise ConfigError(
+                f"no valid node count in [{policy.min_nodes}, "
+                f"{policy.max_nodes}] divides global cells "
+                f"{self.global_cells}"
+            )
+        self._grow_streak = 0
+        self._shrink_streak = 0
+        self._cooldown_left = 0
+        #: Total observations / proposals made (for reporting).
+        self.observations = 0
+        self.proposals = 0
+
+    def observe(self, per_node_records: Sequence[int]) -> Optional[int]:
+        """One load observation; returns a proposed node count or None."""
+        loads = [int(v) for v in per_node_records]
+        if not loads:
+            raise ValidationError("observe needs at least one node load")
+        n_now = len(loads)
+        self.observations += 1
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            self._grow_streak = 0
+            self._shrink_streak = 0
+            return None
+        peak = max(loads)
+        policy = self.policy
+        if peak >= policy.high_water:
+            self._grow_streak += 1
+            self._shrink_streak = 0
+        elif peak <= policy.low_water:
+            self._shrink_streak += 1
+            self._grow_streak = 0
+        else:
+            self._grow_streak = 0
+            self._shrink_streak = 0
+        target: Optional[int] = None
+        if self._grow_streak >= policy.sustain:
+            larger = [n for n in self.sizes if n > n_now]
+            if larger:
+                target = larger[0]
+        elif self._shrink_streak >= policy.sustain:
+            smaller = [n for n in self.sizes if n < n_now]
+            if smaller and peak * n_now / smaller[-1] < policy.high_water:
+                target = smaller[-1]
+        if target is not None:
+            self._grow_streak = 0
+            self._shrink_streak = 0
+            self.proposals += 1
+        return target
+
+    def notify_rescale(self, committed: bool) -> None:
+        """Start the cooldown window after a rescale attempt.
+
+        Aborted attempts cool down too: the condition that triggered
+        the proposal is still present, and hammering a faulty fabric
+        with back-to-back migrations is exactly the flap the policy
+        exists to prevent.
+        """
+        self._cooldown_left = self.policy.cooldown
+        self._grow_streak = 0
+        self._shrink_streak = 0
+
+    # -- checkpoint round-trip ----------------------------------------------
+
+    def meta(self) -> Dict[str, Any]:
+        """JSON-able mid-policy state (checkpoint-v2 payload)."""
+        return {
+            "policy": dataclasses.asdict(self.policy),
+            "global_cells": list(self.global_cells),
+            "grow_streak": int(self._grow_streak),
+            "shrink_streak": int(self._shrink_streak),
+            "cooldown_left": int(self._cooldown_left),
+            "observations": int(self.observations),
+            "proposals": int(self.proposals),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: Dict[str, Any]) -> "LoadBalancer":
+        """Rebuild a balancer mid-policy (inverse of :meth:`meta`)."""
+        balancer = cls(
+            ElasticityPolicy(**meta["policy"]),
+            tuple(meta["global_cells"]),
+        )
+        balancer._grow_streak = int(meta["grow_streak"])
+        balancer._shrink_streak = int(meta["shrink_streak"])
+        balancer._cooldown_left = int(meta["cooldown_left"])
+        balancer.observations = int(meta["observations"])
+        balancer.proposals = int(meta["proposals"])
+        return balancer

@@ -95,3 +95,71 @@ def expected_migration_rate(
     kt = BOLTZMANN_KCAL_MOL_K * temperature_k * KCAL_MOL_TO_INTERNAL
     mean_abs_vx = np.sqrt(2.0 * kt / (np.pi * mass_amu))
     return float(3.0 * mean_abs_vx * dt_fs / cell_edge)
+
+
+def plan_partition_migration(
+    per_cell_records: np.ndarray,
+    old_cell_node: np.ndarray,
+    new_cell_node: np.ndarray,
+    records_per_packet: int,
+):
+    """Plan the cell moves a partition change requires (elastic rescale).
+
+    Where :func:`count_migrations` accounts for *physics* moving
+    particles between cells, this accounts for *policy* moving cells
+    between nodes: every cell whose owner differs between the old and
+    new partition maps contributes its current records to one
+    (old owner -> new owner) migration flow.
+
+    Parameters
+    ----------
+    per_cell_records:
+        ``(n_cells,)`` record count per cell at the rescale boundary.
+    old_cell_node / new_cell_node:
+        ``(n_cells,)`` cell -> node-id maps before and after.
+    records_per_packet:
+        Packing factor for the packet counts (``MachineConfig``'s).
+
+    Returns
+    -------
+    (MigrationStats, flows)
+        ``MigrationStats`` with every moved record counted as
+        cross-node (ownership changes are inter-node by definition) and
+        ``per_cell_outflow`` nonzero exactly on moved cells; ``flows``
+        maps ``(src_node, dst_node)`` — ascending — to
+        ``{"cells": ndarray, "records": int, "packets": int}``.
+        Record-free flows are planned (ownership still moves) but carry
+        zero packets.
+    """
+    per_cell_records = np.asarray(per_cell_records, dtype=np.int64)
+    old_cell_node = np.asarray(old_cell_node, dtype=np.int64)
+    new_cell_node = np.asarray(new_cell_node, dtype=np.int64)
+    if not (
+        per_cell_records.shape == old_cell_node.shape == new_cell_node.shape
+    ):
+        raise ValidationError(
+            "per-cell records and both partition maps must align"
+        )
+    if records_per_packet < 1:
+        raise ValidationError("records_per_packet must be >= 1")
+    moved = np.flatnonzero(old_cell_node != new_cell_node)
+    outflow = np.zeros(per_cell_records.shape[0], dtype=np.int64)
+    outflow[moved] = per_cell_records[moved]
+    total = int(outflow.sum())
+    flows = {}
+    for cid in moved:
+        key = (int(old_cell_node[cid]), int(new_cell_node[cid]))
+        flows.setdefault(key, []).append(int(cid))
+    ordered = {}
+    for key in sorted(flows):
+        cells = np.asarray(flows[key], dtype=np.int64)
+        records = int(per_cell_records[cells].sum())
+        ordered[key] = {
+            "cells": cells,
+            "records": records,
+            "packets": int(-(-records // records_per_packet)),
+        }
+    stats = MigrationStats(
+        total=total, cross_node=total, per_cell_outflow=outflow
+    )
+    return stats, ordered

@@ -17,9 +17,12 @@ from repro.faults.nodes import (
     NodeFaultInjector,
     NodeFaultPlan,
     RecoveryRecord,
+    RescaleAbortedRecord,
+    RescaleRecord,
 )
 from repro.faults.plan import (
     CLEAN,
+    ChannelInjector,
     FaultDecision,
     FaultInjector,
     FaultPlan,
@@ -35,6 +38,7 @@ from repro.faults.transport import (
 __all__ = [
     "ACK_SUFFIX",
     "CLEAN",
+    "ChannelInjector",
     "DegradationRecord",
     "FaultDecision",
     "FaultInjector",
@@ -48,6 +52,8 @@ __all__ = [
     "NodeFaultPlan",
     "PredicateInjector",
     "RecoveryRecord",
+    "RescaleAbortedRecord",
+    "RescaleRecord",
     "TransportConfig",
     "TransportStats",
     "send_flow",

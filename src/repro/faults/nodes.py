@@ -246,3 +246,94 @@ class RecoveryRecord:
     migration_cross_node: int
     recovery_traffic_records: int
     cycles_lost: float
+
+
+@dataclass(frozen=True)
+class RescaleRecord:
+    """One committed elastic rescale (planned grow or shrink).
+
+    The planned counterpart of :class:`RecoveryRecord`: a rescale moves
+    cells because the host *decided* to, not because a board died, so
+    its migration is fully accounted through the switch model instead
+    of being charged as crash-recovery traffic.
+
+    Attributes
+    ----------
+    iteration:
+        Force-pass index at which the rescale committed (an iteration
+        boundary — physics state is never in flight during a rescale).
+    n_old / n_new:
+        Node counts before and after.
+    grid_old / grid_new:
+        The FPGA grids before and after.
+    cells_moved:
+        Cells whose owning node changed under the new partition
+        (including empty cells — ownership moves even when no records
+        do).
+    records_moved:
+        Position records those cells held at the boundary; every one
+        crosses a node boundary by definition.
+    flows:
+        Per-(old owner, new owner) migration flows as
+        ``(src, dst, records, packets)`` tuples, ascending by (src,
+        dst) — the unit the conservation tests check
+        (``packets == ceil(records / records_per_packet)`` per flow).
+    migration_packets / migration_bytes:
+        Total packets and wire bytes of the transfer.
+    migration_cycles:
+        Cooldown-paced serialization makespan of the transfer (the
+        longest single flow's paced train; flows pace concurrently).
+    shadow_records:
+        Records captured in the prepare-phase shadow checkpoint the
+        transfer could have rolled back to.
+    """
+
+    iteration: int
+    n_old: int
+    n_new: int
+    grid_old: Tuple[int, int, int]
+    grid_new: Tuple[int, int, int]
+    cells_moved: int
+    records_moved: int
+    flows: Tuple[Tuple[int, int, int, int], ...]
+    migration_packets: int
+    migration_bytes: int
+    migration_cycles: float
+    shadow_records: int
+
+
+@dataclass(frozen=True)
+class RescaleAbortedRecord:
+    """One rescale attempt rolled back by a mid-migration fault.
+
+    Attributes
+    ----------
+    iteration:
+        Force-pass index of the attempt.
+    n_old / n_new:
+        Node counts of the pre-rescale partition and the abandoned
+        target.
+    reason:
+        What killed the transfer (node crash, lost/corrupt migration
+        flow, switch overflow, or a prepare-phase precondition).
+    phase:
+        ``"prepare"`` (preconditions failed before any transfer) or
+        ``"transfer"`` (the migration itself faulted).
+    flows_attempted:
+        Migration flows planned before the abort.
+    packets_lost:
+        Migration packets lost beyond the retry budget (0 for crashes
+        and prepare-phase aborts).
+    rolled_back:
+        Always True on the normal path — recorded explicitly so the
+        soak can assert no abort ever left a half-migrated machine.
+    """
+
+    iteration: int
+    n_old: int
+    n_new: int
+    reason: str
+    phase: str
+    flows_attempted: int
+    packets_lost: int
+    rolled_back: bool

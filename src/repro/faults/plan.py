@@ -282,3 +282,53 @@ class PredicateInjector(FaultInjector):
     def decide_message(self, msg: Any, iteration: int, unit: int = 0,
                        attempt: int = 0) -> FaultDecision:
         return self._DROP if self.predicate(msg) else CLEAN
+
+
+class ChannelInjector(FaultInjector):
+    """Restrict a plan's message faults to one channel family.
+
+    Packets whose channel equals ``channel`` (or a derived subchannel
+    such as ``"<channel>/ack"``) see the wrapped plan's fault
+    processes; every other flow sees a clean fabric.  The elasticity
+    soak uses this to fault migration traffic in flight while the
+    position exchange stays bitwise comparable to a fault-free run.
+    Node-stall draws are not channel-scoped and pass through unchanged.
+    """
+
+    def __init__(self, plan: FaultPlan, channel: str):
+        super().__init__(plan)
+        self.channel = str(channel)
+
+    def _covers(self, channel: str) -> bool:
+        return channel == self.channel or channel.startswith(
+            self.channel + "/"
+        )
+
+    def decide(
+        self,
+        src: int,
+        dst: int,
+        channel: str,
+        iteration: int,
+        unit: int = 0,
+        attempt: int = 0,
+    ) -> FaultDecision:
+        if not self._covers(channel):
+            return CLEAN
+        return super().decide(src, dst, channel, iteration, unit, attempt)
+
+    def drop_corrupt_arrays(
+        self,
+        src: int,
+        dst: int,
+        channel: str,
+        iteration: int,
+        n: int,
+        attempt: int = 0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._covers(channel):
+            z = np.zeros(max(n, 0), dtype=bool)
+            return z, z.copy()
+        return super().drop_corrupt_arrays(
+            src, dst, channel, iteration, n, attempt
+        )

@@ -935,3 +935,484 @@ def format_recovery_demo(doc: Dict[str, Any]) -> str:
         ),
     ]
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Elasticity: rescale demo + chaos-composed elasticity soak (`repro rescale`)
+# ---------------------------------------------------------------------------
+
+#: Cell grid of the elasticity runs — 12 divides by every size in the
+#: acceptance schedule, so 4 -> 6 -> 3 all partition along x.
+DEFAULT_RESCALE_DIMS = (12, 3, 3)
+#: The acceptance grow/shrink schedule (node counts, in order).
+DEFAULT_RESCALE_SCHEDULE = (4, 6, 3)
+#: Boundary frequencies (steps between rescale attempts) swept by default.
+DEFAULT_RESCALE_FREQS = (2, 3)
+#: Migration-channel fault rates swept by default (0 = clean control).
+DEFAULT_RESCALE_FAULT_RATES = (0.0, 0.05, 0.3)
+#: Seeds the elasticity soak repeats every grid cell over.
+DEFAULT_RESCALE_SEEDS = (2023, 2024, 2025)
+
+
+def _elastic_machine(
+    dims, n_nodes, system, seed, injector=None, transport=None,
+    node_faults=None,
+):
+    from repro.core.elasticity import fpga_grid_for
+
+    cfg = MachineConfig(tuple(dims), fpga_grid_for(dims, n_nodes))
+    return DistributedMachine(
+        cfg, system=system.copy(), seed=seed, injector=injector,
+        transport=transport, node_faults=node_faults,
+    )
+
+
+def _machine_state(m: DistributedMachine) -> Dict[str, Any]:
+    """Bitwise snapshot of everything a rescale rollback must preserve."""
+    return {
+        "positions": m.system.positions.copy(),
+        "velocities": m.system.velocities.copy(),
+        "velocities32": m._velocities32.copy(),
+        "forces32": m._forces32.copy(),
+        "iteration": m._iteration,
+        "n_fpgas": m.config.n_fpgas,
+    }
+
+
+def _states_equal(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    return all(
+        np.array_equal(a[k], b[k]) if isinstance(a[k], np.ndarray) else a[k] == b[k]
+        for k in a
+    )
+
+
+def _fixed_machine_from(dims, n_nodes, m: DistributedMachine) -> DistributedMachine:
+    """Fresh fixed-size machine primed with ``m``'s boundary state.
+
+    Checkpoint-restore semantics: the float32 velocity/force caches are
+    copied bitwise and the machine marked primed, exactly what a
+    restore at the new size would produce — the reference the
+    bitwise-equivalence acceptance compares each segment against.
+    """
+    from repro.core.elasticity import fpga_grid_for
+
+    cfg = MachineConfig(tuple(dims), fpga_grid_for(dims, n_nodes))
+    ref = DistributedMachine(cfg, system=m.system.copy())
+    ref._velocities32 = m._velocities32.copy()
+    ref._forces32 = m._forces32.copy()
+    ref._primed = m._primed
+    return ref
+
+
+def _check_migration_conservation(m: DistributedMachine) -> List[str]:
+    """Verify the migration-traffic books balance; returns violations.
+
+    Per committed rescale: flow records must sum to ``records_moved``,
+    per-flow packets must equal ``ceil(records / records_per_packet)``,
+    and bytes must equal ``packets * packet_bits / 8`` (bytes out ==
+    bytes in — the transfer is accounted once, on the wire).  Across the
+    run, the switch model must have delivered every migration packet,
+    dropped none, and carry one ``rescales`` tag per committed rescale.
+    """
+    notes: List[str] = []
+    rpp = m.config.records_per_packet
+    total_packets = 0
+    for rec in m.rescale_log:
+        flow_records = sum(f[2] for f in rec.flows)
+        flow_packets = sum(f[3] for f in rec.flows)
+        total_packets += rec.migration_packets
+        if flow_records != rec.records_moved:
+            notes.append(
+                f"it {rec.iteration}: flow records {flow_records} != "
+                f"records_moved {rec.records_moved}"
+            )
+        for src, dst, records, packets in rec.flows:
+            if packets != -(-records // rpp):
+                notes.append(
+                    f"it {rec.iteration}: flow {src}->{dst} packets "
+                    f"{packets} != ceil({records}/{rpp})"
+                )
+        if flow_packets != rec.migration_packets:
+            notes.append(
+                f"it {rec.iteration}: flow packets {flow_packets} != "
+                f"migration_packets {rec.migration_packets}"
+            )
+        if rec.migration_bytes != rec.migration_packets * m.config.packet_bits // 8:
+            notes.append(
+                f"it {rec.iteration}: migration_bytes "
+                f"{rec.migration_bytes} != packets x packet_bits/8"
+            )
+    sw = m.migration_switch_stats
+    if sw.delivered != total_packets:
+        notes.append(
+            f"switch delivered {sw.delivered} != planned migration "
+            f"packets {total_packets}"
+        )
+    if sw.dropped:
+        notes.append(f"switch dropped {sw.dropped} committed packet(s)")
+    if sw.rescales != len(m.rescale_log):
+        notes.append(
+            f"switch rescale tags {sw.rescales} != committed rescales "
+            f"{len(m.rescale_log)}"
+        )
+    return notes
+
+
+def run_rescale_demo(
+    schedule: Tuple[int, ...] = DEFAULT_RESCALE_SCHEDULE,
+    steps_per_segment: int = 2,
+    dims: Tuple[int, int, int] = DEFAULT_RESCALE_DIMS,
+    seed: int = 2023,
+    particles_per_cell: int = 6,
+) -> Dict[str, Any]:
+    """Walk the acceptance schedule (grow 4 -> 6, shrink -> 3) fault-free.
+
+    Runs one elastic machine through every size in ``schedule``,
+    rescaling at each segment boundary, and checks each post-rescale
+    segment bitwise against a fresh fixed-size machine primed with the
+    boundary state — the "elastic == fresh at the new size" acceptance
+    criterion — plus the migration-traffic conservation books.  Returns
+    a JSON-able document (the ``repro rescale`` payload).
+    """
+    from repro.core.elasticity import fpga_grid_for
+
+    system, _ = build_dataset(
+        dims, particles_per_cell=particles_per_cell, seed=seed
+    )
+    m = _elastic_machine(dims, schedule[0], system, seed)
+    m.run(steps_per_segment)
+    segments: List[Dict[str, Any]] = [{
+        "n_nodes": schedule[0],
+        "fpga_grid": list(fpga_grid_for(dims, schedule[0])),
+        "steps": steps_per_segment,
+        "bitwise_identical": True,  # the elastic machine IS the reference
+    }]
+    for target in schedule[1:]:
+        committed = m.rescale(target)
+        if not committed:
+            segments.append({
+                "n_nodes": target,
+                "fpga_grid": list(fpga_grid_for(dims, target)),
+                "steps": 0,
+                "bitwise_identical": False,
+            })
+            continue
+        ref = _fixed_machine_from(dims, target, m)
+        m.run(steps_per_segment)
+        ref.run(steps_per_segment)
+        segments.append({
+            "n_nodes": target,
+            "fpga_grid": list(fpga_grid_for(dims, target)),
+            "steps": steps_per_segment,
+            "bitwise_identical": bool(
+                np.array_equal(m.system.positions, ref.system.positions)
+                and np.array_equal(m._velocities32, ref._velocities32)
+            ),
+        })
+    conservation = _check_migration_conservation(m)
+    sw = m.migration_switch_stats
+    return {
+        "dims": list(dims),
+        "schedule": list(schedule),
+        "steps_per_segment": steps_per_segment,
+        "seed": seed,
+        "particles_per_cell": particles_per_cell,
+        "segments": segments,
+        "rescale_log": [asdict(r) for r in m.rescale_log],
+        "aborted": [asdict(r) for r in m.rescale_aborted_log],
+        "summary": m.recovery_summary(),
+        "switch": {
+            "delivered": sw.delivered,
+            "dropped": sw.dropped,
+            "rescales": sw.rescales,
+            "loss_rate": sw.loss_rate,
+        },
+        "conservation": conservation,
+        "conservation_ok": not conservation,
+        "all_bitwise": all(s["bitwise_identical"] for s in segments),
+    }
+
+
+@dataclass(frozen=True)
+class RescaleSoakCell:
+    """One (frequency, fault rate, crash leg, seed) elasticity outcome."""
+
+    frequency: int
+    fault_rate: float
+    crash_during: bool
+    seed: int
+    survived: bool
+    n_attempts: int
+    n_committed: int
+    n_aborted: int
+    #: Every aborted attempt left the machine bitwise at its pre-rescale
+    #: state with the old partition — the rollback invariant.
+    rollback_clean: bool
+    #: Final trajectory bitwise equals a fault-free run replaying the
+    #: committed schedule.
+    bitwise_identical: bool
+    conservation_ok: bool
+    records_moved: int
+    migration_packets: int
+    final_nodes: int
+    failure: Optional[str] = None
+
+    @property
+    def recovered(self) -> bool:
+        """Survived with clean rollbacks, balanced books, no divergence."""
+        return (
+            self.survived
+            and self.rollback_clean
+            and self.bitwise_identical
+            and self.conservation_ok
+        )
+
+
+@dataclass
+class RescaleSoakResult:
+    """Full elasticity-soak output: frequency x fault x crash x seed."""
+
+    dims: Tuple[int, int, int]
+    schedule: Tuple[int, ...]
+    n_steps: int
+    frequencies: Tuple[int, ...]
+    fault_rates: Tuple[float, ...]
+    seeds: Tuple[int, ...]
+    cells: List[RescaleSoakCell] = field(default_factory=list)
+
+    @property
+    def unrecovered(self) -> int:
+        """Cells with an unclean rollback, drift, or unbalanced books."""
+        return sum(1 for c in self.cells if not c.recovered)
+
+    def to_json(self) -> str:
+        """Serialize for the CI artifact (stable key order)."""
+        doc = asdict(self)
+        doc["unrecovered"] = self.unrecovered
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _soak_cell(
+    dims, schedule, n_steps, freq, rate, crash, seed, particles_per_cell,
+) -> RescaleSoakCell:
+    """Run one elastic machine under migration faults; verify invariants."""
+    from repro.faults import ChannelInjector
+
+    system, _ = build_dataset(
+        dims, particles_per_cell=particles_per_cell, seed=seed
+    )
+    injector = None
+    if rate > 0:
+        # Faults scoped to the migration channel: the position exchange
+        # stays clean, so any divergence is the rescale path's fault.
+        injector = ChannelInjector(
+            FaultPlan(seed=seed, drop_rate=rate, corrupt_rate=rate / 2),
+            "rescale",
+        )
+    node_faults = None
+    if crash:
+        # Scripted crash exactly at the first rescale boundary: after
+        # ``freq`` steps the iteration counter reads ``freq + 1``.
+        node_faults = NodeFaultPlan(
+            events=(NodeFaultEvent(node=0, iteration=freq + 1),)
+        )
+    m = _elastic_machine(
+        dims, schedule[0], system, seed,
+        injector=injector, node_faults=node_faults,
+    )
+    targets = [schedule[(i + 1) % len(schedule)] for i in range(len(schedule))]
+    cycle_pos = 0
+    committed_at: Dict[int, int] = {}
+    n_attempts = n_aborted = 0
+    rollback_clean = True
+    survived, failure = True, None
+    try:
+        for i in range(1, n_steps + 1):
+            m.step()
+            if i < n_steps and i % freq == 0:
+                target = targets[cycle_pos % len(targets)]
+                if target == m.config.n_fpgas:
+                    cycle_pos += 1
+                    continue
+                before = _machine_state(m)
+                n_attempts += 1
+                if m.rescale(target):
+                    committed_at[i] = target
+                    cycle_pos += 1
+                else:
+                    n_aborted += 1
+                    after = _machine_state(m)
+                    if not _states_equal(before, after):
+                        rollback_clean = False
+    except (TransportError, NodeFailureError) as exc:
+        survived, failure = False, str(exc)
+
+    bitwise = False
+    if survived:
+        # Fault-free reference replaying exactly the committed schedule.
+        ref = _elastic_machine(dims, schedule[0], system, seed)
+        for i in range(1, n_steps + 1):
+            ref.step()
+            if i in committed_at:
+                if not ref.rescale(committed_at[i]):
+                    raise AssertionError(
+                        "fault-free reference rescale cannot abort"
+                    )
+        bitwise = bool(
+            np.array_equal(m.system.positions, ref.system.positions)
+            and np.array_equal(m._velocities32, ref._velocities32)
+        )
+    conservation = _check_migration_conservation(m)
+    return RescaleSoakCell(
+        frequency=freq,
+        fault_rate=rate,
+        crash_during=crash,
+        seed=seed,
+        survived=survived,
+        n_attempts=n_attempts,
+        n_committed=len(committed_at),
+        n_aborted=n_aborted,
+        rollback_clean=rollback_clean,
+        bitwise_identical=bitwise,
+        conservation_ok=not conservation,
+        records_moved=sum(r.records_moved for r in m.rescale_log),
+        migration_packets=sum(r.migration_packets for r in m.rescale_log),
+        final_nodes=m.config.n_fpgas,
+        failure=failure,
+    )
+
+
+def run_rescale_soak(
+    frequencies: Tuple[int, ...] = DEFAULT_RESCALE_FREQS,
+    fault_rates: Tuple[float, ...] = DEFAULT_RESCALE_FAULT_RATES,
+    n_steps: int = 6,
+    dims: Tuple[int, int, int] = DEFAULT_RESCALE_DIMS,
+    schedule: Tuple[int, ...] = DEFAULT_RESCALE_SCHEDULE,
+    seeds: Tuple[int, ...] = DEFAULT_RESCALE_SEEDS,
+    particles_per_cell: int = 4,
+) -> RescaleSoakResult:
+    """Chaos-compose elasticity: rescale cadence x migration faults x crash.
+
+    Every cell runs an elastic machine that attempts the cyclic
+    ``schedule`` at each ``frequency`` boundary while the ``"rescale"``
+    channel drops/corrupts packets (and, on the crash legs, a board dies
+    exactly at the first boundary).  The contract checked per cell:
+    every abort rolls back bitwise to the pre-rescale state with the old
+    partition; the final trajectory bitwise equals a fault-free run that
+    replays only the committed rescales; and the migration-traffic books
+    balance.  ``unrecovered`` must be zero — the `repro rescale` gate.
+    """
+    result = RescaleSoakResult(
+        dims=tuple(dims), schedule=tuple(schedule), n_steps=n_steps,
+        frequencies=tuple(frequencies), fault_rates=tuple(fault_rates),
+        seeds=tuple(seeds),
+    )
+    for seed in seeds:
+        for freq in frequencies:
+            for rate in fault_rates:
+                for crash in (False, True):
+                    result.cells.append(
+                        _soak_cell(
+                            dims, schedule, n_steps, freq, rate, crash,
+                            seed, particles_per_cell,
+                        )
+                    )
+    return result
+
+
+def format_rescale_demo(doc: Dict[str, Any]) -> str:
+    """Human-readable narration of a ``run_rescale_demo`` document."""
+    lines = [
+        "Elastic rescale demo — schedule {sch} on {d} cells "
+        "(seed {seed}, {sps} steps/segment)".format(
+            sch=" -> ".join(map(str, doc["schedule"])),
+            d="x".join(map(str, doc["dims"])),
+            seed=doc["seed"],
+            sps=doc["steps_per_segment"],
+        ),
+        "",
+    ]
+    for seg in doc["segments"]:
+        lines.append(
+            "  segment n={n} (grid {g}): {b}".format(
+                n=seg["n_nodes"],
+                g="x".join(map(str, seg["fpga_grid"])),
+                b=(
+                    "bitwise identical to fixed-size run"
+                    if seg["bitwise_identical"]
+                    else "DIVERGED"
+                ),
+            )
+        )
+    for rec in doc["rescale_log"]:
+        lines.append(
+            "  rescale @ it {it}: {no} -> {nn} nodes, {cells} cells / "
+            "{recs} records in {fl} flow(s), {pk} packets "
+            "({by} bytes, {cy:.0f} paced cycles)".format(
+                it=rec["iteration"], no=rec["n_old"], nn=rec["n_new"],
+                cells=rec["cells_moved"], recs=rec["records_moved"],
+                fl=len(rec["flows"]), pk=rec["migration_packets"],
+                by=rec["migration_bytes"], cy=rec["migration_cycles"],
+            )
+        )
+    s = doc["summary"]
+    lines += [
+        "",
+        "  conservation: {}".format(
+            "bytes out == bytes in on every flow"
+            if doc["conservation_ok"]
+            else "VIOLATED: " + "; ".join(doc["conservation"])
+        ),
+        "  switch: delivered {dl}, dropped {dr}, {rs} rescale(s) tagged".format(
+            dl=doc["switch"]["delivered"], dr=doc["switch"]["dropped"],
+            rs=doc["switch"]["rescales"],
+        ),
+        "  summary: {p} planned / {a} aborted, {r} records moved, "
+        "{c:.0f} migration cycles".format(
+            p=s["rescales_planned"], a=s["rescales_aborted"],
+            r=s["rescale_records_moved"], c=s["rescale_migration_cycles"],
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def format_rescale_soak(result: RescaleSoakResult) -> str:
+    """Render the elasticity soak as a rollback/divergence table."""
+    rows = []
+    for c in result.cells:
+        rows.append(
+            [
+                c.frequency,
+                f"{100 * c.fault_rate:g}%",
+                "yes" if c.crash_during else "no",
+                c.seed,
+                f"{c.n_committed}/{c.n_attempts}",
+                c.n_aborted,
+                "clean" if c.rollback_clean else "DIRTY",
+                "bitwise" if c.bitwise_identical else "DIVERGED",
+                "ok" if c.conservation_ok else "VIOLATED",
+                c.final_nodes,
+            ]
+        )
+    return format_table(
+        [
+            "freq",
+            "fault",
+            "crash",
+            "seed",
+            "committed",
+            "aborts",
+            "rollback",
+            "trajectory",
+            "books",
+            "nodes",
+        ],
+        rows,
+        precision=0,
+        title=(
+            f"Elasticity soak — schedule "
+            f"{' -> '.join(map(str, result.schedule))} on "
+            f"{'x'.join(map(str, result.dims))} cells, {result.n_steps} "
+            f"steps; {result.unrecovered} unrecovered of {len(result.cells)}"
+        ),
+    )

@@ -77,6 +77,9 @@ class SwitchStats:
     #: Node-crash recoveries whose restore/replay traffic rode this
     #: fabric (merged additively, like the packet counters).
     recoveries: int = 0
+    #: Committed elastic rescales whose planned migration traffic rode
+    #: this fabric (merged additively, like ``recoveries``).
+    rescales: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -100,6 +103,7 @@ class SwitchStats:
             max_occupancy=occ,
             injected=self.injected + other.injected,
             recoveries=self.recoveries + other.recoveries,
+            rescales=self.rescales + other.rescales,
         )
 
     def __radd__(self, other):

@@ -278,3 +278,99 @@ class TestPoisonedStateRejected:
         save_checkpoint_v2(be, path)
         with pytest.raises(CheckpointError, match="handle=1"):
             load_checkpoint_v2(path)
+
+
+class TestPartitionValidation:
+    """Satellite: reject payloads whose node count disagrees with the map."""
+
+    def _elastic_machine(self, n_nodes):
+        from repro.core.elasticity import fpga_grid_for
+
+        dims = (12, 3, 3)
+        cfg = MachineConfig(dims, fpga_grid_for(dims, n_nodes))
+        system, _ = build_dataset(dims, particles_per_cell=2, seed=5)
+        m = DistributedMachine(cfg, system=system)
+        m.step()
+        return m
+
+    @staticmethod
+    def _tamper(path, mutate):
+        """Rewrite a v2 container with ``mutate(meta, arrays)`` applied.
+
+        Re-serializes the inner payload and recomputes the CRC, so the
+        corruption detector stays green and only the semantic partition
+        validator can catch the inconsistency.
+        """
+        import io
+        import json
+        import zlib
+
+        with np.load(path, allow_pickle=False) as outer:
+            kind = str(outer["kind"])
+            payload = outer["payload"].tobytes()
+        with np.load(io.BytesIO(payload), allow_pickle=False) as inner:
+            meta = json.loads(str(inner["meta"]))
+            arrays = {k: inner[k] for k in inner.files if k != "meta"}
+        mutate(meta, arrays)
+
+        def npz_bytes(**kw):
+            buf = io.BytesIO()
+            np.savez_compressed(buf, **kw)
+            return buf.getvalue()
+
+        new_payload = npz_bytes(meta=np.array(json.dumps(meta)), **arrays)
+        container = npz_bytes(
+            format=np.array("fasda-checkpoint-v2"),
+            kind=np.array(kind),
+            crc32=np.array(zlib.crc32(new_payload), dtype=np.int64),
+            payload=np.frombuffer(new_payload, dtype=np.uint8),
+        )
+        open(path, "wb").write(container)
+
+    def test_cell_node_mismatch_rejected(self, tmp_path):
+        # Written at 6 nodes, then the config is doctored to claim a
+        # 4-node grid: the stored partition map no longer matches the
+        # config-derived one and must be rejected by name, up front.
+        m = self._elastic_machine(6)
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+
+        def mutate(meta, arrays):
+            meta["config"]["fpga_grid"] = [4, 1, 1]
+
+        self._tamper(path, mutate)
+        with pytest.raises(CheckpointError, match="cell_node"):
+            load_checkpoint_v2(path)
+
+    def test_down_until_out_of_range_rejected(self, tmp_path):
+        m = self._elastic_machine(4)
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+
+        def mutate(meta, arrays):
+            meta["down_until"] = {"9": 5}
+
+        self._tamper(path, mutate)
+        with pytest.raises(CheckpointError, match="down_until"):
+            load_checkpoint_v2(path)
+
+    def test_shadow_records_out_of_range_rejected(self, tmp_path):
+        m = self._elastic_machine(4)
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+
+        def mutate(meta, arrays):
+            meta["shadow_records"] = {"-1": 7}
+
+        self._tamper(path, mutate)
+        with pytest.raises(CheckpointError, match="shadow_records"):
+            load_checkpoint_v2(path)
+
+    def test_untampered_elastic_round_trip(self, tmp_path):
+        # Control: the validator passes a healthy elastic checkpoint,
+        # including one written after a committed rescale.
+        m = self._elastic_machine(4)
+        assert m.rescale(6)
+        m.step()
+        path = save_checkpoint_v2(m, str(tmp_path / "m.npz"))
+        m2, _ = load_checkpoint_v2(path)
+        assert m2.config.fpga_grid == (6, 1, 1)
+        assert len(m2.rescale_log) == 1
+        assert m2.rescale_log[0].flows == m.rescale_log[0].flows

@@ -89,3 +89,42 @@ class TestOutputQueuedSwitch:
         switch = OutputQueuedSwitch(4)
         stats = switch.run([Burst(1, 0, 0)])
         assert stats.delivered == 0 and stats.dropped == 0
+
+
+class TestSwitchStatsComposition:
+    """Satellite: rescale traffic composes with recovery counters."""
+
+    def test_add_composes_rescales_with_recoveries(self):
+        from repro.network.netsim import SwitchStats
+
+        recovery = SwitchStats(
+            delivered=100, dropped=2, max_occupancy={0: 5}, recoveries=3
+        )
+        rescale = SwitchStats(
+            delivered=258, dropped=0, max_occupancy={0: 9, 1: 4}, rescales=2
+        )
+        merged = recovery + rescale
+        assert merged.delivered == 358
+        assert merged.dropped == 2
+        assert merged.recoveries == 3
+        assert merged.rescales == 2
+        # peak occupancy takes the max per port, not the sum
+        assert merged.max_occupancy == {0: 9, 1: 4}
+
+    def test_sum_over_mixed_stats(self):
+        from repro.network.netsim import SwitchStats
+
+        parts = [
+            SwitchStats(delivered=10, dropped=0, rescales=1),
+            SwitchStats(delivered=20, dropped=1, recoveries=1),
+            SwitchStats(delivered=30, dropped=0, rescales=1, recoveries=2),
+        ]
+        total = sum(parts)
+        assert total.delivered == 60
+        assert total.rescales == 2
+        assert total.recoveries == 3
+
+    def test_default_rescales_zero(self):
+        switch = OutputQueuedSwitch(4)
+        stats = switch.run([Burst(1, 0, n_packets=8, gap_cycles=2)])
+        assert stats.rescales == 0 and stats.recoveries == 0
